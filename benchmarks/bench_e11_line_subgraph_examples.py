@@ -1,0 +1,68 @@
+"""E11 — Examples 1 and 2 (Section VIII): maximal line subgraphs.
+
+Regenerates the two worked examples on 7-node graphs: the possible-
+follower exclusion of a two-edge-path center (Example 1, the paper's
+p2), the irrelevance of a new edge landing on such a center, and the
+leader strictly increasing when a (leader, possible follower) suspicion
+is added (Example 2) — plus the computation cost of the maximal-line-
+subgraph search itself.
+"""
+
+from repro.analysis.report import Table
+from repro.graphs.line_subgraph import (
+    leader_of,
+    maximal_line_subgraph,
+    possible_followers,
+)
+from repro.graphs.suspect_graph import SuspectGraph
+
+from .conftest import emit
+
+
+def run_examples():
+    rows = []
+    # Example 1 family: path 1-2-3 plus edge 4-5 on 7 nodes.
+    g1 = SuspectGraph(7, [(1, 2), (2, 3), (4, 5)])
+    line1 = maximal_line_subgraph(g1)
+    rows.append(("Example 1", sorted(g1.edges()), sorted(line1.edges()),
+                 leader_of(line1), sorted(possible_followers(line1))))
+    # "A new edge (p2, p5) ... would not change the maximal line subgraph".
+    g1b = g1.copy()
+    g1b.add_edge(2, 5)
+    line1b = maximal_line_subgraph(g1b)
+    rows.append(("Example 1 + (2,5)", sorted(g1b.edges()), sorted(line1b.edges()),
+                 leader_of(line1b), sorted(possible_followers(line1b))))
+    # Example 2 family: a new leader-incident suspicion moves the leader.
+    g2 = SuspectGraph(7, [(1, 2), (3, 4)])
+    line2 = maximal_line_subgraph(g2)
+    leader2 = leader_of(line2)
+    follower = min(possible_followers(line2) - {leader2})
+    g2b = g2.copy()
+    g2b.add_edge(leader2, follower)
+    line2b = maximal_line_subgraph(g2b)
+    rows.append(("Example 2 before", sorted(g2.edges()), sorted(line2.edges()),
+                 leader2, sorted(possible_followers(line2))))
+    rows.append((f"Example 2 + ({leader2},{follower})", sorted(g2b.edges()),
+                 sorted(line2b.edges()), leader_of(line2b),
+                 sorted(possible_followers(line2b))))
+    return rows
+
+
+def test_e11_line_subgraph_examples(benchmark):
+    rows = benchmark(run_examples)
+
+    table = Table(
+        ["case", "graph edges", "maximal line subgraph", "leader", "possible followers"],
+        title="E11 / Examples 1-2 — maximal line subgraphs and possible followers",
+    )
+    for case, edges, line_edges, leader, followers in rows:
+        table.add_row(case, edges, line_edges, f"p{leader}", followers)
+    emit("e11_line_subgraph_examples", table.render())
+
+    example1, example1b, example2, example2b = rows
+    # Example 1: p2 (center of the two-edge path) is not a possible follower.
+    assert 2 not in example1[4]
+    # Adding an edge to the P3 center does not change the leader.
+    assert example1b[3] == example1[3]
+    # Example 2: the (leader, follower) suspicion strictly raises the leader.
+    assert example2b[3] > example2[3]

@@ -1,0 +1,91 @@
+"""E12 — BChain's external-replacement reconfiguration vs Quorum Selection.
+
+The paper's critique: "Quorum Selection in BChain relies on replacing
+potentially faulty processes with new, external processes that are
+assumed to be correct."  We subject BChain-lite and the QS-driven XPaxos
+stack to the same class of fault (a chain/quorum member that mutes its
+forwarding link) and compare reconfigurations, completion, and where the
+faulty process ends up.
+"""
+
+from repro.analysis.report import Table
+from repro.baselines.bchain import build_bchain_cluster
+from repro.baselines.bchain_cs import build_bchain_cs_cluster
+from repro.failures.adversary import Adversary
+from repro.xpaxos.messages import KIND_COMMIT
+from repro.xpaxos.system import build_system
+
+from .conftest import emit, once
+
+
+def run_bchain():
+    cluster = build_bchain_cluster(n=7, f=2, clients=1, requests_per_client=15, seed=5)
+    adversary = Adversary(cluster.sim)
+    adversary.omit_links(3, kinds={"bc.chain"}, start=30.0)
+    cluster.run(1200.0)
+    return cluster
+
+
+def run_bchain_cs():
+    cluster = build_bchain_cs_cluster(n=7, f=2, clients=1, requests_per_client=15, seed=5)
+    adversary = Adversary(cluster.sim)
+    adversary.omit_links(3, kinds={"bcs.chain"}, start=30.0)
+    cluster.run(1200.0)
+    return cluster
+
+
+def run_qs_xpaxos():
+    system = build_system(n=5, f=2, mode="selection", clients=1, seed=5,
+                          client_ops=[[("put", f"k{i}", i) for i in range(15)]])
+    system.adversary.omit_links(2, dsts={3}, kinds={KIND_COMMIT}, start=30.0)
+    system.run(1200.0)
+    return system
+
+
+def test_e12_bchain_vs_quorum_selection(benchmark):
+    def run_all():
+        return run_bchain(), run_bchain_cs(), run_qs_xpaxos()
+
+    bchain, bchain_cs, xpaxos = once(benchmark, run_all)
+
+    table = Table(
+        [
+            "system", "fault", "reconfigurations", "completed",
+            "faulty handling", "needs external pool",
+        ],
+        title="E12 — reconfiguration under a muted link: BChain vs Quorum Selection",
+    )
+    table.add_row(
+        "BChain-lite (n=7)", "p3 mutes chain link", bchain.total_rechains(),
+        bchain.total_completed(),
+        "ejected to standby pool" if 3 not in bchain.replicas[1].chain else "still chained",
+        "yes (standbys consumed)",
+    )
+    cs_chain = bchain_cs.current_chain()
+    cs_handling = (
+        "off chain" if 3 not in cs_chain
+        else "demoted to tail (forwarding-free)" if cs_chain[-1] == 3
+        else "unresolved"
+    )
+    table.add_row(
+        "BChain + Chain Selection (n=7)", "p3 mutes chain link",
+        bchain_cs.total_reconfigurations(), bchain_cs.total_completed(),
+        cs_handling, "no (reorders existing chain)",
+    )
+    changes = max(r.view_changes for r in xpaxos.correct_replicas())
+    final_quorum = xpaxos.correct_replicas()[0].quorum
+    table.add_row(
+        "XPaxos + QS (n=5)", "p2 mutes COMMIT link to p3", changes,
+        xpaxos.total_completed(),
+        "link pair split across quorums" if not {2, 3} <= final_quorum else "unresolved",
+        "no (reuses existing replicas)",
+    )
+    emit("e12_bchain_comparison", table.render())
+
+    assert bchain.total_completed() == 15
+    assert bchain_cs.total_completed() == 15
+    assert xpaxos.total_completed() == 15
+    assert 3 not in bchain.replicas[1].chain  # replaced by an external standby
+    assert 3 not in cs_chain or cs_chain[-1] == 3
+    assert not {2, 3} <= final_quorum         # QS separates the bad link
+    assert bchain.total_rechains() <= 2

@@ -1,0 +1,112 @@
+"""E13 — Chain Selection (extension): churn and epoch behaviour.
+
+The paper's conclusion leaves chain-communicating systems as future
+work; this experiment characterizes our Chain Selection extension:
+
+- *churn*: under the same greedy adversary as E3, how many chain changes
+  can be forced, split into pure re-orderings (same member set) and
+  genuine membership changes — membership churn matches Algorithm 1's
+  ``C(f+2,2) - 1`` exactly, with re-orderings on top;
+- *viability*: chains survive suspicion graphs that kill every
+  independent set, so the epoch advances strictly less often.
+"""
+
+from repro.analysis.abstract import greedy_chain_changes, greedy_max_changes
+from repro.analysis.bounds import observed_max_changes_claim
+from repro.analysis.report import Table
+from repro.graphs.chain_path import has_chain
+from repro.graphs.independent_set import has_independent_set
+from repro.graphs.suspect_graph import SuspectGraph
+
+from .conftest import emit, once
+
+SWEEP = (1, 2, 3, 4)
+
+
+def run_churn():
+    rows = []
+    for f in SWEEP:
+        n = 2 * f + 2
+        chain = greedy_chain_changes(n, f)
+        qs = greedy_max_changes(n, f)
+        rows.append((f, n, chain, qs))
+    return rows
+
+
+def test_e13a_chain_churn(benchmark):
+    rows = once(benchmark, run_churn)
+
+    table = Table(
+        [
+            "f", "n", "chain changes (total)", "of which reorders",
+            "membership changes", "Alg-1 changes", "C(f+2,2)-1",
+        ],
+        title="E13a — greedy adversary vs Chain Selection (same game as E3)",
+    )
+    for f, n, chain, qs in rows:
+        table.add_row(
+            f, n, chain.total_changes,
+            chain.total_changes - chain.membership_changes,
+            chain.membership_changes, qs, observed_max_changes_claim(f),
+        )
+    emit("e13a_chain_churn", table.render())
+
+    for f, _, chain, qs in rows:
+        assert chain.membership_changes == observed_max_changes_claim(f)
+        assert chain.membership_changes == qs
+        assert chain.total_changes >= chain.membership_changes
+        # The adversary ends cornered outside the chain.
+        assert not set(chain.final_chain) & set(range(1, f + 1))
+
+
+def run_viability():
+    """Count random *pre-stabilization* graphs where a chain survives but
+    no independent set does.
+
+    With an accurate failure detector every edge touches a faulty
+    process and the all-correct independent set always exists — both
+    selections are equally viable there.  The interesting regime is the
+    inaccurate phase (correct-correct false suspicions before GST): those
+    are exactly the graphs that force Algorithm 1 to advance its epoch,
+    and where chains — needing only consecutive independence — often
+    still exist.
+    """
+    from repro.util.rand import DeterministicRng
+
+    rng = DeterministicRng(99)
+    n, q = 8, 5
+    trials, chain_only, both, neither = 200, 0, 0, 0
+    for _ in range(trials):
+        graph = SuspectGraph(n)
+        for a in range(1, n + 1):
+            for b in range(a + 1, n + 1):
+                if rng.coin(0.18):
+                    graph.add_edge(a, b)
+        has_is = has_independent_set(graph, q)
+        chain = has_chain(graph, q)
+        assert chain or not has_is  # IS => chain, structurally
+        if chain and not has_is:
+            chain_only += 1
+        elif chain and has_is:
+            both += 1
+        else:
+            neither += 1
+    return trials, chain_only, both, neither
+
+
+def test_e13b_chain_viability(benchmark):
+    trials, chain_only, both, neither = once(benchmark, run_viability)
+
+    table = Table(
+        ["outcome", "graphs (of 200 random pre-GST graphs, n=8, q=5)"],
+        title="E13b — viability: chains survive denser suspicion graphs",
+    )
+    table.add_row("independent set exists (chain too)", both)
+    table.add_row("chain only (Alg-1 would bump the epoch)", chain_only)
+    table.add_row("neither (both bump)", neither)
+    emit("e13b_chain_viability", table.render())
+
+    assert both + chain_only + neither == trials
+    assert chain_only > 0              # chains strictly more available...
+    # ...and an IS never exists without a chain (sorted IS is a chain).
+    assert both + chain_only + neither == trials

@@ -1,0 +1,78 @@
+"""E15 — the epoch-inflation attack and its band defense (extension).
+
+A Byzantine row stamped with an absurd epoch pins its edges through
+every epoch advance up to the stamp.  Under the paper-literal graph rule
+this livelocks Algorithm 1 whenever a transient correct-correct
+suspicion (re-stamped into each new epoch, Algorithm 1 line 29) coexists
+with the inflated star: no independent set exists for ~stamp-many
+epochs.  The epoch *band* (edge requires ``value <= epoch + slack``)
+defuses the attack without discounting any honest suspicion.
+"""
+
+from repro.analysis.report import Table
+from repro.core.suspicion_matrix import SuspicionMatrix
+from repro.failures.strategies import FalseSuspicionInjector
+from repro.graphs.independent_set import has_independent_set
+from tests.conftest import build_qs_world
+from tests.test_epoch_inflation import HUGE, inject_inflated_row
+
+from .conftest import emit, once
+
+
+def abstract_livelock_probe():
+    """How many probe epochs stay non-viable under each semantics."""
+    rows = []
+    for slack_label, slack in (("paper-literal (None)", None), ("banded (1024)", 1024)):
+        matrix = SuspicionMatrix(4)
+        for other in (1, 2, 3):
+            matrix.mark(4, other, HUGE)
+        stuck = 0
+        probes = (1, 10, 1000, 10**6, 10**9)
+        for epoch in probes:
+            matrix.mark(1, 2, epoch)  # the re-stamped correct-correct edge
+            graph = matrix.build_suspect_graph(epoch, slack=slack)
+            if not has_independent_set(graph, 3):
+                stuck += 1
+        rows.append((slack_label, len(probes), stuck))
+    return rows
+
+
+def live_run():
+    sim, modules = build_qs_world(4, 1)
+    sim.at(10.0, lambda: inject_inflated_row(sim, 4, 4))
+    sim.at(20.0, lambda: FalseSuspicionInjector(modules[1]).suspect(2))
+    sim.run_until(150.0)
+    return sim, modules
+
+
+def test_e15_epoch_inflation_defense(benchmark):
+    def run():
+        return abstract_livelock_probe(), live_run()
+
+    probe_rows, (sim, modules) = once(benchmark, run)
+
+    table = Table(
+        ["graph semantics", "probe epochs", "non-viable (livelocked)"],
+        title="E15a — inflated star (stamp 10^9) + re-stamped correct edge, n=4 f=1",
+    )
+    for label, probes, stuck in probe_rows:
+        table.add_row(label, probes, stuck)
+
+    live = Table(
+        ["metric", "value"],
+        title="E15b — live run with the band defense (slack 1024)",
+    )
+    live.add_row("final epoch at correct processes", modules[1].epoch)
+    live.add_row("scheduler steps (whole run)", sim.scheduler.steps_executed)
+    live.add_row("final quorum", modules[3].qlast)
+    emit("e15_epoch_inflation", table.render() + "\n\n" + live.render())
+
+    literal, banded = probe_rows
+    assert literal[2] == literal[1]   # every probe epoch livelocked
+    # With the band, only the probe AT the stamp itself (epoch 10^9, where
+    # the stamps are genuinely current and deserve to count) is blocked;
+    # real systems never get near it because no earlier epoch advances.
+    assert banded[2] == 1
+    assert modules[1].epoch == 1      # live system never even bumps
+    assert sim.scheduler.steps_executed < 20_000
+    assert modules[3].qlast == frozenset({1, 3, 4})

@@ -1,0 +1,62 @@
+"""E18 — checkpointing: bounded state transfer (extension).
+
+Without log compaction every view change ships one commit certificate
+per slot ever committed; with quorum-certified checkpoints the transfer
+is one snapshot plus at most ``interval`` live certificates.  Measure
+the certificate-log length and the catch-up mechanism of a previously
+passive replica joining the quorum after a long run.
+"""
+
+from repro.analysis.report import Table
+from repro.xpaxos.system import build_system
+
+from .conftest import emit, once
+
+REQUESTS = 60
+
+
+def run_variant(checkpoint_interval):
+    system = build_system(
+        n=5, f=2, mode="selection", clients=3, seed=9,
+        client_ops=[[("put", f"k{c}-{i}", i) for i in range(20)] for c in range(3)],
+        client_think_time=3.0,
+        checkpoint_interval=checkpoint_interval,
+    )
+    system.adversary.crash(1, at=80.0)  # forces p4/p5 to join and catch up
+    system.run(1500.0)
+    assert system.total_completed() == REQUESTS
+    assert system.histories_consistent()
+    active = system.replicas[2]
+    return {
+        "interval": checkpoint_interval or "-",
+        "live_certs": len(active.executed_certs),
+        "checkpoints": active.checkpoints_made,
+        "snapshot_adoptions": system.sim.log.count("xp.snapshot-adopted"),
+        "view_changes": max(r.view_changes for r in system.correct_replicas()),
+        "executed": len(active.executed),
+    }
+
+
+def test_e18_checkpointing(benchmark):
+    rows = once(benchmark, lambda: [run_variant(None), run_variant(10)])
+
+    table = Table(
+        [
+            "checkpoint interval", "live certs at run end", "checkpoints",
+            "snapshot adoptions", "view changes", "executed",
+        ],
+        title=f"E18 — log compaction under a leader crash ({REQUESTS} requests, n=5, f=2)",
+    )
+    for row in rows:
+        table.add_row(
+            row["interval"], row["live_certs"], row["checkpoints"],
+            row["snapshot_adoptions"], row["view_changes"], row["executed"],
+        )
+    emit("e18_checkpointing", table.render())
+
+    plain, compacted = rows
+    assert plain["live_certs"] == plain["executed"]       # one cert per slot forever
+    assert compacted["live_certs"] <= 10                  # bounded by the interval
+    assert compacted["checkpoints"] >= 4
+    assert compacted["snapshot_adoptions"] >= 1           # catch-up via snapshot
+    assert plain["snapshot_adoptions"] == 0

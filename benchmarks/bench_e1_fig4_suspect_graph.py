@@ -1,0 +1,56 @@
+"""E1 — Figure 4: suspect graphs across epochs.
+
+Reconstructs the figure's scenario on 5 processes: in epoch 2 the
+recorded suspicions leave no independent set of size 3; raising the epoch
+to 3 drops the (p3, p4) edge and the sets {p1,p3,p4} and {p3,p4,p5}
+become independent, with {p1,p3,p4} chosen lexicographically.
+"""
+
+from repro.analysis.report import Table
+from repro.core.suspicion_matrix import SuspicionMatrix
+from repro.graphs.independent_set import (
+    all_independent_sets,
+    has_independent_set,
+    lex_first_independent_set,
+)
+
+from .conftest import emit, once
+
+
+def build_matrix() -> SuspicionMatrix:
+    matrix = SuspicionMatrix(5)
+    matrix.mark(1, 2, 3)
+    matrix.mark(2, 5, 3)
+    matrix.mark(1, 5, 3)
+    matrix.mark(3, 4, 2)
+    return matrix
+
+
+def test_e1_fig4_epochs(benchmark):
+    matrix = build_matrix()
+
+    def run():
+        rows = []
+        for epoch in (2, 3):
+            graph = matrix.build_suspect_graph(epoch)
+            exists = has_independent_set(graph, 3)
+            chosen = lex_first_independent_set(graph, 3)
+            sets = [tuple(sorted(s)) for s in all_independent_sets(graph, 3)]
+            rows.append((epoch, sorted(graph.edges()), exists, chosen, sets))
+        return rows
+
+    rows = once(benchmark, run)
+
+    table = Table(
+        ["epoch", "edges", "IS of size 3?", "selected quorum", "all size-3 sets"],
+        title="E1 / Figure 4 — suspect graph per epoch (n=5, q=3)",
+    )
+    for epoch, edges, exists, chosen, sets in rows:
+        table.add_row(epoch, edges, exists, chosen or "-", sets)
+    emit("e1_fig4", table.render())
+
+    epoch2, epoch3 = rows
+    assert epoch2[2] is False  # paper: "no independent set ... in epoch 2"
+    assert epoch3[2] is True
+    assert epoch3[3] == frozenset({1, 3, 4})
+    assert (1, 3, 4) in epoch3[4] and (3, 4, 5) in epoch3[4]

@@ -1,0 +1,51 @@
+"""E2 — Theorem 4 / Figure 5: the adversarial lower bound.
+
+The Theorem-4 adversary (false suspicions concentrated on an ``F+2``
+node set, one per stabilization) runs against the *live* Algorithm 1
+stack and must force exactly ``C(f+2, 2)`` proposed quorums — i.e.
+``C(f+2, 2) - 1`` quorum changes after the initial default — for every
+``f``.  This matches the paper's claim that the bound is tight.
+"""
+
+import pytest
+
+from repro.analysis.bounds import observed_max_changes_claim, thm3_upper_bound
+from repro.analysis.report import Table
+from repro.analysis.runner import run_thm4_adversary
+
+from .conftest import emit, once
+
+SWEEP = (1, 2, 3, 4)
+
+
+def run_sweep():
+    rows = []
+    for f in SWEEP:
+        result = run_thm4_adversary(2 * f + 2, f, seed=3, duration=8000.0)
+        rows.append((f, result))
+    return rows
+
+
+def test_e2_thm4_lower_bound(benchmark):
+    rows = once(benchmark, run_sweep)
+
+    table = Table(
+        [
+            "f", "n", "suspicions fired", "quorum changes",
+            "C(f+2,2)-1 (claim)", "f(f+1) (Thm 3)", "agree", "no-suspicion",
+        ],
+        title="E2 / Theorem 4 — adversarial quorum changes (live Algorithm 1)",
+    )
+    for f, result in rows:
+        table.add_row(
+            f, result.n, result.suspicions_fired, result.max_changes_per_epoch,
+            observed_max_changes_claim(f), thm3_upper_bound(f),
+            result.final_quorums_agree, result.no_suspicion,
+        )
+    emit("e2_thm4_lower_bound", table.render())
+
+    for f, result in rows:
+        assert result.max_changes_per_epoch == observed_max_changes_claim(f)
+        assert result.max_changes_per_epoch <= thm3_upper_bound(f)
+        assert result.final_quorums_agree and result.no_suspicion
+        assert result.max_epoch == 1  # accuracy: the epoch never advances

@@ -1,0 +1,79 @@
+"""E3 — Theorem 3 and the paper's "simulations suggest" claim.
+
+Two parts:
+
+1. *Exhaustive worst case* (network-free single-epoch model): search over
+   every adversary edge sequence (and, for small ``f``, every faulty-set
+   choice); the maximum number of quorum changes Algorithm 1 can be
+   forced into per epoch must equal ``C(f+2,2) - 1`` — the paper's
+   "simulations suggest at most C(f+2,2) quorums in one epoch".
+2. *Random noise* (full stack): random false suspicions never push any
+   epoch past the Theorem-3 bound ``f(f+1)``.
+"""
+
+from repro.analysis.abstract import exhaustive_max_changes, greedy_max_changes
+from repro.analysis.bounds import observed_max_changes_claim, thm3_upper_bound
+from repro.analysis.report import Table
+from repro.analysis.runner import run_random_adversary
+
+from .conftest import emit, once
+
+EXHAUSTIVE_F = (1, 2)      # all faulty-set choices
+EXHAUSTIVE_FIXED_F = (3,)  # canonical faulty set only (state space)
+GREEDY_F = (4, 5, 6)
+RANDOM_SEEDS = (1, 2, 3, 4, 5)
+
+
+def run_worst_case():
+    rows = []
+    for f in EXHAUSTIVE_F:
+        rows.append((f, "exhaustive", exhaustive_max_changes(2 * f + 2, f)))
+    for f in EXHAUSTIVE_FIXED_F:
+        value = exhaustive_max_changes(2 * f + 2, f, faulty=set(range(1, f + 1)))
+        rows.append((f, "exhaustive (F={1..f})", value))
+    for f in GREEDY_F:
+        rows.append((f, "greedy", greedy_max_changes(2 * f + 2, f)))
+    return rows
+
+
+def test_e3_worst_case_per_epoch(benchmark):
+    rows = once(benchmark, run_worst_case)
+
+    table = Table(
+        ["f", "search", "max changes/epoch", "C(f+2,2)-1 (claim)", "f(f+1) (Thm 3)"],
+        title="E3a / Theorem 3 — worst-case quorum changes per epoch (Algorithm 1)",
+    )
+    for f, mode, value in rows:
+        table.add_row(f, mode, value, observed_max_changes_claim(f), thm3_upper_bound(f))
+    emit("e3a_worst_case", table.render())
+
+    for f, _, value in rows:
+        assert value == observed_max_changes_claim(f)
+        assert value <= thm3_upper_bound(f)
+
+
+def test_e3_random_noise_respects_bound(benchmark):
+    f = 2
+
+    def run():
+        return [
+            run_random_adversary(6, f, seed=seed, duration=300.0)
+            for seed in RANDOM_SEEDS
+        ]
+
+    results = once(benchmark, run)
+
+    table = Table(
+        ["seed", "suspicions", "max changes/epoch", "bound f(f+1)", "agree"],
+        title="E3b / Theorem 3 — random false-suspicion noise (full stack, f=2)",
+    )
+    for seed, result in zip(RANDOM_SEEDS, results):
+        table.add_row(
+            seed, result.suspicions_fired, result.max_changes_per_epoch,
+            thm3_upper_bound(f), result.final_quorums_agree,
+        )
+    emit("e3b_random_noise", table.render())
+
+    for result in results:
+        assert result.max_changes_per_epoch <= thm3_upper_bound(f)
+        assert result.final_quorums_agree and result.no_suspicion

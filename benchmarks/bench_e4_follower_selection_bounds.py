@@ -1,0 +1,53 @@
+"""E4 — Theorem 9 / Corollary 10: Follower Selection bounds.
+
+A leader-attack adversary (every stabilization, a faulty process falsely
+suspects the current leader) runs against live Algorithm 2 with
+``n = 3f + 1``.  Quorums per epoch must stay within ``3f + 1`` (Thm 9)
+and post-stabilization totals within ``6f + 2`` (Cor 10) — the paper's
+``O(f)`` improvement over general Quorum Selection's ``Theta(f^2)``.
+"""
+
+from repro.analysis.bounds import (
+    cor10_total_bound,
+    observed_max_changes_claim,
+    thm9_per_epoch_bound,
+)
+from repro.analysis.report import Table
+from repro.analysis.runner import run_follower_worst_case
+
+from .conftest import emit, once
+
+SWEEP = (1, 2, 3)
+
+
+def run_sweep():
+    return [(f, run_follower_worst_case(f, seed=3, duration=6000.0)) for f in SWEEP]
+
+
+def test_e4_follower_selection_bounds(benchmark):
+    rows = once(benchmark, run_sweep)
+
+    table = Table(
+        [
+            "f", "n=3f+1", "suspicions", "changes (total)", "max/epoch",
+            "3f+1 (Thm 9)", "6f+2 (Cor 10)", "QS claim C(f+2,2)-1", "final leader",
+        ],
+        title="E4 / Theorem 9 & Corollary 10 — Follower Selection under leader attack",
+    )
+    for f, result in rows:
+        table.add_row(
+            f, result.n, result.suspicions_fired, result.quorum_changes_total,
+            result.max_changes_per_epoch, thm9_per_epoch_bound(f),
+            cor10_total_bound(f), observed_max_changes_claim(f),
+            f"p{result.final_leader}",
+        )
+    emit("e4_follower_selection", table.render())
+
+    for f, result in rows:
+        assert result.max_changes_per_epoch <= thm9_per_epoch_bound(f)
+        assert result.quorum_changes_total <= cor10_total_bound(f)
+        assert result.final_quorums_agree
+    # The O(f) bound beats the Theta(f^2) general lower bound for f > 3
+    # (3f+1 < C(f+2,2) first holds at f=4) and diverges from there.
+    for f in (4, 6, 10):
+        assert thm9_per_epoch_bound(f) < observed_max_changes_claim(f)

@@ -1,0 +1,87 @@
+"""E6 — Figures 2 and 3: XPaxos normal-case message flow.
+
+Regenerates both figures as message traces at ``f = 2`` (the figures'
+parameter): the normal pattern (one PREPARE broadcast, COMMIT exchange,
+commit on full quorum) and the delayed-PREPARE variant where a COMMIT
+overtakes the PREPARE and the receiver issues an expectation for it —
+with *no* false suspicion in either case.
+"""
+
+from repro.analysis.report import Table
+from repro.analysis.traces import render_sequence_diagram
+from repro.xpaxos.messages import KIND_COMMIT, KIND_PREPARE
+from repro.xpaxos.system import build_system
+
+from .conftest import emit, once
+
+TRACED = {"xp.request", "xp.prepare", "xp.commit", "xp.reply"}
+
+
+def run_normal_case():
+    system = build_system(n=5, f=2, clients=1, seed=7, heartbeats=False,
+                          client_ops=[[("put", "x", 1)]])
+    system.sim.network.trace(TRACED)
+    system.run(60.0)
+    return system
+
+
+def run_delayed_prepare():
+    system = build_system(n=5, f=2, clients=1, seed=7, heartbeats=False,
+                          client_ops=[[("put", "x", 1)]])
+    system.sim.network.trace(TRACED)
+    system.adversary.delay_links(1, extra_delay=2.5, dsts={3}, kinds={KIND_PREPARE})
+    system.run(60.0)
+    return system
+
+
+def test_e6_fig2_normal_flow(benchmark):
+    system = once(benchmark, run_normal_case)
+    stats = system.sim.stats
+
+    table = Table(
+        ["metric", "value", "expected (Fig. 2, q=3)"],
+        title="E6a / Figure 2 — XPaxos normal case, one request, f=2 (quorum {1,2,3})",
+    )
+    prepares = stats.sent_by_kind.get(KIND_PREPARE, 0)
+    commits = stats.sent_by_kind.get(KIND_COMMIT, 0)
+    table.add_row("PREPARE messages", prepares, "q-1 = 2")
+    table.add_row("COMMIT messages", commits, "(q-1)*(q-1) = 4")
+    table.add_row("commits executed at quorum",
+                  sum(1 for pid in (1, 2, 3) if system.replicas[pid].executed), "3")
+    table.add_row("false suspicions", system.sim.log.count("fd.timeout"), "0")
+    diagram = render_sequence_diagram(system.sim.log, [6, 1, 2, 3], kinds=TRACED)
+    emit("e6a_fig2_flow", table.render() + "\n\n" + diagram)
+
+    assert prepares == 2          # leader -> two followers
+    assert commits == 4           # each follower -> two peers
+    assert system.total_completed() == 1
+    assert system.sim.log.count("fd.timeout") == 0
+    # Passive replicas saw none of it.
+    for passive in (4, 5):
+        assert len(system.replicas[passive].executed) == 0
+
+
+def test_e6_fig3_delayed_prepare(benchmark):
+    system = once(benchmark, run_delayed_prepare)
+
+    # p3's COMMIT-before-PREPARE path: it received a COMMIT first, sent
+    # its own COMMIT, and expected the PREPARE from the leader.
+    expect_events = [
+        e for e in system.sim.log.events(kind="fd.expect", process=3)
+        if str(e.payload.get("label", "")).startswith("prepare<-p1")
+    ]
+    table = Table(
+        ["metric", "value", "expected (Fig. 3)"],
+        title="E6b / Figure 3 — delayed PREPARE to p3, f=2",
+    )
+    table.add_row("p3 expectations for the late PREPARE", len(expect_events), ">= 1")
+    table.add_row("request completed", system.total_completed(), "1")
+    table.add_row("false suspicions", system.sim.log.count("fd.timeout"), "0")
+    table.add_row("p3 executed", len(system.replicas[3].executed), "1")
+    diagram = render_sequence_diagram(system.sim.log, [6, 1, 2, 3], kinds=TRACED)
+    emit("e6b_fig3_flow", table.render() + "\n\n" + diagram)
+
+    assert len(expect_events) >= 1
+    assert system.total_completed() == 1
+    assert system.sim.log.count("fd.timeout") == 0
+    assert len(system.replicas[3].executed) == 1

@@ -1,0 +1,54 @@
+"""E7 — the introduction's message-savings claim.
+
+"Systems like PBFT ... use n = 3f+1 replicas, broadcast messages to all
+replicas but require replies from only n-f correct replicas. ... these
+systems can drop approximately 1/3 or 1/2 of the inter-replica
+messages."  We measure per-request inter-replica messages for full
+broadcast vs. an active quorum of ``n - f`` well-functioning replicas, in
+both system families (``3f+1`` and ``2f+1``).
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.analysis.runner import measure_message_savings
+
+from .conftest import emit, once
+
+SWEEP = (1, 2, 3, 4)
+
+
+def run_both_families():
+    rows = []
+    for f in SWEEP:
+        rows.append((f, "3f+1", measure_message_savings(f)))
+        rows.append((f, "2f+1", measure_message_savings(f, two_f_plus_one=True)))
+    return rows
+
+
+def test_e7_message_savings(benchmark):
+    rows = once(benchmark, run_both_families)
+
+    table = Table(
+        [
+            "f", "family", "n", "active", "msgs/req full", "msgs/req active",
+            "per-broadcast drop", "paper claim", "total drop",
+        ],
+        title="E7 — inter-replica messages per committed request",
+    )
+    for f, family, s in rows:
+        claim = "~1/3" if family == "3f+1" else "~1/2"
+        table.add_row(
+            f, family, s.n, s.active_size,
+            s.full_messages_per_request, s.active_messages_per_request,
+            s.per_broadcast_reduction, claim, s.total_reduction,
+        )
+    emit("e7_message_savings", table.render())
+
+    for f, family, s in rows:
+        if family == "3f+1":
+            assert s.per_broadcast_reduction == pytest.approx(1 / 3, abs=0.01)
+        else:
+            assert s.per_broadcast_reduction == pytest.approx(1 / 2, abs=0.01)
+        assert s.total_reduction > 0.3
+        assert s.active_messages_per_request < s.full_messages_per_request

@@ -1,0 +1,172 @@
+"""E9 — ablations of the paper's design choices.
+
+(a) *Epoch memory off*: if suspicions were permanent edges (never aged
+    out by the epoch mechanism), a burst of pre-GST false suspicions
+    between correct processes would leave the quorum permanently
+    constrained — with the epoch mechanism the system returns to a quorum
+    chosen only by current-epoch evidence.
+(b) *Adaptive timeouts off*: with a fixed (non-doubling) timeout below
+    the pre-GST delay, false suspicions keep recurring; the doubling
+    policy stops them after stabilization.
+(c) *Possible-follower rule off*: selecting a two-edge-path center as
+    follower breaks the guarantee that a new (leader, follower) suspicion
+    yields a larger leader — measured on the graph family of Example 1.
+(d) *Update forwarding off* (Algorithm 1 line 23 / Lemma 1): a Byzantine
+    quorum member that tells only half the correct processes about a
+    (false) suspicion splits the quorum permanently — Agreement breaks.
+"""
+
+from repro.analysis.report import Table
+from repro.fd.properties import false_suspicions
+from repro.graphs.line_subgraph import LineSubgraph, leader_of, maximal_line_subgraph
+from repro.graphs.suspect_graph import SuspectGraph
+from tests.conftest import build_qs_world
+
+from .conftest import emit, once
+
+
+def test_e9a_epoch_memory(benchmark):
+    """Epochs let the quorum escape stale false suspicions."""
+
+    def run():
+        sim, modules = build_qs_world(5, 2, seed=11, gst=40.0, base_timeout=3.0)
+        sim.run_until(400.0)
+        module = modules[1]
+        # With epochs: quorum constrained only by final-epoch edges.
+        with_epochs = module.matrix.build_suspect_graph(module.epoch)
+        # Ablation: every suspicion ever recorded stays an edge (epoch 1).
+        without_epochs = module.matrix.build_suspect_graph(1)
+        return module, with_epochs, without_epochs
+
+    module, with_epochs, without_epochs = once(benchmark, run)
+
+    from repro.graphs.independent_set import has_independent_set
+
+    table = Table(
+        ["variant", "edges", "independent set of size q?"],
+        title="E9a — epoch memory ablation (after pre-GST false suspicions)",
+    )
+    table.add_row("with epochs (paper)", with_epochs.edge_count(),
+                  has_independent_set(with_epochs, module.q))
+    table.add_row("without epochs (ablated)", without_epochs.edge_count(),
+                  has_independent_set(without_epochs, module.q))
+    emit("e9a_epoch_ablation", table.render())
+
+    assert has_independent_set(with_epochs, module.q)
+    # The ablated graph accumulated every pre-GST false suspicion.
+    assert without_epochs.edge_count() > with_epochs.edge_count()
+    assert not has_independent_set(without_epochs, module.q)
+
+
+def test_e9b_adaptive_timeouts(benchmark):
+    """Doubling timeouts are what buys eventual strong accuracy."""
+
+    def run():
+        # Base timeout 2.0 sits *below* the steady-state heartbeat gap
+        # (period 2 plus latency jitter), so a non-adapting detector keeps
+        # raising false suspicions forever; doubling escapes after a few.
+        results = {}
+        for label, multiplier in (("adaptive (paper)", 2.0), ("fixed (ablated)", 1.0)):
+            sim, modules = build_qs_world(5, 2, seed=11, base_timeout=2.0)
+            for pid in sim.pids:
+                sim.host(pid).fd.policy.multiplier = multiplier
+            sim.run_until(500.0)
+            late = false_suspicions(sim.log, sim.pids, after=300.0)
+            results[label] = (len(false_suspicions(sim.log, sim.pids)), len(late))
+        return results
+
+    results = once(benchmark, run)
+
+    table = Table(
+        ["timeout policy", "false suspicions (total)", "after stabilization"],
+        title="E9b — timeout adaptivity ablation (base timeout below the heartbeat gap)",
+    )
+    for label, (total, late) in results.items():
+        table.add_row(label, total, late)
+    emit("e9b_timeout_ablation", table.render())
+
+    assert results["adaptive (paper)"][1] == 0
+    assert results["fixed (ablated)"][1] > 0
+
+
+def test_e9c_possible_follower_rule(benchmark):
+    """Choosing a P3 center as follower blocks the leader walk."""
+
+    def run():
+        graph = SuspectGraph(7, [(1, 2), (2, 3), (4, 5)])
+        line = maximal_line_subgraph(graph)
+        leader = leader_of(line)
+        outcomes = {}
+        for label, follower in (("possible follower (paper)", 3),
+                                ("P3 center (ablated)", 2)):
+            g2 = graph.copy()
+            g2.add_edge(leader, follower)
+            new_leader = leader_of(maximal_line_subgraph(g2))
+            outcomes[label] = (leader, follower, new_leader)
+        return outcomes
+
+    outcomes = once(benchmark, run)
+
+    table = Table(
+        ["follower choice", "old leader", "suspected follower", "new leader", "leader moved?"],
+        title="E9c — possible-follower (Definition 2) ablation on Example 1's graph",
+    )
+    for label, (old, fw, new) in outcomes.items():
+        table.add_row(label, f"p{old}", f"p{fw}", f"p{new}", new > old)
+    emit("e9c_follower_rule_ablation", table.render())
+
+    old, _, new_good = outcomes["possible follower (paper)"]
+    _, _, new_bad = outcomes["P3 center (ablated)"]
+    assert new_good > old      # rule respected: leader strictly increases
+    assert new_bad == old      # rule violated: system would be stuck
+
+
+def test_e9d_update_forwarding(benchmark):
+    """Lemma 1's forwarding is what makes Agreement survive equivocation."""
+    from repro.core.messages import KIND_UPDATE, UpdatePayload
+    from repro.core.quorum_selection import QuorumSelectionModule
+    from repro.core.spec import agreement_holds
+    from repro.fd.detector import FailureDetector
+    from repro.fd.heartbeat import HeartbeatModule
+    from repro.sim.runtime import Simulation, SimulationConfig
+
+    def run(forward):
+        sim = Simulation(SimulationConfig(n=5, seed=3))
+        modules = {}
+        for pid in sim.pids:
+            host = sim.host(pid)
+            FailureDetector(host)
+            host.add_module(HeartbeatModule(host, n=5, period=2.0))
+            modules[pid] = host.add_module(
+                QuorumSelectionModule(host, n=5, f=2, forward_updates=forward)
+            )
+        byz = sim.host(3)  # a default-quorum member
+
+        def selective_equivocation():
+            # Tell only p1 and p2 about a (false) suspicion of p1.
+            row = (0, 2, 0, 0, 0, 0)
+            signed = byz.authenticator.sign(UpdatePayload(row))
+            byz.send(1, KIND_UPDATE, signed)
+            byz.send(2, KIND_UPDATE, signed)
+
+        sim.at(10.0, selective_equivocation)
+        sim.run_until(150.0)
+        correct = [modules[p] for p in (1, 2, 4, 5)]
+        quorums = {p: tuple(sorted(modules[p].qlast)) for p in (1, 2, 4, 5)}
+        return agreement_holds(correct), quorums
+
+    def run_both():
+        return run(True), run(False)
+
+    (with_fwd, q_with), (without_fwd, q_without) = once(benchmark, run_both)
+
+    table = Table(
+        ["variant", "agreement", "quorums at correct processes"],
+        title="E9d — UPDATE forwarding ablation under selective equivocation",
+    )
+    table.add_row("forwarding on (paper)", with_fwd, sorted(set(q_with.values())))
+    table.add_row("forwarding off (ablated)", without_fwd, sorted(set(q_without.values())))
+    emit("e9d_forwarding_ablation", table.render())
+
+    assert with_fwd and len(set(q_with.values())) == 1
+    assert not without_fwd and len(set(q_without.values())) == 2

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Crash-recovery and the quorum's memory of cancelled suspicions.
+
+The paper grounds *eventual detection* in the crash-recovery world: a
+process fails, is suspected, resumes, and the suspicions are cancelled.
+But Quorum Selection deliberately remembers — "we take not only current
+suspicions into account, but also suspicions previously raised and
+canceled" — so a process that bounced does not bounce straight back into
+the quorum.  This demo shows the full lifecycle:
+
+1. p1 (a default-quorum member) crashes; everyone suspects it; the
+   quorum moves to {p2, p3, p4}.
+2. p1 recovers; heartbeats resume; every failure-detector suspicion of
+   p1 is cancelled within a few rounds.
+3. And yet the quorum stays {p2, p3, p4}: the epoch-stamped matrix still
+   carries the suspicions, exactly as designed.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro.core import QuorumSelectionModule, agreement_holds, no_suspicion_holds
+from repro.fd import FailureDetector, HeartbeatModule
+from repro.sim import Simulation, SimulationConfig
+from repro.util.ids import format_pset
+
+N, F = 5, 2
+
+
+def main() -> None:
+    sim = Simulation(SimulationConfig(n=N, seed=42))
+    modules = {}
+    for pid in sim.pids:
+        host = sim.host(pid)
+        FailureDetector(host)
+        host.add_module(HeartbeatModule(host, n=N, period=2.0))
+        modules[pid] = host.add_module(QuorumSelectionModule(host, n=N, f=F))
+    modules[2].add_quorum_listener(
+        lambda event: print(f"  t={event.time:7.2f}  quorum -> "
+                            f"{format_pset(event.quorum)}")
+    )
+
+    print(f"default quorum: {format_pset(modules[2].qlast)}")
+    print("p1 crashes at t=10, recovers at t=60 ...\n")
+    sim.at(10.0, lambda: sim.host(1).crash())
+    sim.at(60.0, lambda: sim.host(1).recover())
+    sim.run_until(250.0)
+
+    correct = [modules[p] for p in sim.pids]
+    suspicions_of_p1 = {
+        pid: 1 in sim.host(pid).fd.suspected for pid in (2, 3, 4, 5)
+    }
+    marks = [
+        (pid, modules[2].matrix.get(pid, 1))
+        for pid in (2, 3, 4, 5)
+        if modules[2].matrix.get(pid, 1)
+    ]
+    print(f"\nafter recovery:")
+    print(f"  anyone still suspecting p1?      {any(suspicions_of_p1.values())}")
+    print(f"  matrix marks against p1 (epoch): {marks}")
+    print(f"  final quorum:                    {format_pset(modules[2].qlast)}")
+    print(f"  p1's own module agrees too:      "
+          f"{modules[1].qlast == modules[2].qlast}")
+    print(f"  agreement / no-suspicion:        "
+          f"{agreement_holds(correct)} / {no_suspicion_holds(correct)}")
+    assert not any(suspicions_of_p1.values())   # suspicions cancelled...
+    assert 1 not in modules[2].qlast            # ...but the quorum remembers
+    assert agreement_holds(correct)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: Quorum Selection surviving a crashed quorum member.
+
+Builds the paper's smallest interesting system — ``n = 5`` processes
+tolerating ``f = 2`` faults, so active quorums have ``q = 3`` members —
+wires each process with a failure detector, a heartbeat application, and
+the Quorum Selection module (Algorithm 1), then crashes ``p1`` (a member
+of the default quorum ``{p1, p2, p3}``) and watches the correct processes
+agree on a replacement quorum.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import QuorumSelectionModule, agreement_holds, no_suspicion_holds
+from repro.fd import FailureDetector, HeartbeatModule
+from repro.sim import Simulation, SimulationConfig
+from repro.util.ids import format_pset
+
+N, F = 5, 2
+
+
+def main() -> None:
+    sim = Simulation(SimulationConfig(n=N, seed=42, gst=0.0, delta=1.0))
+    modules = {}
+    for pid in sim.pids:
+        host = sim.host(pid)
+        FailureDetector(host)
+        host.add_module(HeartbeatModule(host, n=N, period=2.0))
+        modules[pid] = host.add_module(QuorumSelectionModule(host, n=N, f=F))
+
+    # Print every quorum any process announces, as it happens.
+    for pid, module in modules.items():
+        module.add_quorum_listener(
+            lambda event: print(
+                f"  t={event.time:7.2f}  p{event.process} issues "
+                f"<QUORUM, {format_pset(event.quorum)}> (epoch {event.epoch})"
+            )
+        )
+
+    print(f"n={N}, f={F}: default quorum is {format_pset(modules[1].qlast)}")
+    print("crashing p1 at t=10 ...")
+    sim.at(10.0, lambda: sim.host(1).crash())
+    sim.run_until(100.0)
+
+    correct = [modules[pid] for pid in (2, 3, 4, 5)]
+    final = correct[0].qlast
+    print(f"\nfinal quorum at every correct process: {format_pset(final)}")
+    print(f"agreement holds:    {agreement_holds(correct)}")
+    print(f"no suspicion holds: {no_suspicion_holds(correct)}")
+    assert final == frozenset({2, 3, 4})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Analysis layer: closed-form bounds, worst-case search, experiment runners.
+
+Everything the benchmark harness needs to regenerate the paper's
+quantitative claims lives here:
+
+- :mod:`repro.analysis.bounds` — the paper's formulas (Theorem 3's
+  ``f(f+1)``, Theorem 4's ``C(f+2,2)``, Theorem 9's ``3f+1``,
+  Corollary 10's ``6f+2``, XPaxos' ``C(n,f)`` enumeration cycle).
+- :mod:`repro.analysis.abstract` — network-free single-epoch models of
+  Algorithms 1 and 2 plus exhaustive/greedy adversary searches, used to
+  re-derive the paper's "simulations suggest at most C(f+2,2) quorums per
+  epoch" claim.
+- :mod:`repro.analysis.runner` — online (full simulator) experiment
+  drivers shared by benchmarks and integration tests.
+- :mod:`repro.analysis.report` — plain-text table rendering for
+  paper-style benchmark output.
+"""
+
+from repro.analysis.bounds import (
+    thm3_upper_bound,
+    thm4_quorum_count,
+    observed_max_changes_claim,
+    thm9_per_epoch_bound,
+    cor10_total_bound,
+    enumeration_cycle_length,
+)
+from repro.analysis.abstract import (
+    AbstractQuorumSelection,
+    AbstractFollowerSelection,
+    AbstractChainSelection,
+    exhaustive_max_changes,
+    greedy_max_changes,
+    greedy_follower_changes,
+    greedy_chain_changes,
+)
+from repro.analysis.runner import (
+    QsRunResult,
+    run_thm4_adversary,
+    run_random_adversary,
+    run_follower_worst_case,
+    run_xpaxos_crash_comparison,
+    measure_message_savings,
+)
+from repro.analysis.report import Table
+from repro.analysis.sweeps import SweepSummary, sweep
+from repro.analysis.traces import (
+    message_sends,
+    render_arrow_trace,
+    render_sequence_diagram,
+)
+
+__all__ = [
+    "thm3_upper_bound",
+    "thm4_quorum_count",
+    "observed_max_changes_claim",
+    "thm9_per_epoch_bound",
+    "cor10_total_bound",
+    "enumeration_cycle_length",
+    "AbstractQuorumSelection",
+    "AbstractFollowerSelection",
+    "exhaustive_max_changes",
+    "greedy_max_changes",
+    "greedy_follower_changes",
+    "greedy_chain_changes",
+    "AbstractChainSelection",
+    "QsRunResult",
+    "run_thm4_adversary",
+    "run_random_adversary",
+    "run_follower_worst_case",
+    "run_xpaxos_crash_comparison",
+    "measure_message_savings",
+    "Table",
+    "SweepSummary",
+    "sweep",
+    "message_sends",
+    "render_arrow_trace",
+    "render_sequence_diagram",
+]

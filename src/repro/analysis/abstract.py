@@ -1,0 +1,300 @@
+"""Network-free single-epoch models of Algorithms 1 and 2.
+
+Once the failure detector is accurate, every suspicion has a faulty
+endpoint, so the suspect graph always has a vertex cover of size ``f``
+(the faulty set), an independent set of size ``q`` always exists, and the
+epoch never advances.  Within one epoch the whole distributed machinery
+therefore collapses to a deterministic function *edge set -> quorum*,
+which is what these models compute directly.  The adversary game —
+repeatedly add an allowed suspicion edge, count quorum changes — can then
+be searched exhaustively (with memoization over edge sets) to re-derive
+the paper's claim that Algorithm 1 "actually allows at most C(f+2, 2)
+quorums in one epoch", and greedily for larger ``f``.
+
+Allowed adversary moves:
+
+- the edge must have at least one *faulty* endpoint (accuracy: correct
+  processes never suspect each other after stabilization);
+- for the Theorem-4 game, both endpoints must lie in the *current* quorum
+  (a suspicion outside the quorum violates no property, so Quorum
+  Selection need not react; Lemma 2 makes this precise for Algorithm 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.graphs.independent_set import has_independent_set, lex_first_independent_set
+from repro.graphs.line_subgraph import leader_of, maximal_line_subgraph, possible_followers
+from repro.graphs.suspect_graph import SuspectGraph
+from repro.util.errors import ConfigurationError
+from repro.util.ids import default_quorum
+
+Edge = Tuple[int, int]
+
+
+class AbstractQuorumSelection:
+    """Single-epoch Algorithm 1: edge set in, lex-first quorum out."""
+
+    def __init__(self, n: int, f: int) -> None:
+        if not 1 <= f < n - f:
+            raise ConfigurationError(f"need 1 <= f < n - f, got n={n}, f={f}")
+        self.n = n
+        self.f = f
+        self.q = n - f
+        self.graph = SuspectGraph(n)
+        self.quorum: FrozenSet[int] = default_quorum(n, self.q)
+        self.changes = 0
+
+    def add_suspicion(self, a: int, b: int) -> bool:
+        """Add an edge; returns ``True`` if the quorum changed.
+
+        Raises when no independent set of size ``q`` remains (the epoch
+        would advance — impossible under the accuracy-restricted move
+        rules, so it signals a misuse of the model).
+        """
+        self.graph.add_edge(a, b)
+        new_quorum = lex_first_independent_set(self.graph, self.q)
+        if new_quorum is None:
+            raise ConfigurationError("no independent set left: epoch would advance")
+        if new_quorum != self.quorum:
+            self.quorum = new_quorum
+            self.changes += 1
+            return True
+        return False
+
+
+class AbstractFollowerSelection:
+    """Single-epoch Algorithm 2: edge set in, (leader, quorum) out."""
+
+    def __init__(self, n: int, f: int) -> None:
+        if n <= 3 * f:
+            raise ConfigurationError(f"Follower Selection needs n > 3f, got n={n}, f={f}")
+        self.n = n
+        self.f = f
+        self.q = n - f
+        self.graph = SuspectGraph(n)
+        self.leader = 1
+        self.quorum: FrozenSet[int] = default_quorum(n, self.q)
+        self.changes = 0
+
+    def add_suspicion(self, a: int, b: int) -> bool:
+        """Add an edge; returns ``True`` if a new quorum is issued.
+
+        Mirrors Algorithm 2: a new quorum is issued only when the leader
+        designated by the maximal line subgraph changes (line 18).
+        """
+        self.graph.add_edge(a, b)
+        if not has_independent_set(self.graph, self.q):
+            raise ConfigurationError("no independent set left: epoch would advance")
+        line = maximal_line_subgraph(self.graph)
+        new_leader = leader_of(line)
+        if new_leader == self.leader:
+            return False
+        self.leader = new_leader
+        candidates = sorted(possible_followers(line) - {new_leader})
+        self.quorum = frozenset([new_leader, *candidates[: self.q - 1]])
+        self.changes += 1
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Worst-case search (the "simulations suggest" experiment, E3)
+# ---------------------------------------------------------------------------
+
+
+def _theorem4_moves(
+    graph: SuspectGraph, quorum: FrozenSet[int], faulty: FrozenSet[int]
+) -> List[Edge]:
+    """Legal Theorem-4 moves: new edges inside the quorum touching F."""
+    moves = []
+    for a, b in itertools.combinations(sorted(quorum), 2):
+        if (a in faulty or b in faulty) and not graph.has_edge(a, b):
+            moves.append((a, b))
+    return moves
+
+
+def exhaustive_max_changes(
+    n: int,
+    f: int,
+    faulty: Optional[Iterable[int]] = None,
+    state_budget: int = 2_000_000,
+) -> int:
+    """Maximum quorum changes any adversary sequence can force out of
+    Algorithm 1 in one epoch (exhaustive DFS with memoization).
+
+    When ``faulty`` is ``None``, maximizes over every choice of the
+    faulty set as well (the adversary picks who is corrupted).  The state
+    space is ``2^(edges touching F within F's reach)`` — exhaustive use
+    is intended for ``f <= 3``-ish; ``state_budget`` guards the rest.
+    """
+    if faulty is not None:
+        return _exhaustive_for_faulty(n, f, frozenset(faulty), state_budget)
+    best = 0
+    for combo in itertools.combinations(range(1, n + 1), f):
+        best = max(best, _exhaustive_for_faulty(n, f, frozenset(combo), state_budget))
+    return best
+
+
+def _exhaustive_for_faulty(
+    n: int, f: int, faulty: FrozenSet[int], state_budget: int
+) -> int:
+    if len(faulty) != f:
+        raise ConfigurationError(f"faulty set must have exactly f={f} members")
+    q = n - f
+    memo: Dict[FrozenSet[Edge], int] = {}
+
+    def best_from(graph: SuspectGraph, quorum: FrozenSet[int]) -> int:
+        key = graph.edges()
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if len(memo) > state_budget:
+            raise ConfigurationError(
+                f"state budget exceeded ({state_budget}); use greedy_max_changes"
+            )
+        best = 0
+        for a, b in _theorem4_moves(graph, quorum, faulty):
+            graph.add_edge(a, b)
+            new_quorum = lex_first_independent_set(graph, q)
+            # Moves keep a faulty endpoint, so an IS always survives.
+            assert new_quorum is not None
+            gained = 1 if new_quorum != quorum else 0
+            best = max(best, gained + best_from(graph, new_quorum))
+            graph.remove_edge(a, b)
+        memo[key] = best
+        return best
+
+    return best_from(SuspectGraph(n), default_quorum(n, q))
+
+
+def greedy_max_changes(
+    n: int, f: int, faulty: Optional[Iterable[int]] = None
+) -> int:
+    """Greedy (first legal move) adversary for larger ``f``.
+
+    Mirrors :class:`repro.failures.strategies.LowerBoundStrategy`'s pair
+    order; with the faulty set ``{1..f}`` the greedy walk already attains
+    ``C(f+2, 2) - 1`` changes when ``n`` is large enough, matching the
+    lower bound without search.
+    """
+    faulty_set = frozenset(faulty) if faulty is not None else frozenset(range(1, f + 1))
+    model = AbstractQuorumSelection(n, f)
+    while True:
+        moves = _theorem4_moves(model.graph, model.quorum, faulty_set)
+        if not moves:
+            return model.changes
+        model.add_suspicion(*moves[0])
+
+
+class AbstractChainSelection:
+    """Single-epoch Chain Selection: edge set in, lex-first chain out."""
+
+    def __init__(self, n: int, f: int) -> None:
+        if not 1 <= f < n - f:
+            raise ConfigurationError(f"need 1 <= f < n - f, got n={n}, f={f}")
+        from repro.graphs.chain_path import lex_first_chain
+
+        self._lex_first_chain = lex_first_chain
+        self.n = n
+        self.f = f
+        self.q = n - f
+        self.graph = SuspectGraph(n)
+        self.chain: Tuple[int, ...] = tuple(range(1, self.q + 1))
+        self.changes = 0
+
+    def add_suspicion(self, a: int, b: int) -> bool:
+        """Add an edge; returns ``True`` if the chain changed."""
+        self.graph.add_edge(a, b)
+        chain = self._lex_first_chain(self.graph, self.q)
+        if chain is None:
+            raise ConfigurationError("no chain left: epoch would advance")
+        if chain != self.chain:
+            self.chain = chain
+            self.changes += 1
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class ChainChurnResult:
+    """Outcome of the greedy chain-adversary game.
+
+    Chains are *ordered*, so a forced change can be a pure re-ordering of
+    the same member set (cheap for membership-tracking consumers, still a
+    re-chain for BChain-style deployments) or a genuine membership
+    change.  Both are reported; E13 compares them against Algorithm 1.
+    """
+
+    total_changes: int
+    membership_changes: int
+    final_chain: Tuple[int, ...]
+
+
+def greedy_chain_changes(
+    n: int, f: int, faulty: Optional[Iterable[int]] = None
+) -> ChainChurnResult:
+    """Greedy adversary against Chain Selection (extension analysis).
+
+    Only suspicions on a *current* chain link with a faulty endpoint are
+    productive; the greedy adversary fires the first such unused link
+    each round, mirroring :func:`greedy_max_changes` for comparability.
+    """
+    from repro.graphs.chain_path import sensitive_pairs
+
+    faulty_set = frozenset(faulty) if faulty is not None else frozenset(range(1, f + 1))
+    model = AbstractChainSelection(n, f)
+    membership_changes = 0
+    while True:
+        move = None
+        for a, b in sensitive_pairs(model.chain):
+            if (a in faulty_set or b in faulty_set) and not model.graph.has_edge(a, b):
+                move = (a, b)
+                break
+        if move is None:
+            return ChainChurnResult(
+                total_changes=model.changes,
+                membership_changes=membership_changes,
+                final_chain=model.chain,
+            )
+        before = frozenset(model.chain)
+        model.add_suspicion(*move)
+        if frozenset(model.chain) != before:
+            membership_changes += 1
+
+
+def greedy_follower_changes(
+    n: int, f: int, faulty: Optional[Iterable[int]] = None
+) -> int:
+    """Greedy leader-attack against Follower Selection (Theorem 9 check).
+
+    Each step some faulty process falsely suspects the current leader
+    (or, when the leader is faulty, the leader suspects the smallest
+    process it has no edge to).  Stops when no move can change anything.
+    """
+    faulty_set = frozenset(faulty) if faulty is not None else frozenset(range(1, f + 1))
+    model = AbstractFollowerSelection(n, f)
+    stuck = 0
+    while stuck < 2 * n:  # allow some non-changing probes before giving up
+        leader = model.leader
+        move: Optional[Edge] = None
+        if leader in faulty_set:
+            for other in range(1, n + 1):
+                if other != leader and not model.graph.has_edge(leader, other):
+                    move = (leader, other)
+                    break
+        else:
+            for bad in sorted(faulty_set):
+                if not model.graph.has_edge(bad, leader):
+                    move = (bad, leader)
+                    break
+        if move is None:
+            break
+        try:
+            changed = model.add_suspicion(*move)
+        except ConfigurationError:
+            break  # epoch would advance: single-epoch game over
+        stuck = 0 if changed else stuck + 1
+    return model.changes

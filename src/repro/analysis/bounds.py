@@ -1,0 +1,64 @@
+"""Closed-form bounds from the paper, as checkable formulas.
+
+Counting convention: Algorithm 1/2 *issue* a ``<QUORUM, ...>`` event only
+when the selected quorum changes; the initial default quorum
+``{p_1..p_q}`` is part of the module state and never issued.  The
+theorem statements count *proposed* quorums, which include that initial
+default — so ``k`` proposed quorums correspond to ``k - 1`` issued
+events.  Helpers are provided in both currencies to keep tests honest.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+from repro.util.errors import ConfigurationError
+
+
+def _check_f(f: int) -> None:
+    if f < 1:
+        raise ConfigurationError(f"bounds are stated for f >= 1, got {f}")
+
+
+def thm3_upper_bound(f: int) -> int:
+    """Theorem 3: a correct process issues at most ``f (f+1)`` quorums in
+    one epoch (issued-event currency)."""
+    _check_f(f)
+    return f * (f + 1)
+
+
+def thm4_quorum_count(f: int) -> int:
+    """Theorem 4: an adversary can force ``C(f+2, 2)`` *proposed* quorums
+    out of any deterministic Quorum Selection algorithm."""
+    _check_f(f)
+    return comb(f + 2, 2)
+
+
+def observed_max_changes_claim(f: int) -> int:
+    """The paper's simulation claim, in issued-event currency:
+    Algorithm 1 allows at most ``C(f+2, 2)`` quorums per epoch, i.e.
+    ``C(f+2, 2) - 1`` quorum *changes* after the initial default."""
+    return thm4_quorum_count(f) - 1
+
+
+def thm9_per_epoch_bound(f: int) -> int:
+    """Theorem 9: Follower Selection issues at most ``3f + 1`` quorums in
+    one epoch (the default quorum issued on an epoch bump counts — the
+    algorithm explicitly issues it on line 14)."""
+    _check_f(f)
+    return 3 * f + 1
+
+
+def cor10_total_bound(f: int) -> int:
+    """Corollary 10: at most ``6f + 2`` quorums after stabilization time
+    ``t'`` (two epochs' worth of Theorem 9)."""
+    _check_f(f)
+    return 6 * f + 2
+
+
+def enumeration_cycle_length(n: int, f: int) -> int:
+    """XPaxos' quorum enumeration length ``C(n, f)`` (Section V-B) —
+    the worst-case number of quorums the baseline may try."""
+    if not 0 < f < n:
+        raise ConfigurationError(f"need 0 < f < n, got n={n}, f={f}")
+    return comb(n, f)

@@ -1,0 +1,47 @@
+"""Plain-text tables for benchmark output (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+class Table:
+    """Fixed-column ASCII table; benches print these as their 'figures'."""
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([_fmt(value) for value in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, frozenset) or isinstance(value, set):
+        return "{" + ",".join(str(v) for v in sorted(value)) + "}"
+    return str(value)

@@ -1,0 +1,82 @@
+"""Multi-seed experiment sweeps with summary statistics.
+
+Single seeds make good regression tests; claims about *behaviour* need
+distributions.  :func:`sweep` runs a metric function over many seeds and
+returns a :class:`SweepSummary` (mean, min, max, stdev); benchmark E14
+uses it to put error bars on the Quorum-Selection-vs-enumeration
+stabilization comparison.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """Summary statistics of one metric across seeds."""
+
+    name: str
+    values: tuple
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.values)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    @property
+    def stdev(self) -> float:
+        return statistics.stdev(self.values) if len(self.values) > 1 else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: mean={self.mean:.3f} "
+            f"[{self.minimum:.3f}, {self.maximum:.3f}] "
+            f"sd={self.stdev:.3f} (n={self.count})"
+        )
+
+
+def sweep(
+    metric_fn: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+) -> Dict[str, SweepSummary]:
+    """Run ``metric_fn(seed) -> {metric: value}`` over seeds; summarize.
+
+    Every seed must report the same metric names; missing or extra names
+    indicate a harness bug and raise.
+    """
+    if not seeds:
+        raise ConfigurationError("sweep needs at least one seed")
+    collected: Dict[str, List[float]] = {}
+    expected_keys = None
+    for seed in seeds:
+        metrics = metric_fn(seed)
+        keys = set(metrics)
+        if expected_keys is None:
+            expected_keys = keys
+        elif keys != expected_keys:
+            raise ConfigurationError(
+                f"seed {seed} reported metrics {sorted(keys)}, "
+                f"expected {sorted(expected_keys)}"
+            )
+        for name, value in metrics.items():
+            collected.setdefault(name, []).append(float(value))
+    return {
+        name: SweepSummary(name=name, values=tuple(values))
+        for name, values in collected.items()
+    }

@@ -1,0 +1,99 @@
+"""Message-flow rendering: regenerate Figure 2/3-style diagrams as text.
+
+Enable tracing first (``sim.network.trace({"xp.prepare", "xp.commit"})``)
+so the network records per-message ``net.send`` events, then render them
+either as a flat arrow list or as a per-process lane diagram::
+
+    t=  0.63  p1 --xp.prepare--> p2
+    t=  0.63  p1 --xp.prepare--> p3
+    t=  1.21  p2 --xp.commit--> p1
+    ...
+
+    time    | p1          | p2          | p3
+    --------+-------------+-------------+-------------
+       0.63 | prepare>2,3 |             |
+       1.21 |             | commit>1,3  |
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.util.eventlog import EventLog
+
+
+def message_sends(
+    log: EventLog,
+    kinds: Optional[Iterable[str]] = None,
+    until: Optional[float] = None,
+) -> List[Tuple[float, int, int, str]]:
+    """Extract traced sends as ``(time, src, dst, kind)`` tuples."""
+    wanted = set(kinds) if kinds is not None else None
+    out = []
+    for event in log.events(kind="net.send"):
+        if until is not None and event.time > until:
+            continue
+        msg = event.payload.get("msg")
+        if wanted is not None and msg not in wanted:
+            continue
+        out.append((event.time, event.process, event.payload.get("dst"), msg))
+    return out
+
+
+def render_arrow_trace(
+    log: EventLog,
+    kinds: Optional[Iterable[str]] = None,
+    until: Optional[float] = None,
+    limit: int = 200,
+) -> str:
+    """Flat, time-ordered arrow list of traced sends."""
+    lines = [
+        f"t={time:7.2f}  p{src} --{kind}--> p{dst}"
+        for time, src, dst, kind in message_sends(log, kinds, until)[:limit]
+    ]
+    return "\n".join(lines)
+
+
+def render_sequence_diagram(
+    log: EventLog,
+    processes: Sequence[int],
+    kinds: Optional[Iterable[str]] = None,
+    until: Optional[float] = None,
+    limit: int = 60,
+    strip_prefix: bool = True,
+) -> str:
+    """Per-process lane diagram: one row per send, grouped destinations.
+
+    ``strip_prefix`` shortens kinds like ``xp.prepare`` to ``prepare``.
+    Sends at the same (time, src, kind) collapse into one row with a
+    destination list — a broadcast reads as a single row, like the
+    paper's figures.
+    """
+    sends = message_sends(log, kinds, until)
+    grouped: Dict[Tuple[float, int, str], List[int]] = defaultdict(list)
+    for time, src, dst, kind in sends:
+        grouped[(round(time, 6), src, kind)].append(dst)
+    rows = sorted(grouped.items())[:limit]
+
+    def short(kind: str) -> str:
+        return kind.split(".", 1)[-1] if strip_prefix and "." in kind else kind
+
+    lanes = list(processes)
+    width = max(
+        [12]
+        + [
+            len(f"{short(kind)}>" + ",".join(str(d) for d in sorted(dsts)))
+            for (_, _, kind), dsts in rows
+        ]
+    )
+    header = "time     | " + " | ".join(f"p{p}".ljust(width) for p in lanes)
+    divider = "-" * 9 + "+" + "+".join("-" * (width + 2) for _ in lanes)
+    lines = [header, divider]
+    for (time, src, kind), dsts in rows:
+        cells = []
+        label = f"{short(kind)}>" + ",".join(str(d) for d in sorted(dsts))
+        for lane in lanes:
+            cells.append((label if lane == src else "").ljust(width))
+        lines.append(f"{time:8.2f} | " + " | ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Baseline BFT protocols used by the paper's comparisons.
+
+- :mod:`repro.baselines.pbft` — a PBFT-style normal-case protocol
+  (PRE-PREPARE / PREPARE / COMMIT, ``n = 3f + 1``), runnable either with
+  full broadcast (every replica participates) or restricted to an *active
+  quorum* of ``2f + 1`` well-functioning replicas, the configuration this
+  paper's introduction credits with dropping ~1/3 of inter-replica
+  messages (citing Distler et al.).
+- :mod:`repro.baselines.bchain` — a BChain-style chain-replication
+  normal case with re-chaining on suspicion and an external standby pool,
+  the other prior system the paper identifies as doing (unsatisfactory)
+  Quorum Selection.
+"""
+
+from repro.baselines.pbft import PbftReplica, PbftClient, build_pbft_cluster, PbftCluster
+from repro.baselines.bchain import BChainReplica, BChainClient, build_bchain_cluster, BChainCluster
+from repro.baselines.bchain_cs import (
+    BChainCsReplica,
+    BChainCsClient,
+    BChainCsCluster,
+    build_bchain_cs_cluster,
+)
+
+__all__ = [
+    "PbftReplica",
+    "PbftClient",
+    "build_pbft_cluster",
+    "PbftCluster",
+    "BChainReplica",
+    "BChainClient",
+    "build_bchain_cluster",
+    "BChainCluster",
+    "BChainCsReplica",
+    "BChainCsClient",
+    "BChainCsCluster",
+    "build_bchain_cs_cluster",
+]

@@ -1,0 +1,400 @@
+"""PBFT-style normal case, full-broadcast or active-quorum.
+
+This baseline exists to quantify the introduction's claim: systems like
+PBFT "use ``n = 3f + 1`` replicas, broadcast messages to all replicas but
+require replies from only ``n - f`` correct replicas"; restricting the
+broadcasts to a selected quorum of ``n - f`` well-functioning replicas
+drops about 1/3 of the inter-replica messages.
+
+Full-broadcast mode follows the classic pattern with classic thresholds:
+the leader PRE-PREPAREs to everyone; every replica PREPAREs to everyone;
+a replica that holds the PRE-PREPARE plus ``2f`` matching PREPAREs
+COMMITs to everyone; ``2f + 1`` matching COMMITs execute the request.
+
+Active-quorum mode runs the same pattern inside a ``2f + 1``-member
+quorum, relying on Quorum Selection's promise that every member is
+well-functioning: thresholds become "all active members" (the PRE-PREPARE
+counting as the leader's PREPARE), which is sound precisely because a
+quorum member that stops cooperating would be suspected and the quorum
+changed.  View changes and checkpointing are out of scope — this baseline
+measures normal-case messaging and latency only (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.crypto.authenticator import SignedMessage
+from repro.crypto.digests import digest
+from repro.sim.process import Module, ProcessHost
+from repro.sim.runtime import Simulation, SimulationConfig
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ProcessId
+from repro.xpaxos.messages import ClientRequest
+from repro.xpaxos.state_machine import KeyValueStore
+
+KIND_PBFT_REQUEST = "pbft.request"
+KIND_PRE_PREPARE = "pbft.pre-prepare"
+KIND_PBFT_PREPARE = "pbft.prepare"
+KIND_PBFT_COMMIT = "pbft.commit"
+KIND_PBFT_REPLY = "pbft.reply"
+
+INTER_REPLICA_KINDS = (KIND_PRE_PREPARE, KIND_PBFT_PREPARE, KIND_PBFT_COMMIT)
+
+
+@dataclass(frozen=True)
+class PrePreparePayload:
+    view: int
+    slot: int
+    request: ClientRequest
+
+    def canonical(self):
+        return ("pbft-pre-prepare", self.view, self.slot, self.request.canonical())
+
+    def request_digest(self) -> str:
+        return digest(self.request.canonical())
+
+
+@dataclass(frozen=True)
+class PhasePayload:
+    """A PREPARE or COMMIT vote: (view, slot, request digest)."""
+
+    phase: str
+    view: int
+    slot: int
+    request_digest: str
+
+    def canonical(self):
+        return ("pbft-phase", self.phase, self.view, self.slot, self.request_digest)
+
+
+@dataclass(frozen=True)
+class PbftReplyPayload:
+    client: int
+    sequence: int
+    result: Any
+    replica: int
+
+    def canonical(self):
+        return ("pbft-reply", self.client, self.sequence, self.result, self.replica)
+
+
+@dataclass
+class PbftSlot:
+    request: Optional[ClientRequest] = None
+    request_digest: str = ""
+    prepares: Set[int] = field(default_factory=set)
+    commits: Set[int] = field(default_factory=set)
+    prepared: bool = False
+    committed: bool = False
+
+
+class PbftReplica(Module):
+    """Normal-case PBFT replica; ``active`` restricts the participant set."""
+
+    def __init__(
+        self,
+        host: ProcessHost,
+        n: int,
+        f: int,
+        active: Optional[FrozenSet[int]] = None,
+        prepare_quorum: Optional[int] = None,
+        commit_quorum: Optional[int] = None,
+    ) -> None:
+        """``prepare_quorum``/``commit_quorum`` override the vote counts.
+
+        Defaults give classic PBFT (``2f`` / ``2f + 1``) in full-broadcast
+        mode and all-active in quorum mode.  Overrides model the
+        ``n = 2f + 1`` family from the paper's introduction (trusted
+        components shrink the replica group; the *message pattern* is the
+        same broadcast rounds with ``n - f`` required replies, which is
+        all this baseline measures).
+        """
+        super().__init__(host)
+        if n < 2 * f + 1:
+            raise ConfigurationError(f"need n >= 2f + 1; got n={n}, f={f}")
+        if n < 3 * f + 1 and prepare_quorum is None:
+            raise ConfigurationError(
+                f"classic PBFT thresholds need n >= 3f + 1 (got n={n}, f={f}); "
+                "pass explicit prepare_quorum/commit_quorum for smaller groups"
+            )
+        self.n = n
+        self.f = f
+        self.active: FrozenSet[int] = (
+            frozenset(range(1, n + 1)) if active is None else frozenset(active)
+        )
+        if len(self.active) < n - f:
+            raise ConfigurationError("active set must have at least n - f members")
+        self.full_broadcast = len(self.active) == n
+        self._prepare_quorum = prepare_quorum
+        self._commit_quorum = commit_quorum
+        self.leader: ProcessId = min(self.active)
+        self.view = 0
+        self.slots: Dict[int, PbftSlot] = {}
+        self.next_slot = 0
+        self._execution_cursor = 0
+        self.kv = KeyValueStore()
+        self.executed: List[ClientRequest] = []
+        self._executed_ids: Set[Tuple[int, int]] = set()
+
+    # --------------------------------------------------------------- wiring
+
+    def start(self) -> None:
+        self.host.subscribe(KIND_PBFT_REQUEST, self._on_request)
+        self.host.subscribe(KIND_PRE_PREPARE, self._on_pre_prepare)
+        self.host.subscribe(KIND_PBFT_PREPARE, self._on_phase)
+        self.host.subscribe(KIND_PBFT_COMMIT, self._on_phase)
+
+    @property
+    def is_leader(self) -> bool:
+        return self.pid == self.leader
+
+    @property
+    def participating(self) -> bool:
+        return self.pid in self.active
+
+    def _peers(self) -> List[int]:
+        return [member for member in sorted(self.active) if member != self.pid]
+
+    def _prepare_threshold(self) -> int:
+        """Matching PREPAREs needed (incl. the PRE-PREPARE as the leader's).
+
+        Full broadcast: classic ``2f`` from distinct replicas.  Active
+        quorum: *all* members — justified by the quorum-selection premise
+        that every active member is well-functioning.
+        """
+        if self._prepare_quorum is not None:
+            return self._prepare_quorum
+        return 2 * self.f if self.full_broadcast else len(self.active) - 1
+
+    def _commit_threshold(self) -> int:
+        if self._commit_quorum is not None:
+            return self._commit_quorum
+        return 2 * self.f + 1 if self.full_broadcast else len(self.active)
+
+    def _slot(self, slot: int) -> PbftSlot:
+        return self.slots.setdefault(slot, PbftSlot())
+
+    # ------------------------------------------------------------ normal case
+
+    def _on_request(self, kind: str, payload: Any, src: ProcessId) -> None:
+        if not isinstance(payload, SignedMessage) or not self.host.authenticator.verify(payload):
+            return
+        request = payload.payload
+        if not isinstance(request, ClientRequest) or payload.signer != request.client:
+            return
+        if not self.is_leader:
+            if src == request.client:
+                self.host.send(self.leader, KIND_PBFT_REQUEST, payload)
+            return
+        if request.request_id() in self._executed_ids:
+            return
+        slot = self.next_slot
+        self.next_slot += 1
+        body = PrePreparePayload(view=self.view, slot=slot, request=request)
+        signed = self.host.authenticator.sign(body)
+        state = self._slot(slot)
+        state.request = request
+        state.request_digest = body.request_digest()
+        state.prepares.add(self.pid)  # PRE-PREPARE doubles as leader PREPARE
+        for peer in self._peers():
+            self.host.send(peer, KIND_PRE_PREPARE, signed)
+        self._maybe_advance(slot)
+
+    def _on_pre_prepare(self, kind: str, payload: Any, src: ProcessId) -> None:
+        if not self.participating:
+            return
+        if not isinstance(payload, SignedMessage) or not self.host.authenticator.verify(payload):
+            return
+        body = payload.payload
+        if not isinstance(body, PrePreparePayload) or payload.signer != self.leader:
+            return
+        if body.view != self.view:
+            return
+        state = self._slot(body.slot)
+        if state.request is not None:
+            return
+        state.request = body.request
+        state.request_digest = body.request_digest()
+        state.prepares.add(self.leader)
+        state.prepares.add(self.pid)
+        vote = self.host.authenticator.sign(
+            PhasePayload("prepare", body.view, body.slot, state.request_digest)
+        )
+        for peer in self._peers():
+            self.host.send(peer, KIND_PBFT_PREPARE, vote)
+        self._maybe_advance(body.slot)
+
+    def _on_phase(self, kind: str, payload: Any, src: ProcessId) -> None:
+        if not self.participating:
+            return
+        if not isinstance(payload, SignedMessage) or not self.host.authenticator.verify(payload):
+            return
+        body = payload.payload
+        if not isinstance(body, PhasePayload) or body.view != self.view:
+            return
+        if payload.signer not in self.active:
+            return
+        state = self._slot(body.slot)
+        if state.request is not None and body.request_digest != state.request_digest:
+            return  # conflicting vote; a full PBFT would trigger view change
+        if body.phase == "prepare":
+            state.prepares.add(payload.signer)
+        elif body.phase == "commit":
+            state.commits.add(payload.signer)
+        self._maybe_advance(body.slot)
+
+    def _maybe_advance(self, slot: int) -> None:
+        state = self._slot(slot)
+        if state.request is None:
+            return
+        if not state.prepared and len(state.prepares) >= self._prepare_threshold():
+            state.prepared = True
+            state.commits.add(self.pid)
+            vote = self.host.authenticator.sign(
+                PhasePayload("commit", self.view, slot, state.request_digest)
+            )
+            for peer in self._peers():
+                self.host.send(peer, KIND_PBFT_COMMIT, vote)
+        if state.prepared and not state.committed and len(state.commits) >= self._commit_threshold():
+            state.committed = True
+            self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        while True:
+            state = self.slots.get(self._execution_cursor)
+            if state is None or not state.committed or state.request is None:
+                return
+            request = state.request
+            rid = request.request_id()
+            if rid not in self._executed_ids:
+                result = self.kv.apply(request.op)
+                self.executed.append(request)
+                self._executed_ids.add(rid)
+            else:
+                result = None
+            reply = self.host.authenticator.sign(
+                PbftReplyPayload(
+                    client=request.client, sequence=request.sequence,
+                    result=result, replica=self.pid,
+                )
+            )
+            self.host.send(request.client, KIND_PBFT_REPLY, reply)
+            self._execution_cursor += 1
+
+
+class PbftClient(Module):
+    """Closed-loop client; accepts a result on ``f + 1`` matching replies."""
+
+    def __init__(
+        self,
+        host: ProcessHost,
+        n: int,
+        f: int,
+        leader: ProcessId,
+        ops: Sequence[Tuple[Any, ...]],
+    ) -> None:
+        super().__init__(host)
+        self.n = n
+        self.f = f
+        self.leader = leader
+        self.ops = list(ops)
+        self.next_sequence = 0
+        self.current: Optional[ClientRequest] = None
+        self._votes: Dict[Any, Set[int]] = {}
+        self._sent_at = 0.0
+        self.completed: List[Tuple[int, Tuple[Any, ...], Any, float, float]] = []
+
+    def start(self) -> None:
+        self.host.subscribe(KIND_PBFT_REPLY, self._on_reply)
+        self._next_request()
+
+    @property
+    def done(self) -> bool:
+        return self.current is None and not self.ops
+
+    def _next_request(self) -> None:
+        if not self.ops:
+            self.current = None
+            return
+        op = self.ops.pop(0)
+        self.current = ClientRequest(client=self.pid, sequence=self.next_sequence, op=op)
+        self.next_sequence += 1
+        self._votes = {}
+        self._sent_at = self.host.now
+        self.host.send(self.leader, KIND_PBFT_REQUEST, self.host.authenticator.sign(self.current))
+
+    def _on_reply(self, kind: str, payload: Any, src: ProcessId) -> None:
+        if not isinstance(payload, SignedMessage) or not self.host.authenticator.verify(payload):
+            return
+        reply = payload.payload
+        if not isinstance(reply, PbftReplyPayload) or reply.client != self.pid:
+            return
+        if self.current is None or reply.sequence != self.current.sequence:
+            return
+        votes = self._votes.setdefault(reply.result, set())
+        votes.add(reply.replica)
+        if len(votes) >= self.f + 1:
+            self.completed.append(
+                (self.current.sequence, self.current.op, reply.result,
+                 self.host.now - self._sent_at, self.host.now)
+            )
+            self.current = None
+            self._next_request()
+
+
+@dataclass
+class PbftCluster:
+    sim: Simulation
+    n: int
+    f: int
+    active: FrozenSet[int]
+    replicas: Dict[int, PbftReplica]
+    clients: Dict[int, PbftClient]
+
+    def run(self, until: float) -> None:
+        self.sim.run_until(until)
+
+    def total_completed(self) -> int:
+        return sum(len(client.completed) for client in self.clients.values())
+
+    def inter_replica_messages(self) -> int:
+        """Messages of agreement kinds among replicas (the E7 metric)."""
+        return self.sim.stats.total_sent(INTER_REPLICA_KINDS)
+
+
+def build_pbft_cluster(
+    n: int,
+    f: int,
+    active: Optional[Sequence[int]] = None,
+    clients: int = 1,
+    requests_per_client: int = 20,
+    seed: int = 1,
+    delta: float = 1.0,
+    prepare_quorum: Optional[int] = None,
+    commit_quorum: Optional[int] = None,
+) -> PbftCluster:
+    """Assemble a PBFT cluster (full broadcast unless ``active`` given)."""
+    sim = Simulation(SimulationConfig(n=n + clients, seed=seed, gst=0.0, delta=delta))
+    active_set = frozenset(active) if active is not None else frozenset(range(1, n + 1))
+    replicas = {
+        pid: sim.host(pid).add_module(
+            PbftReplica(
+                sim.host(pid), n=n, f=f, active=active_set,
+                prepare_quorum=prepare_quorum, commit_quorum=commit_quorum,
+            )
+        )
+        for pid in range(1, n + 1)
+    }
+    leader = min(active_set)
+    client_modules = {}
+    for index in range(clients):
+        pid = n + 1 + index
+        ops = [("put", f"k{index}-{i}", i) for i in range(requests_per_client)]
+        client_modules[pid] = sim.host(pid).add_module(
+            PbftClient(sim.host(pid), n=n, f=f, leader=leader, ops=ops)
+        )
+    return PbftCluster(
+        sim=sim, n=n, f=f, active=active_set, replicas=replicas, clients=client_modules
+    )

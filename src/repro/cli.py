@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Quick entry points into the reproduction without writing a script:
+
+- ``bounds [--f-max N]`` — print every closed-form bound from the paper.
+- ``thm4 [--f F]`` — run the Theorem-4 adversary live and report counts.
+- ``crash-compare [--f F]`` — leader crash under Quorum Selection vs
+  XPaxos enumeration.
+- ``savings [--f-max N]`` — the introduction's message-savings table.
+- ``worst-case [--f F]`` — exhaustive/greedy per-epoch worst case
+  (the "simulations suggest" experiment).
+
+Each command prints a table built by the same code the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.bounds import (
+    cor10_total_bound,
+    enumeration_cycle_length,
+    observed_max_changes_claim,
+    thm3_upper_bound,
+    thm4_quorum_count,
+    thm9_per_epoch_bound,
+)
+from repro.analysis.report import Table
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    table = Table(
+        [
+            "f", "Thm 3 f(f+1)", "Thm 4 C(f+2,2)", "changes C(f+2,2)-1",
+            "Thm 9 3f+1", "Cor 10 6f+2", "enum cycle C(2f+1,f)",
+        ],
+        title="Closed-form bounds (per-epoch counts unless noted)",
+    )
+    for f in range(1, args.f_max + 1):
+        table.add_row(
+            f, thm3_upper_bound(f), thm4_quorum_count(f),
+            observed_max_changes_claim(f), thm9_per_epoch_bound(f),
+            cor10_total_bound(f), enumeration_cycle_length(2 * f + 1, f),
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_thm4(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import run_thm4_adversary
+
+    f = args.f
+    result = run_thm4_adversary(2 * f + 2, f, seed=args.seed)
+    table = Table(["metric", "value"], title=f"Theorem 4 adversary, f={f}")
+    table.add_row("suspicions fired", result.suspicions_fired)
+    table.add_row("quorum changes", result.max_changes_per_epoch)
+    table.add_row("claimed maximum C(f+2,2)-1", observed_max_changes_claim(f))
+    table.add_row("Theorem 3 bound f(f+1)", thm3_upper_bound(f))
+    table.add_row("final quorum", result.final_quorum)
+    table.add_row("agreement / no-suspicion",
+                  f"{result.final_quorums_agree} / {result.no_suspicion}")
+    print(table.render())
+    return 0
+
+
+def _cmd_crash_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import run_xpaxos_crash_comparison
+
+    f = args.f
+    comparison = run_xpaxos_crash_comparison(
+        n=2 * f + 1, f=f, crash_pids=(1,), seed=args.seed, duration=1500.0
+    )
+    selection, enumeration = comparison.view_changes()
+    sel_done, enum_done = comparison.completed()
+    table = Table(
+        ["policy", "view changes", "completed requests"],
+        title=f"Leader crash at t=30, n={2 * f + 1}, f={f}",
+    )
+    table.add_row("quorum selection", selection, sel_done)
+    table.add_row("enumeration (XPaxos)", enumeration, enum_done)
+    print(table.render())
+    return 0
+
+
+def _cmd_savings(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import measure_message_savings
+
+    table = Table(
+        ["f", "family", "msgs/req full", "msgs/req active", "per-broadcast drop"],
+        title="Inter-replica message savings (introduction claim)",
+    )
+    for f in range(1, args.f_max + 1):
+        for family, flag in (("3f+1", False), ("2f+1", True)):
+            s = measure_message_savings(f, two_f_plus_one=flag)
+            table.add_row(f, family, s.full_messages_per_request,
+                          s.active_messages_per_request, s.per_broadcast_reduction)
+    print(table.render())
+    return 0
+
+
+def _cmd_worst_case(args: argparse.Namespace) -> int:
+    from repro.analysis.abstract import exhaustive_max_changes, greedy_max_changes
+
+    f = args.f
+    n = 2 * f + 2
+    table = Table(["search", "max changes/epoch", "claim"], title=f"Worst case, f={f}")
+    if f <= 2:
+        table.add_row("exhaustive (all faulty sets)",
+                      exhaustive_max_changes(n, f), observed_max_changes_claim(f))
+    elif f == 3:
+        table.add_row("exhaustive (F={1..f})",
+                      exhaustive_max_changes(n, f, faulty=set(range(1, f + 1))),
+                      observed_max_changes_claim(f))
+    table.add_row("greedy", greedy_max_changes(n, f), observed_max_changes_claim(f))
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Quorum Selection for Byzantine Fault "
+                    "Tolerance' (Jehl, ICDCS 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bounds = sub.add_parser("bounds", help="print the paper's closed-form bounds")
+    bounds.add_argument("--f-max", type=int, default=6)
+    bounds.set_defaults(func=_cmd_bounds)
+
+    thm4 = sub.add_parser("thm4", help="run the Theorem-4 adversary live")
+    thm4.add_argument("--f", type=int, default=2)
+    thm4.add_argument("--seed", type=int, default=3)
+    thm4.set_defaults(func=_cmd_thm4)
+
+    crash = sub.add_parser("crash-compare",
+                           help="leader crash: quorum selection vs enumeration")
+    crash.add_argument("--f", type=int, default=2)
+    crash.add_argument("--seed", type=int, default=9)
+    crash.set_defaults(func=_cmd_crash_compare)
+
+    savings = sub.add_parser("savings", help="message-savings table (E7)")
+    savings.add_argument("--f-max", type=int, default=3)
+    savings.set_defaults(func=_cmd_savings)
+
+    worst = sub.add_parser("worst-case",
+                           help="per-epoch worst case ('simulations suggest')")
+    worst.add_argument("--f", type=int, default=2)
+    worst.set_defaults(func=_cmd_worst_case)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

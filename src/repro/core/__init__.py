@@ -1,0 +1,58 @@
+"""The paper's primary contribution: Quorum Selection and Follower Selection.
+
+- :class:`SuspicionMatrix` — the epoch-stamped ``suspected[n][n]`` matrix,
+  an eventually consistent (pointwise-max) replicated data structure
+  (Section VI-A): rows are per-suspector vectors, merged by max, so
+  correct processes converge regardless of delivery order or faulty
+  equivocation.
+- :class:`QuorumSelectionModule` — Algorithm 1: propagate suspicions as
+  signed ``UPDATE`` gossip, build the suspect graph for the current epoch,
+  select the lexicographically first independent set of size ``q``, and
+  advance the epoch when suspicions are inconsistent (no independent set).
+- :class:`FollowerSelectionModule` — Algorithm 2: the ``O(f)`` variant for
+  leader-centric applications (``n > 3f``, FIFO links): leaders come from
+  maximal line subgraphs (Definition 1), followers from possible followers
+  (Definition 2), distributed via signed ``FOLLOWERS`` messages verified
+  for well-formedness (Definition 3).
+- :mod:`repro.core.spec` — run-level checkers for the module's three
+  properties: Termination, No suspicion / No leader suspicion, Agreement.
+"""
+
+from repro.core.messages import UpdatePayload, FollowersPayload, KIND_UPDATE, KIND_FOLLOWERS
+from repro.core.suspicion_matrix import SuspicionMatrix
+from repro.core.events import QuorumEvent
+from repro.core.quorum_selection import QuorumSelectionModule
+from repro.core.follower_selection import FollowerSelectionModule
+from repro.core.chain_selection import ChainSelectionModule
+from repro.core.leader_election import LeaderElection, TrustEvent, leaders_agree
+from repro.core.spec import (
+    termination_holds,
+    agreement_holds,
+    no_suspicion_holds,
+    no_leader_suspicion_holds,
+    no_link_suspicion_holds,
+    quorums_issued_after,
+    quorums_per_epoch,
+)
+
+__all__ = [
+    "UpdatePayload",
+    "FollowersPayload",
+    "KIND_UPDATE",
+    "KIND_FOLLOWERS",
+    "SuspicionMatrix",
+    "QuorumEvent",
+    "QuorumSelectionModule",
+    "FollowerSelectionModule",
+    "ChainSelectionModule",
+    "LeaderElection",
+    "TrustEvent",
+    "leaders_agree",
+    "termination_holds",
+    "agreement_holds",
+    "no_suspicion_holds",
+    "no_leader_suspicion_holds",
+    "no_link_suspicion_holds",
+    "quorums_issued_after",
+    "quorums_per_epoch",
+]

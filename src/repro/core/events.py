@@ -1,0 +1,35 @@
+"""Quorum output events — the module's ``<QUORUM, ...>`` interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.util.ids import format_pset
+
+
+@dataclass(frozen=True)
+class QuorumEvent:
+    """One ``<QUORUM, Q>`` (or ``<QUORUM, l, Q>``) output.
+
+    Attributes:
+        time: simulation time of issuance.
+        process: the process that issued the event.
+        epoch: the issuer's epoch at issuance (Theorem 3/9 accounting).
+        quorum: the selected set ``Q`` of size ``q``.
+        leader: designated leader for Follower Selection outputs
+            (``None`` for plain Quorum Selection).
+    """
+
+    time: float
+    process: int
+    epoch: int
+    quorum: FrozenSet[int]
+    leader: Optional[int] = None
+
+    def describe(self) -> str:
+        head = f"p{self.leader}!" if self.leader is not None else ""
+        return (
+            f"t={self.time:.3f} p{self.process} epoch={self.epoch} "
+            f"quorum={head}{format_pset(self.quorum)}"
+        )

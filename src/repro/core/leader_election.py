@@ -1,0 +1,79 @@
+"""Leader election on top of Quorum Selection (Section IV-A).
+
+"Given a solution for Quorum Selection it is trivial to elect a leader,
+e.g., electing the process with lowest identifier in the quorum."  This
+module is that triviality, packaged: it wraps any quorum-selection
+variant and emits ``TRUST`` events whenever ``min(quorum)`` changes,
+giving an Omega-style eventual leader oracle whose accuracy inherits
+Quorum Selection's Agreement and No-suspicion properties.
+
+The module also records the paper's contrast with classic leader
+election (Section IV-A): here a *single* suspicion inside the quorum can
+demote a leader (the no-suspicion property reacts to one accuser), where
+``f + 1`` accusers would be required by vote-based election — the cost
+Quorum Selection pays for also policing followers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.quorum_selection import QuorumSelectionModule
+
+
+@dataclass(frozen=True)
+class TrustEvent:
+    """``<TRUST, leader>``: the wrapped module's quorum minimum changed."""
+
+    time: float
+    process: int
+    leader: int
+    epoch: int
+
+
+TrustListener = Callable[[TrustEvent], None]
+
+
+class LeaderElection:
+    """Omega-style leader oracle derived from a quorum-selection module."""
+
+    def __init__(self, module: QuorumSelectionModule) -> None:
+        self.module = module
+        self.leader: int = min(module.qlast)
+        self.trust_events: List[TrustEvent] = []
+        self._listeners: List[TrustListener] = []
+        module.add_quorum_listener(self._on_quorum)
+
+    def subscribe(self, listener: TrustListener) -> None:
+        self._listeners.append(listener)
+
+    def _on_quorum(self, event) -> None:
+        leader = min(event.quorum)
+        if leader == self.leader:
+            return
+        self.leader = leader
+        trust = TrustEvent(
+            time=event.time, process=event.process, leader=leader, epoch=event.epoch
+        )
+        self.trust_events.append(trust)
+        self.module.host.log.append(
+            event.time, event.process, "omega.trust", leader=leader
+        )
+        for listener in self._listeners:
+            listener(trust)
+
+
+def leaders_agree(elections) -> bool:
+    """Eventual agreement check: all oracles trust the same process."""
+    return len({election.leader for election in elections}) == 1
+
+
+def last_trust_change(elections) -> float:
+    """Stabilization time: the latest TRUST event across the oracles."""
+    times = [
+        event.time
+        for election in elections
+        for event in election.trust_events
+    ]
+    return max(times) if times else 0.0

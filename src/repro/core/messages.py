@@ -1,0 +1,45 @@
+"""Wire payloads of the Quorum/Follower Selection protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+KIND_UPDATE = "qs.update"
+KIND_FOLLOWERS = "fs.followers"
+
+
+@dataclass(frozen=True)
+class UpdatePayload:
+    """``<UPDATE, suspected[i]>_sigma_i`` — one process's signed row.
+
+    ``row`` is the 1-based-dense tuple produced by
+    :meth:`repro.core.suspicion_matrix.SuspicionMatrix.row` (index 0 is a
+    placeholder 0).  The signer of the enclosing
+    :class:`~repro.crypto.authenticator.SignedMessage` identifies the row
+    owner; receivers merge into that row only, so a Byzantine process can
+    lie about *its own* suspicions but never write another's row.
+    """
+
+    row: Tuple[int, ...]
+
+    def canonical(self):
+        return ("update", self.row)
+
+
+@dataclass(frozen=True)
+class FollowersPayload:
+    """``<FOLLOWERS, Fw, L, e>_sigma_j`` — a leader's follower choice.
+
+    ``followers`` is the sorted tuple ``Fw`` (``q - 1`` ids, leader
+    excluded per Definition 3a); ``line_edges`` is the edge set of the line
+    subgraph ``L`` the leader derived its leadership from (receivers check
+    Definition 3b-d against it); ``epoch`` binds the message to one epoch.
+    """
+
+    followers: Tuple[int, ...]
+    line_edges: Tuple[Tuple[int, int], ...]
+    epoch: int
+
+    def canonical(self):
+        return ("followers", self.followers, self.line_edges, self.epoch)

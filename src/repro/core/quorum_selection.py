@@ -1,0 +1,248 @@
+"""Algorithm 1 — decentralized Quorum Selection (Section VI).
+
+State per process: ``epoch`` (starts at 1), ``suspecting`` (the failure
+detector's current set), the shared :class:`SuspicionMatrix`, and
+``Qlast`` (initially ``{p_1 .. p_q}``).
+
+Flow, exactly as in the paper (modulo the row-index typo documented in
+DESIGN.md §5.1):
+
+- ``SUSPECTED`` from the failure detector -> ``updateSuspicions``: stamp
+  every currently-suspected process with the current epoch in *my* row and
+  broadcast the signed row to all, including myself.
+- ``UPDATE`` from anyone -> max-merge into the signer's row; if anything
+  changed, forward the original signed message to the other processes
+  (gossip reliability, Lemma 1) and run ``updateQuorum``.
+- ``updateQuorum``: build the suspect graph for the current epoch; if no
+  independent set of size ``q`` exists, advance the epoch and re-stamp the
+  current suspicions (some correct process must have suspected another —
+  accurate suspicions alone always leave the correct set independent);
+  otherwise select the lexicographically first independent set of size
+  ``q`` and emit ``<QUORUM, Q>`` if it differs from ``Qlast``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, List, Optional
+
+from repro.core.events import QuorumEvent
+from repro.core.messages import KIND_UPDATE, UpdatePayload
+from repro.core.suspicion_matrix import SuspicionMatrix
+from repro.crypto.authenticator import SignedMessage
+from repro.graphs.independent_set import has_independent_set, lex_first_independent_set
+from repro.sim.process import Module, ProcessHost
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ProcessId, default_quorum
+
+QuorumListener = Callable[[QuorumEvent], None]
+
+
+class QuorumSelectionModule(Module):
+    """Algorithm 1 running at one process."""
+
+    def __init__(
+        self,
+        host: ProcessHost,
+        n: int,
+        f: int,
+        use_fd: bool = True,
+        epoch_slack: Optional[int] = 1024,
+        forward_updates: bool = True,
+    ) -> None:
+        super().__init__(host)
+        if not 1 <= f < n - f:
+            raise ConfigurationError(
+                f"need 1 <= f and q = n - f > f (majority correct); got n={n}, f={f}"
+            )
+        self.n = n
+        self.f = f
+        self.q = n - f
+        self.use_fd = use_fd
+        # Ignore suspicion stamps more than this far in the future (the
+        # epoch-inflation defense, DESIGN.md §5.12); None = paper-literal.
+        self.epoch_slack = epoch_slack
+        # Gossip forwarding (Algorithm 1 line 23) is what makes the matrix
+        # eventually consistent under equivocation (Lemma 1); the flag
+        # exists only for the E9d ablation.
+        self.forward_updates = forward_updates
+        # --- Algorithm 1 state ---
+        self.epoch = 1
+        self.suspecting: FrozenSet[int] = frozenset()
+        self.matrix = SuspicionMatrix(n)
+        self.qlast: FrozenSet[int] = default_quorum(n, self.q)
+        # --- instrumentation ---
+        self.quorum_events: List[QuorumEvent] = []
+        self.quorums_per_epoch: Dict[int, int] = {}
+        self._listeners: List[QuorumListener] = []
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        self.host.subscribe(KIND_UPDATE, self._on_update)
+        if self.use_fd:
+            if self.host.fd is None:
+                raise ConfigurationError(
+                    f"p{self.pid}: QuorumSelectionModule(use_fd=True) needs a failure detector"
+                )
+            self.host.fd.subscribe_suspected(self.on_suspected)
+
+    def add_quorum_listener(self, listener: QuorumListener) -> None:
+        """Consumers (e.g. the replicated application) get QUORUM events."""
+        self._listeners.append(listener)
+
+    @property
+    def current_quorum(self) -> FrozenSet[int]:
+        return self.qlast
+
+    # ------------------------------------------------- Algorithm 1, lines 9-15
+
+    def on_suspected(self, suspected: FrozenSet[int]) -> None:
+        """``<SUSPECTED, S>`` from the failure detector (line 9)."""
+        self._update_suspicions(frozenset(suspected) - {self.pid})
+
+    def _update_suspicions(self, suspected: FrozenSet[int]) -> None:
+        """Lines 11-15: stamp current suspicions, broadcast own row.
+
+        Deviation from the pseudocode as printed (documented in DESIGN.md
+        §5): the originator also recomputes its quorum when its own marks
+        changed.  In the paper the recomputation is triggered by the
+        self-addressed UPDATE, but that message merges as a no-change (the
+        matrix was already written on line 14), so without this call the
+        *originator* of a suspicion would never react to it.
+        """
+        self.suspecting = suspected
+        changed = self._remark_and_broadcast()
+        if changed:
+            self._update_quorum()
+
+    def _remark_and_broadcast(self) -> bool:
+        """Stamp ``suspecting`` with the current epoch; broadcast own row."""
+        changed = False
+        for target in sorted(self.suspecting):
+            if self.matrix.mark(self.pid, target, self.epoch):
+                changed = True
+        signed = self.host.authenticator.sign(UpdatePayload(self.matrix.row(self.pid)))
+        self.host.broadcast(range(1, self.n + 1), KIND_UPDATE, signed)
+        return changed
+
+    # ------------------------------------------------ Algorithm 1, lines 16-24
+
+    def _on_update(self, kind: str, payload: Any, src: ProcessId) -> None:
+        """Handle a (pre-authenticated) ``UPDATE`` (lines 16-24).
+
+        The failure detector already verified the signature; ``src`` is the
+        signer.  Hosts without a failure detector verify here.
+        """
+        if not isinstance(payload, SignedMessage):
+            return
+        if self.host.fd is None and not self.host.authenticator.verify(payload):
+            return
+        owner = payload.signer
+        body = payload.payload
+        if not isinstance(body, UpdatePayload):
+            return
+        changed = self.matrix.merge_row(owner, body.row)
+        if changed:
+            # Forward the original signed message so peers converge even if
+            # the (possibly faulty) owner never sent it to them (Lemma 1).
+            if self.forward_updates:
+                for dst in range(1, self.n + 1):
+                    if dst not in (self.pid, src):
+                        self.host.send(dst, KIND_UPDATE, payload)
+            self._update_quorum()
+
+    # ------------------------------------------------ Algorithm 1, lines 25-34
+
+    def _update_quorum(self) -> None:
+        """Lines 25-34: recompute the quorum for the current epoch.
+
+        When the epoch's suspicions are inconsistent (no independent set —
+        some correct process suspected another), the epoch is advanced to
+        the next *viable* value and the current suspicions are re-stamped.
+        The paper increments by one per pass; jumping over epochs whose
+        graphs are identical (delimited by the distinct matrix values) is
+        observationally equivalent and caps the work a Byzantine process
+        can cause by stamping absurdly high epochs (DESIGN.md §5).
+        """
+        while True:
+            graph = self._suspect_graph()
+            if self._viable(graph):
+                break
+            self.epoch = self._next_viable_epoch()
+            self.host.log.append(self.host.now, self.pid, "qs.epoch", epoch=self.epoch)
+            # Re-stamp current suspicions in the new epoch and let peers
+            # know (may itself remove the independent set again: loop).
+            self._remark_and_broadcast()
+        quorum = lex_first_independent_set(graph, self.q)
+        assert quorum is not None  # existence was just checked
+        if quorum != self.qlast:
+            self.qlast = quorum
+            self._issue(quorum)
+
+    def _suspect_graph(self, epoch: Optional[int] = None):
+        """The suspect graph at an epoch, with the inflation band applied."""
+        return self.matrix.build_suspect_graph(
+            self.epoch if epoch is None else epoch, slack=self.epoch_slack
+        )
+
+    def _viable(self, graph) -> bool:
+        """Whether a quorum can be selected from this epoch's graph.
+
+        Algorithm 1 needs an independent set of size ``q``; variants
+        (e.g. Chain Selection) override this with their weaker existence
+        predicate so epochs advance only when *their* structure is gone.
+        """
+        return has_independent_set(graph, self.q)
+
+    def _next_viable_epoch(self) -> int:
+        """Smallest epoch > current whose suspect graph is viable.
+
+        The graph only changes at thresholds ``value + 1`` for values in
+        the matrix, so those are the only candidates worth testing; the
+        final threshold (max value + 1) yields an empty graph, which is
+        always viable.
+        """
+        change_points = {self.epoch + 1}
+        for _, _, value in self.matrix.entries():
+            if value + 1 > self.epoch + 1:
+                change_points.add(value + 1)
+            if self.epoch_slack is not None:
+                # A future-dated stamp *enters* the band at value - slack:
+                # the graph also changes there.
+                entry = value - self.epoch_slack
+                if entry > self.epoch + 1:
+                    change_points.add(entry)
+        thresholds = sorted(change_points)
+        for candidate in thresholds:
+            if self._viable(self._suspect_graph(candidate)):
+                return candidate
+        return thresholds[-1]  # pragma: no cover - last is always viable
+
+    def _issue(self, quorum: FrozenSet[int], leader: Optional[int] = None) -> None:
+        event = QuorumEvent(
+            time=self.host.now,
+            process=self.pid,
+            epoch=self.epoch,
+            quorum=quorum,
+            leader=leader,
+        )
+        self.quorum_events.append(event)
+        self.quorums_per_epoch[self.epoch] = self.quorums_per_epoch.get(self.epoch, 0) + 1
+        self.host.log.append(
+            self.host.now,
+            self.pid,
+            "qs.quorum",
+            epoch=self.epoch,
+            quorum=tuple(sorted(quorum)),
+            leader=leader,
+        )
+        for listener in self._listeners:
+            listener(event)
+
+    # ------------------------------------------------------------ diagnostics
+
+    def total_quorums_issued(self) -> int:
+        return len(self.quorum_events)
+
+    def max_quorums_in_any_epoch(self) -> int:
+        return max(self.quorums_per_epoch.values(), default=0)

@@ -1,0 +1,141 @@
+"""Checkers for the Quorum Selection specification (Section IV-A).
+
+- **Termination** — a correct process changes the quorum only finitely
+  often; on a finite run we check quorum events stop before a deadline.
+- **Agreement** — eventually correct processes always output the same
+  quorum; we check all correct processes' final quorums coincide and that
+  no quorum event occurs after the stabilization point.
+- **No suspicion** — for every correct ``j``: eventually ``j`` is never in
+  the quorum, or eventually ``j`` never suspects anyone in the quorum; we
+  check the final quorum against each correct member's final suspicions.
+- **No leader suspicion** (Follower Selection) — eventually no correct
+  quorum member suspects the leader, and a correct leader suspects no
+  quorum member.
+
+All functions take the *modules* of correct processes (and their hosts'
+failure detectors), inspecting end-of-run state plus the shared event log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.quorum_selection import QuorumSelectionModule
+from repro.util.eventlog import EventLog
+
+
+def termination_holds(modules: Sequence[QuorumSelectionModule], after: float) -> bool:
+    """No correct process issues a quorum after time ``after``."""
+    for module in modules:
+        for event in module.quorum_events:
+            if event.time > after:
+                return False
+    return True
+
+
+def agreement_holds(modules: Sequence[QuorumSelectionModule]) -> bool:
+    """All correct processes ended the run with the same quorum (and, for
+    Follower Selection, the same leader)."""
+    quorums = {module.qlast for module in modules}
+    if len(quorums) != 1:
+        return False
+    leaders = {getattr(module, "leader", None) for module in modules}
+    return len(leaders) == 1
+
+
+def no_suspicion_holds(modules: Sequence[QuorumSelectionModule]) -> bool:
+    """Final check of the *no suspicion* property.
+
+    For every correct process j: j is outside the final quorum, or j's
+    final suspected set is disjoint from the quorum.
+    """
+    for module in modules:
+        if module.pid not in module.qlast:
+            continue
+        fd = module.host.fd
+        suspected = fd.suspected if fd is not None else frozenset()
+        if suspected & module.qlast:
+            return False
+    return True
+
+
+def no_leader_suspicion_holds(modules: Sequence[QuorumSelectionModule]) -> bool:
+    """Final check of *no leader suspicion* (Section VIII).
+
+    Followers (correct, in quorum) must not suspect the leader; a correct
+    leader must not suspect any quorum member.
+    """
+    for module in modules:
+        leader = getattr(module, "leader", None)
+        if leader is None:
+            return False  # not a Follower Selection module
+        fd = module.host.fd
+        suspected = fd.suspected if fd is not None else frozenset()
+        if module.pid == leader:
+            if suspected & module.qlast:
+                return False
+        elif module.pid in module.qlast:
+            if leader in suspected:
+                return False
+    return True
+
+
+def no_link_suspicion_holds(modules) -> bool:
+    """Final check of *no link suspicion* (Chain Selection extension).
+
+    For every correct chain member: its final suspected set contains none
+    of its chain *neighbours* (non-adjacent members may be suspected).
+    """
+    for module in modules:
+        chain = getattr(module, "chain", None)
+        if chain is None:
+            return False  # not a Chain Selection module
+        if module.pid not in chain:
+            continue
+        index = chain.index(module.pid)
+        neighbours = set()
+        if index > 0:
+            neighbours.add(chain[index - 1])
+        if index + 1 < len(chain):
+            neighbours.add(chain[index + 1])
+        fd = module.host.fd
+        suspected = fd.suspected if fd is not None else frozenset()
+        if suspected & neighbours:
+            return False
+    return True
+
+
+def quorums_issued_after(
+    modules: Sequence[QuorumSelectionModule], after: float
+) -> Dict[int, int]:
+    """Per-process count of quorum events strictly after ``after``.
+
+    This is the quantity bounded by Theorem 3 (``O(f^2)``) and
+    Corollary 10 (``6f + 2``) once the failure detector is accurate.
+    """
+    return {
+        module.pid: sum(1 for event in module.quorum_events if event.time > after)
+        for module in modules
+    }
+
+
+def quorums_per_epoch(modules: Sequence[QuorumSelectionModule]) -> Dict[int, Dict[int, int]]:
+    """Per-process, per-epoch quorum counts (Theorem 3 / Theorem 9)."""
+    return {module.pid: dict(module.quorums_per_epoch) for module in modules}
+
+
+def final_quorum(modules: Sequence[QuorumSelectionModule]) -> Optional[frozenset]:
+    """The agreed final quorum, or ``None`` when processes disagree."""
+    quorums = {module.qlast for module in modules}
+    return next(iter(quorums)) if len(quorums) == 1 else None
+
+
+def quorum_change_times(log: EventLog, correct: Iterable[int]) -> List[float]:
+    """Times of all quorum events at correct processes (stabilization
+    analysis for E5/E8)."""
+    correct_set = set(correct)
+    return [
+        event.time
+        for event in log.events(kind="qs.quorum")
+        if event.process in correct_set
+    ]

@@ -1,0 +1,153 @@
+"""The eventually consistent ``suspected`` matrix (Section VI-A).
+
+``suspected[l][k]`` holds the last epoch in which process ``l`` (claimed
+it) suspected process ``k``; 0 means never.  Each process owns and signs
+its *row*; received rows are merged entry-wise by maximum, which makes the
+matrix a join-semilattice replica: merges are commutative, associative,
+and idempotent, so all correct processes converge to the same matrix no
+matter the delivery order — even when faulty processes equivocate,
+sending different rows to different peers (the union of the claims wins
+everywhere).
+
+The matrix deliberately keeps suspicions that were later cancelled by the
+failure detector: "we take not only current suspicions into account, but
+also suspicions previously raised and canceled" (Section I) — a process
+that repeatedly delays messages keeps re-stamping recent epochs and is
+eventually kept out of the quorum until the epoch moves past its entries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.graphs.suspect_graph import SuspectGraph
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ProcessId, validate_pid
+
+
+class SuspicionMatrix:
+    """``n x n`` epoch matrix with row-max merge."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError(f"matrix needs n >= 1, got {n}")
+        self.n = n
+        self._rows: List[List[int]] = [[0] * (n + 1) for _ in range(n + 1)]
+
+    # ----------------------------------------------------------------- access
+
+    def get(self, suspector: ProcessId, suspectee: ProcessId) -> int:
+        validate_pid(suspector, self.n)
+        validate_pid(suspectee, self.n)
+        return self._rows[suspector][suspectee]
+
+    def row(self, suspector: ProcessId) -> Tuple[int, ...]:
+        """Copy of a row as a 1-based-dense tuple (index 0 unused, kept 0)."""
+        validate_pid(suspector, self.n)
+        return tuple(self._rows[suspector])
+
+    def mark(self, suspector: ProcessId, suspectee: ProcessId, epoch: int) -> bool:
+        """Record "suspector suspects suspectee in ``epoch``" (max-write).
+
+        Returns ``True`` if the entry increased.  Diagonal writes are
+        rejected: self-suspicion is meaningless and would put self-loops in
+        the suspect graph.
+        """
+        validate_pid(suspector, self.n)
+        validate_pid(suspectee, self.n)
+        if suspector == suspectee:
+            raise ConfigurationError(f"p{suspector} cannot suspect itself")
+        if epoch < 0:
+            raise ConfigurationError(f"epoch must be >= 0, got {epoch}")
+        if epoch > self._rows[suspector][suspectee]:
+            self._rows[suspector][suspectee] = epoch
+            return True
+        return False
+
+    def merge_row(self, suspector: ProcessId, values: Sequence[int]) -> bool:
+        """Entry-wise max-merge of a received row; returns "changed".
+
+        ``values`` may be 0-based dense of length ``n`` or 1-based dense of
+        length ``n + 1`` (the wire format of :meth:`row`).  Diagonal and
+        malformed entries are ignored rather than rejected — the row may
+        come from a Byzantine peer and dropping garbage silently is the
+        correct protocol response.
+        """
+        validate_pid(suspector, self.n)
+        if len(values) == self.n:
+            dense = [0, *values]
+        elif len(values) == self.n + 1:
+            dense = list(values)
+        else:
+            return False  # wrong arity: Byzantine garbage, ignore
+        changed = False
+        row = self._rows[suspector]
+        for suspectee in range(1, self.n + 1):
+            if suspectee == suspector:
+                continue
+            value = dense[suspectee]
+            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                continue
+            if value > row[suspectee]:
+                row[suspectee] = value
+                changed = True
+        return changed
+
+    # ----------------------------------------------------------- graph & views
+
+    def build_suspect_graph(self, epoch: int, slack: Optional[int] = None) -> SuspectGraph:
+        """Suspect graph for ``epoch`` (Section VI-B).
+
+        Nodes ``l`` and ``k`` are connected iff either suspected the other
+        in ``epoch`` or later: ``suspected[l][k] >= epoch or
+        suspected[k][l] >= epoch``.
+
+        ``slack`` (optional) additionally requires ``value <= epoch +
+        slack``: *future-dated* suspicions far beyond the local epoch are
+        ignored until epochs legitimately catch up.  Correct processes
+        only ever stamp (roughly) their current epoch, so a generous
+        slack never discounts honest suspicions — but it defuses the
+        epoch-inflation attack, where a Byzantine row stamped with an
+        absurd epoch would otherwise pin its edges through a
+        correspondingly absurd number of epoch advances (DESIGN.md §5.12).
+        ``None`` gives the paper-literal unbounded semantics.
+        """
+        if epoch < 1:
+            raise ConfigurationError(f"epoch must be >= 1, got {epoch}")
+        if slack is not None and slack < 0:
+            raise ConfigurationError(f"slack must be >= 0, got {slack}")
+        upper = None if slack is None else epoch + slack
+
+        def in_band(value: int) -> bool:
+            return value >= epoch and (upper is None or value <= upper)
+
+        graph = SuspectGraph(self.n)
+        for l in range(1, self.n + 1):
+            row = self._rows[l]
+            for k in range(l + 1, self.n + 1):
+                if in_band(row[k]) or in_band(self._rows[k][l]):
+                    graph.add_edge(l, k)
+        return graph
+
+    def entries(self) -> Iterable[Tuple[int, int, int]]:
+        """Yield all nonzero ``(suspector, suspectee, epoch)`` entries."""
+        for l in range(1, self.n + 1):
+            for k in range(1, self.n + 1):
+                if self._rows[l][k]:
+                    yield (l, k, self._rows[l][k])
+
+    def copy(self) -> "SuspicionMatrix":
+        clone = SuspicionMatrix(self.n)
+        clone._rows = [list(row) for row in self._rows]
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SuspicionMatrix):
+            return NotImplemented
+        return self.n == other.n and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self.n, tuple(tuple(row) for row in self._rows)))
+
+    def __repr__(self) -> str:
+        return f"SuspicionMatrix(n={self.n}, entries={list(self.entries())})"

@@ -1,0 +1,27 @@
+"""Simulated cryptographic primitives.
+
+The paper assumes "cryptographic primitives cannot be broken" (Section IV).
+We enforce exactly that assumption by construction: signatures are MACs
+computed over a canonical encoding with a per-process secret held in a
+:class:`KeyRegistry`, and the simulation hands each process an
+:class:`Authenticator` that can *sign only as itself* but verify anyone.
+A Byzantine process can therefore equivocate (sign two conflicting messages
+of its own) but can never forge another process's signature — matching the
+adversary model of the paper.
+"""
+
+from repro.crypto.digests import digest, canonical_encode
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import Signature, sign_payload, verify_payload
+from repro.crypto.authenticator import Authenticator, SignedMessage
+
+__all__ = [
+    "digest",
+    "canonical_encode",
+    "KeyRegistry",
+    "Signature",
+    "sign_payload",
+    "verify_payload",
+    "Authenticator",
+    "SignedMessage",
+]

@@ -1,0 +1,63 @@
+"""Per-process signing/verification capability and signed envelopes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import Signature, sign_payload, verify_payload
+from repro.util.errors import AuthenticationError
+from repro.util.ids import ProcessId, validate_pid
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """A payload together with its signature — the paper's ``<m>_sigma_i``.
+
+    ``payload`` is expected to be canonically encodable (see
+    :mod:`repro.crypto.digests`); protocol message dataclasses implement
+    ``canonical()`` for this purpose.
+    """
+
+    payload: Any
+    signature: Signature
+
+    @property
+    def signer(self) -> ProcessId:
+        return self.signature.signer
+
+    def canonical(self) -> Any:
+        return ("signed", self.payload, self.signature.canonical())
+
+
+class Authenticator:
+    """Signing capability bound to one process id.
+
+    The simulation constructs one authenticator per process.  Because the
+    instance holds only its own id (the registry's secrets are reached via
+    the registry it shares with everyone), a Byzantine process exercising
+    this API can equivocate but cannot impersonate others — the paper's
+    "cryptographic primitives cannot be broken" assumption.
+    """
+
+    def __init__(self, registry: KeyRegistry, pid: ProcessId) -> None:
+        validate_pid(pid, registry.n)
+        self._registry = registry
+        self.pid = pid
+
+    def sign(self, payload: Any) -> SignedMessage:
+        """Sign a payload as this process."""
+        return SignedMessage(payload, sign_payload(self._registry, self.pid, payload))
+
+    def verify(self, message: SignedMessage) -> bool:
+        """Check a signed message; ``False`` on any mismatch."""
+        return verify_payload(self._registry, message.signature, message.payload)
+
+    def require_valid(self, message: SignedMessage) -> SignedMessage:
+        """Verify or raise :class:`AuthenticationError` (harness helper)."""
+        if not self.verify(message):
+            raise AuthenticationError(
+                f"signature of p{message.signer} failed verification at p{self.pid}"
+            )
+        return message

@@ -1,0 +1,76 @@
+"""Canonical encoding and digests for message payloads.
+
+Signatures and request hashes must be computed over a *canonical* byte
+encoding so that logically equal payloads produce equal digests regardless
+of dict insertion order or set iteration order.  The encoder handles the
+small vocabulary of types protocol messages are built from: ``None``,
+bools, ints, floats, strings, bytes, and (possibly nested) tuples, lists,
+sets, frozensets, and dicts.  Dataclasses used in messages expose a
+``canonical()`` method returning such a structure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def canonical_encode(value: Any) -> bytes:
+    """Encode a payload structure into canonical bytes.
+
+    The encoding is injective on the supported vocabulary: each value is
+    prefixed with a type tag and variable-length parts carry their length,
+    so distinct structures never collide.
+    """
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += b"N"
+    elif isinstance(value, bool):
+        out += b"T" if value else b"F"
+    elif isinstance(value, int):
+        text = str(value).encode("ascii")
+        out += b"I" + str(len(text)).encode("ascii") + b":" + text
+    elif isinstance(value, float):
+        text = repr(value).encode("ascii")
+        out += b"D" + str(len(text)).encode("ascii") + b":" + text
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out += b"S" + str(len(data)).encode("ascii") + b":" + data
+    elif isinstance(value, bytes):
+        out += b"B" + str(len(value)).encode("ascii") + b":" + value
+    elif isinstance(value, (tuple, list)):
+        out += b"L" + str(len(value)).encode("ascii") + b":"
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, (set, frozenset)):
+        encoded_items = sorted(canonical_encode(item) for item in value)
+        out += b"E" + str(len(encoded_items)).encode("ascii") + b":"
+        for item in encoded_items:
+            out += item
+    elif isinstance(value, dict):
+        encoded_pairs = sorted(
+            (canonical_encode(k), canonical_encode(v)) for k, v in value.items()
+        )
+        out += b"M" + str(len(encoded_pairs)).encode("ascii") + b":"
+        for key_bytes, value_bytes in encoded_pairs:
+            out += key_bytes
+            out += value_bytes
+    elif hasattr(value, "canonical"):
+        out += b"O"
+        _encode_into(value.canonical(), out)
+    else:
+        raise TypeError(f"cannot canonically encode {type(value).__name__}: {value!r}")
+
+
+def digest(value: Any) -> str:
+    """Hex digest of a payload's canonical encoding (SHA-256, truncated).
+
+    Truncation to 16 bytes keeps traces readable; collision resistance at
+    simulation scale is untouched.
+    """
+    return hashlib.sha256(canonical_encode(value)).hexdigest()[:32]

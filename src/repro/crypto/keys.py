@@ -1,0 +1,38 @@
+"""Per-process secret keys for the simulated signature scheme."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ProcessId, validate_pid
+
+
+class KeyRegistry:
+    """Holds the secret MAC key of every process in one system instance.
+
+    The registry is the simulation's stand-in for a PKI: signing requires
+    the signer's secret, verification is done *through the registry* (the
+    analogue of knowing everyone's public key).  Processes never see the
+    registry directly — they get an :class:`~repro.crypto.Authenticator`
+    bound to their own id, so the type system enforces that process ``i``
+    can only produce signatures attributable to ``i``.
+    """
+
+    def __init__(self, n: int, system_nonce: str = "qs-repro") -> None:
+        if n < 1:
+            raise ConfigurationError(f"key registry needs n >= 1, got {n}")
+        self.n = n
+        self._keys: Dict[int, bytes] = {
+            pid: hashlib.sha256(f"{system_nonce}|key|{pid}".encode()).digest()
+            for pid in range(1, n + 1)
+        }
+
+    def secret_for(self, pid: ProcessId) -> bytes:
+        """Return the secret key of ``pid`` (harness use only)."""
+        validate_pid(pid, self.n)
+        return self._keys[pid]
+
+    def __contains__(self, pid: object) -> bool:
+        return isinstance(pid, int) and 1 <= pid <= self.n

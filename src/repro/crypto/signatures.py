@@ -1,0 +1,49 @@
+"""MAC-based simulated signatures over canonical payload encodings."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.digests import canonical_encode
+from repro.crypto.keys import KeyRegistry
+from repro.util.ids import ProcessId
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature: claimed signer id plus MAC tag over the payload.
+
+    Equality/hash make signatures usable in sets and as message parts; the
+    tag alone is never trusted — verification always recomputes it from the
+    claimed signer's registry key.
+    """
+
+    signer: ProcessId
+    tag: bytes
+
+    def canonical(self) -> Any:
+        return ("sig", self.signer, self.tag)
+
+
+def sign_payload(registry: KeyRegistry, signer: ProcessId, payload: Any) -> Signature:
+    """Sign a payload with the signer's registry secret."""
+    secret = registry.secret_for(signer)
+    tag = hmac.new(secret, canonical_encode(payload), hashlib.sha256).digest()
+    return Signature(signer=signer, tag=tag)
+
+
+def verify_payload(registry: KeyRegistry, signature: Signature, payload: Any) -> bool:
+    """Check a signature against a payload.
+
+    Returns ``False`` (never raises) for unknown signers or wrong tags, so
+    protocol code can treat bad signatures as silently droppable, matching
+    the "correctly authenticated" filter in the paper's failure detector.
+    """
+    if signature.signer not in registry:
+        return False
+    secret = registry.secret_for(signature.signer)
+    expected = hmac.new(secret, canonical_encode(payload), hashlib.sha256).digest()
+    return hmac.compare_digest(expected, signature.tag)

@@ -1,0 +1,34 @@
+"""Fault injection: the paper's failure taxonomy made executable.
+
+- :mod:`repro.failures.classification` — Section II's failure classes
+  (commission, omission, repeated omission, timing, increasing timing)
+  and their detectability levels.
+- :class:`Adversary` — attaches failure *behaviours* to chosen processes:
+  crashes, per-link (possibly probabilistic or time-bounded) omission,
+  fixed and increasing delays, and payload rewriting, all enforced through
+  the network's interceptor hook so only faulty processes' traffic is
+  touched.
+- :mod:`repro.failures.strategies` — protocol-aware attack strategies,
+  including the Theorem 4 lower-bound adversary that concentrates false
+  suspicions on an ``F+2`` node set to force the maximum number of quorum
+  changes.
+"""
+
+from repro.failures.classification import FailureClass, Detectability, DETECTABILITY
+from repro.failures.adversary import Adversary, LinkRule
+from repro.failures.strategies import (
+    FalseSuspicionInjector,
+    LowerBoundStrategy,
+    RandomSuspicionStrategy,
+)
+
+__all__ = [
+    "FailureClass",
+    "Detectability",
+    "DETECTABILITY",
+    "Adversary",
+    "LinkRule",
+    "FalseSuspicionInjector",
+    "LowerBoundStrategy",
+    "RandomSuspicionStrategy",
+]

@@ -1,0 +1,183 @@
+"""The adversary: attaches failure behaviours to faulty processes.
+
+All manipulation flows through :meth:`repro.sim.network.Network.set_interceptor`,
+so the adversary can only touch traffic *sent by* processes it controls —
+channels between correct processes stay reliable, per the system model.
+Behaviours are expressed as ordered :class:`LinkRule` lists; the first
+matching rule decides a message's fate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.failures.classification import FailureClass
+from repro.sim.network import DELIVER, DROP, Envelope, SendAction
+from repro.sim.runtime import Simulation
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ProcessId
+
+
+@dataclass
+class LinkRule:
+    """One traffic-manipulation rule for a faulty process's sends.
+
+    Attributes:
+        dsts: destinations the rule applies to (``None`` = every peer) —
+            per-link granularity is the point: the paper's detector must
+            catch omissions "even if they only affect individual links".
+        kinds: message kinds the rule applies to (``None`` = all).
+        start/end: simulation-time window in which the rule is active.
+        drop: omission failure — the message is never sent.
+        extra_delay: timing failure — constant extra latency.
+        delay_growth: increasing timing failure — extra latency grows by
+            this much per time unit elapsed since ``start``.
+        probability: apply the rule to each message with this probability
+            (sporadic omission vs. repeated omission).
+        failure_class: taxonomy tag, for traces and tests.
+    """
+
+    dsts: Optional[Set[int]] = None
+    kinds: Optional[Set[str]] = None
+    start: float = 0.0
+    end: float = math.inf
+    drop: bool = False
+    extra_delay: float = 0.0
+    delay_growth: float = 0.0
+    probability: float = 1.0
+    failure_class: FailureClass = FailureClass.OMISSION
+
+    def matches(self, envelope: Envelope) -> bool:
+        if not self.start <= envelope.sent_at < self.end:
+            return False
+        if self.dsts is not None and envelope.dst not in self.dsts:
+            return False
+        if self.kinds is not None and envelope.kind not in self.kinds:
+            return False
+        return True
+
+    def action_for(self, envelope: Envelope) -> SendAction:
+        if self.drop:
+            return SendAction(verdict=DROP)
+        delay = self.extra_delay + self.delay_growth * max(
+            0.0, envelope.sent_at - self.start
+        )
+        return SendAction(verdict=DELIVER, extra_delay=delay)
+
+
+class Adversary:
+    """Controls up to ``f`` faulty processes in one simulation."""
+
+    def __init__(self, sim: Simulation, f_max: Optional[int] = None) -> None:
+        self.sim = sim
+        self.f_max = f_max
+        self.faulty: Set[int] = set()
+        self._rules: Dict[int, List[LinkRule]] = {}
+        self._rng = sim.rng.child("adversary")
+
+    # --------------------------------------------------------------- control
+
+    def corrupt(self, pid: ProcessId) -> None:
+        """Mark a process faulty (idempotent); installs the interceptor."""
+        if pid in self.faulty:
+            return
+        if self.f_max is not None and len(self.faulty) >= self.f_max:
+            raise ConfigurationError(
+                f"adversary already controls {self.f_max} processes"
+            )
+        self.faulty.add(pid)
+        self._rules.setdefault(pid, [])
+        self.sim.network.set_interceptor(pid, self._make_interceptor(pid))
+        self.sim.log.append(self.sim.now, 0, "adv.corrupt", target=pid)
+
+    def correct_processes(self) -> List[int]:
+        return [pid for pid in self.sim.pids if pid not in self.faulty]
+
+    def add_rule(self, pid: ProcessId, rule: LinkRule) -> None:
+        """Attach a rule to a faulty process (corrupts it if needed)."""
+        self.corrupt(pid)
+        self._rules[pid].append(rule)
+
+    # ----------------------------------------------------- behaviour shortcuts
+
+    def crash(self, pid: ProcessId, at: float) -> None:
+        """Benign crash at a given time (stops the host entirely)."""
+        self.corrupt(pid)
+        self.sim.at(at, lambda: self.sim.host(pid).crash(), label=f"crash-p{pid}")
+
+    def omit_links(
+        self,
+        pid: ProcessId,
+        dsts: Optional[Set[int]] = None,
+        kinds: Optional[Set[str]] = None,
+        start: float = 0.0,
+        end: float = math.inf,
+        probability: float = 1.0,
+    ) -> None:
+        """Omission on selected links: repeated when the window is open-ended."""
+        failure_class = (
+            FailureClass.REPEATED_OMISSION if end == math.inf else FailureClass.OMISSION
+        )
+        self.add_rule(
+            pid,
+            LinkRule(
+                dsts=dsts,
+                kinds=kinds,
+                start=start,
+                end=end,
+                drop=True,
+                probability=probability,
+                failure_class=failure_class,
+            ),
+        )
+
+    def delay_links(
+        self,
+        pid: ProcessId,
+        extra_delay: float,
+        dsts: Optional[Set[int]] = None,
+        kinds: Optional[Set[str]] = None,
+        start: float = 0.0,
+        end: float = math.inf,
+    ) -> None:
+        """Bounded timing failure on selected links."""
+        self.add_rule(
+            pid,
+            LinkRule(
+                dsts=dsts,
+                kinds=kinds,
+                start=start,
+                end=end,
+                extra_delay=extra_delay,
+                failure_class=FailureClass.TIMING,
+            ),
+        )
+
+    def increasing_delay(
+        self, pid: ProcessId, growth_per_unit: float, start: float = 0.0
+    ) -> None:
+        """Increasing timing failure: delay grows without bound over time."""
+        self.add_rule(
+            pid,
+            LinkRule(
+                start=start,
+                delay_growth=growth_per_unit,
+                failure_class=FailureClass.INCREASING_TIMING,
+            ),
+        )
+
+    # -------------------------------------------------------------- plumbing
+
+    def _make_interceptor(self, pid: ProcessId) -> Callable[[Envelope], SendAction]:
+        def intercept(envelope: Envelope) -> SendAction:
+            for rule in self._rules.get(pid, ()):  # first match wins
+                if not rule.matches(envelope):
+                    continue
+                if rule.probability < 1.0 and not self._rng.coin(rule.probability):
+                    continue
+                return rule.action_for(envelope)
+            return SendAction()
+
+        return intercept

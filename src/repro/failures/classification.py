@@ -1,0 +1,69 @@
+"""Failure classification (Section II of the paper).
+
+The paper distinguishes five failure classes and argues which can be
+detected, and how *permanently*.  The enums below encode that taxonomy so
+tests and documentation can reference it; fault behaviours in
+:mod:`repro.failures.adversary` are tagged with the class they realize,
+and the failure-detector property tests assert the promised detectability
+for each class.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class FailureClass(enum.Enum):
+    """Section II failure classes."""
+
+    COMMISSION = "commission"
+    """A correctly authenticated message that should not have been sent
+    (fabrication, altered parameters, equivocation)."""
+
+    OMISSION = "omission"
+    """A message that should have been sent was not (finitely often)."""
+
+    REPEATED_OMISSION = "repeated-omission"
+    """Infinitely many omissions — e.g. a crashed process, or a link the
+    faulty process permanently mutes."""
+
+    TIMING = "timing"
+    """Sending or processing of a message is delayed (boundedly)."""
+
+    INCREASING_TIMING = "increasing-timing"
+    """No bound Delta exists on the process's response delay."""
+
+
+class Detectability(enum.Enum):
+    """How strongly a failure class can be detected (Section II).
+
+    *Permanent*: a suspicion is raised and never cancelled.  *Eventual*:
+    suspicions are raised (and possibly cancelled) infinitely often, the
+    crash-recovery style of detection.  *None*: detection is impossible in
+    general (e.g. a single omission that is later compensated, or any
+    timing failure in a fully asynchronous system).
+    """
+
+    PERMANENT = "permanent"
+    EVENTUAL = "eventual"
+    NONE = "none"
+
+
+DETECTABILITY: Dict[FailureClass, Detectability] = {
+    # Provable deviations (equivocation, malformed messages) are detected
+    # permanently via <DETECTED>; many commission failures remain
+    # undetectable, so this records the *achievable* level for the
+    # detectable subset the paper's protocols exploit.
+    FailureClass.COMMISSION: Detectability.PERMANENT,
+    # The paper deliberately does NOT detect single omissions permanently:
+    # correct processes must be free to drop some messages (e.g. while
+    # catching up after a short downtime).
+    FailureClass.OMISSION: Detectability.NONE,
+    FailureClass.REPEATED_OMISSION: Detectability.EVENTUAL,
+    # Timing failures are undetectable in an asynchronous system; under
+    # eventual synchrony a *bounded* delay eventually stops being
+    # suspected once adaptive timeouts exceed it.
+    FailureClass.TIMING: Detectability.NONE,
+    FailureClass.INCREASING_TIMING: Detectability.EVENTUAL,
+}

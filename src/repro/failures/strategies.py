@@ -1,0 +1,192 @@
+"""Protocol-aware adversary strategies against Quorum Selection.
+
+The key one is :class:`LowerBoundStrategy`, the Theorem 4 adversary: it
+fixes ``f`` faulty processes and two correct *targets* (the set
+``F+2``), waits for the correct processes to agree on a quorum, then
+causes exactly one new suspicion between two quorum members inside
+``F+2`` (never reusing a pair).  Every such suspicion violates the *no
+suspicion* property for the current quorum and forces a change; the
+theorem shows this can be repeated until ``C(f+2, 2)`` quorums have been
+proposed, and the paper's simulations say Algorithm 1 meets that number
+exactly.
+
+Suspicions are caused in the way the proof allows:
+
+- a faulty suspector issues a *false suspicion* against the other member
+  (signing a dishonest ``UPDATE`` row — :class:`FalseSuspicionInjector`);
+- both directions of a pair are interchangeable, so the faulty endpoint is
+  always made the suspector.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.quorum_selection import QuorumSelectionModule
+from repro.sim.runtime import Simulation
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ProcessId
+
+
+class FalseSuspicionInjector:
+    """Drives a faulty process's own QS module to emit false suspicions.
+
+    A Byzantine process participating in Algorithm 1 can always stamp any
+    victim in its *own* signed row — that is not a protocol violation that
+    can be proven, merely a lie.  We reuse the module's code path so the
+    lie is wire-format-perfect (correctly signed, monotone row).
+    """
+
+    def __init__(self, module: QuorumSelectionModule) -> None:
+        self.module = module
+
+    def suspect(self, victim: ProcessId) -> None:
+        """Falsely suspect ``victim`` (keeps previous suspicions active)."""
+        if victim == self.module.pid:
+            raise ConfigurationError("cannot self-suspect: the matrix rejects it")
+        current = self.module.suspecting
+        self.module._update_suspicions(frozenset(current | {victim}))
+
+
+class LowerBoundStrategy:
+    """Theorem 4 adversary running online against a live simulation.
+
+    Parameters:
+        sim: the running simulation.
+        modules: QS module per pid (faulty ones included — the adversary
+            uses its processes' modules to sign false suspicions).
+        faulty: the set ``F`` (size ``f``).
+        targets: the two chosen correct processes (``F+2 = F | targets``).
+        check_period: how often to poll for correct-process agreement.
+
+    The strategy fires one suspicion per stabilization: once all correct
+    processes report the same quorum and the previously fired pair is no
+    longer jointly inside it, pick the next unused pair ``(a, b)`` with
+    ``a, b`` in the current quorum, both in ``F+2``, at least one faulty —
+    and have a faulty endpoint falsely suspect the other.  When both
+    endpoints are faulty we could also use omissions; a false suspicion is
+    observationally equivalent for Quorum Selection and keeps runs fast.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        modules: Dict[int, QuorumSelectionModule],
+        faulty: Set[int],
+        targets: Tuple[int, int],
+        check_period: float = 1.0,
+    ) -> None:
+        if set(targets) & faulty:
+            raise ConfigurationError("targets must be correct processes")
+        if len(targets) != 2:
+            raise ConfigurationError("exactly two correct targets required")
+        self.sim = sim
+        self.modules = modules
+        self.faulty = set(faulty)
+        self.targets = tuple(targets)
+        self.f_plus_2: Set[int] = self.faulty | set(targets)
+        self.check_period = check_period
+        self.used_pairs: Set[Tuple[int, int]] = set()
+        self.fired: List[Tuple[float, int, int]] = []
+        self._last_pair: Optional[Tuple[int, int]] = None
+        self.done = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def install(self) -> None:
+        """Arm the polling loop (call before ``sim.run_until``)."""
+        self.sim.at(self.check_period, self._tick, label="thm4-adversary")
+
+    def _tick(self) -> None:
+        if not self.done:
+            self._maybe_fire()
+            self.sim.scheduler.schedule(self.check_period, self._tick, label="thm4-adversary")
+
+    # ------------------------------------------------------------- strategy
+
+    def _correct_modules(self) -> List[QuorumSelectionModule]:
+        return [m for pid, m in self.modules.items() if pid not in self.faulty]
+
+    def _agreed_quorum(self) -> Optional[FrozenSet[int]]:
+        quorums = {m.qlast for m in self._correct_modules()}
+        return next(iter(quorums)) if len(quorums) == 1 else None
+
+    def _maybe_fire(self) -> None:
+        quorum = self._agreed_quorum()
+        if quorum is None:
+            return
+        if self._last_pair is not None:
+            a, b = self._last_pair
+            if a in quorum and b in quorum:
+                return  # previous suspicion not yet reflected
+        pair = self._next_pair(quorum)
+        if pair is None:
+            self.done = True
+            self.sim.log.append(self.sim.now, 0, "adv.thm4-done", fired=len(self.fired))
+            return
+        suspector, victim = pair
+        FalseSuspicionInjector(self.modules[suspector]).suspect(victim)
+        key = (min(suspector, victim), max(suspector, victim))
+        self.used_pairs.add(key)
+        self._last_pair = key
+        self.fired.append((self.sim.now, suspector, victim))
+        self.sim.log.append(
+            self.sim.now, 0, "adv.false-suspicion", suspector=suspector, victim=victim
+        )
+
+    def _next_pair(self, quorum: FrozenSet[int]) -> Optional[Tuple[int, int]]:
+        """Next unused (suspector, victim): suspector faulty, both in the
+        quorum, both in ``F+2``."""
+        members = sorted(self.f_plus_2 & quorum)
+        for a, b in itertools.combinations(members, 2):
+            if (a, b) in self.used_pairs:
+                continue
+            if a in self.faulty:
+                return (a, b)
+            if b in self.faulty:
+                return (b, a)
+        return None
+
+
+class RandomSuspicionStrategy:
+    """Random adversary for the Theorem 3 sweep (E3).
+
+    Every ``period`` time units, each faulty process falsely suspects a
+    uniformly chosen victim with probability ``rate`` — unstructured
+    background noise against which Algorithm 1's per-epoch bound must
+    still hold.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        modules: Dict[int, QuorumSelectionModule],
+        faulty: Set[int],
+        period: float = 2.0,
+        rate: float = 0.5,
+        stop_at: float = float("inf"),
+    ) -> None:
+        self.sim = sim
+        self.modules = modules
+        self.faulty = sorted(faulty)
+        self.period = period
+        self.rate = rate
+        self.stop_at = stop_at
+        self._rng = sim.rng.child("random-strategy")
+        self.fired: List[Tuple[float, int, int]] = []
+
+    def install(self) -> None:
+        self.sim.at(self.period, self._tick, label="random-adversary")
+
+    def _tick(self) -> None:
+        if self.sim.now >= self.stop_at:
+            return
+        n = self.sim.config.n
+        for pid in self.faulty:
+            if not self._rng.coin(self.rate):
+                continue
+            victim = self._rng.choice([v for v in range(1, n + 1) if v != pid])
+            FalseSuspicionInjector(self.modules[pid]).suspect(victim)
+            self.fired.append((self.sim.now, pid, victim))
+        self.sim.scheduler.schedule(self.period, self._tick, label="random-adversary")

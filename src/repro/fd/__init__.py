@@ -1,0 +1,41 @@
+"""The paper's Byzantine failure detector (Section IV-B).
+
+Doudou et al. showed Byzantine failure detection cannot be separated from
+the application, so this detector is *expectation driven*: the application
+tells it which message to expect from whom (``EXPECT``), reports proofs of
+misbehaviour (``DETECTED``), and withdraws expectations around protocol
+transitions (``CANCEL``).  The detector authenticates incoming messages,
+delivers them upwards (``DELIVER``), and publishes the currently suspected
+set (``SUSPECTED``) whenever it changes.
+
+Properties implemented (and checkable via :mod:`repro.fd.properties`):
+
+- *Expectation completeness* — an uncancelled expectation either gets a
+  matching delivery or its source is (at least once) suspected.
+- *Detection completeness* — a ``DETECTED`` process is suspected forever.
+- *Eventual strong accuracy* — with eventually synchronous links and the
+  adaptive timeout policy (timeouts double whenever a suspicion proves
+  false), correct processes eventually never suspect each other.
+"""
+
+from repro.fd.expectations import Expectation, ExpectationHandle
+from repro.fd.timers import TimeoutPolicy
+from repro.fd.detector import FailureDetector
+from repro.fd.heartbeat import HeartbeatModule, PingPongModule
+from repro.fd.properties import (
+    eventual_strong_accuracy_holds,
+    detection_is_permanent,
+    expectation_completeness_holds,
+)
+
+__all__ = [
+    "Expectation",
+    "ExpectationHandle",
+    "TimeoutPolicy",
+    "FailureDetector",
+    "HeartbeatModule",
+    "PingPongModule",
+    "eventual_strong_accuracy_holds",
+    "detection_is_permanent",
+    "expectation_completeness_holds",
+]

@@ -1,0 +1,227 @@
+"""The expectation-driven Byzantine failure detector (Section IV-B).
+
+One :class:`FailureDetector` instance sits between the network and the
+modules of a single process (Figure 1).  Responsibilities:
+
+- authenticate received messages, dropping forgeries
+  (``RECEIVE`` -> ``DELIVER``);
+- track expectations registered by the application (``EXPECT``), arming a
+  deadline timer per expectation from the adaptive
+  :class:`~repro.fd.timers.TimeoutPolicy`;
+- suspect a source whose expectation deadline passes, and *cancel* that
+  suspicion if a matching message arrives late (eventual detection of
+  omission/timing failures; the timeout doubles on such false alarms);
+- keep ``DETECTED`` processes suspected forever (permanent detection of
+  commission failures);
+- publish the currently-suspected set on every change (``SUSPECTED``).
+
+Attribution note: for signed payloads the *signer* is the source used for
+expectation matching and delivery, so an expected message that reaches the
+process via a third party still fulfils the expectation — the behaviour
+the paper adopts from PeerReview (suspicions are cancelled when omitted
+messages arrive late or indirectly).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set
+
+from repro.crypto.authenticator import SignedMessage
+from repro.fd.expectations import Expectation, ExpectationHandle, Predicate
+from repro.fd.timers import TimeoutPolicy
+from repro.util.ids import ProcessId
+
+SuspectedCallback = Callable[[FrozenSet[int]], None]
+
+
+class FailureDetector:
+    """Failure detector module for one process."""
+
+    def __init__(
+        self,
+        host: Any,
+        timeout_policy: Optional[TimeoutPolicy] = None,
+        require_signatures: bool = False,
+    ) -> None:
+        self.host = host
+        self.policy = timeout_policy or TimeoutPolicy()
+        self.require_signatures = require_signatures
+        self._active: Dict[int, Expectation] = {}
+        self._detected: Set[int] = set()
+        self._published: FrozenSet[int] = frozenset()
+        self._subscribers: List[SuspectedCallback] = []
+        # Statistics for tests/benchmarks.
+        self.expectations_issued = 0
+        self.expectations_fulfilled = 0
+        self.suspicions_raised = 0
+        self.suspicions_cancelled = 0
+        host.fd = self
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def pid(self) -> ProcessId:
+        return self.host.pid
+
+    def start(self) -> None:
+        """Nothing to arm until the application issues expectations."""
+
+    def recover(self) -> None:
+        """After a crash-recovery, every pre-crash expectation is stale
+        (its deadline timer died with the crash): withdraw them all.
+        Permanent ``DETECTED`` knowledge survives the restart."""
+        self.cancel()
+
+    def subscribe_suspected(self, callback: SuspectedCallback) -> None:
+        """Register a consumer of ``SUSPECTED`` events (e.g. the QS module)."""
+        self._subscribers.append(callback)
+
+    @property
+    def suspected(self) -> FrozenSet[int]:
+        """The most recently published suspected set."""
+        return self._published
+
+    # ----------------------------------------------------- application inputs
+
+    def expect(
+        self,
+        source: ProcessId,
+        predicate: Predicate,
+        group: str = "default",
+        label: str = "",
+        timeout: Optional[float] = None,
+    ) -> ExpectationHandle:
+        """Register ``<EXPECT, P, source>``; arms a deadline timer."""
+        wait = self.policy.timeout_for(source) if timeout is None else timeout
+        expectation = Expectation(
+            source=source,
+            predicate=predicate,
+            group=group,
+            deadline=self.host.now + wait,
+            label=label,
+        )
+        self._active[expectation.eid] = expectation
+        self.expectations_issued += 1
+        self.host.log.append(
+            self.host.now, self.pid, "fd.expect", source=source, label=label, group=group
+        )
+        self.host.set_timer(
+            wait, lambda: self._on_deadline(expectation), label=f"fd-exp:{label}"
+        )
+        return ExpectationHandle(expectation, self._cancel_one)
+
+    def cancel(self, group: Optional[str] = None) -> int:
+        """``<CANCEL>``: withdraw expectations (all, or one group's).
+
+        Open suspicions whose only cause was a now-cancelled expectation
+        are withdrawn too; permanent ``DETECTED`` suspicions are not.
+        Returns the number of expectations cancelled.
+        """
+        cancelled = 0
+        for expectation in list(self._active.values()):
+            if group is not None and expectation.group != group:
+                continue
+            expectation.cancelled = True
+            del self._active[expectation.eid]
+            cancelled += 1
+        if cancelled:
+            self.host.log.append(
+                self.host.now, self.pid, "fd.cancel", group=group or "*", count=cancelled
+            )
+            self._publish_if_changed()
+        return cancelled
+
+    def detected(self, source: ProcessId) -> None:
+        """``<DETECTED, source>``: application proof of misbehaviour.
+
+        Permanent: detection completeness requires the process to be
+        suspected forever.
+        """
+        if source in self._detected:
+            return
+        self._detected.add(source)
+        self.host.log.append(self.host.now, self.pid, "fd.detected", target=source)
+        self._publish_if_changed()
+
+    # ------------------------------------------------------------ network path
+
+    def on_receive(self, kind: str, payload: Any, src: ProcessId) -> None:
+        """``<RECEIVE, m, i>``: authenticate, match expectations, deliver."""
+        source = src
+        if isinstance(payload, SignedMessage):
+            if not self.host.authenticator.verify(payload):
+                self.host.log.append(
+                    self.host.now, self.pid, "fd.authfail", claimed=payload.signer, via=src
+                )
+                return
+            source = payload.signer
+        elif self.require_signatures:
+            self.host.log.append(self.host.now, self.pid, "fd.unsigned", msg=kind, via=src)
+            return
+        fulfilled_open = False
+        for expectation in list(self._active.values()):
+            if not expectation.matches(kind, payload, source):
+                continue
+            was_open = expectation.open_suspicion
+            expectation.fulfilled = True
+            del self._active[expectation.eid]
+            self.expectations_fulfilled += 1
+            if was_open:
+                # Late arrival: the suspicion was premature; widen timeout.
+                fulfilled_open = True
+                self.policy.record_false_suspicion(source)
+        self.host.deliver(kind, payload, source)
+        if fulfilled_open:
+            self._publish_if_changed()
+
+    # --------------------------------------------------------------- internals
+
+    def _cancel_one(self, expectation: Expectation) -> None:
+        if expectation.fulfilled or expectation.cancelled:
+            return
+        expectation.cancelled = True
+        self._active.pop(expectation.eid, None)
+        self._publish_if_changed()
+
+    def _on_deadline(self, expectation: Expectation) -> None:
+        if not expectation.pending:
+            return
+        expectation.timed_out = True
+        # Keep it active: a late matching message must still cancel the
+        # suspicion (eventual, not permanent, omission detection).
+        self.host.log.append(
+            self.host.now,
+            self.pid,
+            "fd.timeout",
+            source=expectation.source,
+            label=expectation.label,
+        )
+        # Publish even when the *set* is unchanged: each timeout is a fresh
+        # <SUSPECTED, S> event, and consumers (e.g. XPaxos' enumeration
+        # policy) must be re-notified that the still-suspected process keeps
+        # failing expectations in the new view/epoch.
+        self._publish(force=True)
+
+    def _current_suspected(self) -> FrozenSet[int]:
+        suspected = set(self._detected)
+        for expectation in self._active.values():
+            if expectation.open_suspicion:
+                suspected.add(expectation.source)
+        return frozenset(suspected)
+
+    def _publish_if_changed(self) -> None:
+        self._publish(force=False)
+
+    def _publish(self, force: bool) -> None:
+        current = self._current_suspected()
+        if current == self._published and not force:
+            return
+        for target in current - self._published:
+            self.suspicions_raised += 1
+            self.host.log.append(self.host.now, self.pid, "fd.suspect", target=target)
+        for target in self._published - current:
+            self.suspicions_cancelled += 1
+            self.host.log.append(self.host.now, self.pid, "fd.unsuspect", target=target)
+        self._published = current
+        for callback in self._subscribers:
+            callback(current)

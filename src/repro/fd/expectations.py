@@ -1,0 +1,95 @@
+"""Expectation records — the paper's ``<EXPECT, P, i>`` events."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.util.ids import ProcessId
+
+Predicate = Callable[[str, Any], bool]
+
+_next_expectation_id = itertools.count(1)
+
+
+@dataclass
+class Expectation:
+    """One registered expectation.
+
+    Attributes:
+        source: the process the message is expected *from* (attribution is
+            by signer for signed messages, so late/forwarded copies count,
+            matching the paper's eventual-detection stance).
+        predicate: ``predicate(kind, payload) -> bool`` deciding whether a
+            delivered message satisfies the expectation (the paper's ``P``).
+        group: cancellation scope — ``CANCEL`` from one module must not
+            tear down another module's expectations.
+        deadline: absolute simulation time at which the source becomes
+            suspected if no match arrived.
+        label: human-readable tag for traces.
+    """
+
+    source: ProcessId
+    predicate: Predicate
+    group: str
+    deadline: float
+    label: str = ""
+    eid: int = field(default_factory=lambda: next(_next_expectation_id))
+    fulfilled: bool = False
+    timed_out: bool = False
+    cancelled: bool = False
+
+    @property
+    def pending(self) -> bool:
+        """Still waiting: not fulfilled, not timed out, not cancelled."""
+        return not (self.fulfilled or self.timed_out or self.cancelled)
+
+    @property
+    def open_suspicion(self) -> bool:
+        """Timed out and never subsequently matched or cancelled."""
+        return self.timed_out and not self.fulfilled and not self.cancelled
+
+    def matches(self, kind: str, payload: Any, source: ProcessId) -> bool:
+        return source == self.source and self.predicate(kind, payload)
+
+
+class ExpectationHandle:
+    """Caller-facing handle: inspect status, cancel individually."""
+
+    def __init__(self, expectation: Expectation, canceller: Callable[[Expectation], None]) -> None:
+        self._expectation = expectation
+        self._canceller = canceller
+
+    @property
+    def fulfilled(self) -> bool:
+        return self._expectation.fulfilled
+
+    @property
+    def timed_out(self) -> bool:
+        return self._expectation.timed_out
+
+    @property
+    def pending(self) -> bool:
+        return self._expectation.pending
+
+    @property
+    def source(self) -> ProcessId:
+        return self._expectation.source
+
+    @property
+    def label(self) -> str:
+        return self._expectation.label
+
+    def cancel(self) -> None:
+        self._canceller(self._expectation)
+
+
+def kind_is(kind: str) -> Predicate:
+    """Predicate matching any message of one kind."""
+    return lambda k, payload: k == kind
+
+
+def kind_and(kind: str, check: Callable[[Any], bool]) -> Predicate:
+    """Predicate matching a kind plus a payload condition."""
+    return lambda k, payload: k == kind and check(payload)

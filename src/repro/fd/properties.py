@@ -1,0 +1,112 @@
+"""Checkers for the failure detector's specification (Section IV-B).
+
+These functions read the simulation's :class:`~repro.util.eventlog.EventLog`
+after a run and decide whether the run exhibits the paper's properties.
+"Eventually" is interpreted against a caller-supplied stabilization time
+(typically GST plus a few timeout-doubling periods): the property must hold
+from that time to the end of the (finite) run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.util.eventlog import EventLog
+
+
+def eventual_strong_accuracy_holds(
+    log: EventLog, correct: Iterable[int], after: float
+) -> bool:
+    """No correct process raises a suspicion against a correct process
+    after time ``after`` (raises only — cancelling old suspicions is fine)."""
+    correct_set = set(correct)
+    for event in log.events(kind="fd.suspect"):
+        if event.time < after:
+            continue
+        observer = event.process
+        target = event.payload.get("target")
+        if observer in correct_set and target in correct_set:
+            return False
+    return True
+
+
+def false_suspicions(
+    log: EventLog, correct: Iterable[int], after: float = 0.0
+) -> List[Tuple[float, int, int]]:
+    """All (time, observer, target) correct-suspects-correct raises."""
+    correct_set = set(correct)
+    out = []
+    for event in log.events(kind="fd.suspect"):
+        if event.time < after:
+            continue
+        target = event.payload.get("target")
+        if event.process in correct_set and target in correct_set:
+            out.append((event.time, event.process, target))
+    return out
+
+
+def detection_is_permanent(log: EventLog) -> bool:
+    """Detection completeness: once ``fd.detected`` fires at an observer
+    for a target, that observer never publishes an unsuspect for it."""
+    detected_at: Dict[Tuple[int, int], float] = {}
+    for event in log.events(kind="fd.detected"):
+        key = (event.process, event.payload.get("target"))
+        detected_at.setdefault(key, event.time)
+    for event in log.events(kind="fd.unsuspect"):
+        key = (event.process, event.payload.get("target"))
+        if key in detected_at and event.time >= detected_at[key]:
+            return False
+    return True
+
+
+def expectation_completeness_holds(detector) -> bool:
+    """Every closed-out expectation at this detector was fulfilled,
+    cancelled, or raised a suspicion (checked on live state at run end).
+
+    An expectation still pending at the end of a finite run is not a
+    violation — completeness is a liveness property — but an expectation
+    that silently disappeared would be.  With this implementation that
+    cannot happen structurally; the checker exists to pin the invariant in
+    property-based tests.
+    """
+    issued = detector.expectations_issued
+    fulfilled = detector.expectations_fulfilled
+    live = len(detector._active)  # pending or open suspicions
+    # Cancelled expectations are not tracked individually; derive them.
+    accounted = fulfilled + live
+    return accounted <= issued
+
+
+def suspicion_intervals(
+    log: EventLog, observer: int, target: int
+) -> List[Tuple[float, float]]:
+    """Time intervals during which ``observer`` suspected ``target``.
+
+    The last interval is open-ended (``float('inf')``) if the suspicion was
+    never cancelled before the run ended — i.e. permanent detection.
+    """
+    intervals: List[Tuple[float, float]] = []
+    open_since = None
+    for event in log.events():
+        if event.process != observer or event.payload.get("target") != target:
+            continue
+        if event.kind == "fd.suspect" and open_since is None:
+            open_since = event.time
+        elif event.kind == "fd.unsuspect" and open_since is not None:
+            intervals.append((open_since, event.time))
+            open_since = None
+    if open_since is not None:
+        intervals.append((open_since, float("inf")))
+    return intervals
+
+
+def eventually_detects(log: EventLog, observer: int, target: int) -> bool:
+    """Eventual detection: observer raised (and possibly re-raised)
+    suspicions against target — at least one raise exists."""
+    return bool(suspicion_intervals(log, observer, target))
+
+
+def permanently_detects(log: EventLog, observer: int, target: int) -> bool:
+    """Permanent detection: the final suspicion interval never closes."""
+    intervals = suspicion_intervals(log, observer, target)
+    return bool(intervals) and intervals[-1][1] == float("inf")

@@ -1,0 +1,57 @@
+"""Adaptive timeout policy for expectations.
+
+In an eventually synchronous system the failure detector cannot know the
+post-GST delay bound in advance.  The standard remedy, used here, is to
+keep a per-source timeout that doubles every time a suspicion against that
+source turns out to be false (the expected message arrived after the
+deadline).  After GST, once the timeout for a correct source exceeds the
+paper's two-communication-round bound (accuracy requirements, Section
+IV-B), that source is never falsely suspected again — giving eventual
+strong accuracy.  Processes that *increasingly delay* keep getting
+suspected (each time with a doubled, but always finite, deadline), which
+realizes "increasing timing failures can be eventually detected"
+(Section II) as eventual detection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ProcessId
+
+
+class TimeoutPolicy:
+    """Per-source doubling timeouts with a configurable cap."""
+
+    def __init__(
+        self,
+        base_timeout: float = 4.0,
+        multiplier: float = 2.0,
+        max_timeout: float = 1024.0,
+    ) -> None:
+        if base_timeout <= 0:
+            raise ConfigurationError(f"base timeout must be positive, got {base_timeout}")
+        if multiplier < 1.0:
+            raise ConfigurationError(f"multiplier must be >= 1, got {multiplier}")
+        if max_timeout < base_timeout:
+            raise ConfigurationError("max timeout must be >= base timeout")
+        self.base_timeout = base_timeout
+        self.multiplier = multiplier
+        self.max_timeout = max_timeout
+        self._current: Dict[int, float] = {}
+        self.false_suspicions: Dict[int, int] = {}
+
+    def timeout_for(self, source: ProcessId) -> float:
+        """Current expectation timeout towards ``source``."""
+        return self._current.get(source, self.base_timeout)
+
+    def record_false_suspicion(self, source: ProcessId) -> float:
+        """A suspicion of ``source`` was cancelled: grow its timeout.
+
+        Returns the new timeout value.
+        """
+        grown = min(self.timeout_for(source) * self.multiplier, self.max_timeout)
+        self._current[source] = grown
+        self.false_suspicions[source] = self.false_suspicions.get(source, 0) + 1
+        return grown

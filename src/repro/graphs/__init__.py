@@ -1,0 +1,54 @@
+"""Suspect graphs and the graph algorithms of Sections VI and VIII.
+
+- :class:`SuspectGraph` — the simple undirected graph on the process set
+  whose edges are (current-epoch) suspicions.
+- :func:`has_independent_set` / :func:`lex_first_independent_set` —
+  quorum existence and the paper's "first independent set of size q in
+  lexicographic order" (Algorithm 1, line 31), implemented with an
+  FPT vertex-cover bound for the existence check (the complement of an
+  independent set of size ``q`` is a vertex cover of size ``n - q``).
+- :func:`maximal_line_subgraph` and friends — Definition 1 (line
+  subgraph, leader), Definition 2 (possible followers), and the
+  well-formedness predicate of Definition 3 used by Follower Selection.
+"""
+
+from repro.graphs.suspect_graph import SuspectGraph
+from repro.graphs.vertex_cover import vertex_cover_at_most, minimum_vertex_cover_size
+from repro.graphs.independent_set import (
+    has_independent_set,
+    lex_first_independent_set,
+    all_independent_sets,
+)
+from repro.graphs.chain_path import (
+    has_chain,
+    lex_first_chain,
+    is_valid_chain,
+    sensitive_pairs,
+)
+from repro.graphs.line_subgraph import (
+    LineSubgraph,
+    leader_of,
+    is_line_subgraph,
+    maximal_line_subgraph,
+    possible_followers,
+    extend_with_edge,
+)
+
+__all__ = [
+    "SuspectGraph",
+    "vertex_cover_at_most",
+    "minimum_vertex_cover_size",
+    "has_independent_set",
+    "lex_first_independent_set",
+    "all_independent_sets",
+    "has_chain",
+    "lex_first_chain",
+    "is_valid_chain",
+    "sensitive_pairs",
+    "LineSubgraph",
+    "leader_of",
+    "is_line_subgraph",
+    "maximal_line_subgraph",
+    "possible_followers",
+    "extend_with_edge",
+]

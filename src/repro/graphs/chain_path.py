@@ -1,0 +1,90 @@
+"""Conflict-free chains: paths avoiding suspect edges (extension).
+
+The paper's conclusion names "processes communicating along a chain"
+(the BChain pattern) as a special case of Quorum Selection worth its own
+treatment.  A chain deployment only exercises the *consecutive* links,
+so the natural selection target is an ordered sequence of ``q`` distinct
+processes in which no two *adjacent* members suspect each other — a
+``q``-vertex path in the complement of the suspect graph, restricted to
+consecutive pairs.
+
+Key consequences (exploited by
+:class:`repro.core.chain_selection.ChainSelectionModule`):
+
+- every independent set of size ``q`` yields a chain (sort it), so
+  chains exist at least as often as Algorithm 1's quorums — epochs
+  advance strictly less often;
+- a suspicion between *non-adjacent* chain members changes nothing, so
+  an adversary gets fewer productive moves per selection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.graphs.suspect_graph import SuspectGraph
+from repro.util.errors import ConfigurationError
+
+
+def is_valid_chain(chain: Tuple[int, ...], graph: SuspectGraph) -> bool:
+    """All members distinct and in range; no suspect edge between
+    consecutive members."""
+    if len(set(chain)) != len(chain):
+        return False
+    if any(not 1 <= member <= graph.n for member in chain):
+        return False
+    return all(
+        not graph.has_edge(a, b) for a, b in zip(chain, chain[1:])
+    )
+
+
+def has_chain(graph: SuspectGraph, q: int) -> bool:
+    """Does a conflict-free chain of length ``q`` exist?"""
+    return lex_first_chain(graph, q) is not None
+
+
+def lex_first_chain(graph: SuspectGraph, q: int) -> Optional[Tuple[int, ...]]:
+    """Lexicographically first conflict-free chain of length ``q``.
+
+    Sequences are compared elementwise, so the search fills positions in
+    order, always trying the smallest unused process whose link to the
+    previous member is suspicion-free — the first complete sequence the
+    DFS reaches is the lexicographic minimum.  Correct processes with
+    equal suspect graphs therefore select equal chains.
+    """
+    if q < 0:
+        raise ConfigurationError(f"chain length must be >= 0, got {q}")
+    if q == 0:
+        return ()
+    if q > graph.n:
+        return None
+    chain: List[int] = []
+    used = [False] * (graph.n + 1)
+
+    def extend() -> bool:
+        if len(chain) == q:
+            return True
+        previous = chain[-1] if chain else None
+        for candidate in range(1, graph.n + 1):
+            if used[candidate]:
+                continue
+            if previous is not None and graph.has_edge(previous, candidate):
+                continue
+            chain.append(candidate)
+            used[candidate] = True
+            if extend():
+                return True
+            chain.pop()
+            used[candidate] = False
+        return False
+
+    if not extend():
+        return None
+    return tuple(chain)
+
+
+def sensitive_pairs(chain: Tuple[int, ...]) -> List[Tuple[int, int]]:
+    """The consecutive (normalized) pairs whose suspicion breaks a chain."""
+    return [
+        (a, b) if a < b else (b, a) for a, b in zip(chain, chain[1:])
+    ]

@@ -1,0 +1,99 @@
+"""Independent-set search for quorum finding (Algorithm 1, lines 26-31).
+
+A quorum is "the first independent set of size ``q`` in lexicographic
+order" of the suspect graph.  Existence is decided through the vertex-cover
+dual (complement of an independent set of size ``q`` is a cover of size
+``n - q``), and the lexicographically-first set is found by an id-ordered
+backtracking search — the first complete set the search reaches is the
+lexicographic minimum because candidates are always tried in ascending id
+order.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Optional, Set
+
+from repro.graphs.suspect_graph import SuspectGraph
+from repro.graphs.vertex_cover import vertex_cover_at_most
+from repro.util.errors import ConfigurationError
+
+
+def has_independent_set(graph: SuspectGraph, q: int) -> bool:
+    """Does the graph contain an independent set of ``q`` nodes?"""
+    if q < 0:
+        raise ConfigurationError(f"independent set size must be >= 0, got {q}")
+    if q == 0:
+        return True
+    if q > graph.n:
+        return False
+    return vertex_cover_at_most(graph, graph.n - q)
+
+
+def lex_first_independent_set(graph: SuspectGraph, q: int) -> Optional[FrozenSet[int]]:
+    """Lexicographically first independent set of size ``q``, or ``None``.
+
+    Lexicographic order is on sorted id tuples: ``{1,3,4} < {1,3,5} <
+    {2,3,4}`` — the order Algorithm 1 uses so that correct processes with
+    equal suspect graphs select equal quorums.
+    """
+    if q == 0:
+        return frozenset()
+    if q > graph.n:
+        return None
+    if not has_independent_set(graph, q):
+        return None
+    chosen: List[int] = []
+    blocked: Set[int] = set()
+    if not _extend_lex(graph, q, 1, chosen, blocked):
+        return None
+    return frozenset(chosen)
+
+
+def _extend_lex(
+    graph: SuspectGraph, q: int, start: int, chosen: List[int], blocked: Set[int]
+) -> bool:
+    """Depth-first extension trying candidate ids in ascending order."""
+    if len(chosen) == q:
+        return True
+    needed = q - len(chosen)
+    for v in range(start, graph.n + 1):
+        # Not enough ids left even if all were available.
+        if graph.n - v + 1 < needed:
+            return False
+        if v in blocked:
+            continue
+        newly_blocked = [u for u in graph.neighbors(v) if u > v and u not in blocked]
+        chosen.append(v)
+        blocked.update(newly_blocked)
+        if _extend_lex(graph, q, v + 1, chosen, blocked):
+            return True
+        chosen.pop()
+        blocked.difference_update(newly_blocked)
+    return False
+
+
+def all_independent_sets(graph: SuspectGraph, q: int) -> Iterator[FrozenSet[int]]:
+    """Yield every independent set of size ``q`` in lexicographic order.
+
+    Exponential in general — intended for tests and small worked examples
+    (e.g. verifying Figure 4 and Lemma 8 on concrete graphs).
+    """
+    def recurse(start: int, chosen: List[int], blocked: Set[int]) -> Iterator[FrozenSet[int]]:
+        if len(chosen) == q:
+            yield frozenset(chosen)
+            return
+        needed = q - len(chosen)
+        for v in range(start, graph.n + 1):
+            if graph.n - v + 1 < needed:
+                return
+            if v in blocked:
+                continue
+            newly_blocked = [u for u in graph.neighbors(v) if u > v and u not in blocked]
+            chosen.append(v)
+            blocked.update(newly_blocked)
+            yield from recurse(v + 1, chosen, blocked)
+            chosen.pop()
+            blocked.difference_update(newly_blocked)
+
+    if 0 <= q <= graph.n:
+        yield from recurse(1, [], set())

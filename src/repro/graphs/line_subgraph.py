@@ -1,0 +1,239 @@
+"""Line subgraphs, leaders, and possible followers (Section VIII).
+
+Definition 1: a *line subgraph* of a simple graph ``G`` is an acyclic
+subgraph with maximum degree 2 (a disjoint union of simple paths).  It
+designates a leader — the minimum node of degree 0.  A *maximal* line
+subgraph is one whose leader id cannot be beaten by any other line
+subgraph of ``G``.
+
+Definition 2: a node is a *possible follower* for ``L`` unless it is
+connected (in ``L``) to two nodes of degree 1 — i.e. unless it is the
+center of a two-edge path component.  Degree-0 nodes (not contained in
+``L``) are possible followers; Example 1 of the paper shows the exclusion.
+
+Computing the maximal line subgraph amounts to finding the largest ``j``
+such that all of ``1..j-1`` can be simultaneously covered (given nonzero
+degree) by a vertex-disjoint union of paths that leaves ``j`` untouched.
+We solve that coverability question exactly with a backtracking search
+that only ever attaches edges at currently-uncovered (degree-0) nodes —
+a complete restriction, because an edge between two already-covered nodes
+never helps coverage and attaching at a degree-0 endpoint can never close
+a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.graphs.suspect_graph import SuspectGraph, _normalize_edge
+from repro.util.errors import ConfigurationError
+
+Edge = Tuple[int, int]
+
+
+class LineSubgraph:
+    """An edge set forming a disjoint union of paths on nodes ``1..n``."""
+
+    def __init__(self, n: int, edges: Iterable[Edge] = ()) -> None:
+        self.n = n
+        self._edges: FrozenSet[Edge] = frozenset(
+            _normalize_edge(u, v) for u, v in edges
+        )
+        self._degree: Dict[int, int] = {}
+        self._adjacency: Dict[int, Set[int]] = {}
+        for u, v in self._edges:
+            self._degree[u] = self._degree.get(u, 0) + 1
+            self._degree[v] = self._degree.get(v, 0) + 1
+            self._adjacency.setdefault(u, set()).add(v)
+            self._adjacency.setdefault(v, set()).add(u)
+        self._validate()
+
+    def _validate(self) -> None:
+        for node, degree in self._degree.items():
+            if not 1 <= node <= self.n:
+                raise ConfigurationError(f"node p{node} outside 1..{self.n}")
+            if degree > 2:
+                raise ConfigurationError(f"p{node} has degree {degree} > 2")
+        if _has_cycle(self._edges):
+            raise ConfigurationError("line subgraph must be acyclic")
+
+    # ---------------------------------------------------------------- queries
+
+    def edges(self) -> FrozenSet[Edge]:
+        return self._edges
+
+    def degree(self, node: int) -> int:
+        return self._degree.get(node, 0)
+
+    def neighbors(self, node: int) -> FrozenSet[int]:
+        return frozenset(self._adjacency.get(node, ()))
+
+    def contains(self, node: int) -> bool:
+        """Paper's "contains": nonzero degree (Section IX)."""
+        return self.degree(node) > 0
+
+    def contained_nodes(self) -> FrozenSet[int]:
+        return frozenset(self._degree)
+
+    def leader(self) -> Optional[int]:
+        """Minimum degree-0 node (Definition 1), ``None`` if all covered."""
+        return leader_of(self)
+
+    def canonical(self):
+        """Canonical form for signing inside FOLLOWERS messages."""
+        return ("line-subgraph", self.n, tuple(sorted(self._edges)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LineSubgraph):
+            return NotImplemented
+        return self.n == other.n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._edges))
+
+    def __repr__(self) -> str:
+        return f"LineSubgraph(n={self.n}, edges={sorted(self._edges)})"
+
+
+def _has_cycle(edges: Iterable[Edge]) -> bool:
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            return True
+        parent[ru] = rv
+    return False
+
+
+def leader_of(line: LineSubgraph) -> Optional[int]:
+    """The leader designated by a line subgraph: min node of degree 0."""
+    for node in range(1, line.n + 1):
+        if line.degree(node) == 0:
+            return node
+    return None
+
+
+def is_line_subgraph(edges: Iterable[Edge], graph: SuspectGraph) -> bool:
+    """Definition 3b check: the edges form a line subgraph *of* ``graph``."""
+    edge_list = [
+        _normalize_edge(u, v) for u, v in edges
+    ]
+    if not graph.contains_edges(edge_list):
+        return False
+    try:
+        LineSubgraph(graph.n, edge_list)
+    except ConfigurationError:
+        return False
+    return True
+
+
+def maximal_line_subgraph(graph: SuspectGraph) -> LineSubgraph:
+    """A maximal line subgraph of ``graph`` (Definition 1).
+
+    Deterministic: the same graph always yields the same subgraph, so every
+    correct process computing locally reaches not just the same leader but
+    the same edge set.  (The paper only needs leader agreement; determinism
+    is free and simplifies testing.)
+    """
+    for candidate_leader in range(graph.n, 0, -1):
+        required = list(range(1, candidate_leader))
+        allowed = graph.without_node_edges(candidate_leader)
+        edges = _cover_with_paths(allowed, required)
+        if edges is not None:
+            line = LineSubgraph(graph.n, edges)
+            # The construction covers 1..j-1 and leaves j untouched.
+            assert line.leader() == candidate_leader
+            return line
+    raise ConfigurationError("unreachable: leader 1 always feasible")  # pragma: no cover
+
+
+def _cover_with_paths(graph: SuspectGraph, required: List[int]) -> Optional[List[Edge]]:
+    """Edges of a linear forest giving every required node degree >= 1.
+
+    Returns ``None`` when impossible.  Backtracking is restricted to edges
+    incident to the smallest currently-uncovered required node, which is
+    complete (see module docstring) and keeps the search deterministic.
+    """
+    degree: Dict[int, int] = {}
+    chosen: List[Edge] = []
+    uncovered = [node for node in required if graph.degree(node) > 0]
+    if len(uncovered) != len(required):
+        return None  # some required node is isolated: no cover can exist
+
+    def covered(node: int) -> bool:
+        return degree.get(node, 0) > 0
+
+    def search(index: int) -> bool:
+        while index < len(uncovered) and covered(uncovered[index]):
+            index += 1
+        if index == len(uncovered):
+            return True
+        w = uncovered[index]
+        for x in sorted(graph.neighbors(w)):
+            if degree.get(x, 0) >= 2:
+                continue
+            edge = _normalize_edge(w, x)
+            chosen.append(edge)
+            degree[w] = degree.get(w, 0) + 1
+            degree[x] = degree.get(x, 0) + 1
+            if search(index + 1):
+                return True
+            chosen.pop()
+            degree[w] -= 1
+            degree[x] -= 1
+        return False
+
+    return chosen if search(0) else None
+
+
+def possible_followers(line: LineSubgraph) -> FrozenSet[int]:
+    """All possible followers for ``line`` (Definition 2).
+
+    Every node of ``1..n`` qualifies except centers of two-edge path
+    components — nodes whose two neighbors in ``L`` both have degree 1.
+    The leader itself *is* returned when it qualifies; callers exclude it
+    per Definition 3a.
+    """
+    excluded = set()
+    for node in line.contained_nodes():
+        neighbors = line.neighbors(node)
+        if len(neighbors) == 2 and all(line.degree(x) == 1 for x in neighbors):
+            excluded.add(node)
+    return frozenset(node for node in range(1, line.n + 1) if node not in excluded)
+
+
+def extend_with_edge(
+    line: LineSubgraph, graph: SuspectGraph, leader: int, follower: int
+) -> LineSubgraph:
+    """Rebuild a line subgraph after a new suspicion (leader, follower).
+
+    This realizes the paper's argument for Definition 2: when the new edge
+    ``(leader, follower)`` joins ``graph`` and ``follower`` was a possible
+    follower, a line subgraph exists in which the old leader has nonzero
+    degree — hence the maximal leader strictly increases.  Used by tests
+    and by the Theorem 9 analysis; the production path simply recomputes
+    :func:`maximal_line_subgraph`.
+    """
+    if not graph.has_edge(leader, follower):
+        raise ConfigurationError("graph must already contain the new suspicion edge")
+    edges = set(line.edges())
+    follower_degree = line.degree(follower)
+    if follower_degree >= 2:
+        # Drop one follower edge towards a degree-2 neighbor; Definition 2
+        # guarantees such a neighbor exists for a possible follower.
+        droppable = [x for x in line.neighbors(follower) if line.degree(x) == 2]
+        if not droppable:
+            raise ConfigurationError(
+                f"p{follower} is not a possible follower: both neighbors have degree 1"
+            )
+        edges.discard(_normalize_edge(follower, min(droppable)))
+    edges.add(_normalize_edge(leader, follower))
+    return LineSubgraph(line.n, edges)

@@ -1,0 +1,125 @@
+"""Simple undirected graphs over the process set ``{1..n}``.
+
+A *suspect graph* (Section VI-B) connects processes ``l`` and ``k`` when
+one of them suspected the other in the current epoch or later.  The class
+below is a minimal adjacency-set graph tailored to that use: nodes are the
+fixed set ``1..n`` (isolated nodes matter — they are the well-behaved
+processes), and edges are unordered pairs.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ProcessId, validate_pid
+
+Edge = Tuple[int, int]
+
+
+def _normalize_edge(u: int, v: int) -> Edge:
+    if u == v:
+        raise ConfigurationError(f"self-loop on p{u} not allowed in a simple graph")
+    return (u, v) if u < v else (v, u)
+
+
+class SuspectGraph:
+    """Mutable simple undirected graph on nodes ``1..n``."""
+
+    def __init__(self, n: int, edges: Iterable[Edge] = ()) -> None:
+        if n < 1:
+            raise ConfigurationError(f"graph needs n >= 1 nodes, got {n}")
+        self.n = n
+        self._adj: List[Set[int]] = [set() for _ in range(n + 1)]
+        self._edges: Set[Edge] = set()
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # --------------------------------------------------------------- mutation
+
+    def add_edge(self, u: ProcessId, v: ProcessId) -> bool:
+        """Add an edge; returns ``True`` if it was new."""
+        validate_pid(u, self.n)
+        validate_pid(v, self.n)
+        edge = _normalize_edge(u, v)
+        if edge in self._edges:
+            return False
+        self._edges.add(edge)
+        self._adj[edge[0]].add(edge[1])
+        self._adj[edge[1]].add(edge[0])
+        return True
+
+    def remove_edge(self, u: ProcessId, v: ProcessId) -> bool:
+        """Remove an edge; returns ``True`` if it existed."""
+        edge = _normalize_edge(u, v)
+        if edge not in self._edges:
+            return False
+        self._edges.discard(edge)
+        self._adj[edge[0]].discard(edge[1])
+        self._adj[edge[1]].discard(edge[0])
+        return True
+
+    # ---------------------------------------------------------------- queries
+
+    def nodes(self) -> range:
+        return range(1, self.n + 1)
+
+    def edges(self) -> FrozenSet[Edge]:
+        return frozenset(self._edges)
+
+    def has_edge(self, u: ProcessId, v: ProcessId) -> bool:
+        return _normalize_edge(u, v) in self._edges
+
+    def neighbors(self, u: ProcessId) -> FrozenSet[int]:
+        validate_pid(u, self.n)
+        return frozenset(self._adj[u])
+
+    def degree(self, u: ProcessId) -> int:
+        validate_pid(u, self.n)
+        return len(self._adj[u])
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def isolated_nodes(self) -> List[int]:
+        """Nodes with no incident suspicion — always quorum-eligible."""
+        return [u for u in self.nodes() if not self._adj[u]]
+
+    def is_independent(self, nodes: Iterable[ProcessId]) -> bool:
+        """True iff no two of the given nodes are adjacent."""
+        members = set(nodes)
+        for u in members:
+            if self._adj[u] & members:
+                return False
+        return True
+
+    def contains_edges(self, edges: Iterable[Edge]) -> bool:
+        """True iff every given edge is present (Definition 3b check)."""
+        return all(_normalize_edge(u, v) in self._edges for u, v in edges)
+
+    def without_node_edges(self, node: ProcessId) -> "SuspectGraph":
+        """Copy of the graph with all edges incident to ``node`` removed.
+
+        Used by the maximal-line-subgraph search, which must leave the
+        candidate leader with degree 0.
+        """
+        return SuspectGraph(
+            self.n, (edge for edge in self._edges if node not in edge)
+        )
+
+    def copy(self) -> "SuspectGraph":
+        return SuspectGraph(self.n, self._edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SuspectGraph):
+            return NotImplemented
+        return self.n == other.n and self._edges == other._edges
+
+    def __hash__(self) -> int:  # immutability is by convention here
+        return hash((self.n, frozenset(self._edges)))
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(sorted(self._edges))
+
+    def __repr__(self) -> str:
+        return f"SuspectGraph(n={self.n}, edges={sorted(self._edges)})"

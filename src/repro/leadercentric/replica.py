@@ -1,0 +1,517 @@
+"""The star replica: leader-centric normal case on Follower Selection.
+
+Normal case in configuration ``C = (leader, followers)``:
+
+1. the leader assigns a slot to a client-signed request and sends
+   ``PROPOSE(C, slot, request)`` to each follower;
+2. each follower replies ``ACK(C, slot, digest)`` *to the leader only*
+   and expects the matching ``DECIDE`` (per-link liveness through the
+   shared failure detector);
+3. once the leader holds ACKs from **all** followers (they were selected
+   as well-functioning — the quorum-selection premise), it sends
+   ``DECIDE(C, slot, request)``; everyone executes in slot order and
+   replies to the client, who accepts on ``f + 1`` matching replies.
+
+Expectations mirror Section V's pattern on the star's links: the leader
+expects an ACK from every follower it PROPOSEd to; a follower that ACKed
+expects the DECIDE.  Timeouts feed the failure detector, whose
+suspicions drive Follower Selection: a suspicion on any leader link
+moves the maximal-line-subgraph leader strictly upward (Definition 2),
+while follower-follower suspicions cannot even arise.
+
+Reconfiguration: when the Follower Selection module announces a new
+``(leader, quorum)``, members send the new leader a ``SYNC`` carrying
+their executed history (client-signed requests).  The leader adopts the
+longest client-authenticated history, redistributes it in ``ADOPT``, and
+resumes proposing.  (Lean by design — see the package docstring.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.follower_selection import FollowerSelectionModule
+from repro.crypto.authenticator import SignedMessage
+from repro.crypto.digests import digest
+from repro.sim.process import Module, ProcessHost
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ProcessId
+from repro.xpaxos.messages import ClientRequest
+from repro.xpaxos.state_machine import KeyValueStore, StateMachine
+
+KIND_STAR_REQUEST = "st.request"
+KIND_STAR_PROPOSE = "st.propose"
+KIND_STAR_ACK = "st.ack"
+KIND_STAR_DECIDE = "st.decide"
+KIND_STAR_SYNC = "st.sync"
+KIND_STAR_ADOPT = "st.adopt"
+KIND_STAR_REPLY = "st.reply"
+
+STAR_KINDS = (KIND_STAR_PROPOSE, KIND_STAR_ACK, KIND_STAR_DECIDE,
+              KIND_STAR_SYNC, KIND_STAR_ADOPT)
+
+FD_GROUP = "star"
+
+Config = Tuple[int, Tuple[int, ...]]  # (leader, sorted members)
+
+
+@dataclass(frozen=True)
+class ProposePayload:
+    config: Config
+    slot: int
+    signed_request: SignedMessage
+
+    def canonical(self):
+        return ("st-propose", self.config, self.slot, self.signed_request.canonical())
+
+    def request_digest(self) -> str:
+        return digest(self.signed_request.canonical())
+
+
+@dataclass(frozen=True)
+class AckPayload:
+    config: Config
+    slot: int
+    request_digest: str
+
+    def canonical(self):
+        return ("st-ack", self.config, self.slot, self.request_digest)
+
+
+@dataclass(frozen=True)
+class DecidePayload:
+    config: Config
+    slot: int
+    signed_request: SignedMessage
+
+    def canonical(self):
+        return ("st-decide", self.config, self.slot, self.signed_request.canonical())
+
+
+@dataclass(frozen=True)
+class SyncPayload:
+    """A member's history offered to a freshly elected leader."""
+
+    config: Config
+    history: Tuple[SignedMessage, ...]  # client-signed requests, in order
+
+    def canonical(self):
+        return ("st-sync", self.config, tuple(sm.canonical() for sm in self.history))
+
+
+@dataclass(frozen=True)
+class AdoptPayload:
+    """The new leader's merged history, redistributed to the members."""
+
+    config: Config
+    history: Tuple[SignedMessage, ...]
+
+    def canonical(self):
+        return ("st-adopt", self.config, tuple(sm.canonical() for sm in self.history))
+
+
+@dataclass(frozen=True)
+class StarReplyPayload:
+    client: int
+    sequence: int
+    result: Any
+    replica: int
+
+    def canonical(self):
+        return ("st-reply", self.client, self.sequence, self.result, self.replica)
+
+
+class StarReplica(Module):
+    """One member of the star-replicated service."""
+
+    def __init__(
+        self,
+        host: ProcessHost,
+        n: int,
+        f: int,
+        fs_module: FollowerSelectionModule,
+        state_machine: Optional[StateMachine] = None,
+    ) -> None:
+        super().__init__(host)
+        if n <= 3 * f:
+            raise ConfigurationError(f"the star protocol rides on Follower "
+                                     f"Selection: need n > 3f, got n={n}, f={f}")
+        self.n = n
+        self.f = f
+        self.q = n - f
+        self.fs = fs_module
+        self.kv: StateMachine = state_machine if state_machine is not None else KeyValueStore()
+        self.config: Config = (1, tuple(range(1, self.q + 1)))
+        self.next_slot = 0
+        self._slots: Dict[Tuple[Config, int], SignedMessage] = {}
+        self._acks: Dict[Tuple[Config, int], Set[int]] = {}
+        self._decided: Dict[int, SignedMessage] = {}  # absolute slot -> request
+        self.executed: List[ClientRequest] = []
+        self._executed_ids: Set[Tuple[int, int]] = set()
+        self._reply_cache: Dict[Tuple[int, int], Any] = {}
+        self.pending: List[SignedMessage] = []
+        self._queued_ids: Set[Tuple[int, int]] = set()
+        self.reconfigurations = 0
+        self._synced_for: Optional[Config] = None
+
+    # ---------------------------------------------------------------- wiring
+
+    def start(self) -> None:
+        self.host.subscribe(KIND_STAR_REQUEST, self._on_request)
+        self.host.subscribe(KIND_STAR_PROPOSE, self._on_propose)
+        self.host.subscribe(KIND_STAR_ACK, self._on_ack)
+        self.host.subscribe(KIND_STAR_DECIDE, self._on_decide)
+        self.host.subscribe(KIND_STAR_SYNC, self._on_sync)
+        self.host.subscribe(KIND_STAR_ADOPT, self._on_adopt)
+        self.fs.add_quorum_listener(self._on_new_quorum)
+
+    @property
+    def leader(self) -> ProcessId:
+        return self.config[0]
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        return self.config[1]
+
+    @property
+    def is_leader(self) -> bool:
+        return self.pid == self.leader
+
+    @property
+    def followers(self) -> Tuple[int, ...]:
+        return tuple(m for m in self.members if m != self.leader)
+
+    def _valid_client_request(self, signed: Any) -> bool:
+        return (
+            isinstance(signed, SignedMessage)
+            and self.host.authenticator.verify(signed)
+            and isinstance(signed.payload, ClientRequest)
+            and signed.signer == signed.payload.client
+        )
+
+    # ------------------------------------------------------------ normal case
+
+    def _on_request(self, kind: str, payload: Any, src: ProcessId) -> None:
+        if not self._valid_client_request(payload):
+            return
+        request = payload.payload
+        rid = request.request_id()
+        if rid in self._reply_cache:
+            self._reply(request, self._reply_cache[rid])
+            return
+        if not self.is_leader:
+            if src == request.client:
+                self.host.send(self.leader, KIND_STAR_REQUEST, payload)
+            return
+        if rid in self._queued_ids:
+            return
+        self._queued_ids.add(rid)
+        self.pending.append(payload)
+        self._propose_pending()
+
+    def _propose_pending(self) -> None:
+        if not self.is_leader or self._synced_for != self.config:
+            return
+        while self.pending:
+            signed_request = self.pending.pop(0)
+            if signed_request.payload.request_id() in self._executed_ids:
+                continue
+            slot = self.next_slot
+            self.next_slot += 1
+            body = ProposePayload(
+                config=self.config, slot=slot, signed_request=signed_request
+            )
+            self._slots[(self.config, slot)] = signed_request
+            self._acks.setdefault((self.config, slot), set())
+            signed = self.host.authenticator.sign(body)
+            for follower in self.followers:
+                self.host.send(follower, KIND_STAR_PROPOSE, signed)
+                self._expect_ack(self.config, slot, follower, body.request_digest())
+            self._maybe_decide(slot)
+
+    def _expect_ack(self, config: Config, slot: int, follower: int, wanted: str) -> None:
+        if self.host.fd is None:
+            return
+
+        def match(kind: str, payload: Any) -> bool:
+            return (
+                kind == KIND_STAR_ACK
+                and isinstance(payload, SignedMessage)
+                and payload.signer == follower
+                and isinstance(payload.payload, AckPayload)
+                and payload.payload.config == config
+                and payload.payload.slot == slot
+                and payload.payload.request_digest == wanted
+            )
+
+        self.host.fd.expect(
+            source=follower, predicate=match, group=FD_GROUP,
+            label=f"st-ack<-p{follower}s{slot}",
+        )
+
+    def _on_propose(self, kind: str, payload: Any, src: ProcessId) -> None:
+        if not isinstance(payload, SignedMessage):
+            return
+        if self.host.fd is None and not self.host.authenticator.verify(payload):
+            return
+        body = payload.payload
+        if not isinstance(body, ProposePayload) or body.config != self.config:
+            return
+        if payload.signer != self.leader or self.pid not in self.members:
+            return
+        if not self._valid_client_request(body.signed_request):
+            if self.host.fd is not None:
+                self.host.fd.detected(payload.signer)
+            return
+        ack = self.host.authenticator.sign(
+            AckPayload(config=body.config, slot=body.slot,
+                       request_digest=body.request_digest())
+        )
+        self.host.send(self.leader, KIND_STAR_ACK, ack)
+        self._expect_decide(body.config, body.slot)
+
+    def _expect_decide(self, config: Config, slot: int) -> None:
+        if self.host.fd is None:
+            return
+        leader = config[0]
+
+        def match(kind: str, payload: Any) -> bool:
+            return (
+                kind == KIND_STAR_DECIDE
+                and isinstance(payload, SignedMessage)
+                and payload.signer == leader
+                and isinstance(payload.payload, DecidePayload)
+                and payload.payload.config == config
+                and payload.payload.slot == slot
+            )
+
+        self.host.fd.expect(
+            source=leader, predicate=match, group=FD_GROUP,
+            label=f"st-decide<-p{leader}s{slot}",
+        )
+
+    def _on_ack(self, kind: str, payload: Any, src: ProcessId) -> None:
+        if not isinstance(payload, SignedMessage):
+            return
+        if self.host.fd is None and not self.host.authenticator.verify(payload):
+            return
+        body = payload.payload
+        if not isinstance(body, AckPayload) or body.config != self.config:
+            return
+        if not self.is_leader or payload.signer not in self.followers:
+            return
+        key = (body.config, body.slot)
+        stored = self._slots.get(key)
+        if stored is None or digest(stored.canonical()) != body.request_digest:
+            return
+        self._acks.setdefault(key, set()).add(payload.signer)
+        self._maybe_decide(body.slot)
+
+    def _maybe_decide(self, slot: int) -> None:
+        key = (self.config, slot)
+        if set(self.followers) - self._acks.get(key, set()):
+            return
+        signed_request = self._slots.get(key)
+        if signed_request is None or slot in self._decided:
+            return
+        body = DecidePayload(config=self.config, slot=slot, signed_request=signed_request)
+        signed = self.host.authenticator.sign(body)
+        for follower in self.followers:
+            self.host.send(follower, KIND_STAR_DECIDE, signed)
+        self._deliver(slot, signed_request)
+
+    def _on_decide(self, kind: str, payload: Any, src: ProcessId) -> None:
+        if not isinstance(payload, SignedMessage):
+            return
+        if self.host.fd is None and not self.host.authenticator.verify(payload):
+            return
+        body = payload.payload
+        if not isinstance(body, DecidePayload) or body.config != self.config:
+            return
+        if payload.signer != self.leader:
+            return
+        if not self._valid_client_request(body.signed_request):
+            if self.host.fd is not None:
+                self.host.fd.detected(payload.signer)
+            return
+        self._deliver(body.slot, body.signed_request)
+
+    def _deliver(self, slot: int, signed_request: SignedMessage) -> None:
+        self._decided.setdefault(slot, signed_request)
+        # Execute the contiguous decided prefix.
+        while len(self.executed) in self._decided:
+            self._execute_one(self._decided[len(self.executed)].payload)
+
+    def _execute_one(self, request: ClientRequest) -> None:
+        rid = request.request_id()
+        if rid in self._executed_ids:
+            result = self._reply_cache.get(rid)
+        else:
+            result = self.kv.apply(request.op)
+            self.executed.append(request)
+            self._executed_ids.add(rid)
+            self._reply_cache[rid] = result
+        self._reply(request, result)
+
+    def _reply(self, request: ClientRequest, result: Any) -> None:
+        reply = self.host.authenticator.sign(
+            StarReplyPayload(client=request.client, sequence=request.sequence,
+                             result=result, replica=self.pid)
+        )
+        self.host.send(request.client, KIND_STAR_REPLY, reply)
+
+    # --------------------------------------------------------- reconfiguration
+
+    def _on_new_quorum(self, event: Any) -> None:
+        config: Config = (event.leader, tuple(sorted(event.quorum)))
+        if config == self.config:
+            return
+        self.config = config
+        self.reconfigurations += 1
+        self._synced_for = None
+        self.pending.clear()
+        self._queued_ids = set()
+        if self.host.fd is not None:
+            self.host.fd.cancel(group=FD_GROUP)
+        self.host.log.append(
+            self.host.now, self.pid, "st.reconfigure",
+            leader=config[0], members=config[1],
+        )
+        if self.pid in self.members and not self.is_leader:
+            sync = SyncPayload(
+                config=config,
+                history=tuple(self._decided[s] for s in range(len(self.executed))),
+            )
+            self.host.send(config[0], KIND_STAR_SYNC, self.host.authenticator.sign(sync))
+        if self.is_leader:
+            self._sync_votes: Dict[int, Tuple[SignedMessage, ...]] = {
+                self.pid: tuple(self._decided[s] for s in range(len(self.executed)))
+            }
+            self._maybe_adopt()
+
+    def _on_sync(self, kind: str, payload: Any, src: ProcessId) -> None:
+        if not isinstance(payload, SignedMessage):
+            return
+        if self.host.fd is None and not self.host.authenticator.verify(payload):
+            return
+        body = payload.payload
+        if not isinstance(body, SyncPayload) or body.config != self.config:
+            return
+        if not self.is_leader or payload.signer not in self.members:
+            return
+        if not all(self._valid_client_request(sm) for sm in body.history):
+            return
+        self._sync_votes[payload.signer] = body.history
+        self._maybe_adopt()
+
+    def _maybe_adopt(self) -> None:
+        if self._synced_for == self.config or not self.is_leader:
+            return
+        if set(self.members) - set(self._sync_votes):
+            return
+        merged = max(self._sync_votes.values(), key=len)
+        adopt = AdoptPayload(config=self.config, history=merged)
+        signed = self.host.authenticator.sign(adopt)
+        for follower in self.followers:
+            self.host.send(follower, KIND_STAR_ADOPT, signed)
+        self._install(merged)
+        self._synced_for = self.config
+        self.next_slot = len(self.executed)
+        self._propose_pending()
+
+    def _on_adopt(self, kind: str, payload: Any, src: ProcessId) -> None:
+        if not isinstance(payload, SignedMessage):
+            return
+        if self.host.fd is None and not self.host.authenticator.verify(payload):
+            return
+        body = payload.payload
+        if not isinstance(body, AdoptPayload) or body.config != self.config:
+            return
+        if payload.signer != self.leader:
+            return
+        if not all(self._valid_client_request(sm) for sm in body.history):
+            return
+        self._install(body.history)
+        self._synced_for = self.config
+
+    def _install(self, history: Tuple[SignedMessage, ...]) -> None:
+        mine = tuple(request.canonical() for request in self.executed)
+        theirs = tuple(sm.payload.canonical() for sm in history)
+        if theirs[: len(mine)] != mine and mine[: len(theirs)] != theirs:
+            self.host.log.append(self.host.now, self.pid, "st.divergence")
+        for index, signed_request in enumerate(history):
+            self._decided.setdefault(index, signed_request)
+        while len(self.executed) in self._decided:
+            self._execute_one(self._decided[len(self.executed)].payload)
+
+
+class StarClient(Module):
+    """Closed-loop client for the star protocol (f+1 matching replies)."""
+
+    def __init__(self, host, n, f, ops, retry_timeout: float = 30.0) -> None:
+        super().__init__(host)
+        self.n = n
+        self.f = f
+        self.ops = list(ops)
+        self.retry_timeout = retry_timeout
+        self.next_sequence = 0
+        self.current: Optional[ClientRequest] = None
+        self._votes: Dict[Any, Set[int]] = {}
+        self._sent_at = 0.0
+        self.completed: List[Tuple[int, Tuple[Any, ...], Any, float, float]] = []
+
+    def start(self) -> None:
+        self.host.subscribe(KIND_STAR_REPLY, self._on_reply)
+        self._next_request()
+
+    @property
+    def done(self) -> bool:
+        return self.current is None and not self.ops
+
+    def _next_request(self) -> None:
+        if not self.ops:
+            self.current = None
+            return
+        self.current = ClientRequest(
+            client=self.pid, sequence=self.next_sequence, op=self.ops.pop(0)
+        )
+        self.next_sequence += 1
+        self._votes = {}
+        self._sent_at = self.host.now
+        self._send(broadcast=False)
+        self._arm_retry(self.current.sequence)
+
+    def _send(self, broadcast: bool) -> None:
+        if self.current is None:
+            return
+        signed = self.host.authenticator.sign(self.current)
+        targets = range(1, self.n + 1) if broadcast else (1,)
+        for replica in targets:
+            self.host.send(replica, KIND_STAR_REQUEST, signed)
+
+    def _arm_retry(self, sequence: int) -> None:
+        def retry() -> None:
+            if self.current is not None and self.current.sequence == sequence:
+                self._send(broadcast=True)
+                self._arm_retry(sequence)
+
+        self.host.set_timer(self.retry_timeout, retry, label=f"st-retry@p{self.pid}")
+
+    def _on_reply(self, kind: str, payload: Any, src: ProcessId) -> None:
+        if not isinstance(payload, SignedMessage) or not self.host.authenticator.verify(payload):
+            return
+        reply = payload.payload
+        if not isinstance(reply, StarReplyPayload) or reply.client != self.pid:
+            return
+        if self.current is None or reply.sequence != self.current.sequence:
+            return
+        votes = self._votes.setdefault(reply.result, set())
+        votes.add(reply.replica)
+        if len(votes) >= self.f + 1:
+            self.completed.append(
+                (self.current.sequence, self.current.op, reply.result,
+                 self.host.now - self._sent_at, self.host.now)
+            )
+            self.current = None
+            self._next_request()

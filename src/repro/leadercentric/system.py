@@ -1,0 +1,108 @@
+"""Assembly of the star-replicated service (Follower Selection inside)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.follower_selection import FollowerSelectionModule
+from repro.failures.adversary import Adversary
+from repro.fd.detector import FailureDetector
+from repro.fd.heartbeat import HeartbeatModule
+from repro.fd.timers import TimeoutPolicy
+from repro.leadercentric.replica import StarClient, StarReplica
+from repro.sim.runtime import Simulation, SimulationConfig
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class StarSystem:
+    sim: Simulation
+    n: int
+    f: int
+    replicas: Dict[int, StarReplica]
+    fs_modules: Dict[int, FollowerSelectionModule]
+    clients: Dict[int, StarClient]
+    adversary: Adversary
+
+    def run(self, until: float) -> None:
+        self.sim.run_until(until)
+
+    def total_completed(self) -> int:
+        return sum(len(client.completed) for client in self.clients.values())
+
+    def correct_replicas(self) -> List[StarReplica]:
+        faulty = self.adversary.faulty
+        return [r for pid, r in sorted(self.replicas.items()) if pid not in faulty]
+
+    def histories_consistent(self) -> bool:
+        histories = sorted(
+            (
+                tuple(request.canonical() for request in replica.executed)
+                for replica in self.correct_replicas()
+            ),
+            key=len,
+        )
+        return all(
+            longer[: len(shorter)] == shorter
+            for shorter, longer in zip(histories, histories[1:])
+        )
+
+    def star_messages(self) -> int:
+        from repro.leadercentric.replica import STAR_KINDS
+
+        return self.sim.stats.total_sent(STAR_KINDS)
+
+    def current_config(self):
+        configs = {
+            replica.config
+            for pid, replica in self.replicas.items()
+            if replica.host.running and pid not in self.adversary.faulty
+        }
+        if len(configs) != 1:
+            raise ConfigurationError(f"configuration disagreement: {configs}")
+        return configs.pop()
+
+
+def build_star_system(
+    n: int,
+    f: int,
+    clients: int = 1,
+    client_ops: Optional[Sequence[Sequence[Tuple[Any, ...]]]] = None,
+    seed: int = 1,
+    gst: float = 0.0,
+    delta: float = 1.0,
+    heartbeat_period: float = 4.0,
+    fd_base_timeout: float = 8.0,
+    client_retry: float = 30.0,
+) -> StarSystem:
+    """Build the star service: Follower Selection requires ``n > 3f``."""
+    sim = Simulation(SimulationConfig(n=n + clients, seed=seed, gst=gst, delta=delta))
+    replicas: Dict[int, StarReplica] = {}
+    fs_modules: Dict[int, FollowerSelectionModule] = {}
+    for pid in range(1, n + 1):
+        host = sim.host(pid)
+        FailureDetector(host, TimeoutPolicy(base_timeout=fd_base_timeout))
+        host.add_module(HeartbeatModule(host, n=n, period=heartbeat_period))
+        fs_modules[pid] = host.add_module(FollowerSelectionModule(host, n=n, f=f))
+        replicas[pid] = host.add_module(
+            StarReplica(host, n=n, f=f, fs_module=fs_modules[pid])
+        )
+        # The initial configuration is implicitly synced (everyone empty).
+        replicas[pid]._synced_for = replicas[pid].config
+    client_modules: Dict[int, StarClient] = {}
+    for index in range(clients):
+        pid = n + 1 + index
+        host = sim.host(pid)
+        ops = (
+            list(client_ops[index])
+            if client_ops is not None
+            else [("put", f"k{index}-{i}", i) for i in range(20)]
+        )
+        client_modules[pid] = host.add_module(
+            StarClient(host, n=n, f=f, ops=ops, retry_timeout=client_retry)
+        )
+    return StarSystem(
+        sim=sim, n=n, f=f, replicas=replicas, fs_modules=fs_modules,
+        clients=client_modules, adversary=Adversary(sim, f_max=f),
+    )

@@ -1,0 +1,54 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper assumes an asynchronous message-passing system of ``n`` processes
+connected by reliable channels, augmented with eventual synchrony for the
+failure detector (Sections II and IV).  This package provides that world:
+
+- :class:`Scheduler` — a deterministic event queue (time, then FIFO seq).
+- :class:`LatencyModel` hierarchy — including
+  :class:`EventuallySynchronousLatency`, which models a Global
+  Stabilization Time (GST) after which message delays are bounded by
+  ``delta`` (one "communication round" in the paper's vocabulary).
+- :class:`Network` — reliable, optionally FIFO, channels with hooks that
+  let an adversary manipulate traffic *of faulty processes only*.
+- :class:`ProcessHost` — per-process harness wiring the failure detector,
+  quorum-selection module, and application together, with timers.
+- :class:`Simulation` — top-level builder/runner.
+- :class:`MessageStats` — per-kind / per-link message accounting used by
+  the message-savings experiments (E7).
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import ScheduledEvent, TimerHandle
+from repro.sim.scheduler import Scheduler
+from repro.sim.latency import (
+    LatencyModel,
+    FixedLatency,
+    UniformLatency,
+    EventuallySynchronousLatency,
+)
+from repro.sim.network import Network, Envelope, SendAction, DELIVER, DROP
+from repro.sim.process import ProcessHost, Module
+from repro.sim.runtime import Simulation, SimulationConfig
+from repro.sim.tracing import MessageStats
+
+__all__ = [
+    "SimClock",
+    "ScheduledEvent",
+    "TimerHandle",
+    "Scheduler",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "EventuallySynchronousLatency",
+    "Network",
+    "Envelope",
+    "SendAction",
+    "DELIVER",
+    "DROP",
+    "ProcessHost",
+    "Module",
+    "Simulation",
+    "SimulationConfig",
+    "MessageStats",
+]

@@ -1,0 +1,27 @@
+"""Simulation clock."""
+
+from __future__ import annotations
+
+from repro.util.errors import SimulationError
+
+
+class SimClock:
+    """Monotonic simulation clock owned by the scheduler.
+
+    Time is a float in abstract "time units"; latency models define what a
+    unit means (we use 1.0 == one post-GST message delay bound ``delta`` by
+    default, so "two communication rounds" in the paper is ~2.0 units).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward; rejects travel into the past."""
+        if time < self._now:
+            raise SimulationError(f"clock cannot go backwards: {time} < {self._now}")
+        self._now = time

@@ -1,0 +1,48 @@
+"""Scheduled-event and timer records for the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An entry in the scheduler's priority queue.
+
+    Ordering is ``(time, seq)``: events at equal times fire in scheduling
+    order, which makes runs fully deterministic.  The callback is excluded
+    from comparisons.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class TimerHandle:
+    """Cancellation handle returned by :meth:`ProcessHost.set_timer`.
+
+    Cancellation is lazy: the event stays queued but is skipped when its
+    time comes.  ``fired`` distinguishes "ran" from "cancelled first".
+    """
+
+    def __init__(self, event: ScheduledEvent) -> None:
+        self._event = event
+        self.fired = False
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled and not self.fired
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    def _mark_fired(self) -> None:
+        self.fired = True

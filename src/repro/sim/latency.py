@@ -1,0 +1,96 @@
+"""Message-latency models, including eventual synchrony (GST).
+
+The paper's failure detector needs an eventually synchronous system
+(Section II: "increasing timing failures can be eventually detected" only
+under eventual synchrony; Section IV-B accuracy requirements speak of
+"communication rounds").  :class:`EventuallySynchronousLatency` models
+this with a Global Stabilization Time: before GST delays may be large and
+erratic; from GST on, every message between correct processes is delivered
+within ``delta`` time units, so one "communication round" is ``delta``.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ProcessId
+from repro.util.rand import DeterministicRng
+
+
+class LatencyModel:
+    """Base class: sample the network delay for one message."""
+
+    def sample(
+        self, time: float, src: ProcessId, dst: ProcessId, rng: DeterministicRng
+    ) -> float:
+        raise NotImplementedError
+
+    def round_length(self, time: float) -> float:
+        """Upper bound on correct-process delay at ``time`` (one round)."""
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``delay`` units; ideal for unit tests."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay <= 0:
+            raise ConfigurationError(f"latency must be positive, got {delay}")
+        self.delay = delay
+
+    def sample(self, time, src, dst, rng):  # noqa: D102 - trivial override
+        return self.delay
+
+    def round_length(self, time):  # noqa: D102
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Delays drawn uniformly from ``[low, high]`` — a synchronous system."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.0) -> None:
+        if not 0 < low <= high:
+            raise ConfigurationError(f"need 0 < low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, time, src, dst, rng):  # noqa: D102
+        return rng.uniform(self.low, self.high)
+
+    def round_length(self, time):  # noqa: D102
+        return self.high
+
+
+class EventuallySynchronousLatency(LatencyModel):
+    """Erratic delays before GST, bounded by ``delta`` afterwards.
+
+    Before ``gst`` each message's delay is uniform in
+    ``[min_delay, pre_gst_max]`` (messages are still reliable — they are
+    merely slow, so channels stay reliable as the paper requires).  From
+    ``gst`` on, delays are uniform in ``[min_delay, delta]``.
+    """
+
+    def __init__(
+        self,
+        gst: float = 0.0,
+        delta: float = 1.0,
+        pre_gst_max: float = 10.0,
+        min_delay: float = 0.1,
+    ) -> None:
+        if not 0 < min_delay <= delta:
+            raise ConfigurationError(f"need 0 < min_delay <= delta, got {min_delay}, {delta}")
+        if pre_gst_max < delta:
+            raise ConfigurationError("pre-GST delays must be at least delta")
+        if gst < 0:
+            raise ConfigurationError(f"GST must be >= 0, got {gst}")
+        self.gst = gst
+        self.delta = delta
+        self.pre_gst_max = pre_gst_max
+        self.min_delay = min_delay
+
+    def sample(self, time, src, dst, rng):  # noqa: D102
+        if time < self.gst:
+            return rng.uniform(self.min_delay, self.pre_gst_max)
+        return rng.uniform(self.min_delay, self.delta)
+
+    def round_length(self, time):  # noqa: D102
+        return self.pre_gst_max if time < self.gst else self.delta

@@ -1,0 +1,247 @@
+"""Reliable, optionally FIFO, asynchronous channels with adversary hooks.
+
+Channels between *correct* processes are reliable: every sent message is
+eventually delivered, unmodified (the paper's system model, Section IV).
+An adversary may register an *interceptor* for the traffic of faulty
+processes; the interceptor can drop, delay, or rewrite a faulty process's
+outgoing messages — modelling omission, timing, and commission failures at
+per-link granularity, which is exactly the granularity the paper's failure
+detector targets ("even if they only affect individual links").
+
+FIFO ordering is configurable per network; Follower Selection (Section
+VIII) assumes FIFO between correct processes, Algorithm 1 does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+from repro.sim.latency import FixedLatency, LatencyModel
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import MessageStats
+from repro.util.errors import SimulationError
+from repro.util.eventlog import EventLog
+from repro.util.ids import ProcessId
+from repro.util.rand import DeterministicRng
+
+DELIVER = "deliver"
+DROP = "drop"
+
+
+@dataclass(frozen=True)
+class SendAction:
+    """Adversary verdict on one outgoing message of a faulty process.
+
+    ``verdict`` is :data:`DELIVER` or :data:`DROP`; ``extra_delay`` adds a
+    timing failure on top of the sampled network latency;
+    ``payload_override`` substitutes the message (a commission failure —
+    note the substitute must still authenticate, i.e. be signed with the
+    faulty sender's own key, or receivers will discard it).
+    """
+
+    verdict: str = DELIVER
+    extra_delay: float = 0.0
+    payload_override: Optional[Any] = None
+
+
+@dataclass
+class Envelope:
+    """One in-flight message."""
+
+    kind: str
+    payload: Any
+    src: ProcessId
+    dst: ProcessId
+    sent_at: float
+    deliver_at: float = field(default=0.0)
+
+
+Interceptor = Callable[[Envelope], SendAction]
+
+
+class Network:
+    """The message fabric connecting all :class:`ProcessHost` instances."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rng: DeterministicRng,
+        latency: Optional[LatencyModel] = None,
+        fifo: bool = True,
+        log: Optional[EventLog] = None,
+        stats: Optional[MessageStats] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.rng = rng.child("network")
+        self.latency = latency or FixedLatency(1.0)
+        self.fifo = fifo
+        self.log = log if log is not None else EventLog()
+        self.stats = stats if stats is not None else MessageStats()
+        self._hosts: Dict[int, Any] = {}
+        self._interceptors: Dict[int, Interceptor] = {}
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+        # Small FIFO tiebreak so two messages on one link never swap order.
+        self._fifo_epsilon = 1e-9
+        # Message kinds to record as per-message "net.send" log events
+        # (None = tracing off; the default, to keep logs small).
+        self._trace_kinds: Optional[set] = None
+        # Active partition: list of process groups; traffic between
+        # different groups is held until heal() (reliable channels:
+        # a partition is just a very long delay, cf. pre-GST asynchrony).
+        self._partition_groups: Optional[list] = None
+        self._held: list = []
+
+    # ------------------------------------------------------------------ wiring
+
+    def register_host(self, host: Any) -> None:
+        """Attach a process host; its ``pid`` becomes routable."""
+        if host.pid in self._hosts:
+            raise SimulationError(f"host p{host.pid} registered twice")
+        self._hosts[host.pid] = host
+
+    def set_interceptor(self, pid: ProcessId, interceptor: Optional[Interceptor]) -> None:
+        """Install (or clear, with ``None``) the adversary hook for ``pid``.
+
+        Only the traffic *sent by* ``pid`` passes through the hook: the
+        adversary controls faulty processes, not the channels of correct
+        ones.
+        """
+        if interceptor is None:
+            self._interceptors.pop(pid, None)
+        else:
+            self._interceptors[pid] = interceptor
+
+    def hosts(self) -> Dict[int, Any]:
+        """Registered hosts by pid (read-only use)."""
+        return dict(self._hosts)
+
+    def trace(self, kinds: Optional[set]) -> None:
+        """Record per-message ``net.send`` log events for these kinds.
+
+        Used to regenerate message-flow figures (Figs. 2-3) via
+        :mod:`repro.analysis.traces`; pass ``None`` to turn tracing off.
+        """
+        self._trace_kinds = set(kinds) if kinds is not None else None
+
+    # --------------------------------------------------------------- partitions
+
+    def partition(self, *groups: Iterable[int]) -> None:
+        """Split the network: traffic between different groups is held.
+
+        Channels stay reliable — held messages are delivered after
+        :meth:`heal` — so a partition is semantically a (possibly long)
+        asynchronous period, exactly the pre-GST behaviour the failure
+        detector must cope with.  Processes absent from every group keep
+        full connectivity.
+        """
+        group_sets = [set(g) for g in groups]
+        seen: set = set()
+        for group in group_sets:
+            if seen & group:
+                raise SimulationError("partition groups must be disjoint")
+            seen |= group
+        self._partition_groups = group_sets
+        self.log.append(
+            self.scheduler.now, 0, "net.partition",
+            groups=tuple(tuple(sorted(g)) for g in group_sets),
+        )
+
+    def heal(self) -> int:
+        """End the partition; release held traffic.  Returns count released."""
+        self._partition_groups = None
+        held, self._held = self._held, []
+        for envelope in held:
+            self._dispatch(envelope, extra_delay=0.0)
+        self.log.append(self.scheduler.now, 0, "net.heal", released=len(held))
+        return len(held)
+
+    def _crosses_partition(self, src: ProcessId, dst: ProcessId) -> bool:
+        if self._partition_groups is None:
+            return False
+        src_group = dst_group = None
+        for index, group in enumerate(self._partition_groups):
+            if src in group:
+                src_group = index
+            if dst in group:
+                dst_group = index
+        return src_group is not None and dst_group is not None and src_group != dst_group
+
+    # ------------------------------------------------------------------ sending
+
+    def send(self, src: ProcessId, dst: ProcessId, kind: str, payload: Any) -> None:
+        """Send one message; honours interceptors, latency, and FIFO.
+
+        Sends to unknown destinations are dropped (and logged), not
+        errors: a Byzantine peer can name any process id in a message
+        (e.g. a bogus client id in a request), and a correct process
+        reacting to it must not crash.
+        """
+        if dst not in self._hosts:
+            self.log.append(self.scheduler.now, src, "net.unroutable", msg=kind, dst=dst)
+            return
+        now = self.scheduler.now
+        envelope = Envelope(kind=kind, payload=payload, src=src, dst=dst, sent_at=now)
+        action = SendAction()
+        interceptor = self._interceptors.get(src)
+        if interceptor is not None:
+            action = interceptor(envelope)
+        self.stats.record_sent(kind, src, dst)
+        if action.verdict == DROP:
+            self.stats.record_dropped(kind, src, dst)
+            self.log.append(now, src, "net.drop", msg=kind, dst=dst)
+            return
+        if action.payload_override is not None:
+            envelope.payload = action.payload_override
+            self.log.append(now, src, "net.rewrite", msg=kind, dst=dst)
+        if self._trace_kinds is not None and kind in self._trace_kinds:
+            self.log.append(now, src, "net.send", msg=kind, dst=dst)
+        if self._crosses_partition(src, dst):
+            self._held.append(envelope)
+            return
+        self._dispatch(envelope, extra_delay=action.extra_delay)
+
+    def _dispatch(self, envelope: Envelope, extra_delay: float) -> None:
+        """Sample latency, honour FIFO, and schedule delivery."""
+        now = self.scheduler.now
+        delay = (
+            self.latency.sample(now, envelope.src, envelope.dst, self.rng) + extra_delay
+        )
+        deliver_at = now + delay
+        if self.fifo:
+            floor = self._last_delivery.get((envelope.src, envelope.dst), 0.0)
+            if deliver_at <= floor:
+                deliver_at = floor + self._fifo_epsilon
+            self._last_delivery[(envelope.src, envelope.dst)] = deliver_at
+        envelope.deliver_at = deliver_at
+        self.scheduler.schedule_at(
+            deliver_at,
+            lambda: self._deliver(envelope),
+            label=f"net:{envelope.kind}:{envelope.src}->{envelope.dst}",
+        )
+
+    def inject(
+        self, src: ProcessId, dst: ProcessId, kind: str, payload: Any, delay: float = 0.0
+    ) -> None:
+        """Adversary-side raw injection from a faulty process.
+
+        Bypasses the interceptor (the adversary is talking to itself) but
+        not authentication: receivers still verify signatures, so ``src``
+        can only inject content signed with keys it actually holds.
+        """
+        if dst not in self._hosts:
+            raise SimulationError(f"inject to unknown host p{dst}")
+        now = self.scheduler.now
+        envelope = Envelope(kind=kind, payload=payload, src=src, dst=dst, sent_at=now)
+        self.stats.record_sent(kind, src, dst)
+        if self._crosses_partition(src, dst):
+            self._held.append(envelope)
+            return
+        self._dispatch(envelope, extra_delay=delay)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        host = self._hosts.get(envelope.dst)
+        if host is None or not host.running:
+            return
+        self.stats.record_delivered(envelope.kind, envelope.src, envelope.dst)
+        host.on_receive(envelope.kind, envelope.payload, envelope.src)

@@ -1,0 +1,119 @@
+"""Top-level simulation builder and runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.crypto.authenticator import Authenticator
+from repro.crypto.keys import KeyRegistry
+from repro.sim.latency import EventuallySynchronousLatency, LatencyModel
+from repro.sim.network import Network
+from repro.sim.process import ProcessHost
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import MessageStats
+from repro.util.errors import ConfigurationError
+from repro.util.eventlog import EventLog
+from repro.util.ids import ProcessId, all_processes
+from repro.util.rand import DeterministicRng, make_rng
+
+
+@dataclass
+class SimulationConfig:
+    """Parameters shared by most experiments.
+
+    ``n`` processes, optional seed, an optional explicit latency model
+    (default: eventually synchronous with GST at ``gst`` and post-GST delay
+    bound ``delta``), FIFO channels on/off, and a scheduler step budget.
+    """
+
+    n: int
+    seed: int = 1
+    fifo: bool = True
+    gst: float = 0.0
+    delta: float = 1.0
+    pre_gst_max: float = 10.0
+    latency: Optional[LatencyModel] = None
+    max_steps: int = 2_000_000
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def make_latency(self) -> LatencyModel:
+        if self.latency is not None:
+            return self.latency
+        return EventuallySynchronousLatency(
+            gst=self.gst, delta=self.delta, pre_gst_max=self.pre_gst_max
+        )
+
+
+class Simulation:
+    """Owns the scheduler, network, keys, log, and all process hosts.
+
+    Typical use::
+
+        sim = Simulation(SimulationConfig(n=5, seed=7))
+        for pid in sim.pids:
+            host = sim.host(pid)
+            ... attach failure detector / modules ...
+        sim.start()
+        sim.run_until(200.0)
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        if config.n < 1:
+            raise ConfigurationError(f"need n >= 1 processes, got {config.n}")
+        self.config = config
+        self.rng: DeterministicRng = make_rng(config.seed)
+        self.log = EventLog()
+        self.stats = MessageStats()
+        self.scheduler = Scheduler(max_steps=config.max_steps)
+        self.network = Network(
+            scheduler=self.scheduler,
+            rng=self.rng,
+            latency=config.make_latency(),
+            fifo=config.fifo,
+            log=self.log,
+            stats=self.stats,
+        )
+        self.registry = KeyRegistry(config.n)
+        self.pids = sorted(all_processes(config.n))
+        self._hosts: Dict[int, ProcessHost] = {}
+        for pid in self.pids:
+            authenticator = Authenticator(self.registry, pid)
+            self._hosts[pid] = ProcessHost(pid, self.network, authenticator, self.log)
+        self._started = False
+
+    # ---------------------------------------------------------------- access
+
+    def host(self, pid: ProcessId) -> ProcessHost:
+        return self._hosts[pid]
+
+    def hosts(self) -> Dict[int, ProcessHost]:
+        return dict(self._hosts)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    # --------------------------------------------------------------- running
+
+    def start(self) -> None:
+        """Start every host's module stack (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for pid in self.pids:
+            self._hosts[pid].start()
+
+    def run_until(self, t_end: float) -> None:
+        """Start if necessary, then run all events up to ``t_end``."""
+        self.start()
+        self.scheduler.run_until(t_end)
+
+    def run_to_quiescence(self) -> int:
+        """Run until the event queue drains (beware self-rearming timers)."""
+        self.start()
+        return self.scheduler.run_to_quiescence()
+
+    def at(self, time: float, action, label: str = "") -> None:
+        """Schedule a harness action (fault injection, workload) at a time."""
+        self.scheduler.schedule_at(time, action, label=label or "harness")

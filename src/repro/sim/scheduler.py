@@ -1,0 +1,93 @@
+"""Deterministic discrete-event scheduler."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.sim.clock import SimClock
+from repro.sim.events import ScheduledEvent
+from repro.util.errors import SimulationError
+
+
+class Scheduler:
+    """Priority-queue event loop with a hard step budget.
+
+    The budget guards against accidental event storms (e.g. a protocol bug
+    that re-broadcasts forever): exceeding it raises
+    :class:`SimulationError` instead of hanging the test suite.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None, max_steps: int = 2_000_000) -> None:
+        self.clock = clock or SimClock()
+        self.max_steps = max_steps
+        self.steps_executed = 0
+        self._queue: list = []
+        self._next_seq = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = ScheduledEvent(
+            time=self.clock.now + delay, seq=self._next_seq, action=action, label=label
+        )
+        self._next_seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` at an absolute time (must not be in the past)."""
+        return self.schedule(time - self.clock.now, action, label)
+
+    def pending(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is drained."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the next event; returns ``False`` when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.steps_executed += 1
+            if self.steps_executed > self.max_steps:
+                raise SimulationError(
+                    f"step budget of {self.max_steps} exceeded at t={event.time} "
+                    f"(label={event.label!r}); likely an event storm"
+                )
+            self.clock.advance_to(event.time)
+            event.action()
+            return True
+        return False
+
+    def run_until(self, t_end: float) -> None:
+        """Execute every event with time <= ``t_end`` and advance the clock.
+
+        The clock ends at exactly ``t_end`` even if the queue drained
+        earlier, so "simulate for 100 units" means what it says.
+        """
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > t_end:
+                break
+            self.step()
+        if t_end > self.clock.now:
+            self.clock.advance_to(t_end)
+
+    def run_to_quiescence(self) -> int:
+        """Run until no events remain; returns the number of steps taken."""
+        start = self.steps_executed
+        while self.step():
+            pass
+        return self.steps_executed - start

@@ -1,0 +1,48 @@
+"""Shared utilities: process identifiers, errors, deterministic RNG, logs.
+
+These helpers are deliberately tiny and dependency-free; every other
+subpackage builds on them.  Process identifiers follow the paper's
+convention: processes are ``p_1 .. p_n`` ordered by unique integer ids
+(Section IV), and quorums/sets of processes are compared in lexicographic
+order of their sorted id tuples (Section VI-B).
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ConfigurationError,
+    AuthenticationError,
+    ProtocolError,
+    SimulationError,
+)
+from repro.util.ids import (
+    ProcessId,
+    ProcessSet,
+    validate_pid,
+    all_processes,
+    quorum_sort_key,
+    lexicographic_min_quorum,
+    format_pid,
+    format_pset,
+)
+from repro.util.rand import DeterministicRng, derive_seed
+from repro.util.eventlog import EventLog, LoggedEvent
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "AuthenticationError",
+    "ProtocolError",
+    "SimulationError",
+    "ProcessId",
+    "ProcessSet",
+    "validate_pid",
+    "all_processes",
+    "quorum_sort_key",
+    "lexicographic_min_quorum",
+    "format_pid",
+    "format_pset",
+    "DeterministicRng",
+    "derive_seed",
+    "EventLog",
+    "LoggedEvent",
+]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything from this package with one ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or wired with invalid parameters.
+
+    Examples: ``n <= f``, a quorum size that does not satisfy
+    ``q = n - f``, or a Follower Selection instance with ``n <= 3f``.
+    """
+
+
+class AuthenticationError(ReproError):
+    """A message failed signature verification.
+
+    Raised by :mod:`repro.crypto` when a signature does not verify.  In a
+    simulation this indicates either deliberate adversarial tampering or a
+    harness bug; protocol modules treat it by dropping the message.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol module received input that violates its state machine.
+
+    This signals a harness bug (e.g. delivering an event to a stopped
+    replica), *not* Byzantine behaviour; Byzantine behaviour is handled by
+    the protocol logic itself and never raises.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state.
+
+    Examples: scheduling an event in the past, or running a simulation that
+    exceeded its configured step budget without quiescing.
+    """

@@ -1,0 +1,98 @@
+"""Structured event logging for simulations and protocol traces.
+
+Protocol modules append :class:`LoggedEvent` records (time, process, kind,
+payload) to a shared :class:`EventLog`.  Tests and benchmark harnesses
+query the log to reconstruct message-flow figures (e.g. the paper's
+Figures 2 and 3) and to assert eventual properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class LoggedEvent:
+    """One record in an :class:`EventLog`.
+
+    Attributes:
+        time: simulation time at which the event occurred.
+        process: 1-based id of the process the event occurred at, or 0 for
+            system-level events (e.g. adversary actions, GST).
+        kind: short machine-readable tag, e.g. ``"quorum"`` or ``"suspect"``.
+        payload: free-form details, kept JSON-ish for easy rendering.
+    """
+
+    time: float
+    process: int
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Human-readable one-liner, used by trace printers."""
+        who = f"p{self.process}" if self.process else "sys"
+        details = ", ".join(f"{k}={v}" for k, v in sorted(self.payload.items()))
+        return f"[{self.time:10.3f}] {who:>5} {self.kind:<18} {details}"
+
+
+class EventLog:
+    """Append-only log of :class:`LoggedEvent` records.
+
+    The log preserves append order (which in the simulator equals
+    occurrence order, ties broken deterministically) and offers simple
+    filtered views.  It is intentionally not thread-safe: the simulator is
+    single-threaded by design.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[LoggedEvent] = []
+
+    def append(self, time: float, process: int, kind: str, **payload: Any) -> LoggedEvent:
+        """Record and return a new event."""
+        event = LoggedEvent(time=time, process=process, kind=kind, payload=dict(payload))
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[LoggedEvent]:
+        return iter(self._events)
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        process: Optional[int] = None,
+        predicate: Optional[Callable[[LoggedEvent], bool]] = None,
+    ) -> List[LoggedEvent]:
+        """Return events filtered by kind, process, and/or a predicate."""
+        out = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if process is not None and event.process != process:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def count(self, kind: str, process: Optional[int] = None) -> int:
+        """Number of events of a kind (optionally at one process)."""
+        return len(self.events(kind=kind, process=process))
+
+    def last(self, kind: str, process: Optional[int] = None) -> Optional[LoggedEvent]:
+        """Most recent matching event, or ``None``."""
+        matching = self.events(kind=kind, process=process)
+        return matching[-1] if matching else None
+
+    def render(self, *kinds: str) -> str:
+        """Render matching events (all, if no kinds given) as text lines."""
+        wanted = set(kinds)
+        lines = [
+            event.describe()
+            for event in self._events
+            if not wanted or event.kind in wanted
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Process identifiers and quorum ordering.
+
+The paper (Section IV) assumes processes ``p_1 .. p_n`` ordered by unique
+identifiers.  We represent a process id as a positive ``int`` (1-based, so
+``p_3`` is simply ``3``) and a set of processes as a ``frozenset`` of ids.
+
+Quorums are compared lexicographically on their *sorted* id tuple
+(Section VI-B: "the first in lexicographical order is chosen"), e.g.::
+
+    {1, 3, 4} < {1, 3, 5} < {2, 3, 4}
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.util.errors import ConfigurationError
+
+ProcessId = int
+ProcessSet = FrozenSet[int]
+
+
+def validate_pid(pid: ProcessId, n: Optional[int] = None) -> ProcessId:
+    """Validate a process id, optionally against a system size ``n``.
+
+    Returns the id unchanged so the call can be used inline.  Raises
+    :class:`ConfigurationError` for non-integers, ids below 1, or ids above
+    ``n`` when ``n`` is given.
+    """
+    if isinstance(pid, bool) or not isinstance(pid, int):
+        raise ConfigurationError(f"process id must be an int, got {pid!r}")
+    if pid < 1:
+        raise ConfigurationError(f"process ids are 1-based, got {pid}")
+    if n is not None and pid > n:
+        raise ConfigurationError(f"process id {pid} exceeds system size n={n}")
+    return pid
+
+
+def all_processes(n: int) -> ProcessSet:
+    """Return the process set ``Pi = {1, .., n}``."""
+    if n < 1:
+        raise ConfigurationError(f"system size must be >= 1, got {n}")
+    return frozenset(range(1, n + 1))
+
+
+def quorum_sort_key(quorum: Iterable[ProcessId]) -> Tuple[int, ...]:
+    """Key for the paper's lexicographic order on quorums.
+
+    Quorums of equal size are ordered by their sorted id tuples, which is
+    exactly lexicographic order on sets of equal cardinality.
+    """
+    return tuple(sorted(quorum))
+
+
+def lexicographic_min_quorum(quorums: Iterable[Iterable[ProcessId]]) -> ProcessSet:
+    """Return the lexicographically smallest quorum of an iterable.
+
+    Raises :class:`ConfigurationError` on an empty iterable.
+    """
+    best: Optional[Tuple[int, ...]] = None
+    for quorum in quorums:
+        key = quorum_sort_key(quorum)
+        if best is None or key < best:
+            best = key
+    if best is None:
+        raise ConfigurationError("lexicographic_min_quorum of empty iterable")
+    return frozenset(best)
+
+
+def format_pid(pid: ProcessId) -> str:
+    """Render a process id in the paper's ``p_i`` notation."""
+    return f"p{pid}"
+
+
+def format_pset(pids: Iterable[ProcessId]) -> str:
+    """Render a process set as ``{p1, p3, p4}`` in id order."""
+    inner = ", ".join(format_pid(p) for p in sorted(pids))
+    return "{" + inner + "}"
+
+
+def default_quorum(n: int, q: int) -> ProcessSet:
+    """The paper's initial quorum ``{p_1, .., p_q}`` (Algorithm 1 state)."""
+    if not 1 <= q <= n:
+        raise ConfigurationError(f"quorum size q={q} out of range for n={n}")
+    return frozenset(range(1, q + 1))
+
+
+def ordered(pids: Iterable[ProcessId]) -> List[ProcessId]:
+    """Return process ids as a sorted list (ascending id order)."""
+    return sorted(pids)

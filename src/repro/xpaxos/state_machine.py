@@ -1,0 +1,168 @@
+"""Replicated applications: the state-machine protocol + implementations.
+
+Replicas are generic over the application: anything implementing
+:class:`StateMachine` can be replicated.  Two implementations ship:
+
+- :class:`KeyValueStore` — the default, used throughout the experiments;
+- :class:`BankLedger` — accounts with conditional transfers, showing
+  operations whose *results* depend on execution order (so reply
+  consistency across replicas is a real test, not a formality).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Tuple
+
+from repro.crypto.digests import digest
+
+
+class StateMachine(abc.ABC):
+    """What a replicated application must provide.
+
+    Determinism contract: ``apply`` must be a pure function of the
+    current state and the operation — same history, same results, same
+    digests at every replica.
+    """
+
+    @abc.abstractmethod
+    def apply(self, op: Tuple[Any, ...]) -> Any:
+        """Execute one operation, returning the client-visible result."""
+
+    @abc.abstractmethod
+    def state_digest(self) -> str:
+        """Canonical digest of the full state (checkpoint votes)."""
+
+    @abc.abstractmethod
+    def snapshot_items(self) -> Tuple:
+        """Stable, canonically-encodable dump for checkpoint snapshots."""
+
+    @abc.abstractmethod
+    def restore(self, items, history) -> None:
+        """Replace the state from a snapshot dump + operation history."""
+
+
+class KeyValueStore(StateMachine):
+    """Deterministic KV state machine with an execution history.
+
+    Operations (tuples, so they canonically encode):
+
+    - ``("put", key, value)`` -> returns the previous value (or ``None``)
+    - ``("get", key)`` -> returns the value (or ``None``)
+    - ``("del", key)`` -> returns the deleted value (or ``None``)
+    - ``("noop",)`` -> returns ``None`` (view-change filler)
+
+    ``state_digest`` summarizes both data and history so tests can assert
+    replicas executed identical request sequences (linearized safety).
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[Any, Any] = {}
+        self.history: List[Tuple[Any, ...]] = []
+
+    def apply(self, op: Tuple[Any, ...]) -> Any:
+        """Execute one operation; unknown ops are rejected as no-ops."""
+        self.history.append(op)
+        if not op:
+            return None
+        name = op[0]
+        if name == "put" and len(op) == 3:
+            previous = self._data.get(op[1])
+            self._data[op[1]] = op[2]
+            return previous
+        if name == "get" and len(op) == 2:
+            return self._data.get(op[1])
+        if name == "del" and len(op) == 2:
+            return self._data.pop(op[1], None)
+        if name == "noop":
+            return None
+        return ("rejected", name)
+
+    def get(self, key: Any) -> Any:
+        return self._data.get(key)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def executed_count(self) -> int:
+        return len(self.history)
+
+    def state_digest(self) -> str:
+        """Digest over data and full history (order-sensitive)."""
+        return digest(("kv-state", tuple(sorted(self._data.items())), tuple(self.history)))
+
+    def snapshot_items(self) -> Tuple[Tuple[Any, Any], ...]:
+        """Stable dump of the data for checkpoint snapshots."""
+        return tuple(sorted(self._data.items()))
+
+    def restore(self, items, history) -> None:
+        """Replace data and history from a checkpoint snapshot."""
+        self._data = dict(items)
+        self.history = [tuple(op) for op in history]
+
+
+class BankLedger(StateMachine):
+    """Accounts with conditional transfers.
+
+    Operations:
+
+    - ``("open", account)`` -> ``True`` if newly opened
+    - ``("deposit", account, amount)`` -> new balance (or ``"no-account"``)
+    - ``("transfer", src, dst, amount)`` -> ``"ok"`` or ``"insufficient"``
+      or ``"no-account"`` — the interesting case: whether a transfer
+      succeeds depends on every transfer ordered before it, so replicas
+      that disagreed on ordering would visibly disagree on results.
+    - ``("balance", account)`` -> balance or ``None``
+    """
+
+    def __init__(self) -> None:
+        self._accounts: Dict[Any, int] = {}
+        self.history: List[Tuple[Any, ...]] = []
+
+    def apply(self, op: Tuple[Any, ...]) -> Any:
+        self.history.append(tuple(op))
+        if not op:
+            return None
+        name = op[0]
+        if name == "open" and len(op) == 2:
+            if op[1] in self._accounts:
+                return False
+            self._accounts[op[1]] = 0
+            return True
+        if name == "deposit" and len(op) == 3:
+            if op[1] not in self._accounts:
+                return "no-account"
+            self._accounts[op[1]] += op[2]
+            return self._accounts[op[1]]
+        if name == "transfer" and len(op) == 4:
+            src, dst, amount = op[1], op[2], op[3]
+            if src not in self._accounts or dst not in self._accounts:
+                return "no-account"
+            if self._accounts[src] < amount:
+                return "insufficient"
+            self._accounts[src] -= amount
+            self._accounts[dst] += amount
+            return "ok"
+        if name == "balance" and len(op) == 2:
+            return self._accounts.get(op[1])
+        return ("rejected", name)
+
+    def balance(self, account: Any) -> Any:
+        return self._accounts.get(account)
+
+    def total_money(self) -> int:
+        """Conservation invariant: transfers never create or destroy money."""
+        return sum(self._accounts.values())
+
+    def state_digest(self) -> str:
+        return digest(
+            ("ledger-state", tuple(sorted(self._accounts.items())), tuple(self.history))
+        )
+
+    def snapshot_items(self) -> Tuple:
+        return tuple(sorted(self._accounts.items()))
+
+    def restore(self, items, history) -> None:
+        self._accounts = dict(items)
+        self.history = [tuple(op) for op in history]

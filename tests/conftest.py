@@ -1,0 +1,49 @@
+"""Shared fixtures and world builders for integration tests."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.core.follower_selection import FollowerSelectionModule
+from repro.core.quorum_selection import QuorumSelectionModule
+from repro.fd.detector import FailureDetector
+from repro.fd.heartbeat import HeartbeatModule
+from repro.fd.timers import TimeoutPolicy
+from repro.sim.runtime import Simulation, SimulationConfig
+
+
+def build_qs_world(
+    n: int,
+    f: int,
+    seed: int = 3,
+    follower_mode: bool = False,
+    gst: float = 0.0,
+    heartbeat_period: float = 2.0,
+    base_timeout: float = 4.0,
+) -> Tuple[Simulation, Dict[int, QuorumSelectionModule]]:
+    """Full stack for Quorum/Follower Selection integration tests."""
+    sim = Simulation(SimulationConfig(n=n, seed=seed, gst=gst, delta=1.0))
+    modules: Dict[int, QuorumSelectionModule] = {}
+    for pid in sim.pids:
+        host = sim.host(pid)
+        FailureDetector(host, TimeoutPolicy(base_timeout=base_timeout))
+        host.add_module(HeartbeatModule(host, n=n, period=heartbeat_period))
+        if follower_mode:
+            modules[pid] = host.add_module(FollowerSelectionModule(host, n=n, f=f))
+        else:
+            modules[pid] = host.add_module(QuorumSelectionModule(host, n=n, f=f))
+    return sim, modules
+
+
+@pytest.fixture
+def qs_world_5_2():
+    """n=5, f=2 Quorum Selection world (the paper's running scale)."""
+    return build_qs_world(5, 2)
+
+
+@pytest.fixture
+def fs_world_7_2():
+    """n=7=3f+1, f=2 Follower Selection world."""
+    return build_qs_world(7, 2, follower_mode=True)

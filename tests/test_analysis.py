@@ -1,0 +1,145 @@
+"""Tests for bounds, abstract models, worst-case search, and reporting."""
+
+import pytest
+
+from repro.analysis.abstract import (
+    AbstractFollowerSelection,
+    AbstractQuorumSelection,
+    exhaustive_max_changes,
+    greedy_follower_changes,
+    greedy_max_changes,
+)
+from repro.analysis.bounds import (
+    cor10_total_bound,
+    enumeration_cycle_length,
+    observed_max_changes_claim,
+    thm3_upper_bound,
+    thm4_quorum_count,
+    thm9_per_epoch_bound,
+)
+from repro.analysis.report import Table
+from repro.util.errors import ConfigurationError
+
+
+class TestBoundFormulas:
+    def test_thm3(self):
+        assert [thm3_upper_bound(f) for f in (1, 2, 3)] == [2, 6, 12]
+
+    def test_thm4(self):
+        assert [thm4_quorum_count(f) for f in (1, 2, 3)] == [3, 6, 10]
+
+    def test_claim_is_thm4_minus_initial(self):
+        for f in range(1, 8):
+            assert observed_max_changes_claim(f) == thm4_quorum_count(f) - 1
+
+    def test_thm9_and_cor10(self):
+        assert thm9_per_epoch_bound(2) == 7
+        assert cor10_total_bound(2) == 14
+        assert cor10_total_bound(3) == 20
+
+    def test_claim_never_exceeds_thm3(self):
+        for f in range(1, 20):
+            assert observed_max_changes_claim(f) <= thm3_upper_bound(f)
+
+    def test_enumeration_cycle(self):
+        assert enumeration_cycle_length(5, 2) == 10
+        assert enumeration_cycle_length(9, 4) == 126
+
+    def test_rejects_f_zero(self):
+        with pytest.raises(ConfigurationError):
+            thm3_upper_bound(0)
+
+
+class TestAbstractQuorumSelection:
+    def test_initial_quorum_is_default(self):
+        model = AbstractQuorumSelection(5, 2)
+        assert model.quorum == frozenset({1, 2, 3})
+
+    def test_suspicion_inside_quorum_changes_it(self):
+        model = AbstractQuorumSelection(5, 2)
+        assert model.add_suspicion(1, 2)
+        assert model.quorum == frozenset({1, 3, 4})
+        assert model.changes == 1
+
+    def test_epoch_exhaustion_raises(self):
+        # n=4, q=3: two disjoint edges force a cover of size 2 > f=1, so
+        # no size-3 independent set remains — the single-epoch model must
+        # refuse rather than silently misreport.
+        model = AbstractQuorumSelection(4, 1)
+        model.add_suspicion(1, 2)
+        with pytest.raises(ConfigurationError):
+            model.add_suspicion(3, 4)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AbstractQuorumSelection(4, 2)
+
+
+class TestAbstractFollowerSelection:
+    def test_leader_changes_on_leader_edge(self):
+        model = AbstractFollowerSelection(7, 2)
+        assert model.add_suspicion(7, 1)  # faulty 7 suspects leader 1
+        assert model.leader > 1
+        assert model.leader in model.quorum
+        assert len(model.quorum) == 5
+
+    def test_follower_edge_changes_nothing(self):
+        model = AbstractFollowerSelection(7, 2)
+        assert not model.add_suspicion(4, 5)
+        assert model.leader == 1
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ConfigurationError):
+            AbstractFollowerSelection(6, 2)
+
+
+class TestWorstCaseSearch:
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_exhaustive_matches_paper_claim(self, f):
+        n = 2 * f + 2
+        assert exhaustive_max_changes(n, f) == observed_max_changes_claim(f)
+
+    @pytest.mark.parametrize("f", [1, 2, 3, 4])
+    def test_greedy_reaches_claim(self, f):
+        assert greedy_max_changes(2 * f + 2, f) == observed_max_changes_claim(f)
+
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_greedy_never_exceeds_thm3(self, f):
+        assert greedy_max_changes(2 * f + 2, f) <= thm3_upper_bound(f)
+
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_follower_greedy_within_thm9(self, f):
+        changes = greedy_follower_changes(3 * f + 1, f)
+        assert changes <= thm9_per_epoch_bound(f)
+        assert changes >= 2 * f  # the leader walk is not trivial
+
+    def test_exhaustive_state_budget_guard(self):
+        with pytest.raises(ConfigurationError):
+            exhaustive_max_changes(10, 4, faulty={1, 2, 3, 4}, state_budget=10)
+
+    def test_exhaustive_rejects_wrong_faulty_size(self):
+        with pytest.raises(ConfigurationError):
+            exhaustive_max_changes(6, 2, faulty={1})
+
+
+class TestTable:
+    def test_renders_header_and_rows(self):
+        table = Table(["f", "bound"], title="demo")
+        table.add_row(1, 3)
+        table.add_row(2, 6)
+        text = table.render()
+        assert "demo" in text
+        assert "f" in text.splitlines()[1]
+        assert "6" in text
+
+    def test_formats_floats_and_sets(self):
+        table = Table(["x"])
+        table.add_row(0.5)
+        table.add_row(frozenset({3, 1}))
+        text = table.render()
+        assert "0.500" in text and "{1,3}" in text
+
+    def test_rejects_wrong_arity(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)

@@ -1,0 +1,59 @@
+"""Unit tests for the analysis runner's result types and helpers."""
+
+import pytest
+
+from repro.analysis.runner import (
+    ChurnComparison,
+    MessageSavings,
+    QsRunResult,
+    run_thm4_adversary,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestMessageSavings:
+    def test_reductions(self):
+        s = MessageSavings(
+            f=2, n=7, active_size=5,
+            full_messages_per_request=84.0, active_messages_per_request=40.0,
+        )
+        assert s.total_reduction == pytest.approx(1 - 40 / 84)
+        assert s.per_broadcast_reduction == pytest.approx(2 / 6)
+
+
+class TestQsRunResult:
+    def test_fields_roundtrip(self):
+        result = QsRunResult(
+            n=5, f=2, seed=1, suspicions_fired=3, quorum_changes_total=2,
+            max_changes_per_epoch=2, max_epoch=1, final_quorums_agree=True,
+            no_suspicion=True,
+        )
+        assert result.final_quorum is None
+        assert result.per_process_changes == {}
+
+
+class TestThm4RunnerValidation:
+    def test_unfinished_adversary_raises(self):
+        # Far too little time for the adversary to exhaust its pairs.
+        with pytest.raises(ConfigurationError):
+            run_thm4_adversary(6, 2, seed=3, duration=2.0)
+
+    def test_custom_faulty_and_targets(self):
+        result = run_thm4_adversary(
+            6, 2, seed=3, faulty={1, 2}, targets=(3, 4), duration=4000.0
+        )
+        assert result.suspicions_fired == 5
+
+
+class TestChurnComparison:
+    def test_accessors(self):
+        from repro.analysis.runner import run_xpaxos_crash_comparison
+
+        comparison = run_xpaxos_crash_comparison(
+            n=3, f=1, crash_pids=(1,), seed=5, duration=600.0,
+            requests_per_client=5, clients=1,
+        )
+        sel, enum = comparison.view_changes()
+        assert sel >= 1 and enum >= 1
+        done = comparison.completed()
+        assert done == (5, 5)

@@ -1,0 +1,45 @@
+"""Tests for sweep statistics."""
+
+import pytest
+
+from repro.analysis.sweeps import SweepSummary, sweep
+from repro.util.errors import ConfigurationError
+
+
+class TestSweepSummary:
+    def test_statistics(self):
+        summary = SweepSummary(name="x", values=(1.0, 2.0, 3.0))
+        assert summary.count == 3
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.stdev == pytest.approx(1.0)
+
+    def test_single_value_stdev_zero(self):
+        assert SweepSummary(name="x", values=(5.0,)).stdev == 0.0
+
+    def test_describe(self):
+        text = SweepSummary(name="lat", values=(1.0, 3.0)).describe()
+        assert "lat" in text and "mean=2.000" in text and "n=2" in text
+
+
+class TestSweep:
+    def test_collects_per_metric(self):
+        result = sweep(lambda seed: {"a": seed, "b": seed * 2}, seeds=[1, 2, 3])
+        assert result["a"].values == (1.0, 2.0, 3.0)
+        assert result["b"].mean == 4.0
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ConfigurationError):
+            sweep(lambda seed: {"a": 1}, seeds=[])
+
+    def test_rejects_inconsistent_metric_names(self):
+        def metric(seed):
+            return {"a": 1} if seed == 1 else {"b": 2}
+
+        with pytest.raises(ConfigurationError):
+            sweep(metric, seeds=[1, 2])
+
+    def test_values_coerced_to_float(self):
+        result = sweep(lambda seed: {"count": seed}, seeds=[2])
+        assert isinstance(result["count"].values[0], float)

@@ -1,0 +1,92 @@
+"""Tests for message tracing and sequence-diagram rendering."""
+
+from repro.analysis.traces import (
+    message_sends,
+    render_arrow_trace,
+    render_sequence_diagram,
+)
+from repro.sim.latency import FixedLatency
+from repro.sim.runtime import Simulation, SimulationConfig
+
+
+def traced_sim():
+    sim = Simulation(SimulationConfig(n=3, seed=1, latency=FixedLatency(1.0)))
+    sim.network.trace({"a", "b"})
+    sim.start()
+    return sim
+
+
+class TestTracing:
+    def test_tracing_off_by_default(self):
+        sim = Simulation(SimulationConfig(n=2, seed=1))
+        sim.start()
+        sim.host(1).send(2, "a", None)
+        sim.run_until(5.0)
+        assert sim.log.count("net.send") == 0
+
+    def test_traced_kinds_recorded(self):
+        sim = traced_sim()
+        sim.host(1).send(2, "a", None)
+        sim.host(1).send(2, "c", None)  # untraced kind
+        sim.run_until(5.0)
+        sends = message_sends(sim.log)
+        assert sends == [(0.0, 1, 2, "a")]
+
+    def test_trace_none_disables(self):
+        sim = traced_sim()
+        sim.network.trace(None)
+        sim.host(1).send(2, "a", None)
+        sim.run_until(5.0)
+        assert message_sends(sim.log) == []
+
+    def test_kind_filter_and_until(self):
+        sim = traced_sim()
+        sim.host(1).send(2, "a", None)
+        sim.at(3.0, lambda: sim.host(1).send(2, "b", None))
+        sim.run_until(10.0)
+        assert len(message_sends(sim.log, kinds={"a"})) == 1
+        assert len(message_sends(sim.log, until=1.0)) == 1
+        assert len(message_sends(sim.log)) == 2
+
+
+class TestRendering:
+    def test_arrow_trace_format(self):
+        sim = traced_sim()
+        sim.host(1).send(2, "a", None)
+        sim.run_until(5.0)
+        text = render_arrow_trace(sim.log)
+        assert "p1 --a--> p2" in text
+
+    def test_sequence_diagram_lanes(self):
+        sim = traced_sim()
+        sim.host(1).send(2, "a", None)
+        sim.host(1).send(3, "a", None)
+        sim.run_until(5.0)
+        text = render_sequence_diagram(sim.log, [1, 2, 3])
+        # Broadcast collapses into one row listing both destinations.
+        assert "a>2,3" in text
+        assert text.splitlines()[0].count("|") == 3
+
+    def test_sequence_diagram_prefix_stripping(self):
+        sim = Simulation(SimulationConfig(n=2, seed=1, latency=FixedLatency(1.0)))
+        sim.network.trace({"xp.prepare"})
+        sim.start()
+        sim.host(1).send(2, "xp.prepare", None)
+        sim.run_until(5.0)
+        text = render_sequence_diagram(sim.log, [1, 2])
+        assert "prepare>2" in text
+        assert "xp.prepare" not in text
+
+    def test_limit_respected(self):
+        sim = traced_sim()
+        for i in range(30):
+            sim.at(float(i), lambda: sim.host(1).send(2, "a", None))
+        sim.run_until(50.0)
+        text = render_arrow_trace(sim.log, limit=5)
+        assert len(text.splitlines()) == 5
+
+    def test_empty_log_renders(self):
+        sim = traced_sim()
+        assert render_arrow_trace(sim.log) == ""
+        diagram = render_sequence_diagram(sim.log, [1, 2])
+        assert "p1" in diagram  # header still present

@@ -1,0 +1,112 @@
+"""Tests for the BankLedger state machine and pluggable replication."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xpaxos import BankLedger, build_system
+
+
+class TestLedgerSemantics:
+    def setup_method(self):
+        self.ledger = BankLedger()
+        self.ledger.apply(("open", "a"))
+        self.ledger.apply(("open", "b"))
+        self.ledger.apply(("deposit", "a", 100))
+
+    def test_open_twice(self):
+        assert self.ledger.apply(("open", "a")) is False
+
+    def test_deposit_unknown_account(self):
+        assert self.ledger.apply(("deposit", "zz", 5)) == "no-account"
+
+    def test_transfer_ok(self):
+        assert self.ledger.apply(("transfer", "a", "b", 60)) == "ok"
+        assert self.ledger.balance("a") == 40
+        assert self.ledger.balance("b") == 60
+
+    def test_transfer_insufficient(self):
+        self.ledger.apply(("transfer", "a", "b", 60))
+        assert self.ledger.apply(("transfer", "a", "b", 60)) == "insufficient"
+
+    def test_transfer_unknown(self):
+        assert self.ledger.apply(("transfer", "a", "zz", 1)) == "no-account"
+
+    def test_balance_query(self):
+        assert self.ledger.apply(("balance", "a")) == 100
+        assert self.ledger.apply(("balance", "zz")) is None
+
+    def test_rejects_garbage(self):
+        assert self.ledger.apply(("explode",)) == ("rejected", "explode")
+        assert self.ledger.apply(()) is None
+
+    def test_conservation(self):
+        self.ledger.apply(("transfer", "a", "b", 30))
+        assert self.ledger.total_money() == 100
+
+    def test_snapshot_roundtrip(self):
+        items = self.ledger.snapshot_items()
+        history = list(self.ledger.history)
+        clone = BankLedger()
+        clone.restore(items, history)
+        assert clone.state_digest() == self.ledger.state_digest()
+        assert clone.balance("a") == 100
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("deposit"), st.sampled_from("ab"), st.integers(1, 50)),
+            st.tuples(st.just("transfer"), st.sampled_from("ab"),
+                      st.sampled_from("ab"), st.integers(1, 80)),
+        ),
+        max_size=30,
+    ))
+    def test_money_conserved_and_non_negative(self, ops):
+        ledger = BankLedger()
+        ledger.apply(("open", "a"))
+        ledger.apply(("open", "b"))
+        expected_total = 0
+        for op in ops:
+            result = ledger.apply(op)
+            if op[0] == "deposit" and result != "no-account":
+                expected_total += op[2]
+        assert ledger.total_money() == expected_total
+        assert ledger.balance("a") >= 0 and ledger.balance("b") >= 0
+
+
+class TestReplicatedLedger:
+    def test_replicated_results_and_digests_agree(self):
+        ops = [
+            ("open", "alice"), ("open", "bob"), ("deposit", "alice", 100),
+            ("transfer", "alice", "bob", 60), ("transfer", "alice", "bob", 60),
+            ("balance", "bob"),
+        ]
+        system = build_system(
+            n=5, f=2, clients=1, seed=7,
+            client_ops=[ops], state_machine_factory=BankLedger,
+        )
+        system.run(300.0)
+        client = list(system.clients.values())[0]
+        results = [entry[2] for entry in client.completed]
+        assert results == [True, True, 100, "ok", "insufficient", 60]
+        digests = {system.replicas[p].kv.state_digest() for p in (1, 2, 3)}
+        assert len(digests) == 1
+
+    def test_ledger_survives_leader_crash_with_checkpoints(self):
+        ops = [("open", "acct")] + [("deposit", "acct", 1) for _ in range(24)]
+        system = build_system(
+            n=5, f=2, mode="selection", clients=1, seed=9,
+            client_ops=[ops], state_machine_factory=BankLedger,
+            checkpoint_interval=5, client_think_time=3.0,
+        )
+        system.adversary.crash(1, at=40.0)
+        system.run(1200.0)
+        assert system.total_completed() == 25
+        balances = {
+            replica.kv.balance("acct")
+            for replica in system.correct_replicas()
+            if len(replica.executed) == 25
+        }
+        assert balances == {24}
+        for replica in system.correct_replicas():
+            assert replica.kv.total_money() in (0, 24)  # passive or caught up

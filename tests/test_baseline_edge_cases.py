@@ -1,0 +1,110 @@
+"""Edge-case tests for the PBFT and BChain baselines."""
+
+from repro.baselines.bchain import build_bchain_cluster
+from repro.baselines.pbft import build_pbft_cluster
+from repro.failures.adversary import Adversary
+
+
+class TestPbftEdgeCases:
+    def test_request_to_non_leader_is_forwarded(self):
+        cluster = build_pbft_cluster(n=4, f=1, clients=1, requests_per_client=3, seed=2)
+        # Point the client at a non-leader replica.
+        client = list(cluster.clients.values())[0]
+        client.leader = 3
+        cluster.run(200.0)
+        assert cluster.total_completed() == 3
+
+    def test_duplicate_request_not_reexecuted(self):
+        cluster = build_pbft_cluster(n=4, f=1, clients=1, requests_per_client=3, seed=2)
+        cluster.run(200.0)
+        replica = cluster.replicas[1]
+        executed_before = len(replica.executed)
+        # Replay the client's first signed request directly at the leader.
+        client_host = cluster.sim.host(5)
+        from repro.baselines.pbft import KIND_PBFT_REQUEST
+        from repro.xpaxos.messages import ClientRequest
+
+        replay = client_host.authenticator.sign(
+            ClientRequest(client=5, sequence=0, op=("put", "k0-0", 0))
+        )
+        client_host.send(1, KIND_PBFT_REQUEST, replay)
+        cluster.run(300.0)
+        assert len(replica.executed) == executed_before
+
+    def test_forged_request_ignored(self):
+        cluster = build_pbft_cluster(n=4, f=1, clients=1, requests_per_client=0, seed=2)
+        cluster.sim.start()
+        from repro.baselines.pbft import KIND_PBFT_REQUEST
+        from repro.xpaxos.messages import ClientRequest
+
+        replica_host = cluster.sim.host(2)  # signs as itself, claims client 5
+        forged = replica_host.authenticator.sign(
+            ClientRequest(client=5, sequence=0, op=("put", "evil", 1))
+        )
+        replica_host.send(1, KIND_PBFT_REQUEST, forged)
+        cluster.run(100.0)
+        assert all(len(r.executed) == 0 for r in cluster.replicas.values())
+
+    def test_conflicting_phase_votes_ignored(self):
+        # A vote whose digest conflicts with the accepted request must not
+        # count towards any threshold.
+        cluster = build_pbft_cluster(n=4, f=1, clients=1, requests_per_client=1, seed=2)
+        cluster.run(100.0)
+        assert cluster.total_completed() == 1
+        replica = cluster.replicas[2]
+        from repro.baselines.pbft import PhasePayload
+
+        state = replica.slots[0]
+        before = len(state.prepares)
+        replica._on_phase(
+            "pbft.prepare",
+            cluster.sim.host(3).authenticator.sign(
+                PhasePayload("prepare", 0, 0, "deadbeef")
+            ),
+            3,
+        )
+        assert len(state.prepares) == before
+
+
+class TestBChainEdgeCases:
+    def test_client_retry_after_rechain(self):
+        cluster = build_bchain_cluster(n=7, f=2, clients=1, requests_per_client=5,
+                                       seed=5, ack_timeout=6.0)
+        adversary = Adversary(cluster.sim)
+        adversary.omit_links(2, kinds={"bc.chain"}, start=5.0)
+        cluster.run(900.0)
+        # In-flight requests at re-chain time were recovered by client
+        # retransmission.
+        assert cluster.total_completed() == 5
+
+    def test_duplicate_request_replies_from_cache(self):
+        cluster = build_bchain_cluster(n=7, f=2, clients=1, requests_per_client=3, seed=5)
+        cluster.run(200.0)
+        head = cluster.replicas[1]
+        executed_before = len(head.executed)
+        from repro.baselines.bchain import KIND_BC_REQUEST
+        from repro.xpaxos.messages import ClientRequest
+
+        client_host = cluster.sim.host(8)
+        replay = client_host.authenticator.sign(
+            ClientRequest(client=8, sequence=0, op=("put", "k0-0", 0))
+        )
+        client_host.send(1, KIND_BC_REQUEST, replay)
+        cluster.run(300.0)
+        assert len(head.executed) == executed_before
+
+    def test_rechain_from_non_head_rejected(self):
+        cluster = build_bchain_cluster(n=7, f=2, clients=1, requests_per_client=1, seed=5)
+        cluster.sim.start()
+        from repro.baselines.bchain import KIND_BC_RECHAIN, RechainPayload
+
+        impostor = cluster.sim.host(4)
+        bogus = impostor.authenticator.sign(
+            RechainPayload(epoch=5, chain=(4, 5, 6, 7, 1))
+        )
+        for pid in range(1, 8):
+            if pid != 4:
+                impostor.send(pid, KIND_BC_RECHAIN, bogus)
+        cluster.run(100.0)
+        assert cluster.replicas[2].chain == (1, 2, 3, 4, 5)
+        assert cluster.replicas[2].epoch == 0

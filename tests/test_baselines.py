@@ -1,0 +1,125 @@
+"""Tests for the PBFT and BChain baselines."""
+
+import pytest
+
+from repro.baselines.bchain import build_bchain_cluster
+from repro.baselines.pbft import build_pbft_cluster
+from repro.failures.adversary import Adversary
+from repro.util.errors import ConfigurationError
+
+
+class TestPbftFullBroadcast:
+    def test_completes_workload(self):
+        cluster = build_pbft_cluster(n=4, f=1, clients=1, requests_per_client=10, seed=2)
+        cluster.run(300.0)
+        assert cluster.total_completed() == 10
+
+    def test_all_replicas_execute(self):
+        cluster = build_pbft_cluster(n=4, f=1, clients=1, requests_per_client=5, seed=2)
+        cluster.run(200.0)
+        assert all(len(r.executed) == 5 for r in cluster.replicas.values())
+
+    def test_message_count_matches_pattern(self):
+        # Per request: PP (n-1) + PREPARE (n-1)^2 + COMMIT n(n-1).
+        n, requests = 4, 10
+        cluster = build_pbft_cluster(n=n, f=1, clients=1, requests_per_client=requests, seed=2)
+        cluster.run(300.0)
+        expected = requests * ((n - 1) + (n - 1) ** 2 + n * (n - 1))
+        assert cluster.inter_replica_messages() == expected
+
+    def test_histories_identical(self):
+        cluster = build_pbft_cluster(n=4, f=1, clients=2, requests_per_client=5, seed=3)
+        cluster.run(300.0)
+        digests = {r.kv.state_digest() for r in cluster.replicas.values()}
+        assert len(digests) == 1
+
+
+class TestPbftActiveQuorum:
+    def test_completes_with_active_quorum(self):
+        cluster = build_pbft_cluster(
+            n=7, f=2, active=range(1, 6), clients=1, requests_per_client=10, seed=2
+        )
+        cluster.run(300.0)
+        assert cluster.total_completed() == 10
+
+    def test_passive_replicas_send_nothing(self):
+        cluster = build_pbft_cluster(
+            n=7, f=2, active=range(1, 6), clients=1, requests_per_client=5, seed=2
+        )
+        cluster.run(200.0)
+        for passive in (6, 7):
+            sent = sum(
+                count
+                for (src, _), count in cluster.sim.stats.sent_by_link.items()
+                if src == passive
+            )
+            assert sent == 0
+
+    def test_message_count_matches_restricted_pattern(self):
+        # Active size a: PP (a-1) + PREPARE (a-1)^2 + COMMIT a(a-1).
+        a, requests = 5, 10
+        cluster = build_pbft_cluster(
+            n=7, f=2, active=range(1, 6), clients=1, requests_per_client=requests, seed=2
+        )
+        cluster.run(300.0)
+        expected = requests * ((a - 1) + (a - 1) ** 2 + a * (a - 1))
+        assert cluster.inter_replica_messages() == expected
+
+    def test_rejects_too_small_active_set(self):
+        with pytest.raises(ConfigurationError):
+            build_pbft_cluster(n=7, f=2, active=range(1, 5))
+
+    def test_small_group_needs_explicit_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            build_pbft_cluster(n=5, f=2)
+        cluster = build_pbft_cluster(
+            n=5, f=2, prepare_quorum=2, commit_quorum=3,
+            clients=1, requests_per_client=5, seed=2,
+        )
+        cluster.run(200.0)
+        assert cluster.total_completed() == 5
+
+
+class TestBChain:
+    def test_fault_free_chain(self):
+        cluster = build_bchain_cluster(n=7, f=2, clients=1, requests_per_client=10, seed=5)
+        cluster.run(400.0)
+        assert cluster.total_completed() == 10
+        assert cluster.total_rechains() == 0
+
+    def test_chain_message_count(self):
+        # Per request: CHAIN down (len-1) + ACK up (len-1).
+        cluster = build_bchain_cluster(n=7, f=2, clients=1, requests_per_client=10, seed=5)
+        cluster.run(400.0)
+        chain_len = 2 * 2 + 1
+        assert cluster.inter_replica_messages() == 10 * 2 * (chain_len - 1)
+
+    def test_mute_member_ejected_within_two_rechains(self):
+        cluster = build_bchain_cluster(n=7, f=2, clients=1, requests_per_client=10, seed=5)
+        adversary = Adversary(cluster.sim)
+        adversary.omit_links(3, kinds={"bc.chain"}, start=20.0)
+        cluster.run(900.0)
+        assert cluster.total_completed() == 10
+        assert cluster.total_rechains() <= 2
+        assert 3 not in cluster.replicas[1].chain
+
+    def test_rechain_uses_standby(self):
+        cluster = build_bchain_cluster(n=7, f=2, clients=1, requests_per_client=10, seed=5)
+        adversary = Adversary(cluster.sim)
+        adversary.omit_links(3, kinds={"bc.chain"}, start=20.0)
+        cluster.run(900.0)
+        chain = cluster.replicas[1].chain
+        # A standby (6 or 7) was promoted into the chain.
+        assert set(chain) & {6, 7}
+
+    def test_tail_mute_ejected(self):
+        cluster = build_bchain_cluster(n=7, f=2, clients=1, requests_per_client=10, seed=6)
+        adversary = Adversary(cluster.sim)
+        adversary.omit_links(5, kinds={"bc.ack"}, start=20.0)
+        cluster.run(900.0)
+        assert cluster.total_completed() == 10
+        assert 5 not in cluster.replicas[1].chain
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            build_bchain_cluster(n=6, f=2)

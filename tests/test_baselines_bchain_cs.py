@@ -1,0 +1,92 @@
+"""Tests for the BChain + Chain Selection integration."""
+
+import pytest
+
+from repro.baselines.bchain_cs import build_bchain_cs_cluster
+from repro.failures.adversary import Adversary
+from repro.util.errors import ConfigurationError
+
+
+class TestFaultFree:
+    def test_completes_workload(self):
+        cluster = build_bchain_cs_cluster(n=7, f=2, clients=1, requests_per_client=10, seed=5)
+        cluster.run(400.0)
+        assert cluster.total_completed() == 10
+        assert cluster.total_reconfigurations() == 0
+        assert cluster.current_chain() == (1, 2, 3, 4, 5)
+
+    def test_every_chain_member_executes(self):
+        cluster = build_bchain_cs_cluster(n=7, f=2, clients=1, requests_per_client=5, seed=5)
+        cluster.run(300.0)
+        for pid in cluster.current_chain():
+            assert len(cluster.replicas[pid].executed) == 5
+        # Off-chain replicas stay passive.
+        for pid in (6, 7):
+            assert len(cluster.replicas[pid].executed) == 0
+
+    def test_histories_identical_on_chain(self):
+        cluster = build_bchain_cs_cluster(n=7, f=2, clients=2, requests_per_client=5, seed=6)
+        cluster.run(400.0)
+        digests = {
+            cluster.replicas[pid].kv.state_digest() for pid in cluster.current_chain()
+        }
+        assert len(digests) == 1
+
+
+class TestFaulty:
+    def test_forward_muting_member_neutralized(self):
+        cluster = build_bchain_cs_cluster(n=7, f=2, clients=1, requests_per_client=10, seed=5)
+        adversary = Adversary(cluster.sim)
+        adversary.omit_links(3, kinds={"bcs.chain"}, start=20.0)
+        cluster.run(900.0)
+        assert cluster.total_completed() == 10
+        chain = cluster.current_chain()
+        # p3 either left the chain or sits at the tail, where it never
+        # needs to forward — Chain Selection's link-level remedy.
+        assert 3 not in chain or chain[-1] == 3
+
+    def test_no_external_standby_needed_at_n_2f_plus_1(self):
+        # Unlike blame-based BChain, Chain Selection works without any
+        # spare replicas: n = 2f + 1, every process is always in the chain,
+        # reconfiguration just reorders.
+        cluster = build_bchain_cs_cluster(n=5, f=2, clients=1, requests_per_client=10, seed=7)
+        adversary = Adversary(cluster.sim)
+        adversary.omit_links(2, kinds={"bcs.chain"}, start=20.0)
+        cluster.run(1200.0)
+        assert cluster.total_completed() == 10
+        chain = cluster.current_chain()
+        assert len(chain) == 3
+        assert 2 not in chain or chain[-1] == 2
+
+    def test_crash_of_chain_member(self):
+        cluster = build_bchain_cs_cluster(n=7, f=2, clients=1, requests_per_client=10, seed=8)
+        adversary = Adversary(cluster.sim)
+        adversary.crash(2, at=30.0)
+        cluster.run(900.0)
+        assert cluster.total_completed() == 10
+        assert 2 not in cluster.current_chain()
+
+    def test_reconfigurations_bounded(self):
+        cluster = build_bchain_cs_cluster(n=7, f=2, clients=1, requests_per_client=10, seed=5)
+        adversary = Adversary(cluster.sim)
+        adversary.omit_links(3, kinds={"bcs.chain"}, start=20.0)
+        cluster.run(900.0)
+        # A single muted forwarder cannot cause unbounded churn.
+        assert cluster.total_reconfigurations() <= 6
+
+    def test_stale_chain_traffic_ignored(self):
+        # After reconfiguration, messages carrying the old chain tuple are
+        # dropped: no duplicate execution, histories stay consistent.
+        cluster = build_bchain_cs_cluster(n=7, f=2, clients=1, requests_per_client=10, seed=5)
+        adversary = Adversary(cluster.sim)
+        adversary.omit_links(3, kinds={"bcs.chain"}, start=20.0)
+        cluster.run(900.0)
+        for pid, replica in cluster.replicas.items():
+            ids = [r.request_id() for r in replica.executed]
+            assert len(ids) == len(set(ids))
+
+
+class TestConfiguration:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            build_bchain_cs_cluster(n=4, f=2)

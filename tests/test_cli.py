@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["thm4"])
+        assert args.f == 2 and args.seed == 3
+
+
+class TestCommands:
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--f-max", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Thm 3" in out and "Cor 10" in out
+        assert out.count("\n") >= 5
+
+    def test_worst_case_f1(self, capsys):
+        assert main(["worst-case", "--f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "exhaustive" in out and "greedy" in out
+
+    def test_thm4_f1(self, capsys):
+        assert main(["thm4", "--f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "suspicions fired" in out
+        assert "True / True" in out
+
+    def test_savings_small(self, capsys):
+        assert main(["savings", "--f-max", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "3f+1" in out and "2f+1" in out
+
+    def test_crash_compare_f1(self, capsys):
+        assert main(["crash-compare", "--f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "quorum selection" in out and "enumeration" in out

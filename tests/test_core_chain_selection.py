@@ -1,0 +1,184 @@
+"""Tests for the Chain Selection extension (future work of Section X)."""
+
+import pytest
+
+from repro.analysis.abstract import AbstractChainSelection, greedy_chain_changes
+from repro.analysis.bounds import observed_max_changes_claim
+from repro.core.chain_selection import ChainSelectionModule
+from repro.core.spec import agreement_holds, no_link_suspicion_holds
+from repro.failures.adversary import Adversary
+from repro.failures.strategies import FalseSuspicionInjector
+from repro.fd.detector import FailureDetector
+from repro.fd.heartbeat import HeartbeatModule
+from repro.graphs.chain_path import (
+    has_chain,
+    is_valid_chain,
+    lex_first_chain,
+    sensitive_pairs,
+)
+from repro.graphs.independent_set import has_independent_set
+from repro.graphs.suspect_graph import SuspectGraph
+from repro.sim.runtime import Simulation, SimulationConfig
+from repro.util.errors import ConfigurationError
+
+
+def build_cs_world(n, f, seed=3):
+    sim = Simulation(SimulationConfig(n=n, seed=seed, gst=0.0, delta=1.0))
+    modules = {}
+    for pid in sim.pids:
+        host = sim.host(pid)
+        FailureDetector(host)
+        host.add_module(HeartbeatModule(host, n=n, period=2.0))
+        modules[pid] = host.add_module(ChainSelectionModule(host, n=n, f=f))
+    return sim, modules
+
+
+class TestChainPath:
+    def test_empty_graph_identity_chain(self):
+        assert lex_first_chain(SuspectGraph(5), 3) == (1, 2, 3)
+
+    def test_avoids_consecutive_edges(self):
+        graph = SuspectGraph(5, [(1, 2)])
+        chain = lex_first_chain(graph, 3)
+        assert chain == (1, 3, 2)
+        assert is_valid_chain(chain, graph)
+
+    def test_chain_weaker_than_independent_set(self):
+        # Two disjoint edges on 4 nodes: no 3-IS, but a 3-chain exists.
+        graph = SuspectGraph(4, [(1, 2), (3, 4)])
+        assert not has_independent_set(graph, 3)
+        assert has_chain(graph, 3)
+
+    def test_no_chain_in_dense_graph(self):
+        # Complete graph: only singleton chains.
+        import itertools
+
+        graph = SuspectGraph(4, list(itertools.combinations(range(1, 5), 2)))
+        assert has_chain(graph, 1)
+        assert not has_chain(graph, 2)
+
+    def test_zero_and_oversized(self):
+        graph = SuspectGraph(3)
+        assert lex_first_chain(graph, 0) == ()
+        assert lex_first_chain(graph, 4) is None
+        with pytest.raises(ConfigurationError):
+            lex_first_chain(graph, -1)
+
+    def test_sensitive_pairs_normalized(self):
+        assert sensitive_pairs((2, 1, 3)) == [(1, 2), (1, 3)]
+
+    def test_is_valid_chain_rejects_bad(self):
+        graph = SuspectGraph(4, [(1, 2)])
+        assert not is_valid_chain((1, 2, 3), graph)   # adjacent suspicion
+        assert not is_valid_chain((1, 1, 3), graph)   # duplicate
+        assert not is_valid_chain((1, 3, 9), graph)   # out of range
+        assert is_valid_chain((2, 4, 1), graph)
+
+    def test_independent_set_is_always_a_chain(self):
+        graph = SuspectGraph(6, [(1, 2), (2, 3), (4, 5)])
+        from repro.graphs.independent_set import lex_first_independent_set
+
+        independent = lex_first_independent_set(graph, 3)
+        assert is_valid_chain(tuple(sorted(independent)), graph)
+
+
+class TestAbstractChainSelection:
+    def test_reorder_without_membership_change(self):
+        model = AbstractChainSelection(5, 2)
+        assert model.chain == (1, 2, 3)
+        changed = model.add_suspicion(1, 2)
+        assert changed
+        assert model.chain == (1, 3, 2)  # same members, new order
+
+    def test_membership_change_when_needed(self):
+        model = AbstractChainSelection(5, 2)
+        model.add_suspicion(1, 2)
+        model.add_suspicion(1, 3)   # 1 conflicts with both others
+        assert 4 in model.chain or 5 in model.chain or model.chain[0] != 1
+
+    def test_greedy_membership_matches_qs_claim(self):
+        for f in (1, 2, 3):
+            result = greedy_chain_changes(2 * f + 2, f)
+            assert result.membership_changes == observed_max_changes_claim(f)
+            assert result.total_changes >= result.membership_changes
+
+    def test_final_chain_excludes_faulty(self):
+        result = greedy_chain_changes(6, 2)
+        assert not set(result.final_chain) & {1, 2}
+
+
+class TestChainSelectionModule:
+    def test_initial_chain(self):
+        _, modules = build_cs_world(5, 2)
+        assert modules[1].chain == (1, 2, 3)
+        assert modules[1].head == 1 and modules[1].tail == 3
+
+    def test_crash_of_chain_member(self):
+        sim, modules = build_cs_world(5, 2)
+        sim.at(10.0, lambda: sim.host(2).crash())
+        sim.run_until(120.0)
+        correct = [modules[p] for p in (1, 3, 4, 5)]
+        chains = {m.chain for m in correct}
+        assert len(chains) == 1
+        final = chains.pop()
+        assert 2 not in final
+        assert agreement_holds(correct)
+        assert no_link_suspicion_holds(correct)
+
+    def test_link_suspicion_reorders_only(self):
+        # p1 falsely suspects p2 (a current link): lex-first re-selection
+        # keeps the same members in a new order — cheaper than a full
+        # membership change.
+        sim, modules = build_cs_world(5, 2)
+        sim.at(10.0, lambda: FalseSuspicionInjector(modules[1]).suspect(2))
+        sim.run_until(120.0)
+        correct = [modules[p] for p in (2, 3, 4, 5)]
+        chains = {m.chain for m in correct}
+        assert chains == {(1, 3, 2)}
+        assert no_link_suspicion_holds(correct)
+
+    def test_non_adjacent_suspicion_ignored(self):
+        # (1,3) are non-adjacent in (1,2,3): the chain must not change.
+        sim, modules = build_cs_world(5, 2)
+        sim.at(10.0, lambda: FalseSuspicionInjector(modules[1]).suspect(3))
+        sim.run_until(120.0)
+        assert all(modules[p].chain == (1, 2, 3) for p in (2, 3, 4, 5))
+        assert all(modules[p].total_quorums_issued() == 0 for p in (2, 3, 4, 5))
+
+    def test_denser_graphs_than_algorithm1_tolerated(self):
+        # Force disjoint-edge suspicions that kill every independent set
+        # of size q but leave a chain: the epoch must NOT advance.
+        sim, modules = build_cs_world(4, 1)
+        sim.at(10.0, lambda: FalseSuspicionInjector(modules[1]).suspect(2))
+        sim.at(20.0, lambda: FalseSuspicionInjector(modules[3]).suspect(4))
+        sim.run_until(120.0)
+        module = modules[2]
+        graph = module.matrix.build_suspect_graph(1)
+        assert not has_independent_set(graph, 3)
+        assert all(modules[p].epoch == 1 for p in (1, 2, 3, 4))
+        chains = {modules[p].chain for p in (1, 2, 3, 4)}
+        assert len(chains) == 1
+        assert is_valid_chain(chains.pop(), graph)
+
+    def test_per_link_omission_splits_chain_link(self):
+        sim, modules = build_cs_world(5, 2)
+        adversary = Adversary(sim)
+        adversary.omit_links(2, dsts={3}, kinds={"heartbeat"}, start=10.0)
+        sim.run_until(150.0)
+        correct = [modules[p] for p in (1, 3, 4, 5)]
+        chains = {m.chain for m in correct}
+        assert len(chains) == 1
+        final = chains.pop()
+        assert (2, 3) not in sensitive_pairs(final)
+        assert no_link_suspicion_holds(correct)
+
+    def test_quorum_event_carries_head_as_leader(self):
+        sim, modules = build_cs_world(5, 2)
+        events = []
+        modules[4].add_quorum_listener(events.append)
+        sim.at(10.0, lambda: sim.host(1).crash())
+        sim.run_until(120.0)
+        assert events
+        last = events[-1]
+        assert last.leader == modules[4].chain[0]
+        assert last.quorum == frozenset(modules[4].chain)

@@ -1,0 +1,181 @@
+"""Tests for the eventually consistent suspicion matrix (Section VI-A)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.suspicion_matrix import SuspicionMatrix
+from repro.util.errors import ConfigurationError
+
+# Strategy: a batch of row updates (suspector, row-values) for n=4.
+N = 4
+row_values = st.lists(st.integers(0, 5), min_size=N, max_size=N)
+updates = st.lists(
+    st.tuples(st.integers(1, N), row_values), min_size=0, max_size=12
+)
+
+
+def apply_all(matrix, batch):
+    for suspector, values in batch:
+        matrix.merge_row(suspector, values)
+
+
+class TestMarkAndGet:
+    def test_initially_zero(self):
+        matrix = SuspicionMatrix(3)
+        assert matrix.get(1, 2) == 0
+
+    def test_mark_sets_epoch(self):
+        matrix = SuspicionMatrix(3)
+        assert matrix.mark(1, 2, 4)
+        assert matrix.get(1, 2) == 4
+
+    def test_mark_is_max_write(self):
+        matrix = SuspicionMatrix(3)
+        matrix.mark(1, 2, 4)
+        assert not matrix.mark(1, 2, 3)  # lower epoch ignored
+        assert matrix.get(1, 2) == 4
+
+    def test_rejects_self_suspicion(self):
+        with pytest.raises(ConfigurationError):
+            SuspicionMatrix(3).mark(1, 1, 1)
+
+    def test_rejects_negative_epoch(self):
+        with pytest.raises(ConfigurationError):
+            SuspicionMatrix(3).mark(1, 2, -1)
+
+    def test_row_format_is_one_based_dense(self):
+        matrix = SuspicionMatrix(3)
+        matrix.mark(2, 3, 5)
+        assert matrix.row(2) == (0, 0, 0, 5)
+
+
+class TestMergeRow:
+    def test_merge_pointwise_max(self):
+        matrix = SuspicionMatrix(3)
+        matrix.mark(1, 2, 4)
+        assert matrix.merge_row(1, (0, 0, 2, 7))  # 1-based dense
+        assert matrix.get(1, 2) == 4  # kept (4 > 2)
+        assert matrix.get(1, 3) == 7  # raised
+
+    def test_merge_accepts_zero_based_rows(self):
+        matrix = SuspicionMatrix(3)
+        assert matrix.merge_row(1, (0, 2, 3))
+        assert matrix.get(1, 2) == 2 and matrix.get(1, 3) == 3
+
+    def test_merge_returns_false_when_no_change(self):
+        matrix = SuspicionMatrix(3)
+        matrix.mark(1, 2, 4)
+        assert not matrix.merge_row(1, (0, 0, 4, 0))
+
+    def test_merge_ignores_diagonal(self):
+        matrix = SuspicionMatrix(3)
+        assert not matrix.merge_row(1, (0, 9, 0, 0))  # entry for (1,1)
+        assert matrix.get(1, 2) == 0
+
+    def test_merge_ignores_byzantine_garbage(self):
+        matrix = SuspicionMatrix(3)
+        assert not matrix.merge_row(1, (0, 0, "evil", None))
+        assert not matrix.merge_row(1, (0, 0, -5, 0))
+        assert not matrix.merge_row(1, (1, 2))  # wrong arity
+        assert not matrix.merge_row(1, (0, 0, True, 0))  # bools rejected
+        assert matrix.get(1, 3) == 0
+
+    def test_merge_only_touches_owner_row(self):
+        matrix = SuspicionMatrix(3)
+        matrix.merge_row(2, (0, 5, 0, 5))
+        assert matrix.get(1, 3) == 0
+        assert matrix.get(2, 1) == 5
+
+
+class TestCrdtProperties:
+    """The matrix is a join semilattice: merge order never matters."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(updates)
+    def test_idempotent(self, batch):
+        once = SuspicionMatrix(N)
+        twice = SuspicionMatrix(N)
+        apply_all(once, batch)
+        apply_all(twice, batch)
+        apply_all(twice, batch)
+        assert once == twice
+
+    @settings(max_examples=80, deadline=None)
+    @given(updates, st.randoms(use_true_random=False))
+    def test_order_independent(self, batch, rnd):
+        in_order = SuspicionMatrix(N)
+        shuffled = SuspicionMatrix(N)
+        apply_all(in_order, batch)
+        permuted = list(batch)
+        rnd.shuffle(permuted)
+        apply_all(shuffled, permuted)
+        assert in_order == shuffled
+
+    @settings(max_examples=80, deadline=None)
+    @given(updates, updates)
+    def test_commutative_across_batches(self, batch_a, batch_b):
+        ab = SuspicionMatrix(N)
+        ba = SuspicionMatrix(N)
+        apply_all(ab, batch_a)
+        apply_all(ab, batch_b)
+        apply_all(ba, batch_b)
+        apply_all(ba, batch_a)
+        assert ab == ba
+
+    @settings(max_examples=60, deadline=None)
+    @given(updates)
+    def test_equivocation_converges_to_union(self, batch):
+        # Two replicas receiving *different* subsets converge once each
+        # receives the other's missing updates (gossip forwarding).
+        left = SuspicionMatrix(N)
+        right = SuspicionMatrix(N)
+        apply_all(left, batch[::2])
+        apply_all(right, batch[1::2])
+        apply_all(left, batch[1::2])
+        apply_all(right, batch[::2])
+        assert left == right
+
+
+class TestSuspectGraph:
+    def test_edges_from_either_direction(self):
+        matrix = SuspicionMatrix(4)
+        matrix.mark(1, 2, 3)  # 1 suspects 2 in epoch 3
+        graph = matrix.build_suspect_graph(3)
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 1)
+
+    def test_epoch_filters_old_suspicions(self):
+        matrix = SuspicionMatrix(4)
+        matrix.mark(1, 2, 2)
+        assert matrix.build_suspect_graph(2).has_edge(1, 2)
+        assert not matrix.build_suspect_graph(3).has_edge(1, 2)
+
+    def test_fig4_reconstruction(self):
+        # Figure 4: edges labelled epoch 3 (triangle) and epoch 2 ((3,4)).
+        matrix = SuspicionMatrix(5)
+        matrix.mark(1, 2, 3)
+        matrix.mark(2, 5, 3)
+        matrix.mark(1, 5, 3)
+        matrix.mark(3, 4, 2)
+        epoch2 = matrix.build_suspect_graph(2)
+        assert epoch2.edge_count() == 4
+        epoch3 = matrix.build_suspect_graph(3)
+        assert epoch3.edge_count() == 3
+        assert not epoch3.has_edge(3, 4)  # dropped when epoch increased
+
+    def test_rejects_epoch_zero(self):
+        with pytest.raises(ConfigurationError):
+            SuspicionMatrix(3).build_suspect_graph(0)
+
+    def test_entries_iteration(self):
+        matrix = SuspicionMatrix(3)
+        matrix.mark(1, 2, 5)
+        matrix.mark(3, 1, 2)
+        assert set(matrix.entries()) == {(1, 2, 5), (3, 1, 2)}
+
+    def test_copy_is_independent(self):
+        matrix = SuspicionMatrix(3)
+        clone = matrix.copy()
+        matrix.mark(1, 2, 1)
+        assert clone.get(1, 2) == 0

@@ -1,0 +1,208 @@
+"""Tests for Algorithm 1 — the Quorum Selection module."""
+
+import pytest
+
+from repro.core.messages import KIND_UPDATE, UpdatePayload
+from repro.core.quorum_selection import QuorumSelectionModule
+from repro.core.spec import (
+    agreement_holds,
+    no_suspicion_holds,
+    quorums_issued_after,
+    termination_holds,
+)
+from repro.failures.adversary import Adversary
+from repro.failures.strategies import FalseSuspicionInjector
+from repro.util.errors import ConfigurationError
+from tests.conftest import build_qs_world
+
+
+class TestConfiguration:
+    def test_rejects_f_zero(self, qs_world_5_2):
+        sim, _ = qs_world_5_2
+        with pytest.raises(ConfigurationError):
+            QuorumSelectionModule(sim.host(1), n=5, f=0)
+
+    def test_rejects_minority_correct(self, qs_world_5_2):
+        sim, _ = qs_world_5_2
+        with pytest.raises(ConfigurationError):
+            QuorumSelectionModule(sim.host(1), n=4, f=2)  # q = f
+
+    def test_initial_state_matches_algorithm_1(self, qs_world_5_2):
+        _, modules = qs_world_5_2
+        module = modules[1]
+        assert module.epoch == 1
+        assert module.suspecting == frozenset()
+        assert module.qlast == frozenset({1, 2, 3})
+        assert module.q == 3
+
+
+class TestFaultFree:
+    def test_no_quorum_changes(self, qs_world_5_2):
+        sim, modules = qs_world_5_2
+        sim.run_until(100.0)
+        assert all(m.total_quorums_issued() == 0 for m in modules.values())
+        assert all(m.qlast == frozenset({1, 2, 3}) for m in modules.values())
+        assert all(m.epoch == 1 for m in modules.values())
+
+
+class TestCrashScenarios:
+    def test_crash_outside_default_quorum_is_invisible(self, qs_world_5_2):
+        sim, modules = qs_world_5_2
+        sim.at(10.0, lambda: sim.host(5).crash())
+        sim.run_until(100.0)
+        correct = [modules[p] for p in (1, 2, 3, 4)]
+        # {1,2,3} is still the lex-first independent set: no change issued.
+        assert all(m.qlast == frozenset({1, 2, 3}) for m in correct)
+        assert agreement_holds(correct)
+        assert no_suspicion_holds(correct)
+
+    def test_crash_in_default_quorum_forces_change(self, qs_world_5_2):
+        sim, modules = qs_world_5_2
+        sim.at(10.0, lambda: sim.host(1).crash())
+        sim.run_until(100.0)
+        correct = [modules[p] for p in (2, 3, 4, 5)]
+        assert all(m.qlast == frozenset({2, 3, 4}) for m in correct)
+        assert agreement_holds(correct)
+        assert no_suspicion_holds(correct)
+        assert termination_holds(correct, after=60.0)
+
+    def test_two_crashes(self, qs_world_5_2):
+        sim, modules = qs_world_5_2
+        sim.at(10.0, lambda: sim.host(1).crash())
+        sim.at(15.0, lambda: sim.host(3).crash())
+        sim.run_until(150.0)
+        correct = [modules[p] for p in (2, 4, 5)]
+        assert all(m.qlast == frozenset({2, 4, 5}) for m in correct)
+        assert agreement_holds(correct)
+
+
+class TestPerLinkOmission:
+    def test_single_link_omission_excludes_pair(self):
+        # p3 mutes heartbeats to p1 only: edge (1,3) appears; the lex-first
+        # independent set must avoid having both 1 and 3.
+        sim, modules = build_qs_world(5, 2)
+        adversary = Adversary(sim)
+        adversary.omit_links(3, dsts={1}, kinds={"heartbeat"}, start=10.0)
+        sim.run_until(120.0)
+        correct = [modules[p] for p in (1, 2, 4, 5)]
+        assert agreement_holds(correct)
+        final = correct[0].qlast
+        assert not {1, 3} <= final
+        assert no_suspicion_holds(correct)
+
+
+class TestFalseSuspicions:
+    def test_false_suspicion_changes_quorum_once(self, qs_world_5_2):
+        sim, modules = qs_world_5_2
+        sim.at(10.0, lambda: FalseSuspicionInjector(modules[1]).suspect(2))
+        sim.run_until(100.0)
+        correct = [modules[p] for p in (2, 3, 4, 5)]
+        assert agreement_holds(correct)
+        final = correct[0].qlast
+        assert not {1, 2} <= final  # edge (1,2) respected
+        # Exactly one change: {1,2,3} -> {1,3,4}.
+        assert final == frozenset({1, 3, 4})
+
+    def test_suspicions_of_outsiders_change_nothing(self, qs_world_5_2):
+        sim, modules = qs_world_5_2
+        # p5 (outside quorum) falsely suspects p4 (outside quorum).
+        sim.at(10.0, lambda: FalseSuspicionInjector(modules[5]).suspect(4))
+        sim.run_until(100.0)
+        assert all(m.total_quorums_issued() == 0 for m in modules.values())
+
+
+class TestUpdatePropagationAndByzantineRows:
+    def test_forwarding_reaches_partitioned_receiver(self):
+        # p1's UPDATEs to p4 are dropped, but p4 still learns p1's
+        # suspicion via forwarding from other correct processes (Lemma 1).
+        sim, modules = build_qs_world(5, 2)
+        adversary = Adversary(sim)
+        adversary.omit_links(1, dsts={4}, kinds={KIND_UPDATE})
+        sim.at(10.0, lambda: FalseSuspicionInjector(modules[1]).suspect(2))
+        sim.run_until(100.0)
+        assert modules[4].matrix.get(1, 2) >= 1
+
+    def test_equivocating_rows_converge_to_union(self, qs_world_5_2):
+        # A Byzantine process sends different rows to different peers by
+        # crafting two signed updates; max-merge makes everyone converge.
+        sim, modules = qs_world_5_2
+        byz = sim.host(5)
+
+        def equivocate():
+            row_a = (0, 3, 0, 0, 0, 0)  # p5 suspects p1 in epoch 3
+            row_b = (0, 0, 3, 0, 0, 0)  # p5 suspects p2 in epoch 3
+            signed_a = byz.authenticator.sign(UpdatePayload(row_a))
+            signed_b = byz.authenticator.sign(UpdatePayload(row_b))
+            byz.send(1, KIND_UPDATE, signed_a)
+            byz.send(2, KIND_UPDATE, signed_b)
+
+        sim.at(10.0, equivocate)
+        sim.run_until(100.0)
+        for pid in (1, 2, 3, 4):
+            assert modules[pid].matrix.get(5, 1) == 3
+            assert modules[pid].matrix.get(5, 2) == 3
+
+    def test_cannot_write_another_process_row(self, qs_world_5_2):
+        # An UPDATE is merged into the *signer's* row; p5 cannot claim to
+        # deliver p1's row.
+        sim, modules = qs_world_5_2
+        byz = sim.host(5)
+        row = (0, 0, 9, 0, 0, 0)
+        signed = byz.authenticator.sign(UpdatePayload(row))
+        sim.at(10.0, lambda: byz.send(2, KIND_UPDATE, signed))
+        sim.run_until(50.0)
+        assert modules[2].matrix.get(1, 2) == 0  # p1's row untouched
+        assert modules[2].matrix.get(5, 2) == 9  # only p5's own row
+
+
+class TestEpochAdvance:
+    def test_correct_correct_suspicion_advances_epoch(self):
+        # Force a false suspicion between correct processes by delaying
+        # all heartbeats beyond the initial timeout before GST.
+        sim, modules = build_qs_world(5, 2, seed=11, gst=40.0, base_timeout=3.0)
+        sim.run_until(400.0)
+        correct = [modules[p] for p in sim.pids]
+        # Pre-GST false suspicions between correct processes occurred...
+        assert sim.log.count("fd.suspect") > 0
+        # ...so at least one epoch advance happened somewhere...
+        assert max(m.epoch for m in correct) >= 2
+        # ...and yet the system stabilized on a common quorum.
+        assert agreement_holds(correct)
+        assert no_suspicion_holds(correct)
+
+    def test_final_quorum_is_lex_first_of_final_graph(self):
+        from repro.graphs.independent_set import lex_first_independent_set
+
+        sim, modules = build_qs_world(5, 2, seed=11, gst=40.0, base_timeout=3.0)
+        sim.run_until(400.0)
+        # Suspicions stamped with the final epoch keep constraining the
+        # quorum even after the FD cancelled them ("suspicions previously
+        # raised and canceled" are taken into account): the agreed quorum
+        # is the lex-first independent set of the final-epoch graph.
+        for pid in sim.pids:
+            module = modules[pid]
+            graph = module.matrix.build_suspect_graph(module.epoch)
+            assert module.qlast == lex_first_independent_set(graph, module.q)
+
+
+class TestInstrumentation:
+    def test_quorums_issued_after(self, qs_world_5_2):
+        sim, modules = qs_world_5_2
+        sim.at(10.0, lambda: sim.host(1).crash())
+        sim.run_until(100.0)
+        correct = [modules[p] for p in (2, 3, 4, 5)]
+        counts = quorums_issued_after(correct, after=0.0)
+        assert all(count >= 1 for count in counts.values())
+        assert quorums_issued_after(correct, after=100.0) == {
+            p: 0 for p in (2, 3, 4, 5)
+        }
+
+    def test_listener_receives_events(self, qs_world_5_2):
+        sim, modules = qs_world_5_2
+        events = []
+        modules[2].add_quorum_listener(events.append)
+        sim.at(10.0, lambda: sim.host(1).crash())
+        sim.run_until(100.0)
+        assert events
+        assert events[-1].quorum == frozenset({2, 3, 4})
+        assert events[-1].process == 2

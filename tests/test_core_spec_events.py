@@ -1,0 +1,128 @@
+"""Direct tests for QS spec checkers and QuorumEvent."""
+
+import pytest
+
+from repro.core.events import QuorumEvent
+from repro.core.spec import (
+    agreement_holds,
+    final_quorum,
+    no_leader_suspicion_holds,
+    no_link_suspicion_holds,
+    no_suspicion_holds,
+    quorum_change_times,
+    termination_holds,
+)
+from repro.util.eventlog import EventLog
+
+
+class FakeFd:
+    def __init__(self, suspected):
+        self.suspected = frozenset(suspected)
+
+
+class FakeHost:
+    def __init__(self, suspected=()):
+        self.fd = FakeFd(suspected)
+
+
+class FakeModule:
+    """Just enough surface for the spec checkers."""
+
+    def __init__(self, pid, qlast, suspected=(), leader=None, chain=None,
+                 events=()):
+        self.pid = pid
+        self.qlast = frozenset(qlast)
+        self.host = FakeHost(suspected)
+        if leader is not None:
+            self.leader = leader
+        if chain is not None:
+            self.chain = tuple(chain)
+        self.quorum_events = [
+            QuorumEvent(time=t, process=pid, epoch=1, quorum=self.qlast)
+            for t in events
+        ]
+
+
+class TestQuorumEvent:
+    def test_describe_plain(self):
+        event = QuorumEvent(time=1.5, process=2, epoch=3, quorum=frozenset({1, 2}))
+        text = event.describe()
+        assert "p2" in text and "epoch=3" in text and "{p1, p2}" in text
+
+    def test_describe_with_leader(self):
+        event = QuorumEvent(time=1.5, process=2, epoch=3,
+                            quorum=frozenset({1, 2}), leader=1)
+        assert "p1!" in event.describe()
+
+
+class TestTermination:
+    def test_holds_when_quiet(self):
+        modules = [FakeModule(1, {1, 2}, events=[5.0])]
+        assert termination_holds(modules, after=10.0)
+
+    def test_fails_on_late_event(self):
+        modules = [FakeModule(1, {1, 2}, events=[5.0, 50.0])]
+        assert not termination_holds(modules, after=10.0)
+
+
+class TestAgreementAndFinal:
+    def test_agreement(self):
+        a, b = FakeModule(1, {1, 2}), FakeModule(2, {1, 2})
+        assert agreement_holds([a, b])
+        assert final_quorum([a, b]) == frozenset({1, 2})
+
+    def test_disagreement(self):
+        a, b = FakeModule(1, {1, 2}), FakeModule(2, {1, 3})
+        assert not agreement_holds([a, b])
+        assert final_quorum([a, b]) is None
+
+    def test_leader_disagreement_breaks_agreement(self):
+        a = FakeModule(1, {1, 2}, leader=1)
+        b = FakeModule(2, {1, 2}, leader=2)
+        assert not agreement_holds([a, b])
+
+
+class TestNoSuspicionVariants:
+    def test_no_suspicion_ok_outside_quorum(self):
+        # A member outside the quorum may suspect whomever it likes.
+        module = FakeModule(9, {1, 2}, suspected={1})
+        assert no_suspicion_holds([module])
+
+    def test_no_suspicion_violated_inside(self):
+        module = FakeModule(1, {1, 2}, suspected={2})
+        assert not no_suspicion_holds([module])
+
+    def test_no_leader_suspicion_follower_side(self):
+        follower = FakeModule(2, {1, 2, 3}, suspected={3}, leader=1)
+        assert no_leader_suspicion_holds([follower])  # suspects a co-follower: fine
+        bad = FakeModule(2, {1, 2, 3}, suspected={1}, leader=1)
+        assert not no_leader_suspicion_holds([bad])
+
+    def test_no_leader_suspicion_leader_side(self):
+        leader = FakeModule(1, {1, 2, 3}, suspected={2}, leader=1)
+        assert not no_leader_suspicion_holds([leader])
+
+    def test_no_leader_suspicion_requires_leader_attr(self):
+        assert not no_leader_suspicion_holds([FakeModule(1, {1, 2})])
+
+    def test_no_link_suspicion(self):
+        # chain (1, 2, 3): p2's neighbours are 1 and 3.
+        ok = FakeModule(2, {1, 2, 3}, suspected=set(), chain=(1, 2, 3))
+        assert no_link_suspicion_holds([ok])
+        non_adjacent = FakeModule(1, {1, 2, 3}, suspected={3}, chain=(1, 2, 3))
+        assert no_link_suspicion_holds([non_adjacent])  # 3 not adjacent to 1
+        adjacent = FakeModule(2, {1, 2, 3}, suspected={3}, chain=(1, 2, 3))
+        assert not no_link_suspicion_holds([adjacent])
+
+    def test_no_link_suspicion_requires_chain_attr(self):
+        assert not no_link_suspicion_holds([FakeModule(1, {1, 2})])
+
+
+class TestQuorumChangeTimes:
+    def test_filters_to_correct_processes(self):
+        log = EventLog()
+        log.append(1.0, 1, "qs.quorum")
+        log.append(2.0, 2, "qs.quorum")
+        log.append(3.0, 1, "other")
+        assert quorum_change_times(log, [1]) == [1.0]
+        assert quorum_change_times(log, [1, 2]) == [1.0, 2.0]

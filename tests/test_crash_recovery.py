@@ -1,0 +1,106 @@
+"""Crash-recovery behaviour: the paper's eventual-detection world.
+
+Section II grounds *eventual detection* in the crash-recovery model
+(reference [9]): processes fail and resume, suspicions get raised and
+cancelled.  These tests exercise the reproduction's recovery path and
+the key memory property: Quorum Selection remembers cancelled suspicions
+within an epoch, so a recovered process does not bounce straight back
+into the quorum.
+"""
+
+from repro.core.spec import agreement_holds, no_suspicion_holds
+from repro.fd.properties import suspicion_intervals
+from tests.conftest import build_qs_world
+
+
+class TestHostRecovery:
+    def test_recover_restores_running(self):
+        sim, _ = build_qs_world(5, 2)
+        sim.at(10.0, lambda: sim.host(4).crash())
+        sim.at(20.0, lambda: sim.host(4).recover())
+        sim.run_until(60.0)
+        assert sim.host(4).running
+        assert sim.log.count("recover", process=4) == 1
+
+    def test_recover_is_idempotent_on_running_host(self):
+        sim, _ = build_qs_world(5, 2)
+        sim.start()
+        sim.host(4).recover()  # never crashed: no-op
+        assert sim.log.count("recover", process=4) == 0
+
+    def test_heartbeats_resume_after_recovery(self):
+        sim, _ = build_qs_world(5, 2)
+        sim.at(10.0, lambda: sim.host(4).crash())
+        sim.at(30.0, lambda: sim.host(4).recover())
+        sim.run_until(100.0)
+        beats_late = [
+            e for e in sim.log.events(kind="fd.expect", process=1)
+        ]
+        # p4's beats flow again: p1 no longer suspects it at the end.
+        assert 4 not in sim.host(1).fd.suspected
+
+
+class TestSuspicionLifecycle:
+    def test_suspicions_raised_then_cancelled(self):
+        sim, _ = build_qs_world(5, 2)
+        sim.at(10.0, lambda: sim.host(4).crash())
+        sim.at(40.0, lambda: sim.host(4).recover())
+        sim.run_until(150.0)
+        intervals = suspicion_intervals(sim.log, 1, 4)
+        assert intervals, "the crash must have been suspected"
+        # The last suspicion interval closed after recovery.
+        assert intervals[-1][1] != float("inf")
+
+    def test_detected_survives_recovery(self):
+        sim, modules = build_qs_world(5, 2)
+        sim.at(5.0, lambda: sim.host(1).fd.detected(4))
+        sim.at(10.0, lambda: sim.host(4).crash())
+        sim.at(20.0, lambda: sim.host(4).recover())
+        sim.run_until(100.0)
+        assert 4 in sim.host(1).fd.suspected  # permanent detection
+
+
+class TestQuorumMemory:
+    def test_recovered_process_stays_out_within_epoch(self):
+        # p1 (default quorum member) crashes, the quorum moves on; after
+        # recovery the FD suspicions are cancelled, but the epoch-stamped
+        # matrix marks keep p1 out — "suspicions previously raised and
+        # canceled" are exactly what Quorum Selection must remember.
+        sim, modules = build_qs_world(5, 2)
+        sim.at(10.0, lambda: sim.host(1).crash())
+        sim.at(60.0, lambda: sim.host(1).recover())
+        sim.run_until(250.0)
+        correct = [modules[p] for p in sim.pids]
+        assert agreement_holds(correct)
+        assert no_suspicion_holds(correct)
+        final = correct[1].qlast
+        assert 1 not in final  # memory: still excluded this epoch
+        # ...even though no live suspicion remains anywhere:
+        for pid in (2, 3, 4, 5):
+            assert 1 not in sim.host(pid).fd.suspected
+        # ...because the matrix still shows the epoch-1 marks:
+        assert any(
+            modules[2].matrix.get(p, 1) >= modules[2].epoch for p in (2, 3, 4, 5)
+        )
+
+    def test_recovered_process_participates_in_gossip_again(self):
+        sim, modules = build_qs_world(5, 2)
+        sim.at(10.0, lambda: sim.host(1).crash())
+        sim.at(60.0, lambda: sim.host(1).recover())
+        sim.run_until(250.0)
+        # The recovered process converged to the same matrix and quorum.
+        assert modules[1].qlast == modules[2].qlast
+        assert modules[1].matrix == modules[2].matrix
+
+    def test_repeated_crash_recovery_cycles(self):
+        sim, modules = build_qs_world(5, 2)
+        for k in range(3):
+            sim.at(10.0 + 40.0 * k, lambda: sim.host(4).crash())
+            sim.at(30.0 + 40.0 * k, lambda: sim.host(4).recover())
+        sim.run_until(300.0)
+        correct = [modules[p] for p in sim.pids]
+        assert agreement_holds(correct)
+        # Eventual detection: suspicions were raised and cancelled
+        # repeatedly (at least once per cycle at some observer).
+        intervals = suspicion_intervals(sim.log, 1, 4)
+        assert len(intervals) >= 2

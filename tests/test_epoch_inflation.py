@@ -1,0 +1,107 @@
+"""Byzantine epoch inflation: stamping absurd epochs must not DoS.
+
+A faulty process can put any value in its own signed row — including an
+epoch stamp of a billion.  Under a naive one-by-one epoch walk (the
+pseudocode as printed), the first inconsistent epoch would make correct
+processes increment through every intermediate value.  The implemented
+epoch *jump* (DESIGN.md §5.10) advances directly to the next viable
+threshold; these tests pin that behaviour.
+"""
+
+from repro.core.messages import KIND_UPDATE, UpdatePayload
+from repro.core.spec import agreement_holds
+from repro.failures.strategies import FalseSuspicionInjector
+from tests.conftest import build_qs_world
+
+HUGE = 10**9
+
+
+def inject_inflated_row(sim, byz_pid, n, value=HUGE):
+    """The Byzantine process claims to suspect everyone at a huge epoch."""
+    host = sim.host(byz_pid)
+    row = [0] * (n + 1)
+    for other in range(1, n + 1):
+        if other != byz_pid:
+            row[other] = value
+    signed = host.authenticator.sign(UpdatePayload(tuple(row)))
+    for dst in range(1, n + 1):
+        if dst != byz_pid:
+            host.send(dst, KIND_UPDATE, signed)
+
+
+class TestInflationAlone:
+    def test_inflated_row_is_ignored_until_epochs_catch_up(self):
+        # The far-future star forms no edges (band defense): the quorum
+        # is untouched and no epoch advance happens.
+        sim, modules = build_qs_world(4, 1)
+        sim.at(10.0, lambda: inject_inflated_row(sim, 4, 4))
+        sim.run_until(100.0)
+        correct = [modules[p] for p in (1, 2, 3)]
+        assert all(m.epoch == 1 for m in correct)
+        assert all(m.qlast == frozenset({1, 2, 3}) for m in correct)
+        assert agreement_holds(correct)
+
+    def test_matrix_records_the_huge_value(self):
+        sim, modules = build_qs_world(4, 1)
+        sim.at(10.0, lambda: inject_inflated_row(sim, 4, 4))
+        sim.run_until(100.0)
+        assert modules[1].matrix.get(4, 2) == HUGE
+
+
+class TestInflationPlusCorrectSuspicion:
+    """The killer combination against the paper-literal semantics: an
+    inflated star pins edges through every epoch up to the inflated
+    value, so *any* concurrent correct-correct suspicion (which gets
+    re-stamped into each new epoch) leaves no independent set for ~10^9
+    consecutive epochs — a livelock.  The epoch band defuses it: the
+    future-dated star simply never forms edges."""
+
+    def test_band_prevents_epoch_climb_entirely(self):
+        sim, modules = build_qs_world(4, 1)
+        sim.at(10.0, lambda: inject_inflated_row(sim, 4, 4))
+        sim.at(20.0, lambda: FalseSuspicionInjector(modules[1]).suspect(2))
+        sim.run_until(150.0)
+        correct = [modules[p] for p in (1, 2, 3)]
+        # The star is out of band: the only edge is (1,2), an independent
+        # set exists, no epoch ever advances, and the run stays tiny.
+        assert all(m.epoch == 1 for m in correct)
+        assert agreement_holds(correct)
+        assert sim.scheduler.steps_executed < 20_000
+
+    def test_quorum_respects_the_real_suspicion(self):
+        sim, modules = build_qs_world(4, 1)
+        sim.at(10.0, lambda: inject_inflated_row(sim, 4, 4))
+        sim.at(20.0, lambda: FalseSuspicionInjector(modules[1]).suspect(2))
+        sim.run_until(150.0)
+        module = modules[3]
+        # The genuine (in-band) suspicion (1,2) is honoured; the inflated
+        # star is not.
+        assert module.qlast == frozenset({1, 3, 4})
+
+    def test_paper_literal_semantics_would_livelock(self):
+        # Abstract demonstration (no network): with unbounded semantics
+        # (slack=None), the star + a re-stamped correct edge kills every
+        # independent set at every epoch up to the inflated value.
+        from repro.core.suspicion_matrix import SuspicionMatrix
+        from repro.graphs.independent_set import has_independent_set
+
+        matrix = SuspicionMatrix(4)
+        for other in (1, 2, 3):
+            matrix.mark(4, other, HUGE)
+        for probe_epoch in (1, 2, 100, 10**6):
+            matrix.mark(1, 2, probe_epoch)  # re-stamped at each epoch
+            unbounded = matrix.build_suspect_graph(probe_epoch, slack=None)
+            banded = matrix.build_suspect_graph(probe_epoch, slack=1024)
+            assert not has_independent_set(unbounded, 3)  # livelocked
+            assert has_independent_set(banded, 3)         # defused
+
+    def test_in_band_values_still_fully_honoured(self):
+        # The band only discounts far-future stamps: values within
+        # epoch + slack behave exactly like the paper's semantics.
+        from repro.core.suspicion_matrix import SuspicionMatrix
+
+        matrix = SuspicionMatrix(4)
+        matrix.mark(4, 1, 5)
+        graph = matrix.build_suspect_graph(1, slack=1024)
+        assert graph.has_edge(4, 1)
+        assert not matrix.build_suspect_graph(6, slack=1024).has_edge(4, 1)

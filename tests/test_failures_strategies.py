@@ -1,0 +1,135 @@
+"""Tests for adversary strategies (Theorem 4 adversary, random noise)."""
+
+import pytest
+
+from repro.core.spec import agreement_holds, no_suspicion_holds
+from repro.failures.adversary import Adversary, LinkRule
+from repro.failures.strategies import (
+    FalseSuspicionInjector,
+    LowerBoundStrategy,
+    RandomSuspicionStrategy,
+)
+from repro.util.errors import ConfigurationError
+from tests.conftest import build_qs_world
+
+
+class TestAdversaryControl:
+    def test_corrupt_respects_budget(self):
+        sim, _ = build_qs_world(5, 2)
+        adversary = Adversary(sim, f_max=1)
+        adversary.corrupt(1)
+        adversary.corrupt(1)  # idempotent, still one
+        with pytest.raises(ConfigurationError):
+            adversary.corrupt(2)
+
+    def test_correct_processes_listing(self):
+        sim, _ = build_qs_world(5, 2)
+        adversary = Adversary(sim)
+        adversary.corrupt(2)
+        assert adversary.correct_processes() == [1, 3, 4, 5]
+
+    def test_rule_matching_window(self):
+        rule = LinkRule(dsts={2}, kinds={"m"}, start=5.0, end=10.0, drop=True)
+        from repro.sim.network import Envelope
+
+        inside = Envelope(kind="m", payload=None, src=1, dst=2, sent_at=7.0)
+        before = Envelope(kind="m", payload=None, src=1, dst=2, sent_at=4.0)
+        wrong_dst = Envelope(kind="m", payload=None, src=1, dst=3, sent_at=7.0)
+        wrong_kind = Envelope(kind="x", payload=None, src=1, dst=2, sent_at=7.0)
+        assert rule.matches(inside)
+        assert not rule.matches(before)
+        assert not rule.matches(wrong_dst)
+        assert not rule.matches(wrong_kind)
+
+    def test_delay_growth_action(self):
+        from repro.sim.network import Envelope
+
+        rule = LinkRule(start=10.0, delay_growth=2.0)
+        envelope = Envelope(kind="m", payload=None, src=1, dst=2, sent_at=15.0)
+        assert rule.action_for(envelope).extra_delay == 10.0
+
+
+class TestFalseSuspicionInjector:
+    def test_injects_and_propagates(self):
+        sim, modules = build_qs_world(5, 2)
+        sim.at(10.0, lambda: FalseSuspicionInjector(modules[1]).suspect(3))
+        sim.run_until(60.0)
+        for pid in (2, 4, 5):
+            assert modules[pid].matrix.get(1, 3) >= 1
+
+    def test_rejects_self_suspicion(self):
+        _, modules = build_qs_world(5, 2)
+        with pytest.raises(ConfigurationError):
+            FalseSuspicionInjector(modules[1]).suspect(1)
+
+    def test_keeps_previous_suspicions(self):
+        sim, modules = build_qs_world(5, 2)
+        injector = FalseSuspicionInjector(modules[1])
+        sim.at(10.0, lambda: injector.suspect(3))
+        sim.at(20.0, lambda: injector.suspect(4))
+        sim.run_until(60.0)
+        assert modules[2].matrix.get(1, 3) >= 1
+        assert modules[2].matrix.get(1, 4) >= 1
+
+
+class TestLowerBoundStrategy:
+    def test_validation(self):
+        sim, modules = build_qs_world(5, 2)
+        with pytest.raises(ConfigurationError):
+            LowerBoundStrategy(sim, modules, faulty={1, 2}, targets=(2, 3))
+        with pytest.raises(ConfigurationError):
+            LowerBoundStrategy(sim, modules, faulty={1}, targets=(2,))
+
+    def test_runs_to_exhaustion(self):
+        sim, modules = build_qs_world(6, 2, seed=5)
+        strategy = LowerBoundStrategy(sim, modules, faulty={1, 2}, targets=(3, 4))
+        strategy.install()
+        sim.run_until(800.0)
+        assert strategy.done
+        # C(f+2,2) - 1 = 5 usable pairs with a faulty endpoint.
+        assert len(strategy.fired) == 5
+        correct = [modules[p] for p in (3, 4, 5, 6)]
+        assert agreement_holds(correct)
+        assert no_suspicion_holds(correct)
+
+    def test_pairs_never_reused(self):
+        sim, modules = build_qs_world(6, 2, seed=5)
+        strategy = LowerBoundStrategy(sim, modules, faulty={1, 2}, targets=(3, 4))
+        strategy.install()
+        sim.run_until(800.0)
+        normalized = {(min(a, b), max(a, b)) for _, a, b in strategy.fired}
+        assert len(normalized) == len(strategy.fired)
+
+    def test_suspector_is_always_faulty(self):
+        sim, modules = build_qs_world(6, 2, seed=5)
+        strategy = LowerBoundStrategy(sim, modules, faulty={1, 2}, targets=(3, 4))
+        strategy.install()
+        sim.run_until(800.0)
+        assert all(suspector in {1, 2} for _, suspector, _ in strategy.fired)
+
+
+class TestRandomStrategy:
+    def test_stabilizes_after_noise_stops(self):
+        sim, modules = build_qs_world(5, 2, seed=9)
+        strategy = RandomSuspicionStrategy(
+            sim, modules, faulty={1, 2}, rate=0.6, stop_at=120.0
+        )
+        strategy.install()
+        sim.run_until(400.0)
+        correct = [modules[p] for p in (3, 4, 5)]
+        assert agreement_holds(correct)
+        assert no_suspicion_holds(correct)
+        # Nothing fires after the stop time.
+        assert all(t < 120.0 for t, _, _ in strategy.fired)
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            sim, modules = build_qs_world(5, 2, seed=seed)
+            strategy = RandomSuspicionStrategy(
+                sim, modules, faulty={1}, rate=0.5, stop_at=60.0
+            )
+            strategy.install()
+            sim.run_until(100.0)
+            return strategy.fired
+
+        assert run(4) == run(4)

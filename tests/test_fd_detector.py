@@ -1,0 +1,227 @@
+"""Tests for the expectation-driven failure detector (Section IV-B)."""
+
+import pytest
+
+from repro.crypto.authenticator import SignedMessage
+from repro.fd.detector import FailureDetector
+from repro.fd.expectations import kind_and, kind_is
+from repro.fd.timers import TimeoutPolicy
+from repro.sim.latency import FixedLatency
+from repro.sim.runtime import Simulation, SimulationConfig
+from repro.util.errors import ConfigurationError
+
+
+def make_world(n=3, timeout=5.0, latency=1.0):
+    sim = Simulation(SimulationConfig(n=n, seed=1, latency=FixedLatency(latency)))
+    detectors = {
+        pid: FailureDetector(sim.host(pid), TimeoutPolicy(base_timeout=timeout))
+        for pid in sim.pids
+    }
+    sim.start()
+    return sim, detectors
+
+
+class TestDelivery:
+    def test_signed_message_delivered_with_signer_source(self):
+        sim, fds = make_world()
+        got = []
+        sim.host(2).subscribe("m", lambda k, p, s: got.append((p.payload, s)))
+        signed = sim.host(1).authenticator.sign("hello")
+        # Transported via p3 (forwarding): source must still be p1.
+        sim.host(3).send(2, "m", signed)
+        sim.run_until(5.0)
+        assert got == [("hello", 1)]
+
+    def test_forged_message_dropped(self):
+        sim, fds = make_world()
+        got = []
+        sim.host(2).subscribe("m", lambda k, p, s: got.append(p))
+        good = sim.host(1).authenticator.sign("hello")
+        forged = SignedMessage("tampered", good.signature)
+        sim.host(1).send(2, "m", forged)
+        sim.run_until(5.0)
+        assert got == []
+        assert sim.log.count("fd.authfail", process=2) == 1
+
+    def test_unsigned_allowed_by_default(self):
+        sim, fds = make_world()
+        got = []
+        sim.host(2).subscribe("m", lambda k, p, s: got.append((p, s)))
+        sim.host(1).send(2, "m", "raw")
+        sim.run_until(5.0)
+        assert got == [("raw", 1)]
+
+    def test_unsigned_rejected_when_required(self):
+        sim = Simulation(SimulationConfig(n=2, seed=1, latency=FixedLatency(1.0)))
+        FailureDetector(sim.host(2), require_signatures=True)
+        got = []
+        sim.host(2).subscribe("m", lambda k, p, s: got.append(p))
+        sim.start()
+        sim.host(1).send(2, "m", "raw")
+        sim.run_until(5.0)
+        assert got == []
+
+
+class TestExpectations:
+    def test_fulfilled_before_deadline_no_suspicion(self):
+        sim, fds = make_world(timeout=5.0)
+        fds[2].expect(1, kind_is("m"), label="t")
+        sim.host(1).send(2, "m", sim.host(1).authenticator.sign("x"))
+        sim.run_until(20.0)
+        assert fds[2].suspected == frozenset()
+        assert fds[2].expectations_fulfilled == 1
+
+    def test_timeout_raises_suspicion(self):
+        sim, fds = make_world(timeout=5.0)
+        fds[2].expect(1, kind_is("m"))
+        sim.run_until(20.0)
+        assert fds[2].suspected == frozenset({1})
+        assert sim.log.count("fd.timeout", process=2) == 1
+
+    def test_late_arrival_cancels_suspicion(self):
+        sim, fds = make_world(timeout=5.0)
+        fds[2].expect(1, kind_is("m"))
+        signed = sim.host(1).authenticator.sign("x")
+        sim.at(10.0, lambda: sim.host(1).send(2, "m", signed))
+        sim.run_until(8.0)
+        assert fds[2].suspected == frozenset({1})  # eventual detection...
+        sim.run_until(20.0)
+        assert fds[2].suspected == frozenset()  # ...then cancelled
+        assert sim.log.count("fd.unsuspect", process=2) == 1
+
+    def test_late_arrival_grows_timeout(self):
+        sim, fds = make_world(timeout=5.0)
+        fds[2].expect(1, kind_is("m"))
+        signed = sim.host(1).authenticator.sign("x")
+        sim.at(10.0, lambda: sim.host(1).send(2, "m", signed))
+        sim.run_until(20.0)
+        assert fds[2].policy.timeout_for(1) == 10.0  # doubled
+        assert fds[2].policy.false_suspicions[1] == 1
+
+    def test_predicate_filters_matches(self):
+        sim, fds = make_world(timeout=5.0)
+        fds[2].expect(1, kind_and("m", lambda p: p.payload == "right"))
+        wrong = sim.host(1).authenticator.sign("wrong")
+        sim.host(1).send(2, "m", wrong)
+        sim.run_until(20.0)
+        assert fds[2].suspected == frozenset({1})  # wrong payload: no match
+
+    def test_source_must_match(self):
+        sim, fds = make_world(timeout=5.0)
+        fds[2].expect(1, kind_is("m"))
+        sim.host(3).send(2, "m", sim.host(3).authenticator.sign("x"))
+        sim.run_until(20.0)
+        assert fds[2].suspected == frozenset({1})
+
+    def test_one_message_fulfills_all_matching(self):
+        sim, fds = make_world(timeout=5.0)
+        fds[2].expect(1, kind_is("m"))
+        fds[2].expect(1, kind_is("m"))
+        sim.host(1).send(2, "m", sim.host(1).authenticator.sign("x"))
+        sim.run_until(20.0)
+        assert fds[2].expectations_fulfilled == 2
+        assert fds[2].suspected == frozenset()
+
+    def test_explicit_timeout_overrides_policy(self):
+        sim, fds = make_world(timeout=100.0)
+        fds[2].expect(1, kind_is("m"), timeout=2.0)
+        sim.run_until(5.0)
+        assert fds[2].suspected == frozenset({1})
+
+
+class TestCancel:
+    def test_cancel_all(self):
+        sim, fds = make_world(timeout=5.0)
+        fds[2].expect(1, kind_is("m"))
+        fds[2].expect(3, kind_is("m"))
+        assert fds[2].cancel() == 2
+        sim.run_until(20.0)
+        assert fds[2].suspected == frozenset()
+
+    def test_cancel_by_group(self):
+        sim, fds = make_world(timeout=5.0)
+        fds[2].expect(1, kind_is("m"), group="a")
+        fds[2].expect(3, kind_is("m"), group="b")
+        assert fds[2].cancel(group="a") == 1
+        sim.run_until(20.0)
+        assert fds[2].suspected == frozenset({3})
+
+    def test_cancel_withdraws_open_suspicion(self):
+        sim, fds = make_world(timeout=5.0)
+        fds[2].expect(1, kind_is("m"), group="x")
+        sim.run_until(10.0)
+        assert fds[2].suspected == frozenset({1})
+        fds[2].cancel(group="x")
+        assert fds[2].suspected == frozenset()
+
+    def test_individual_handle_cancel(self):
+        sim, fds = make_world(timeout=5.0)
+        handle = fds[2].expect(1, kind_is("m"))
+        handle.cancel()
+        sim.run_until(20.0)
+        assert fds[2].suspected == frozenset()
+        assert not handle.pending
+
+
+class TestDetected:
+    def test_detected_is_permanent(self):
+        sim, fds = make_world()
+        fds[2].detected(1)
+        assert fds[2].suspected == frozenset({1})
+        # Even a matching message later does not clear it.
+        sim.host(1).send(2, "m", sim.host(1).authenticator.sign("x"))
+        sim.run_until(20.0)
+        assert fds[2].suspected == frozenset({1})
+
+    def test_detected_idempotent(self):
+        sim, fds = make_world()
+        fds[2].detected(1)
+        fds[2].detected(1)
+        assert sim.log.count("fd.detected", process=2) == 1
+
+    def test_cancel_does_not_clear_detected(self):
+        sim, fds = make_world()
+        fds[2].detected(1)
+        fds[2].cancel()
+        assert fds[2].suspected == frozenset({1})
+
+
+class TestSubscription:
+    def test_subscribers_get_updates(self):
+        sim, fds = make_world(timeout=5.0)
+        published = []
+        fds[2].subscribe_suspected(published.append)
+        fds[2].expect(1, kind_is("m"))
+        sim.run_until(20.0)
+        assert frozenset({1}) in published
+
+    def test_timeout_republishes_even_unchanged(self):
+        # Each expectation deadline is a fresh <SUSPECTED, S> event even
+        # if the set did not change (drives enumeration-mode XPaxos).
+        sim, fds = make_world(timeout=5.0)
+        published = []
+        fds[2].subscribe_suspected(published.append)
+        fds[2].expect(1, kind_is("m"))
+        fds[2].expect(1, kind_is("m2"))
+        sim.run_until(20.0)
+        assert published.count(frozenset({1})) == 2
+
+
+class TestTimeoutPolicy:
+    def test_defaults(self):
+        policy = TimeoutPolicy(base_timeout=4.0)
+        assert policy.timeout_for(1) == 4.0
+
+    def test_doubling_and_cap(self):
+        policy = TimeoutPolicy(base_timeout=4.0, max_timeout=10.0)
+        assert policy.record_false_suspicion(1) == 8.0
+        assert policy.record_false_suspicion(1) == 10.0  # capped
+        assert policy.timeout_for(2) == 4.0  # per-source
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimeoutPolicy(base_timeout=0)
+        with pytest.raises(ConfigurationError):
+            TimeoutPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            TimeoutPolicy(base_timeout=10.0, max_timeout=5.0)

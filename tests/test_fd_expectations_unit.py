@@ -1,0 +1,91 @@
+"""Direct unit tests for the expectation records and predicate helpers."""
+
+from repro.fd.expectations import Expectation, ExpectationHandle, kind_and, kind_is
+
+
+def make_expectation(**overrides):
+    defaults = dict(
+        source=3,
+        predicate=kind_is("m"),
+        group="g",
+        deadline=10.0,
+        label="t",
+    )
+    defaults.update(overrides)
+    return Expectation(**defaults)
+
+
+class TestExpectationStates:
+    def test_fresh_expectation_is_pending(self):
+        expectation = make_expectation()
+        assert expectation.pending
+        assert not expectation.open_suspicion
+
+    def test_fulfilled_not_pending(self):
+        expectation = make_expectation()
+        expectation.fulfilled = True
+        assert not expectation.pending
+        assert not expectation.open_suspicion
+
+    def test_timed_out_becomes_open_suspicion(self):
+        expectation = make_expectation()
+        expectation.timed_out = True
+        assert not expectation.pending
+        assert expectation.open_suspicion
+
+    def test_late_fulfilment_closes_suspicion(self):
+        expectation = make_expectation()
+        expectation.timed_out = True
+        expectation.fulfilled = True
+        assert not expectation.open_suspicion
+
+    def test_cancelled_closes_everything(self):
+        expectation = make_expectation()
+        expectation.timed_out = True
+        expectation.cancelled = True
+        assert not expectation.open_suspicion
+
+    def test_ids_are_unique(self):
+        assert make_expectation().eid != make_expectation().eid
+
+
+class TestMatching:
+    def test_matches_requires_source_and_predicate(self):
+        expectation = make_expectation()
+        assert expectation.matches("m", None, 3)
+        assert not expectation.matches("m", None, 4)
+        assert not expectation.matches("x", None, 3)
+
+    def test_kind_is(self):
+        predicate = kind_is("ping")
+        assert predicate("ping", object())
+        assert not predicate("pong", object())
+
+    def test_kind_and(self):
+        predicate = kind_and("ping", lambda payload: payload == 7)
+        assert predicate("ping", 7)
+        assert not predicate("ping", 8)
+        assert not predicate("pong", 7)
+
+
+class TestHandle:
+    def test_handle_reflects_state(self):
+        expectation = make_expectation()
+        cancelled = []
+        handle = ExpectationHandle(expectation, cancelled.append)
+        assert handle.pending and handle.source == 3 and handle.label == "t"
+        expectation.fulfilled = True
+        assert handle.fulfilled and not handle.pending
+
+    def test_handle_cancel_delegates(self):
+        expectation = make_expectation()
+        cancelled = []
+        handle = ExpectationHandle(expectation, cancelled.append)
+        handle.cancel()
+        assert cancelled == [expectation]
+
+    def test_timed_out_property(self):
+        expectation = make_expectation()
+        handle = ExpectationHandle(expectation, lambda e: None)
+        expectation.timed_out = True
+        assert handle.timed_out

@@ -1,0 +1,145 @@
+"""Tests for SuspectGraph and vertex cover."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.suspect_graph import SuspectGraph
+from repro.graphs.vertex_cover import (
+    greedy_cover_upper_bound,
+    minimum_vertex_cover_size,
+    vertex_cover_at_most,
+)
+from repro.util.errors import ConfigurationError
+
+
+def random_graph_strategy(max_n=8):
+    """Hypothesis strategy for (n, edges) pairs."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(2, max_n))
+        pairs = list(itertools.combinations(range(1, n + 1), 2))
+        edges = draw(st.lists(st.sampled_from(pairs), max_size=12, unique=True))
+        return n, edges
+
+    return build()
+
+
+def brute_force_min_cover(graph: SuspectGraph) -> int:
+    edges = graph.edges()
+    if not edges:
+        return 0
+    for k in range(0, graph.n + 1):
+        for combo in itertools.combinations(range(1, graph.n + 1), k):
+            cover = set(combo)
+            if all(u in cover or v in cover for u, v in edges):
+                return k
+    return graph.n
+
+
+class TestSuspectGraph:
+    def test_add_and_query(self):
+        g = SuspectGraph(4)
+        assert g.add_edge(1, 3)
+        assert g.has_edge(3, 1)  # undirected
+        assert g.degree(1) == 1
+        assert g.neighbors(3) == frozenset({1})
+
+    def test_add_duplicate_returns_false(self):
+        g = SuspectGraph(4, [(1, 2)])
+        assert not g.add_edge(2, 1)
+        assert g.edge_count() == 1
+
+    def test_remove_edge(self):
+        g = SuspectGraph(4, [(1, 2)])
+        assert g.remove_edge(2, 1)
+        assert not g.has_edge(1, 2)
+        assert not g.remove_edge(1, 2)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ConfigurationError):
+            SuspectGraph(4, [(2, 2)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            SuspectGraph(4, [(1, 5)])
+
+    def test_isolated_nodes(self):
+        g = SuspectGraph(5, [(1, 2)])
+        assert g.isolated_nodes() == [3, 4, 5]
+
+    def test_is_independent(self):
+        g = SuspectGraph(5, [(1, 2), (2, 3)])
+        assert g.is_independent({1, 3, 4})
+        assert not g.is_independent({1, 2})
+        assert g.is_independent(set())
+
+    def test_contains_edges(self):
+        g = SuspectGraph(5, [(1, 2), (3, 4)])
+        assert g.contains_edges([(2, 1)])
+        assert not g.contains_edges([(1, 2), (1, 3)])
+
+    def test_without_node_edges(self):
+        g = SuspectGraph(4, [(1, 2), (2, 3), (3, 4)])
+        stripped = g.without_node_edges(2)
+        assert stripped.edges() == frozenset({(3, 4)})
+        assert g.edge_count() == 3  # original untouched
+
+    def test_equality_and_copy(self):
+        g = SuspectGraph(4, [(1, 2)])
+        assert g.copy() == g
+        assert g != SuspectGraph(4, [(1, 3)])
+        assert g != SuspectGraph(5, [(1, 2)])
+
+    def test_iter_sorted(self):
+        g = SuspectGraph(5, [(4, 5), (1, 2)])
+        assert list(g) == [(1, 2), (4, 5)]
+
+
+class TestVertexCover:
+    def test_empty_graph(self):
+        g = SuspectGraph(4)
+        assert vertex_cover_at_most(g, 0)
+        assert minimum_vertex_cover_size(g) == 0
+
+    def test_single_edge(self):
+        g = SuspectGraph(3, [(1, 2)])
+        assert not vertex_cover_at_most(g, 0)
+        assert vertex_cover_at_most(g, 1)
+        assert minimum_vertex_cover_size(g) == 1
+
+    def test_triangle_needs_two(self):
+        g = SuspectGraph(3, [(1, 2), (2, 3), (1, 3)])
+        assert not vertex_cover_at_most(g, 1)
+        assert vertex_cover_at_most(g, 2)
+
+    def test_star_needs_one(self):
+        g = SuspectGraph(6, [(1, k) for k in range(2, 7)])
+        assert vertex_cover_at_most(g, 1)
+        assert not vertex_cover_at_most(g, 0)
+
+    def test_matching_needs_size(self):
+        g = SuspectGraph(6, [(1, 2), (3, 4), (5, 6)])
+        assert minimum_vertex_cover_size(g) == 3
+
+    def test_negative_k(self):
+        assert not vertex_cover_at_most(SuspectGraph(2), -1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_graph_strategy())
+    def test_matches_brute_force(self, case):
+        n, edges = case
+        g = SuspectGraph(n, edges)
+        assert minimum_vertex_cover_size(g) == brute_force_min_cover(g)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_graph_strategy())
+    def test_greedy_bound_is_valid_2_approx(self, case):
+        n, edges = case
+        g = SuspectGraph(n, edges)
+        optimum = minimum_vertex_cover_size(g)
+        bound = greedy_cover_upper_bound(g)
+        assert optimum <= bound <= 2 * optimum

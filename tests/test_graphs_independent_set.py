@@ -1,0 +1,117 @@
+"""Tests for independent-set search (Algorithm 1's quorum finder)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.independent_set import (
+    all_independent_sets,
+    has_independent_set,
+    lex_first_independent_set,
+)
+from repro.graphs.suspect_graph import SuspectGraph
+from tests.test_graphs_basic import random_graph_strategy
+
+
+def brute_force_independent_sets(graph, q):
+    out = []
+    for combo in itertools.combinations(range(1, graph.n + 1), q):
+        if graph.is_independent(combo):
+            out.append(frozenset(combo))
+    return out
+
+
+class TestExistence:
+    def test_empty_graph_any_size(self):
+        g = SuspectGraph(5)
+        assert has_independent_set(g, 5)
+        assert not has_independent_set(g, 6)
+
+    def test_zero_size_always_exists(self):
+        g = SuspectGraph(2, [(1, 2)])
+        assert has_independent_set(g, 0)
+
+    def test_complete_graph_max_one(self):
+        g = SuspectGraph(4, list(itertools.combinations(range(1, 5), 2)))
+        assert has_independent_set(g, 1)
+        assert not has_independent_set(g, 2)
+
+    def test_fig4_epoch2_has_no_size3_set(self):
+        # Reconstruction of Figure 4 in epoch 2: triangle 1-2-5 plus (3,4).
+        g = SuspectGraph(5, [(1, 2), (2, 5), (1, 5), (3, 4)])
+        assert not has_independent_set(g, 3)
+
+    def test_fig4_epoch3_has_size3_sets(self):
+        # Epoch 3 drops the (3,4) edge.
+        g = SuspectGraph(5, [(1, 2), (2, 5), (1, 5)])
+        assert has_independent_set(g, 3)
+
+
+class TestLexFirst:
+    def test_empty_graph_takes_smallest_ids(self):
+        g = SuspectGraph(5)
+        assert lex_first_independent_set(g, 3) == frozenset({1, 2, 3})
+
+    def test_fig4_epoch3_selects_134(self):
+        # The paper lists {1,3,4} and {3,4,5}; lexicographic order picks {1,3,4}.
+        g = SuspectGraph(5, [(1, 2), (2, 5), (1, 5)])
+        assert lex_first_independent_set(g, 3) == frozenset({1, 3, 4})
+
+    def test_returns_none_when_impossible(self):
+        g = SuspectGraph(3, [(1, 2), (2, 3), (1, 3)])
+        assert lex_first_independent_set(g, 2) is None
+
+    def test_oversized_request(self):
+        assert lex_first_independent_set(SuspectGraph(3), 4) is None
+
+    def test_zero_request(self):
+        assert lex_first_independent_set(SuspectGraph(3), 0) == frozenset()
+
+    def test_backtracking_needed_case(self):
+        # Greedy-from-1 takes {1}, blocking 2 and 3; but {1,4,5} works via
+        # backtracking while naive greedy {1,2,..} fails.
+        g = SuspectGraph(5, [(1, 2), (1, 3), (4, 2), (5, 3)])
+        assert lex_first_independent_set(g, 3) == frozenset({1, 4, 5})
+
+    @settings(max_examples=80, deadline=None)
+    @given(random_graph_strategy(), st.integers(1, 5))
+    def test_matches_brute_force_minimum(self, case, q):
+        n, edges = case
+        graph = SuspectGraph(n, edges)
+        expected = brute_force_independent_sets(graph, q)
+        result = lex_first_independent_set(graph, q)
+        if not expected:
+            assert result is None
+            assert not has_independent_set(graph, q)
+        else:
+            assert has_independent_set(graph, q)
+            assert result == min(expected, key=lambda s: tuple(sorted(s)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_graph_strategy(), st.integers(1, 4))
+    def test_result_is_independent(self, case, q):
+        n, edges = case
+        graph = SuspectGraph(n, edges)
+        result = lex_first_independent_set(graph, q)
+        if result is not None:
+            assert len(result) == q
+            assert graph.is_independent(result)
+
+
+class TestEnumeration:
+    def test_yields_in_lexicographic_order(self):
+        g = SuspectGraph(4, [(1, 2)])
+        sets = list(all_independent_sets(g, 2))
+        keys = [tuple(sorted(s)) for s in sets]
+        assert keys == sorted(keys)
+
+    def test_matches_brute_force(self):
+        g = SuspectGraph(5, [(1, 2), (2, 5), (1, 5)])
+        assert set(all_independent_sets(g, 3)) == set(
+            brute_force_independent_sets(g, 3)
+        )
+
+    def test_empty_for_impossible(self):
+        g = SuspectGraph(3, [(1, 2), (2, 3), (1, 3)])
+        assert list(all_independent_sets(g, 2)) == []

@@ -1,0 +1,219 @@
+"""Tests for line subgraphs, leaders, possible followers (Defs. 1-2)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.line_subgraph import (
+    LineSubgraph,
+    extend_with_edge,
+    is_line_subgraph,
+    leader_of,
+    maximal_line_subgraph,
+    possible_followers,
+)
+from repro.graphs.suspect_graph import SuspectGraph
+from repro.util.errors import ConfigurationError
+from tests.test_graphs_basic import random_graph_strategy
+
+
+def brute_force_max_leader(graph: SuspectGraph) -> int:
+    """Max over ALL line subgraphs of the designated leader (Def. 1)."""
+    edges = sorted(graph.edges())
+    best = 1
+    for r in range(len(edges) + 1):
+        for combo in itertools.combinations(edges, r):
+            try:
+                line = LineSubgraph(graph.n, combo)
+            except ConfigurationError:
+                continue
+            leader = leader_of(line)
+            if leader is not None and leader > best:
+                best = leader
+    return best
+
+
+class TestLineSubgraphValidation:
+    def test_empty_is_valid(self):
+        line = LineSubgraph(5)
+        assert line.edges() == frozenset()
+        assert line.leader() == 1
+
+    def test_path_is_valid(self):
+        line = LineSubgraph(5, [(1, 2), (2, 3)])
+        assert line.degree(2) == 2
+        assert line.contains(1) and not line.contains(4)
+
+    def test_rejects_degree_three(self):
+        with pytest.raises(ConfigurationError):
+            LineSubgraph(5, [(1, 2), (1, 3), (1, 4)])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ConfigurationError):
+            LineSubgraph(4, [(1, 2), (2, 3), (1, 3)])
+
+    def test_rejects_node_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            LineSubgraph(3, [(1, 4)])
+
+    def test_leader_is_min_degree_zero(self):
+        line = LineSubgraph(5, [(1, 2), (4, 5)])
+        assert line.leader() == 3
+
+    def test_leader_none_when_all_covered(self):
+        line = LineSubgraph(4, [(1, 2), (3, 4)])
+        assert line.leader() is None
+
+    def test_equality_and_hash(self):
+        a = LineSubgraph(4, [(1, 2)])
+        b = LineSubgraph(4, [(2, 1)])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestIsLineSubgraph:
+    def test_must_be_subgraph_of_g(self):
+        g = SuspectGraph(4, [(1, 2)])
+        assert is_line_subgraph([(1, 2)], g)
+        assert not is_line_subgraph([(1, 3)], g)
+
+    def test_must_be_structurally_valid(self):
+        g = SuspectGraph(4, [(1, 2), (2, 3), (1, 3)])
+        assert not is_line_subgraph([(1, 2), (2, 3), (1, 3)], g)  # cycle
+        assert is_line_subgraph([(1, 2), (2, 3)], g)
+
+
+class TestMaximalLineSubgraph:
+    def test_empty_graph_leader_one(self):
+        line = maximal_line_subgraph(SuspectGraph(5))
+        assert line.leader() == 1
+        assert line.edges() == frozenset()
+
+    def test_single_edge_pushes_leader_past_it(self):
+        line = maximal_line_subgraph(SuspectGraph(4, [(1, 2)]))
+        assert line.leader() == 3
+
+    def test_isolated_p1_pins_leader(self):
+        # p1 has no suspicions: no line subgraph can cover it.
+        line = maximal_line_subgraph(SuspectGraph(5, [(2, 3), (4, 5)]))
+        assert line.leader() == 1
+
+    def test_example2_edge_changes_leader(self):
+        # Example 2's mechanism: a new suspicion between the current
+        # leader and a possible follower strictly increases the leader.
+        g_before = SuspectGraph(7, [(1, 2), (2, 3)])
+        before = maximal_line_subgraph(g_before)
+        leader = before.leader()
+        follower = min(possible_followers(before) - {leader})
+        g_after = g_before.copy()
+        g_after.add_edge(leader, follower)
+        after = maximal_line_subgraph(g_after)
+        assert after.leader() > leader
+
+    def test_deterministic(self):
+        g = SuspectGraph(7, [(1, 2), (2, 3), (4, 5), (5, 6)])
+        assert maximal_line_subgraph(g) == maximal_line_subgraph(g.copy())
+
+    def test_leader_edges_excluded(self):
+        # The leader must have degree 0, so its edges cannot be used.
+        g = SuspectGraph(4, [(1, 2), (2, 3), (3, 4)])
+        line = maximal_line_subgraph(g)
+        leader = line.leader()
+        assert line.degree(leader) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_graph_strategy(max_n=6))
+    def test_matches_brute_force_leader(self, case):
+        n, edges = case
+        graph = SuspectGraph(n, edges)
+        line = maximal_line_subgraph(graph)
+        assert line.leader() == brute_force_max_leader(graph)
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_graph_strategy(max_n=7))
+    def test_result_is_line_subgraph_of_g(self, case):
+        n, edges = case
+        graph = SuspectGraph(n, edges)
+        line = maximal_line_subgraph(graph)
+        assert is_line_subgraph(line.edges(), graph)
+
+
+class TestPossibleFollowers:
+    def test_everyone_on_empty_line(self):
+        line = LineSubgraph(5)
+        assert possible_followers(line) == frozenset(range(1, 6))
+
+    def test_p3_center_excluded(self):
+        # Example 1's p2 pattern: center of a two-edge path.
+        line = LineSubgraph(5, [(1, 2), (2, 3)])
+        assert possible_followers(line) == frozenset({1, 3, 4, 5})
+
+    def test_long_path_interior_allowed(self):
+        # Interior of a 3-edge path has a degree-2 neighbor: allowed.
+        line = LineSubgraph(5, [(1, 2), (2, 3), (3, 4)])
+        followers = possible_followers(line)
+        assert 2 in followers and 3 in followers
+
+    def test_isolated_edge_endpoints_allowed(self):
+        line = LineSubgraph(4, [(1, 2)])
+        assert possible_followers(line) == frozenset({1, 2, 3, 4})
+
+    def test_two_separate_p3s(self):
+        line = LineSubgraph(7, [(1, 2), (2, 3), (4, 5), (5, 6)])
+        assert possible_followers(line) == frozenset({1, 3, 4, 6, 7})
+
+
+class TestExtendWithEdge:
+    """Validates the Definition-2 rationale: a new (leader, possible
+    follower) suspicion always yields a line subgraph with a larger
+    leader."""
+
+    def _check(self, graph_edges, n=7):
+        graph = SuspectGraph(n, graph_edges)
+        line = maximal_line_subgraph(graph)
+        leader = line.leader()
+        for follower in sorted(possible_followers(line) - {leader}):
+            g2 = graph.copy()
+            g2.add_edge(leader, follower)
+            extended = extend_with_edge(line, g2, leader, follower)
+            assert is_line_subgraph(extended.edges(), g2)
+            assert extended.leader() > leader
+
+    def test_empty_graph(self):
+        self._check([])
+
+    def test_single_path(self):
+        self._check([(1, 2), (2, 3)])
+
+    def test_two_components(self):
+        self._check([(1, 2), (4, 5), (5, 6)])
+
+    def test_requires_edge_in_graph(self):
+        graph = SuspectGraph(4)
+        line = LineSubgraph(4)
+        with pytest.raises(ConfigurationError):
+            extend_with_edge(line, graph, 1, 2)
+
+    def test_rejects_non_possible_follower(self):
+        graph = SuspectGraph(5, [(2, 3), (3, 4), (1, 3)])
+        line = LineSubgraph(5, [(2, 3), (3, 4)])  # 3 is a P3 center
+        with pytest.raises(ConfigurationError):
+            extend_with_edge(line, graph, 1, 3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_graph_strategy(max_n=6))
+    def test_maximality_vs_leader_adjacent_followers(self, case):
+        # Consequence used by Algorithm 2: in a maximal line subgraph, a
+        # possible follower adjacent (in G) to the leader would allow an
+        # extension with a strictly larger leader — so such adjacency can
+        # only occur when the extension covers *every* node (designating
+        # no leader at all, hence not contradicting maximality).
+        n, edges = case
+        graph = SuspectGraph(n, edges)
+        line = maximal_line_subgraph(graph)
+        leader = line.leader()
+        for follower in possible_followers(line) - {leader}:
+            if graph.has_edge(leader, follower):
+                extended = extend_with_edge(line, graph, leader, follower)
+                assert extended.leader() is None

@@ -1,0 +1,185 @@
+"""The paper's worked examples, reproduced end to end.
+
+- Figure 4: the epoch mechanism restoring independent sets.
+- Figure 5 / Theorem 4: the ``F+2`` adversary and its quorum count.
+- Examples 1-2 (Section VIII): maximal line subgraphs and possible
+  followers on 7-node graphs.
+- Lemma 8: line subgraphs with 3f nodes vs independent sets.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis.abstract import AbstractQuorumSelection
+from repro.analysis.bounds import (
+    observed_max_changes_claim,
+    thm3_upper_bound,
+    thm4_quorum_count,
+)
+from repro.core.suspicion_matrix import SuspicionMatrix
+from repro.graphs.independent_set import (
+    all_independent_sets,
+    has_independent_set,
+    lex_first_independent_set,
+)
+from repro.graphs.line_subgraph import (
+    LineSubgraph,
+    leader_of,
+    maximal_line_subgraph,
+    possible_followers,
+)
+from repro.graphs.suspect_graph import SuspectGraph
+
+
+class TestFigure4:
+    """5 processes; epoch-2 graph blocks all size-3 independent sets;
+    raising the epoch drops the (p3, p4) edge and restores {1,3,4} and
+    {3,4,5} — exactly the sets the caption names."""
+
+    def setup_method(self):
+        self.matrix = SuspicionMatrix(5)
+        self.matrix.mark(1, 2, 3)
+        self.matrix.mark(2, 5, 3)
+        self.matrix.mark(1, 5, 3)
+        self.matrix.mark(3, 4, 2)
+
+    def test_epoch2_no_independent_set(self):
+        graph = self.matrix.build_suspect_graph(2)
+        assert not has_independent_set(graph, 3)
+
+    def test_epoch3_restores_the_named_sets(self):
+        graph = self.matrix.build_suspect_graph(3)
+        sets = set(all_independent_sets(graph, 3))
+        assert frozenset({1, 3, 4}) in sets
+        assert frozenset({3, 4, 5}) in sets
+
+    def test_epoch3_removes_the_edge_between_p3_p4(self):
+        assert self.matrix.build_suspect_graph(2).has_edge(3, 4)
+        assert not self.matrix.build_suspect_graph(3).has_edge(3, 4)
+
+    def test_lexicographic_choice_is_134(self):
+        graph = self.matrix.build_suspect_graph(3)
+        assert lex_first_independent_set(graph, 3) == frozenset({1, 3, 4})
+
+
+class TestFigure5Theorem4:
+    """f=3: all suspicions within a 5-node F+2 = {a,b,c,d,e} can be
+    attributed to faulty sets {a,b,e} or {c,d,e}-style splits, and the
+    adversary forces C(f+2,2) proposed quorums."""
+
+    def test_abstract_game_reaches_the_bound_f2(self):
+        # n chosen so the initial quorum contains F+2.
+        model = AbstractQuorumSelection(6, 2)
+        faulty = {1, 2}
+        fired = 0
+        while True:
+            move = None
+            for a, b in itertools.combinations(sorted(model.quorum), 2):
+                if (a in faulty or b in faulty) and not model.graph.has_edge(a, b):
+                    if {a, b} <= {1, 2, 3, 4}:  # stay inside F+2
+                        move = (a, b)
+                        break
+            if move is None:
+                break
+            model.add_suspicion(*move)
+            fired += 1
+        assert model.changes == observed_max_changes_claim(2)
+        # Proposed quorums = changes + the initial default = C(f+2, 2).
+        assert model.changes + 1 == thm4_quorum_count(2)
+
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_bounds_are_consistent(self, f):
+        # The f(f+1) upper bound dominates the C(f+2,2)-1 observed max.
+        assert observed_max_changes_claim(f) <= thm3_upper_bound(f)
+
+    def test_every_suspicion_inside_quorum_forces_change(self):
+        # Lemma 2 converse: an edge between two members of the current
+        # quorum always invalidates it (no suspicion property).
+        model = AbstractQuorumSelection(6, 2)
+        changed = model.add_suspicion(1, 2)  # both in default {1,2,3,4}
+        assert changed
+
+    def test_suspicion_outside_quorum_changes_nothing(self):
+        model = AbstractQuorumSelection(6, 2)
+        assert not model.add_suspicion(5, 6)
+
+
+class TestExample1:
+    """A 7-node graph whose maximal line subgraph excludes its two-edge
+    path center from the possible followers (the paper's p2)."""
+
+    def test_p3_center_not_possible_follower(self):
+        line = LineSubgraph(7, [(1, 2), (2, 3), (4, 5)])
+        followers = possible_followers(line)
+        assert 2 not in followers
+        assert followers == frozenset({1, 3, 4, 5, 6, 7})
+
+    def test_new_edge_to_center_does_not_change_max_line(self):
+        # "A new edge (p2, p5) added to G would not change the maximal
+        # line subgraph L": the leader cannot grow via a P3 center.
+        g = SuspectGraph(7, [(1, 2), (2, 3), (4, 5)])
+        before = maximal_line_subgraph(g)
+        g2 = g.copy()
+        g2.add_edge(2, 5)
+        after = maximal_line_subgraph(g2)
+        assert leader_of(after) == leader_of(before)
+
+
+class TestExample2:
+    """Adding an edge changes the leader and the maximal line subgraph;
+    the old line subgraph was maximal even though extendable by edges."""
+
+    def test_leader_strictly_increases_on_leader_edge(self):
+        g = SuspectGraph(7, [(1, 2), (3, 4)])
+        line = maximal_line_subgraph(g)
+        leader = leader_of(line)
+        follower = min(possible_followers(line) - {leader})
+        g.add_edge(leader, follower)
+        assert leader_of(maximal_line_subgraph(g)) > leader
+
+    def test_maximality_is_about_leader_not_edge_count(self):
+        # A line subgraph can be maximal while more edges could be added.
+        g = SuspectGraph(7, [(1, 2), (2, 3), (3, 4), (4, 5)])
+        line = maximal_line_subgraph(g)
+        # Some graph edge is unused by the maximal line subgraph even
+        # though adding it might be structurally legal.
+        assert len(line.edges()) <= g.edge_count()
+
+
+class TestLemma8:
+    """Line subgraph with 3f nodes -> at most one independent set of size
+    q, containing the leader and possible followers; 3f+1 nodes -> none."""
+
+    def _random_saturating_case(self, f):
+        # The tight Lemma-8a shape: f disjoint two-edge paths cover 3f
+        # nodes with 2f edges (a line subgraph of maximal reach given
+        # that every edge touches one of the f faulty centers); with
+        # n = 3f + 1 and q = 2f + 1 exactly one independent set remains.
+        n = 3 * f + 1
+        edges = []
+        for k in range(f):
+            base = 3 * k + 1
+            edges += [(base, base + 1), (base + 1, base + 2)]
+        return SuspectGraph(n, edges), n, 2 * f + 1
+
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_3f_nodes_unique_independent_set(self, f):
+        graph, n, q = self._random_saturating_case(f)
+        sets = list(all_independent_sets(graph, q))
+        assert len(sets) == 1
+        line = maximal_line_subgraph(graph)
+        leader = leader_of(line)
+        expected = set(sets[0])
+        assert leader in expected
+        # The unique set is the leader plus possible followers.
+        allowed = possible_followers(line)
+        assert expected - {leader} <= allowed
+
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_3f_plus_1_nodes_no_independent_set(self, f):
+        # Extend the tight case by one more edge so the line subgraph
+        # touches 3f + 1 nodes: Lemma 8b says no q-IS survives.
+        graph, n, q = self._random_saturating_case(f)
+        graph.add_edge(3 * f, 3 * f + 1)
+        assert not has_independent_set(graph, q)

@@ -1,0 +1,73 @@
+"""Online (full-stack) verification of the paper's bounds (E2-E4 logic).
+
+These are the integration versions of the theorem checks: a complete
+simulated system — eventually synchronous network, signed gossip, failure
+detectors, the adversary of Theorem 4 — must respect the same numbers the
+abstract analysis derives.
+"""
+
+import pytest
+
+from repro.analysis.bounds import (
+    cor10_total_bound,
+    observed_max_changes_claim,
+    thm3_upper_bound,
+    thm9_per_epoch_bound,
+)
+from repro.analysis.runner import (
+    run_follower_worst_case,
+    run_random_adversary,
+    run_thm4_adversary,
+)
+
+
+class TestTheorem4Online:
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_adversary_achieves_exactly_the_claim(self, f):
+        result = run_thm4_adversary(2 * f + 2, f, seed=3)
+        assert result.suspicions_fired == observed_max_changes_claim(f)
+        assert result.max_changes_per_epoch == observed_max_changes_claim(f)
+        assert result.max_changes_per_epoch <= thm3_upper_bound(f)
+
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_terminates_with_agreement_and_no_suspicion(self, f):
+        result = run_thm4_adversary(2 * f + 2, f, seed=5)
+        assert result.final_quorums_agree
+        assert result.no_suspicion
+
+    def test_epoch_never_advances_under_accuracy(self):
+        # All suspicions have a faulty endpoint: the faulty set covers
+        # every edge, so an independent set always survives (Section VII).
+        result = run_thm4_adversary(6, 2, seed=7)
+        assert result.max_epoch == 1
+
+    def test_seed_invariance_of_count(self):
+        counts = {
+            run_thm4_adversary(6, 2, seed=seed).suspicions_fired
+            for seed in (1, 2, 3)
+        }
+        assert counts == {observed_max_changes_claim(2)}
+
+
+class TestTheorem3Random:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_random_noise_respects_per_epoch_bound(self, seed):
+        f = 2
+        result = run_random_adversary(6, f, seed=seed, duration=300.0)
+        assert result.max_changes_per_epoch <= thm3_upper_bound(f)
+        assert result.final_quorums_agree
+        assert result.no_suspicion
+
+
+class TestTheorem9Corollary10Online:
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_leader_attack_within_bounds(self, f):
+        result = run_follower_worst_case(f, seed=3)
+        assert result.max_changes_per_epoch <= thm9_per_epoch_bound(f)
+        assert result.quorum_changes_total <= cor10_total_bound(f)
+        assert result.final_quorums_agree
+
+    def test_adversary_actually_moves_the_leader(self):
+        result = run_follower_worst_case(2, seed=3)
+        assert result.final_leader is not None and result.final_leader > 1
+        assert result.quorum_changes_total >= 2

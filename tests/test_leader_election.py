@@ -1,0 +1,72 @@
+"""Tests for the Section IV-A leader-election wrapper."""
+
+from repro.core import LeaderElection, leaders_agree
+from repro.core.leader_election import last_trust_change
+from repro.failures.strategies import FalseSuspicionInjector
+from tests.conftest import build_qs_world
+
+
+def elections_for(modules, pids):
+    return {pid: LeaderElection(modules[pid]) for pid in pids}
+
+
+class TestLeaderElection:
+    def test_initial_leader_is_p1(self, qs_world_5_2):
+        _, modules = qs_world_5_2
+        election = LeaderElection(modules[1])
+        assert election.leader == 1
+        assert election.trust_events == []
+
+    def test_crash_of_leader_elects_next(self, qs_world_5_2):
+        sim, modules = qs_world_5_2
+        elections = elections_for(modules, (2, 3, 4, 5))
+        sim.at(10.0, lambda: sim.host(1).crash())
+        sim.run_until(120.0)
+        assert leaders_agree(elections.values())
+        assert elections[2].leader == 2
+        assert all(len(e.trust_events) >= 1 for e in elections.values())
+
+    def test_crash_of_non_leader_keeps_leader(self, qs_world_5_2):
+        sim, modules = qs_world_5_2
+        elections = elections_for(modules, (1, 2, 4, 5))
+        sim.at(10.0, lambda: sim.host(3).crash())
+        sim.run_until(120.0)
+        assert leaders_agree(elections.values())
+        assert elections[1].leader == 1
+
+    def test_single_accuser_can_demote(self, qs_world_5_2):
+        # The paper's contrast with vote-based election: one (even false)
+        # in-quorum suspicion is enough to change the quorum — and with
+        # it, potentially, the leader.
+        sim, modules = qs_world_5_2
+        elections = elections_for(modules, (1, 2, 3, 4))
+        sim.at(10.0, lambda: FalseSuspicionInjector(modules[2]).suspect(1))
+        sim.run_until(120.0)
+        assert leaders_agree(elections.values())
+        # Edge (1,2): lex-first IS avoiding the pair is {1,3,4}; the
+        # leader (min of quorum) survives here, but the quorum changed.
+        assert elections[1].leader == 1
+        assert modules[3].qlast == frozenset({1, 3, 4})
+
+    def test_subscriber_callbacks_fire(self, qs_world_5_2):
+        sim, modules = qs_world_5_2
+        election = LeaderElection(modules[2])
+        seen = []
+        election.subscribe(seen.append)
+        sim.at(10.0, lambda: sim.host(1).crash())
+        sim.run_until(120.0)
+        assert seen and seen[-1].leader == 2
+
+    def test_stabilization_time_reported(self, qs_world_5_2):
+        sim, modules = qs_world_5_2
+        elections = elections_for(modules, (2, 3, 4, 5))
+        sim.at(10.0, lambda: sim.host(1).crash())
+        sim.run_until(120.0)
+        assert 10.0 < last_trust_change(elections.values()) < 40.0
+
+    def test_works_on_follower_selection_too(self, fs_world_7_2):
+        sim, modules = fs_world_7_2
+        elections = elections_for(modules, range(2, 8))
+        sim.at(10.0, lambda: sim.host(1).crash())
+        sim.run_until(200.0)
+        assert leaders_agree(elections.values())

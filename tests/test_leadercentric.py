@@ -1,0 +1,90 @@
+"""Tests for the star (leader-centric) protocol on Follower Selection."""
+
+import pytest
+
+from repro.leadercentric import build_star_system
+from repro.util.errors import ConfigurationError
+from repro.xpaxos import BankLedger
+
+
+class TestNormalCase:
+    def test_fault_free_completes(self):
+        system = build_star_system(n=7, f=2, clients=2, seed=7)
+        system.run(400.0)
+        assert system.total_completed() == 40
+        assert system.histories_consistent()
+        assert system.current_config() == (1, (1, 2, 3, 4, 5))
+
+    def test_no_follower_follower_traffic(self):
+        # The defining property: star-protocol messages always have the
+        # leader as one endpoint — followers never address each other.
+        from repro.leadercentric.replica import STAR_KINDS
+
+        system = build_star_system(n=7, f=2, clients=1, seed=7)
+        system.sim.network.trace(set(STAR_KINDS))
+        system.run(300.0)
+        leader = system.current_config()[0]
+        for event in system.sim.log.events(kind="net.send"):
+            src, dst = event.process, event.payload["dst"]
+            assert leader in (src, dst), f"follower-follower message {src}->{dst}"
+
+    def test_message_cost_is_linear(self):
+        system = build_star_system(n=7, f=2, clients=1, seed=7)
+        system.run(300.0)
+        # 3 (q - 1) per request: PROPOSE + ACK + DECIDE on each spoke.
+        assert system.star_messages() / 20 == 3 * (system.replicas[1].q - 1)
+
+    def test_rejects_n_not_above_3f(self):
+        with pytest.raises(ConfigurationError):
+            build_star_system(n=6, f=2)
+
+    def test_pluggable_state_machine(self):
+        ops = [("open", "a"), ("deposit", "a", 10), ("balance", "a")]
+        system = build_star_system(n=7, f=2, clients=1, seed=7, client_ops=[ops])
+        for replica in system.replicas.values():
+            replica.kv = BankLedger()
+        system.run(300.0)
+        client = list(system.clients.values())[0]
+        assert [entry[2] for entry in client.completed] == [True, 10, 10]
+
+
+class TestReconfiguration:
+    def test_leader_crash_single_reconfiguration(self):
+        system = build_star_system(n=7, f=2, clients=1, seed=9)
+        system.adversary.crash(1, at=30.0)
+        system.run(900.0)
+        assert system.total_completed() == 20
+        assert system.histories_consistent()
+        leader, members = system.current_config()
+        assert leader != 1
+        assert max(r.reconfigurations for r in system.correct_replicas()) == 1
+
+    def test_follower_crash_also_handled(self):
+        system = build_star_system(n=7, f=2, clients=1, seed=11)
+        system.adversary.crash(3, at=30.0)
+        system.run(900.0)
+        assert system.total_completed() == 20
+        leader, members = system.current_config()
+        assert 3 not in members
+
+    def test_leader_link_omission_moves_leader(self):
+        # The leader mutes its DECIDEs to one follower: that single bad
+        # link is detected (follower's DECIDE expectation) and the leader
+        # changes — the per-link story on the star topology.
+        system = build_star_system(n=7, f=2, clients=1, seed=13)
+        system.adversary.omit_links(1, dsts={3}, kinds={"st.decide"}, start=20.0)
+        system.run(1200.0)
+        assert system.total_completed() == 20
+        leader, _ = system.current_config()
+        assert leader != 1
+
+    def test_new_replica_catches_up_via_adopt(self):
+        system = build_star_system(n=7, f=2, clients=1, seed=9)
+        system.adversary.crash(1, at=30.0)
+        system.run(900.0)
+        # p6 joined the configuration after the crash and must hold the
+        # full history.
+        leader, members = system.current_config()
+        joiner = [m for m in members if m >= 6]
+        for pid in joiner:
+            assert len(system.replicas[pid].executed) == 20

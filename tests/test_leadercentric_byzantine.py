@@ -1,0 +1,80 @@
+"""Byzantine-input tests for the star protocol."""
+
+from repro.leadercentric import build_star_system
+from repro.leadercentric.replica import (
+    KIND_STAR_DECIDE,
+    KIND_STAR_PROPOSE,
+    DecidePayload,
+    ProposePayload,
+)
+from repro.xpaxos.messages import ClientRequest
+
+
+def started_system(seed=7):
+    system = build_star_system(n=7, f=2, clients=1, seed=seed, client_ops=[[]])
+    system.sim.start()
+    return system
+
+
+class TestByzantineInputs:
+    def test_forged_request_in_propose_detected(self):
+        # The leader proposes an operation no client ever signed: every
+        # follower detects it permanently.
+        system = started_system()
+        leader = system.sim.host(1)
+        forged = leader.authenticator.sign(  # signer != claimed client
+            ClientRequest(client=8, sequence=0, op=("put", "stolen", 1))
+        )
+        propose = leader.authenticator.sign(
+            ProposePayload(config=(1, (1, 2, 3, 4, 5)), slot=0, signed_request=forged)
+        )
+        leader.send(2, KIND_STAR_PROPOSE, propose)
+        system.run(50.0)
+        assert 1 in system.sim.host(2).fd.suspected
+        assert len(system.replicas[2].executed) == 0
+
+    def test_propose_from_non_leader_ignored(self):
+        system = started_system()
+        impostor = system.sim.host(3)
+        client = system.sim.host(8)
+        request = client.authenticator.sign(
+            ClientRequest(client=8, sequence=0, op=("put", "k", 1))
+        )
+        propose = impostor.authenticator.sign(
+            ProposePayload(config=(1, (1, 2, 3, 4, 5)), slot=0, signed_request=request)
+        )
+        impostor.send(2, KIND_STAR_PROPOSE, propose)
+        system.run(50.0)
+        assert len(system.replicas[2].executed) == 0
+        assert 3 not in system.sim.host(2).fd.suspected  # silently dropped
+
+    def test_stale_config_decide_ignored(self):
+        system = started_system()
+        leader = system.sim.host(1)
+        client = system.sim.host(8)
+        request = client.authenticator.sign(
+            ClientRequest(client=8, sequence=0, op=("put", "k", 1))
+        )
+        stale = leader.authenticator.sign(
+            DecidePayload(config=(1, (1, 2, 3, 4, 6)), slot=0, signed_request=request)
+        )
+        leader.send(2, KIND_STAR_DECIDE, stale)
+        system.run(50.0)
+        assert len(system.replicas[2].executed) == 0
+
+    def test_direct_decide_executes_without_propose(self):
+        # A DECIDE from the current leader for the current config is
+        # authoritative (the leader vouches it gathered all ACKs); a
+        # follower that missed the PROPOSE still executes consistently.
+        system = started_system()
+        leader = system.sim.host(1)
+        client = system.sim.host(8)
+        request = client.authenticator.sign(
+            ClientRequest(client=8, sequence=0, op=("put", "k", 1))
+        )
+        decide = leader.authenticator.sign(
+            DecidePayload(config=(1, (1, 2, 3, 4, 5)), slot=0, signed_request=request)
+        )
+        leader.send(2, KIND_STAR_DECIDE, decide)
+        system.run(50.0)
+        assert len(system.replicas[2].executed) == 1

@@ -1,0 +1,87 @@
+"""Channel-ordering assumptions: what needs FIFO and what doesn't.
+
+Algorithm 1's eventually-consistent matrix is order-oblivious (max-merge)
+— the paper never assumes FIFO for it.  Follower Selection *does* assume
+"messages sent between correct processes arrive in FIFO order" (Section
+VIII): Lemma 7's well-formedness argument needs a leader's UPDATE
+forwards to land before its FOLLOWERS message.  These tests pin both
+sides of that line.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quorum_selection import QuorumSelectionModule
+from repro.core.spec import agreement_holds, no_suspicion_holds
+from repro.fd.detector import FailureDetector
+from repro.fd.heartbeat import HeartbeatModule
+from repro.graphs.chain_path import is_valid_chain, lex_first_chain
+from repro.graphs.suspect_graph import SuspectGraph
+from repro.sim.runtime import Simulation, SimulationConfig
+from tests.test_graphs_basic import random_graph_strategy
+
+
+def build_world(fifo: bool, n=5, f=2, seed=11):
+    sim = Simulation(SimulationConfig(n=n, seed=seed, fifo=fifo))
+    modules = {}
+    for pid in sim.pids:
+        host = sim.host(pid)
+        FailureDetector(host)
+        host.add_module(HeartbeatModule(host, n=n, period=2.0))
+        modules[pid] = host.add_module(QuorumSelectionModule(host, n=n, f=f))
+    return sim, modules
+
+
+class TestAlgorithm1WithoutFifo:
+    def test_crash_convergence_without_fifo(self):
+        # Max-merge gossip is delivery-order independent: Algorithm 1
+        # converges on non-FIFO channels exactly as on FIFO ones.
+        for seed in (3, 7, 11):
+            sim, modules = build_world(fifo=False, seed=seed)
+            sim.at(10.0, lambda: sim.host(1).crash())
+            sim.run_until(150.0)
+            correct = [modules[p] for p in (2, 3, 4, 5)]
+            assert agreement_holds(correct)
+            assert no_suspicion_holds(correct)
+            assert correct[0].qlast == frozenset({2, 3, 4})
+
+    def test_matrices_converge_without_fifo(self):
+        sim, modules = build_world(fifo=False, seed=5)
+        sim.at(10.0, lambda: sim.host(1).crash())
+        sim.run_until(150.0)
+        matrices = {hash(modules[p].matrix) for p in (2, 3, 4, 5)}
+        assert len(matrices) == 1
+
+
+class TestChainBruteForce:
+    """Property check: lex_first_chain matches brute-force enumeration."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_graph_strategy(max_n=6), st.integers(1, 4))
+    def test_matches_brute_force_minimum(self, case, q):
+        n, edges = case
+        graph = SuspectGraph(n, edges)
+        valid = [
+            chain
+            for chain in itertools.permutations(range(1, n + 1), min(q, n))
+            if len(chain) == q and is_valid_chain(chain, graph)
+        ]
+        result = lex_first_chain(graph, q)
+        if q > n or not valid:
+            assert result is None or result in valid or q > n
+            if q <= n:
+                assert result is None
+        else:
+            assert result == min(valid)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_graph_strategy(max_n=6))
+    def test_chain_result_always_valid(self, case):
+        n, edges = case
+        graph = SuspectGraph(n, edges)
+        for q in range(1, n + 1):
+            chain = lex_first_chain(graph, q)
+            if chain is not None:
+                assert is_valid_chain(chain, graph)

@@ -1,0 +1,53 @@
+"""The n = 3f+1 configuration: QS-maintained active quorum (E19 logic)."""
+
+from repro.xpaxos.messages import KIND_COMMIT
+from repro.xpaxos.system import build_system
+
+
+class TestThreeFPlusOne:
+    def test_fault_free_runs_in_default_quorum(self):
+        system = build_system(n=7, f=2, mode="selection", clients=2, seed=7)
+        system.run(500.0)
+        assert system.total_completed() == 40
+        assert all(r.view_changes == 0 for r in system.replicas.values())
+        # Only the five active members executed anything.
+        for pid in (6, 7):
+            assert len(system.replicas[pid].executed) == 0
+
+    def test_crash_moves_quorum(self):
+        system = build_system(n=7, f=2, mode="selection", clients=1, seed=9,
+                              client_think_time=4.0)
+        system.adversary.crash(1, at=30.0)
+        system.run(1000.0)
+        assert system.total_completed() == 20
+        assert system.histories_consistent()
+        assert 1 not in system.correct_replicas()[0].quorum
+
+    def test_per_link_omission_splits_pair(self):
+        system = build_system(n=7, f=2, mode="selection", clients=1, seed=9,
+                              client_think_time=4.0)
+        system.adversary.omit_links(3, dsts={5}, kinds={KIND_COMMIT}, start=30.0)
+        system.run(1200.0)
+        assert system.total_completed() == 20
+        final = system.correct_replicas()[0].quorum
+        assert not {3, 5} <= final
+
+    def test_two_faults_tolerated(self):
+        system = build_system(n=7, f=2, mode="selection", clients=1, seed=11,
+                              client_think_time=4.0)
+        system.adversary.crash(1, at=30.0)
+        system.adversary.crash(2, at=45.0)
+        system.run(1200.0)
+        assert system.total_completed() == 20
+        assert system.histories_consistent()
+        final = system.correct_replicas()[0].quorum
+        assert not {1, 2} & final
+
+    def test_messages_below_pbft_full_broadcast(self):
+        system = build_system(n=7, f=2, mode="selection", clients=1, seed=7,
+                              client_ops=[[("put", f"k{i}", i) for i in range(10)]])
+        system.run(400.0)
+        messages = system.sim.stats.total_sent(["xp.prepare", "xp.commit"])
+        # Active-quorum two-phase: (q-1) + (q-1)^2 = 4 + 16 = 20 per request
+        # vs PBFT full broadcast's 84 at n=7.
+        assert messages / 10 == 20.0

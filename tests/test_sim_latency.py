@@ -1,0 +1,88 @@
+"""Tests for latency models, including eventual synchrony (GST)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.latency import (
+    EventuallySynchronousLatency,
+    FixedLatency,
+    UniformLatency,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.rand import DeterministicRng
+
+
+class TestFixedLatency:
+    def test_constant(self):
+        model = FixedLatency(2.5)
+        rng = DeterministicRng(1)
+        assert model.sample(0.0, 1, 2, rng) == 2.5
+        assert model.round_length(100.0) == 2.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            FixedLatency(0.0)
+
+
+class TestUniformLatency:
+    def test_within_bounds(self):
+        model = UniformLatency(0.5, 1.5)
+        rng = DeterministicRng(1)
+        for _ in range(200):
+            assert 0.5 <= model.sample(0.0, 1, 2, rng) <= 1.5
+
+    def test_round_length_is_upper_bound(self):
+        assert UniformLatency(0.5, 1.5).round_length(0.0) == 1.5
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(2.0, 1.0)
+
+    def test_rejects_zero_low(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(0.0, 1.0)
+
+
+class TestEventuallySynchronous:
+    def test_post_gst_bounded_by_delta(self):
+        model = EventuallySynchronousLatency(gst=10.0, delta=1.0, pre_gst_max=20.0)
+        rng = DeterministicRng(1)
+        for _ in range(200):
+            assert model.sample(10.0, 1, 2, rng) <= 1.0
+            assert model.sample(50.0, 1, 2, rng) <= 1.0
+
+    def test_pre_gst_can_exceed_delta(self):
+        model = EventuallySynchronousLatency(gst=100.0, delta=1.0, pre_gst_max=20.0)
+        rng = DeterministicRng(1)
+        samples = [model.sample(0.0, 1, 2, rng) for _ in range(200)]
+        assert max(samples) > 1.0  # erratic phase exceeds delta
+        assert max(samples) <= 20.0
+
+    def test_round_length_switches_at_gst(self):
+        model = EventuallySynchronousLatency(gst=10.0, delta=1.0, pre_gst_max=20.0)
+        assert model.round_length(5.0) == 20.0
+        assert model.round_length(10.0) == 1.0
+
+    def test_gst_zero_means_synchronous_from_start(self):
+        model = EventuallySynchronousLatency(gst=0.0, delta=2.0, pre_gst_max=20.0)
+        rng = DeterministicRng(1)
+        assert all(model.sample(0.0, 1, 2, rng) <= 2.0 for _ in range(100))
+
+    def test_rejects_pre_gst_below_delta(self):
+        with pytest.raises(ConfigurationError):
+            EventuallySynchronousLatency(delta=5.0, pre_gst_max=1.0)
+
+    def test_rejects_negative_gst(self):
+        with pytest.raises(ConfigurationError):
+            EventuallySynchronousLatency(gst=-1.0)
+
+    def test_rejects_min_delay_above_delta(self):
+        with pytest.raises(ConfigurationError):
+            EventuallySynchronousLatency(delta=0.5, min_delay=1.0)
+
+    @given(st.floats(0, 100), st.integers(0, 2**16))
+    def test_samples_always_positive(self, time, seed):
+        model = EventuallySynchronousLatency(gst=50.0, delta=1.0, pre_gst_max=10.0)
+        rng = DeterministicRng(seed)
+        assert model.sample(time, 1, 2, rng) > 0

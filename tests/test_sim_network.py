@@ -1,0 +1,194 @@
+"""Tests for the network: reliability, FIFO, interceptors, stats."""
+
+import pytest
+
+from repro.sim.latency import FixedLatency, UniformLatency
+from repro.sim.network import DELIVER, DROP, Network, SendAction
+from repro.sim.scheduler import Scheduler
+from repro.util.errors import SimulationError
+from repro.util.eventlog import EventLog
+from repro.util.rand import DeterministicRng
+
+
+class FakeHost:
+    def __init__(self, pid):
+        self.pid = pid
+        self.running = True
+        self.received = []
+
+    def on_receive(self, kind, payload, src):
+        self.received.append((kind, payload, src))
+
+
+def make_network(fifo=True, latency=None, n=3):
+    scheduler = Scheduler()
+    network = Network(
+        scheduler,
+        DeterministicRng(1),
+        latency=latency or FixedLatency(1.0),
+        fifo=fifo,
+        log=EventLog(),
+    )
+    hosts = {pid: FakeHost(pid) for pid in range(1, n + 1)}
+    for host in hosts.values():
+        network.register_host(host)
+    return scheduler, network, hosts
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        scheduler, network, hosts = make_network()
+        network.send(1, 2, "ping", "hello")
+        scheduler.run_to_quiescence()
+        assert hosts[2].received == [("ping", "hello", 1)]
+
+    def test_delivery_respects_latency(self):
+        scheduler, network, hosts = make_network(latency=FixedLatency(2.5))
+        seen_at = []
+        hosts[2].on_receive = lambda *a: seen_at.append(scheduler.now)
+        network.send(1, 2, "ping", None)
+        scheduler.run_to_quiescence()
+        assert seen_at == [2.5]
+
+    def test_send_to_unknown_host_dropped_and_logged(self):
+        # Byzantine peers can name arbitrary ids; reacting must not crash.
+        scheduler, network, _ = make_network()
+        network.send(1, 99, "ping", None)
+        scheduler.run_to_quiescence()
+        assert network.log.count("net.unroutable") == 1
+
+    def test_inject_to_unknown_host_raises(self):
+        _, network, _ = make_network()
+        with pytest.raises(SimulationError):
+            network.inject(1, 99, "ping", None)
+
+    def test_crashed_host_receives_nothing(self):
+        scheduler, network, hosts = make_network()
+        hosts[2].running = False
+        network.send(1, 2, "ping", None)
+        scheduler.run_to_quiescence()
+        assert hosts[2].received == []
+
+    def test_duplicate_host_registration_rejected(self):
+        _, network, hosts = make_network()
+        with pytest.raises(SimulationError):
+            network.register_host(hosts[1])
+
+
+class TestFifo:
+    def test_fifo_preserves_per_link_order(self):
+        # High-variance latency would reorder without FIFO enforcement.
+        scheduler, network, hosts = make_network(
+            fifo=True, latency=UniformLatency(0.1, 10.0)
+        )
+        for i in range(30):
+            network.send(1, 2, "seq", i)
+        scheduler.run_to_quiescence()
+        payloads = [payload for _, payload, _ in hosts[2].received]
+        assert payloads == list(range(30))
+
+    def test_non_fifo_can_reorder(self):
+        scheduler, network, hosts = make_network(
+            fifo=False, latency=UniformLatency(0.1, 10.0)
+        )
+        for i in range(30):
+            network.send(1, 2, "seq", i)
+        scheduler.run_to_quiescence()
+        payloads = [payload for _, payload, _ in hosts[2].received]
+        assert sorted(payloads) == list(range(30))
+        assert payloads != list(range(30))  # overwhelmingly likely
+
+    def test_fifo_is_per_link(self):
+        scheduler, network, hosts = make_network(
+            fifo=True, latency=UniformLatency(0.1, 10.0)
+        )
+        network.send(1, 3, "a", 1)
+        network.send(2, 3, "b", 2)  # different link: no ordering constraint
+        scheduler.run_to_quiescence()
+        assert len(hosts[3].received) == 2
+
+
+class TestInterceptors:
+    def test_drop(self):
+        scheduler, network, hosts = make_network()
+        network.set_interceptor(1, lambda env: SendAction(verdict=DROP))
+        network.send(1, 2, "ping", None)
+        scheduler.run_to_quiescence()
+        assert hosts[2].received == []
+        assert network.stats.dropped_by_kind["ping"] == 1
+
+    def test_extra_delay(self):
+        scheduler, network, hosts = make_network(latency=FixedLatency(1.0))
+        network.set_interceptor(1, lambda env: SendAction(extra_delay=5.0))
+        seen_at = []
+        hosts[2].on_receive = lambda *a: seen_at.append(scheduler.now)
+        network.send(1, 2, "ping", None)
+        scheduler.run_to_quiescence()
+        assert seen_at == [6.0]
+
+    def test_payload_override(self):
+        scheduler, network, hosts = make_network()
+        network.set_interceptor(1, lambda env: SendAction(payload_override="evil"))
+        network.send(1, 2, "ping", "honest")
+        scheduler.run_to_quiescence()
+        assert hosts[2].received == [("ping", "evil", 1)]
+
+    def test_interceptor_only_touches_own_traffic(self):
+        scheduler, network, hosts = make_network()
+        network.set_interceptor(1, lambda env: SendAction(verdict=DROP))
+        network.send(2, 3, "ping", None)  # correct process's traffic
+        scheduler.run_to_quiescence()
+        assert hosts[3].received == [("ping", None, 2)]
+
+    def test_clearing_interceptor(self):
+        scheduler, network, hosts = make_network()
+        network.set_interceptor(1, lambda env: SendAction(verdict=DROP))
+        network.set_interceptor(1, None)
+        network.send(1, 2, "ping", None)
+        scheduler.run_to_quiescence()
+        assert len(hosts[2].received) == 1
+
+    def test_inject_bypasses_interceptor(self):
+        scheduler, network, hosts = make_network()
+        network.set_interceptor(1, lambda env: SendAction(verdict=DROP))
+        network.inject(1, 2, "ping", "raw")
+        scheduler.run_to_quiescence()
+        assert hosts[2].received == [("ping", "raw", 1)]
+
+
+class TestStats:
+    def test_sent_and_delivered_counts(self):
+        scheduler, network, _ = make_network()
+        network.send(1, 2, "a", None)
+        network.send(1, 3, "a", None)
+        network.send(2, 3, "b", None)
+        scheduler.run_to_quiescence()
+        assert network.stats.sent_by_kind["a"] == 2
+        assert network.stats.delivered_by_kind["b"] == 1
+        assert network.stats.total_sent() == 3
+
+    def test_sent_between(self):
+        scheduler, network, _ = make_network()
+        network.send(1, 2, "a", None)
+        network.send(1, 3, "a", None)
+        scheduler.run_to_quiescence()
+        assert network.stats.sent_between({1, 2}) == 1
+        assert network.stats.sent_between({1, 2, 3}) == 2
+
+    def test_snapshot_diff(self):
+        scheduler, network, _ = make_network()
+        network.send(1, 2, "a", None)
+        scheduler.run_to_quiescence()
+        before = network.stats.snapshot()
+        network.send(1, 2, "a", None)
+        network.send(1, 2, "b", None)
+        scheduler.run_to_quiescence()
+        assert network.stats.diff_sent(before) == {"a": 1, "b": 1}
+
+    def test_busiest_links(self):
+        scheduler, network, _ = make_network()
+        for _ in range(3):
+            network.send(1, 2, "a", None)
+        network.send(2, 1, "a", None)
+        scheduler.run_to_quiescence()
+        assert network.stats.busiest_links(1)[0] == ((1, 2), 3)

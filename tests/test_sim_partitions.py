@@ -1,0 +1,96 @@
+"""Network partitions: held (not lost) traffic, and QS behaviour across
+a partition-and-heal cycle."""
+
+import pytest
+
+from repro.core.spec import agreement_holds, no_suspicion_holds
+from repro.sim.latency import FixedLatency
+from repro.sim.runtime import Simulation, SimulationConfig
+from repro.util.errors import SimulationError
+from tests.conftest import build_qs_world
+
+
+def plain_sim(n=4):
+    sim = Simulation(SimulationConfig(n=n, seed=1, latency=FixedLatency(1.0)))
+    received = {pid: [] for pid in sim.pids}
+    for pid in sim.pids:
+        sim.host(pid).subscribe("m", lambda k, p, s, pid=pid: received[pid].append((p, s)))
+    sim.start()
+    return sim, received
+
+
+class TestPartitionMechanics:
+    def test_cross_partition_traffic_held(self):
+        sim, received = plain_sim()
+        sim.network.partition({1, 2}, {3, 4})
+        sim.host(1).send(3, "m", "cross")
+        sim.run_until(20.0)
+        assert received[3] == []
+
+    def test_intra_partition_traffic_flows(self):
+        sim, received = plain_sim()
+        sim.network.partition({1, 2}, {3, 4})
+        sim.host(1).send(2, "m", "local")
+        sim.run_until(20.0)
+        assert received[2] == [("local", 1)]
+
+    def test_heal_releases_held_messages(self):
+        sim, received = plain_sim()
+        sim.network.partition({1, 2}, {3, 4})
+        sim.host(1).send(3, "m", "cross-1")
+        sim.host(1).send(3, "m", "cross-2")
+        sim.run_until(20.0)
+        released = sim.network.heal()
+        assert released == 2
+        sim.run_until(40.0)
+        # Reliability + FIFO: both arrive, in order.
+        assert received[3] == [("cross-1", 1), ("cross-2", 1)]
+
+    def test_ungrouped_processes_keep_connectivity(self):
+        sim, received = plain_sim()
+        sim.network.partition({1}, {2})  # 3, 4 in no group
+        sim.host(3).send(1, "m", "a")
+        sim.host(1).send(4, "m", "b")
+        sim.run_until(20.0)
+        assert received[1] == [("a", 3)]
+        assert received[4] == [("b", 1)]
+
+    def test_overlapping_groups_rejected(self):
+        sim, _ = plain_sim()
+        with pytest.raises(SimulationError):
+            sim.network.partition({1, 2}, {2, 3})
+
+    def test_partition_events_logged(self):
+        sim, _ = plain_sim()
+        sim.network.partition({1, 2}, {3, 4})
+        sim.network.heal()
+        assert sim.log.count("net.partition") == 1
+        assert sim.log.count("net.heal") == 1
+
+
+class TestQuorumSelectionAcrossPartition:
+    def test_partition_then_heal_converges(self):
+        # A minority partition {4, 5} is cut off for a while: the majority
+        # side suspects them and selects around them; after healing, the
+        # suspicions cancel, updates flow, and everyone re-converges.
+        sim, modules = build_qs_world(5, 2)
+        sim.at(20.0, lambda: sim.network.partition({1, 2, 3}, {4, 5}))
+        sim.at(120.0, lambda: sim.network.heal())
+        sim.run_until(400.0)
+        correct = [modules[p] for p in sim.pids]
+        assert agreement_holds(correct)
+        assert no_suspicion_holds(correct)
+
+    def test_majority_side_suspects_minority_during_partition(self):
+        sim, modules = build_qs_world(5, 2)
+        sim.at(20.0, lambda: sim.network.partition({1, 2, 3}, {4, 5}))
+        sim.run_until(100.0)
+        assert {4, 5} <= set(sim.host(1).fd.suspected)
+
+    def test_suspicions_cancel_after_heal(self):
+        sim, modules = build_qs_world(5, 2)
+        sim.at(20.0, lambda: sim.network.partition({1, 2, 3}, {4, 5}))
+        sim.at(120.0, lambda: sim.network.heal())
+        sim.run_until(400.0)
+        for pid in sim.pids:
+            assert sim.host(pid).fd.suspected == frozenset()

@@ -1,0 +1,146 @@
+"""Tests for the discrete-event scheduler, clock, and timer handles."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.scheduler import Scheduler
+from repro.util.errors import SimulationError
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_rejects_backwards(self):
+        clock = SimClock(5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(4.0)
+
+    def test_advance_to_same_time_ok(self):
+        clock = SimClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule(3.0, lambda: fired.append("c"))
+        scheduler.schedule(1.0, lambda: fired.append("a"))
+        scheduler.schedule(2.0, lambda: fired.append("b"))
+        scheduler.run_to_quiescence()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        scheduler = Scheduler()
+        fired = []
+        for tag in "abcde":
+            scheduler.schedule(1.0, lambda t=tag: fired.append(t))
+        scheduler.run_to_quiescence()
+        assert fired == list("abcde")
+
+    def test_clock_advances_with_events(self):
+        scheduler = Scheduler()
+        seen = []
+        scheduler.schedule(2.0, lambda: seen.append(scheduler.now))
+        scheduler.run_to_quiescence()
+        assert seen == [2.0]
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            Scheduler().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        scheduler = Scheduler()
+        seen = []
+        scheduler.schedule_at(4.0, lambda: seen.append(scheduler.now))
+        scheduler.run_to_quiescence()
+        assert seen == [4.0]
+
+    def test_nested_scheduling(self):
+        scheduler = Scheduler()
+        fired = []
+
+        def outer():
+            fired.append(("outer", scheduler.now))
+            scheduler.schedule(1.0, lambda: fired.append(("inner", scheduler.now)))
+
+        scheduler.schedule(1.0, outer)
+        scheduler.run_to_quiescence()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestRunUntil:
+    def test_runs_only_due_events(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append(1))
+        scheduler.schedule(5.0, lambda: fired.append(5))
+        scheduler.run_until(3.0)
+        assert fired == [1]
+        assert scheduler.now == 3.0
+        assert scheduler.pending() == 1
+
+    def test_clock_reaches_t_end_even_when_idle(self):
+        scheduler = Scheduler()
+        scheduler.run_until(7.0)
+        assert scheduler.now == 7.0
+
+    def test_event_at_exact_boundary_runs(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule(3.0, lambda: fired.append(1))
+        scheduler.run_until(3.0)
+        assert fired == [1]
+
+
+class TestCancellation:
+    def test_cancelled_events_skipped(self):
+        scheduler = Scheduler()
+        fired = []
+        event = scheduler.schedule(1.0, lambda: fired.append("x"))
+        event.cancelled = True
+        scheduler.run_to_quiescence()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        scheduler = Scheduler()
+        event = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        event.cancelled = True
+        assert scheduler.pending() == 1
+
+    def test_peek_time_skips_cancelled(self):
+        scheduler = Scheduler()
+        event = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        event.cancelled = True
+        assert scheduler.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert Scheduler().peek_time() is None
+
+
+class TestBudget:
+    def test_step_budget_raises(self):
+        scheduler = Scheduler(max_steps=10)
+
+        def rearm():
+            scheduler.schedule(1.0, rearm)
+
+        scheduler.schedule(1.0, rearm)
+        with pytest.raises(SimulationError):
+            scheduler.run_until(1000.0)
+
+    def test_steps_executed_counts(self):
+        scheduler = Scheduler()
+        for _ in range(5):
+            scheduler.schedule(1.0, lambda: None)
+        scheduler.run_to_quiescence()
+        assert scheduler.steps_executed == 5

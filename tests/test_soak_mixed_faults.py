@@ -1,0 +1,100 @@
+"""Soak test: one long run through every failure class, phase by phase.
+
+A single n=7, f=2 world lives through five regimes — pre-GST asynchrony,
+a crash, a partition-and-heal, a per-link mute, recovery — with the
+invariants re-checked after each phase.  This is the closest the suite
+gets to "a week in production", compressed into one deterministic run.
+"""
+
+import pytest
+
+from repro.core.spec import agreement_holds, no_suspicion_holds
+from repro.failures.adversary import Adversary
+from repro.fd.properties import eventual_strong_accuracy_holds
+from tests.conftest import build_qs_world
+
+N, F = 7, 2
+PHASES = {
+    "stabilize": 150.0,     # pre-GST noise (GST at 40) settles
+    "crash": 300.0,         # p1 crashes at 160
+    "partition": 520.0,     # {6,7} partitioned at 320, healed at 420
+    "mute-link": 740.0,     # p2 mutes heartbeats to p3 from 540
+    "recovery": 950.0,      # p1 recovers at 760
+}
+
+
+@pytest.fixture(scope="module")
+def soak_world():
+    sim, modules = build_qs_world(N, F, seed=23, gst=40.0, base_timeout=4.0)
+    adversary = Adversary(sim)
+    sim.at(160.0, lambda: sim.host(1).crash())
+    sim.at(320.0, lambda: sim.network.partition({1, 2, 3, 4, 5}, {6, 7}))
+    sim.at(420.0, lambda: sim.network.heal())
+    adversary.omit_links(2, dsts={3}, kinds={"heartbeat"}, start=540.0)
+    sim.at(760.0, lambda: sim.host(1).recover())
+
+    snapshots = {}
+    for name, until in PHASES.items():
+        sim.run_until(until)
+        snapshots[name] = {
+            pid: (modules[pid].qlast, modules[pid].epoch)
+            for pid in sim.pids
+            if sim.host(pid).running
+        }
+    return sim, modules, adversary, snapshots
+
+
+def correct_modules(sim, modules, *, exclude=()):
+    return [
+        modules[pid] for pid in sim.pids
+        if sim.host(pid).running and pid not in exclude
+    ]
+
+
+class TestSoak:
+    def test_stabilize_phase_reaches_default(self, soak_world):
+        _, _, _, snapshots = soak_world
+        quorums = {q for q, _ in snapshots["stabilize"].values()}
+        assert len(quorums) == 1  # pre-GST noise settled on one quorum
+
+    def test_crash_phase_excludes_p1(self, soak_world):
+        _, _, _, snapshots = soak_world
+        quorums = {q for q, _ in snapshots["crash"].values()}
+        assert len(quorums) == 1
+        assert 1 not in quorums.pop()
+
+    def test_partition_healed_and_agreed(self, soak_world):
+        _, _, _, snapshots = soak_world
+        quorums = {q for q, _ in snapshots["partition"].values()}
+        assert len(quorums) == 1  # minority side re-converged after heal
+
+    def test_mute_link_splits_pair(self, soak_world):
+        _, _, _, snapshots = soak_world
+        quorums = {q for q, _ in snapshots["mute-link"].values()}
+        assert len(quorums) == 1
+        assert not {2, 3} <= quorums.pop()
+
+    def test_final_state_sound(self, soak_world):
+        sim, modules, adversary, _ = soak_world
+        correct = correct_modules(sim, modules, exclude={2})  # p2 is faulty
+        assert agreement_holds(correct)
+        assert no_suspicion_holds(correct)
+        # The recovered p1 converged to the same matrix as everyone else.
+        assert modules[1].matrix == modules[4].matrix
+
+    def test_epochs_converged(self, soak_world):
+        sim, modules, _, _ = soak_world
+        epochs = {modules[pid].epoch for pid in sim.pids if sim.host(pid).running}
+        assert len(epochs) == 1
+
+    def test_accuracy_restored_each_quiet_period(self, soak_world):
+        sim, _, adversary, _ = soak_world
+        correct = [p for p in sim.pids if p not in (1, 2)]  # exclude churners
+        # The last 150 units are fault-quiet: no correct-correct raises.
+        assert eventual_strong_accuracy_holds(sim.log, correct, after=800.0)
+
+    def test_step_budget_sane(self, soak_world):
+        sim, _, _, _ = soak_world
+        # ~950 time units, 7 processes: the run stays well within budget
+        # (no event storms from any phase).
+        assert sim.scheduler.steps_executed < 400_000

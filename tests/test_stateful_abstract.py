@@ -1,0 +1,110 @@
+"""Stateful property-based testing of the single-epoch models.
+
+Hypothesis drives random legal adversary moves (suspicion edges with at
+least one faulty endpoint) against the abstract Algorithm-1 and
+Chain-Selection models and checks the paper's invariants after every
+step:
+
+- the selected quorum is always an independent set of size ``q`` and is
+  lexicographically minimal (Algorithm 1, line 31);
+- a new edge *inside* the current quorum always forces a change (the
+  no-suspicion property / Lemma 2), an edge with both endpoints outside
+  never does;
+- total changes never exceed Theorem 3's ``f (f+1)`` bound;
+- the chain variant keeps a valid conflict-free chain and only reacts to
+  edges on current links.
+"""
+
+import itertools
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.analysis.abstract import AbstractChainSelection, AbstractQuorumSelection
+from repro.analysis.bounds import thm3_upper_bound
+from repro.graphs.chain_path import is_valid_chain, sensitive_pairs
+from repro.graphs.independent_set import lex_first_independent_set
+from repro.util.errors import ConfigurationError
+
+N, F = 6, 2
+FAULTY = frozenset({1, 2})
+
+
+def legal_moves(model):
+    """New edges with at least one faulty endpoint."""
+    return [
+        (a, b)
+        for a, b in itertools.combinations(range(1, model.n + 1), 2)
+        if (a in FAULTY or b in FAULTY) and not model.graph.has_edge(a, b)
+    ]
+
+
+class QuorumSelectionMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.model = AbstractQuorumSelection(N, F)
+
+    @rule(data=st.data())
+    def adversary_move(self, data):
+        moves = legal_moves(self.model)
+        if not moves:  # adversary exhausted: further steps are no-ops
+            return
+        a, b = data.draw(st.sampled_from(moves))
+        in_quorum = a in self.model.quorum and b in self.model.quorum
+        outside = a not in self.model.quorum and b not in self.model.quorum
+        changed = self.model.add_suspicion(a, b)
+        if in_quorum:
+            assert changed, "edge inside the quorum must invalidate it"
+        if outside:
+            assert not changed, "edge fully outside the quorum must be ignored"
+
+    @invariant()
+    def quorum_is_lex_first_independent_set(self):
+        model = self.model
+        assert len(model.quorum) == model.q
+        assert model.graph.is_independent(model.quorum)
+        assert model.quorum == lex_first_independent_set(model.graph, model.q)
+
+    @invariant()
+    def changes_respect_theorem_3(self):
+        assert self.model.changes <= thm3_upper_bound(F)
+
+
+class ChainSelectionMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.model = AbstractChainSelection(N, F)
+
+    @rule(data=st.data())
+    def adversary_move(self, data):
+        moves = legal_moves(self.model)
+        if not moves:  # adversary exhausted: further steps are no-ops
+            return
+        a, b = data.draw(st.sampled_from(moves))
+        was_link = (min(a, b), max(a, b)) in sensitive_pairs(self.model.chain)
+        try:
+            changed = self.model.add_suspicion(a, b)
+        except ConfigurationError:
+            # No chain left: only reachable when the adversary saturates
+            # the graph; the machine simply stops making progress.
+            return
+        if was_link:
+            assert changed, "a suspicion on a current link must re-chain"
+
+    @invariant()
+    def chain_is_valid_and_sized(self):
+        model = self.model
+        assert len(model.chain) == model.q
+        assert is_valid_chain(model.chain, model.graph)
+
+
+TestQuorumSelectionStateful = QuorumSelectionMachine.TestCase
+TestQuorumSelectionStateful.settings = settings(
+    max_examples=40, stateful_step_count=20, deadline=None
+)
+
+TestChainSelectionStateful = ChainSelectionMachine.TestCase
+TestChainSelectionStateful.settings = settings(
+    max_examples=40, stateful_step_count=20, deadline=None
+)

@@ -1,0 +1,72 @@
+"""Tests for the structured event log."""
+
+from repro.util.eventlog import EventLog, LoggedEvent
+
+
+def make_log():
+    log = EventLog()
+    log.append(1.0, 1, "fd.suspect", target=3)
+    log.append(2.0, 2, "fd.suspect", target=3)
+    log.append(3.0, 1, "fd.unsuspect", target=3)
+    log.append(4.0, 1, "qs.quorum", quorum=(1, 2))
+    return log
+
+
+class TestAppendAndQuery:
+    def test_len(self):
+        assert len(make_log()) == 4
+
+    def test_iteration_preserves_order(self):
+        times = [event.time for event in make_log()]
+        assert times == [1.0, 2.0, 3.0, 4.0]
+
+    def test_filter_by_kind(self):
+        assert len(make_log().events(kind="fd.suspect")) == 2
+
+    def test_filter_by_process(self):
+        assert len(make_log().events(process=1)) == 3
+
+    def test_filter_by_predicate(self):
+        events = make_log().events(predicate=lambda e: e.payload.get("target") == 3)
+        assert len(events) == 3
+
+    def test_combined_filters(self):
+        events = make_log().events(kind="fd.suspect", process=2)
+        assert len(events) == 1
+        assert events[0].time == 2.0
+
+    def test_count(self):
+        log = make_log()
+        assert log.count("fd.suspect") == 2
+        assert log.count("fd.suspect", process=1) == 1
+        assert log.count("missing") == 0
+
+    def test_last(self):
+        log = make_log()
+        assert log.last("fd.suspect").time == 2.0
+        assert log.last("nope") is None
+
+    def test_append_returns_event(self):
+        log = EventLog()
+        event = log.append(5.0, 2, "x", a=1)
+        assert isinstance(event, LoggedEvent)
+        assert event.payload == {"a": 1}
+
+
+class TestRendering:
+    def test_describe_contains_fields(self):
+        event = LoggedEvent(1.5, 3, "qs.quorum", {"epoch": 2})
+        text = event.describe()
+        assert "p3" in text and "qs.quorum" in text and "epoch=2" in text
+
+    def test_describe_system_event(self):
+        event = LoggedEvent(0.0, 0, "adv.corrupt", {})
+        assert "sys" in event.describe()
+
+    def test_render_filters_kinds(self):
+        text = make_log().render("qs.quorum")
+        assert "qs.quorum" in text
+        assert "fd.suspect" not in text
+
+    def test_render_all(self):
+        assert len(make_log().render().splitlines()) == 4

@@ -1,0 +1,114 @@
+"""Tests for process identifiers and quorum ordering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.errors import ConfigurationError
+from repro.util.ids import (
+    all_processes,
+    default_quorum,
+    format_pid,
+    format_pset,
+    lexicographic_min_quorum,
+    ordered,
+    quorum_sort_key,
+    validate_pid,
+)
+
+
+class TestValidatePid:
+    def test_accepts_valid_pid(self):
+        assert validate_pid(1) == 1
+        assert validate_pid(7, n=10) == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            validate_pid(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            validate_pid(-3)
+
+    def test_rejects_above_n(self):
+        with pytest.raises(ConfigurationError):
+            validate_pid(11, n=10)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            validate_pid(True)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ConfigurationError):
+            validate_pid("p1")
+
+
+class TestAllProcesses:
+    def test_small_system(self):
+        assert all_processes(3) == frozenset({1, 2, 3})
+
+    def test_single_process(self):
+        assert all_processes(1) == frozenset({1})
+
+    def test_rejects_empty_system(self):
+        with pytest.raises(ConfigurationError):
+            all_processes(0)
+
+
+class TestQuorumOrdering:
+    def test_paper_example_order(self):
+        # Section VI-B order: {1,3,4} < {1,3,5} < {2,3,4}.
+        assert quorum_sort_key({1, 3, 4}) < quorum_sort_key({1, 3, 5})
+        assert quorum_sort_key({1, 3, 5}) < quorum_sort_key({2, 3, 4})
+
+    def test_key_is_sorted_tuple(self):
+        assert quorum_sort_key([3, 1, 2]) == (1, 2, 3)
+
+    def test_min_quorum(self):
+        quorums = [{2, 3, 4}, {1, 3, 5}, {1, 3, 4}]
+        assert lexicographic_min_quorum(quorums) == frozenset({1, 3, 4})
+
+    def test_min_quorum_single(self):
+        assert lexicographic_min_quorum([{5, 6}]) == frozenset({5, 6})
+
+    def test_min_quorum_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            lexicographic_min_quorum([])
+
+    @given(st.lists(st.frozensets(st.integers(1, 9), min_size=1, max_size=4), min_size=1, max_size=8))
+    def test_min_quorum_is_minimal(self, quorums):
+        chosen = lexicographic_min_quorum(quorums)
+        for quorum in quorums:
+            assert quorum_sort_key(chosen) <= quorum_sort_key(quorum)
+
+
+class TestFormatting:
+    def test_format_pid(self):
+        assert format_pid(3) == "p3"
+
+    def test_format_pset_sorted(self):
+        assert format_pset([3, 1, 2]) == "{p1, p2, p3}"
+
+    def test_format_pset_empty(self):
+        assert format_pset([]) == "{}"
+
+
+class TestDefaultQuorum:
+    def test_initial_quorum(self):
+        # Algorithm 1 state: Qlast = {p_1, .., p_q}.
+        assert default_quorum(5, 3) == frozenset({1, 2, 3})
+
+    def test_full_quorum(self):
+        assert default_quorum(4, 4) == frozenset({1, 2, 3, 4})
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ConfigurationError):
+            default_quorum(3, 4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            default_quorum(3, 0)
+
+
+def test_ordered_returns_sorted_list():
+    assert ordered({4, 1, 3}) == [1, 3, 4]

@@ -1,0 +1,84 @@
+"""Tests for deterministic RNG derivation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rand import DeterministicRng, derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "network") == derive_seed(42, "network")
+
+    def test_different_names_different_seeds(self):
+        assert derive_seed(42, "network") != derive_seed(42, "adversary")
+
+    def test_different_roots_different_seeds(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_path_depth_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "a")
+
+    @given(st.integers(0, 2**32), st.text(max_size=10))
+    def test_seed_in_64_bit_range(self, root, name):
+        assert 0 <= derive_seed(root, name) < 2**64
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_children_are_independent_of_sibling_creation(self):
+        root1 = DeterministicRng(7)
+        child_a1 = root1.child("a")
+        root2 = DeterministicRng(7)
+        root2.child("b")  # creating an unrelated sibling first
+        child_a2 = root2.child("a")
+        assert [child_a1.random() for _ in range(3)] == [
+            child_a2.random() for _ in range(3)
+        ]
+
+    def test_child_name_path(self):
+        rng = DeterministicRng(7, "root").child("net", 3)
+        assert rng.name == "root/net/3"
+
+    def test_uniform_bounds(self):
+        rng = DeterministicRng(1)
+        for _ in range(100):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_randint_bounds(self):
+        rng = DeterministicRng(1)
+        values = {rng.randint(1, 3) for _ in range(100)}
+        assert values == {1, 2, 3}
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRng(1)
+        assert rng.choice([5]) == 5
+        assert sorted(rng.sample(range(10), 10)) == list(range(10))
+
+    def test_coin_extremes(self):
+        rng = DeterministicRng(1)
+        assert not any(rng.coin(0.0) for _ in range(20))
+        assert all(rng.coin(1.0) for _ in range(20))
+
+    def test_shuffle_permutes(self):
+        rng = DeterministicRng(3)
+        items = list(range(20))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(20))
+
+    def test_expovariate_positive(self):
+        rng = DeterministicRng(1)
+        assert all(rng.expovariate(2.0) >= 0 for _ in range(50))
+
+
+class TestMakeRng:
+    def test_none_seed_is_fixed_default(self):
+        assert make_rng(None).seed == make_rng(None).seed
+
+    def test_explicit_seed(self):
+        assert make_rng(123).seed == 123
