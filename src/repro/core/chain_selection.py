@@ -53,13 +53,22 @@ class ChainSelectionModule(QuorumSelectionModule):
     def _update_quorum(self) -> None:
         while True:
             graph = self._suspect_graph()
-            if self._viable(graph):
+            key = (graph.uid, graph.version, self.epoch, self.q)
+            if key == self._memo_key:
+                # No edge of this epoch's band changed: the previous chain
+                # stands (see QuorumSelectionModule._update_quorum).
+                self.searches_memoized += 1
+                return
+            # Viability and selection share one search: a chain existing is
+            # lex_first_chain returning non-None.
+            chain = lex_first_chain(graph, self.q)
+            if chain is not None:
                 break
             self.epoch = self._next_viable_epoch()
             self.host.log.append(self.host.now, self.pid, "qs.epoch", epoch=self.epoch)
             self._remark_and_broadcast()
-        chain = lex_first_chain(graph, self.q)
-        assert chain is not None  # viability was just checked
+        self.quorum_searches += 1
+        self._memo_key = (graph.uid, graph.version, self.epoch, self.q)
         if chain != self.chain:
             self.chain = chain
             self.qlast = frozenset(chain)

@@ -68,6 +68,13 @@ class FollowerSelectionModule(QuorumSelectionModule):
     def _update_quorum(self) -> None:
         while True:
             graph = self._suspect_graph()
+            key = (graph.uid, graph.version, self.epoch, self.q)
+            if key == self._memo_key:
+                # Unchanged graph ⇒ same maximal line subgraph ⇒ same
+                # leader, which line 18 would ignore anyway — skip the
+                # (expensive) line-subgraph recomputation entirely.
+                self.searches_memoized += 1
+                return
             if has_independent_set(graph, self.q):
                 break
             # Lines 9-16: inconsistent suspicions -> next epoch, defaults.
@@ -83,6 +90,8 @@ class FollowerSelectionModule(QuorumSelectionModule):
             # paper's event-at-a-time formulation.
             self._remark_and_broadcast()
         line = maximal_line_subgraph(graph)
+        self.quorum_searches += 1
+        self._memo_key = (graph.uid, graph.version, self.epoch, self.q)
         new_leader = leader_of(line)
         assert new_leader is not None  # the search always leaves one uncovered
         self.line = line

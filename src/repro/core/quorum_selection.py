@@ -19,11 +19,19 @@ DESIGN.md §5.1):
   accurate suspicions alone always leave the correct set independent);
   otherwise select the lexicographically first independent set of size
   ``q`` and emit ``<QUORUM, Q>`` if it differs from ``Qlast``.
+
+Hot-path engineering (DESIGN.md §5.13): the module reads the matrix's
+*maintained* suspect-graph view instead of rebuilding per UPDATE, and
+memoizes the last quorum search under a ``(graph uid, graph version,
+epoch, q)`` key — a merge that changes no edge of the current band, or a
+duplicate gossip forward, therefore skips the search entirely.  Both are
+pure caches: decisions are byte-identical to the from-scratch path
+(``incremental=False`` restores it, and the equivalence test runs both).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, FrozenSet, List, Optional
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.events import QuorumEvent
 from repro.core.messages import KIND_UPDATE, UpdatePayload
@@ -35,6 +43,10 @@ from repro.util.errors import ConfigurationError
 from repro.util.ids import ProcessId, default_quorum
 
 QuorumListener = Callable[[QuorumEvent], None]
+
+# Forwarded-digest memory cap; on overflow the memory is reset, which can
+# at worst re-forward an old message once (gossip is idempotent).
+FORWARD_MEMORY_LIMIT = 65536
 
 
 class QuorumSelectionModule(Module):
@@ -48,6 +60,7 @@ class QuorumSelectionModule(Module):
         use_fd: bool = True,
         epoch_slack: Optional[int] = 1024,
         forward_updates: bool = True,
+        incremental: bool = True,
     ) -> None:
         super().__init__(host)
         if not 1 <= f < n - f:
@@ -65,14 +78,24 @@ class QuorumSelectionModule(Module):
         # eventually consistent under equivocation (Lemma 1); the flag
         # exists only for the E9d ablation.
         self.forward_updates = forward_updates
+        # Incremental graph view + quorum memo (DESIGN.md §5.13); False
+        # restores the from-scratch seed path for equivalence testing.
+        self.incremental = incremental
         # --- Algorithm 1 state ---
         self.epoch = 1
         self.suspecting: FrozenSet[int] = frozenset()
         self.matrix = SuspicionMatrix(n)
         self.qlast: FrozenSet[int] = default_quorum(n, self.q)
+        # --- hot-path caches ---
+        self._memo_key: Optional[Tuple[int, int, int, int]] = None
+        self._memo_quorum: Optional[FrozenSet[int]] = None
+        self._forwarded: Dict[Tuple[int, bytes], Set[int]] = {}
         # --- instrumentation ---
         self.quorum_events: List[QuorumEvent] = []
         self.quorums_per_epoch: Dict[int, int] = {}
+        self.quorum_searches = 0
+        self.searches_memoized = 0
+        self.forwards_suppressed = 0
         self._listeners: List[QuorumListener] = []
 
     # ------------------------------------------------------------- lifecycle
@@ -146,10 +169,30 @@ class QuorumSelectionModule(Module):
             # Forward the original signed message so peers converge even if
             # the (possibly faulty) owner never sent it to them (Lemma 1).
             if self.forward_updates:
-                for dst in range(1, self.n + 1):
-                    if dst not in (self.pid, src):
-                        self.host.send(dst, KIND_UPDATE, payload)
+                self._forward_update(payload, src)
             self._update_quorum()
+
+    def _forward_update(self, payload: SignedMessage, src: ProcessId) -> None:
+        """Gossip-forward an UPDATE, at most once per (message, peer).
+
+        The signature tag is already a MAC over the signed row, so
+        ``(signer, tag)`` identifies the message content without extra
+        hashing.  Max-merge idempotence makes re-forwarding harmless but
+        wasteful; the memory guarantees each peer is sent a given signed
+        UPDATE at most once by this process.
+        """
+        if len(self._forwarded) >= FORWARD_MEMORY_LIMIT:
+            self._forwarded.clear()
+        key = (payload.signature.signer, payload.signature.tag)
+        sent = self._forwarded.setdefault(key, set())
+        for dst in range(1, self.n + 1):
+            if dst in (self.pid, src):
+                continue
+            if dst in sent:
+                self.forwards_suppressed += 1
+                continue
+            sent.add(dst)
+            self.host.send(dst, KIND_UPDATE, payload)
 
     # ------------------------------------------------ Algorithm 1, lines 25-34
 
@@ -166,6 +209,12 @@ class QuorumSelectionModule(Module):
         """
         while True:
             graph = self._suspect_graph()
+            key = (graph.uid, graph.version, self.epoch, self.q)
+            if key == self._memo_key:
+                # Matrix changed but no edge of this epoch's band did: the
+                # previous search result stands and qlast is already it.
+                self.searches_memoized += 1
+                return
             if self._viable(graph):
                 break
             self.epoch = self._next_viable_epoch()
@@ -173,14 +222,24 @@ class QuorumSelectionModule(Module):
             # Re-stamp current suspicions in the new epoch and let peers
             # know (may itself remove the independent set again: loop).
             self._remark_and_broadcast()
-        quorum = lex_first_independent_set(graph, self.q)
+        quorum = lex_first_independent_set(graph, self.q, assume_exists=True)
         assert quorum is not None  # existence was just checked
+        self.quorum_searches += 1
+        self._memo_key = (graph.uid, graph.version, self.epoch, self.q)
+        self._memo_quorum = quorum
         if quorum != self.qlast:
             self.qlast = quorum
             self._issue(quorum)
 
     def _suspect_graph(self, epoch: Optional[int] = None):
-        """The suspect graph at an epoch, with the inflation band applied."""
+        """The suspect graph at an epoch, with the inflation band applied.
+
+        With no explicit epoch this returns the matrix's maintained view
+        (O(1) when nothing re-tracked); an explicit epoch always builds
+        from scratch — only non-hot paths ask for arbitrary epochs.
+        """
+        if epoch is None and self.incremental:
+            return self.matrix.suspect_graph_view(self.epoch, self.epoch_slack)
         return self.matrix.build_suspect_graph(
             self.epoch if epoch is None else epoch, slack=self.epoch_slack
         )
@@ -200,7 +259,9 @@ class QuorumSelectionModule(Module):
         The graph only changes at thresholds ``value + 1`` for values in
         the matrix, so those are the only candidates worth testing; the
         final threshold (max value + 1) yields an empty graph, which is
-        always viable.
+        always viable.  Candidate graphs are derived from the current one
+        by band deltas (:meth:`SuspicionMatrix.iter_probe_graphs`) rather
+        than rebuilt per threshold.
         """
         change_points = {self.epoch + 1}
         for _, _, value in self.matrix.entries():
@@ -213,9 +274,16 @@ class QuorumSelectionModule(Module):
                 if entry > self.epoch + 1:
                     change_points.add(entry)
         thresholds = sorted(change_points)
-        for candidate in thresholds:
-            if self._viable(self._suspect_graph(candidate)):
-                return candidate
+        if self.incremental:
+            for candidate, graph in self.matrix.iter_probe_graphs(
+                self.epoch, thresholds, self.epoch_slack
+            ):
+                if self._viable(graph):
+                    return candidate
+        else:
+            for candidate in thresholds:
+                if self._viable(self._suspect_graph(candidate)):
+                    return candidate
         return thresholds[-1]  # pragma: no cover - last is always viable
 
     def _issue(self, quorum: FrozenSet[int], leader: Optional[int] = None) -> None:
@@ -246,3 +314,14 @@ class QuorumSelectionModule(Module):
 
     def max_quorums_in_any_epoch(self) -> int:
         return max(self.quorums_per_epoch.values(), default=0)
+
+    def hotpath_stats(self) -> Dict[str, int]:
+        """Counters for the E21 hot-path benchmark harness."""
+        return {
+            "quorum_searches": self.quorum_searches,
+            "searches_memoized": self.searches_memoized,
+            "graph_builds": self.matrix.graph_builds,
+            "graph_reuses": self.matrix.graph_reuses,
+            "incremental_edge_updates": self.matrix.incremental_edge_updates,
+            "forwards_suppressed": self.forwards_suppressed,
+        }

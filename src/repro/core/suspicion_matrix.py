@@ -14,11 +14,19 @@ failure detector: "we take not only current suspicions into account, but
 also suspicions previously raised and canceled" (Section I) — a process
 that repeatedly delays messages keeps re-stamping recent epochs and is
 eventually kept out of the quorum until the epoch moves past its entries.
+
+Beyond the from-scratch :meth:`build_suspect_graph`, the matrix can
+*maintain* one epoch's suspect graph incrementally
+(:meth:`suspect_graph_view`): because entries are monotone (max-writes
+only), a write to ``suspected[l][k]`` can change exactly one edge of the
+tracked graph — the pair ``(l, k)`` — so ``mark``/``merge_row`` refresh
+only the touched pairs instead of triggering an O(n²) rebuild.  The
+DESIGN.md §5.13 notes spell out the band argument.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graphs.suspect_graph import SuspectGraph
 from repro.util.errors import ConfigurationError
@@ -33,6 +41,16 @@ class SuspicionMatrix:
             raise ConfigurationError(f"matrix needs n >= 1, got {n}")
         self.n = n
         self._rows: List[List[int]] = [[0] * (n + 1) for _ in range(n + 1)]
+        # Monotone change counter: +1 per entry that actually increased.
+        self.version = 0
+        # --- incremental suspect-graph view (one tracked epoch band) ---
+        self._view_graph: Optional[SuspectGraph] = None
+        self._view_epoch: Optional[int] = None
+        self._view_slack: Optional[int] = None
+        # --- instrumentation for the hot-path benchmarks ---
+        self.graph_builds = 0
+        self.graph_reuses = 0
+        self.incremental_edge_updates = 0
 
     # ----------------------------------------------------------------- access
 
@@ -61,6 +79,8 @@ class SuspicionMatrix:
             raise ConfigurationError(f"epoch must be >= 0, got {epoch}")
         if epoch > self._rows[suspector][suspectee]:
             self._rows[suspector][suspectee] = epoch
+            self.version += 1
+            self._refresh_view_edge(suspector, suspectee)
             return True
         return False
 
@@ -80,23 +100,38 @@ class SuspicionMatrix:
             dense = list(values)
         else:
             return False  # wrong arity: Byzantine garbage, ignore
-        changed = False
         row = self._rows[suspector]
-        for suspectee in range(1, self.n + 1):
+        if dense == row:
+            return False  # gossip echo of exactly what we already hold
+        # type-is-int rejects bools and Byzantine garbage in one check;
+        # entries are >= 0, so value > entry already implies value > 0,
+        # which makes a separate negative-value test redundant.  The zip
+        # comprehension scans at C speed — most received rows change
+        # nothing.  ``i`` guards the padding slot: a Byzantine 1-based row
+        # may carry a nonzero index 0, which must never become an entry.
+        increased = [
+            i
+            for i, (value, entry) in enumerate(zip(dense, row))
+            if i and type(value) is int and value > entry
+        ]
+        changed = False
+        for suspectee in increased:
             if suspectee == suspector:
                 continue
-            value = dense[suspectee]
-            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
-                continue
-            if value > row[suspectee]:
-                row[suspectee] = value
-                changed = True
+            row[suspectee] = dense[suspectee]
+            changed = True
+            self.version += 1
+            self._refresh_view_edge(suspector, suspectee)
         return changed
 
     # ----------------------------------------------------------- graph & views
 
+    @staticmethod
+    def _in_band(value: int, epoch: int, slack: Optional[int]) -> bool:
+        return value >= epoch and (slack is None or value <= epoch + slack)
+
     def build_suspect_graph(self, epoch: int, slack: Optional[int] = None) -> SuspectGraph:
-        """Suspect graph for ``epoch`` (Section VI-B).
+        """Suspect graph for ``epoch`` (Section VI-B), built from scratch.
 
         Nodes ``l`` and ``k`` are connected iff either suspected the other
         in ``epoch`` or later: ``suspected[l][k] >= epoch or
@@ -129,6 +164,95 @@ class SuspicionMatrix:
                     graph.add_edge(l, k)
         return graph
 
+    def suspect_graph_view(self, epoch: int, slack: Optional[int] = None) -> SuspectGraph:
+        """The *maintained* suspect graph for ``epoch`` (Section VI-B).
+
+        Equal to :meth:`build_suspect_graph` at every point in time, but
+        kept up to date edge-by-edge as entries change, so repeated calls
+        for the same ``(epoch, slack)`` cost O(1) instead of O(n²).
+        Switching to a different epoch (or slack) re-tracks with one full
+        rebuild.  The returned graph is live — callers must not mutate it
+        and must not hold it across epoch switches.
+        """
+        if (
+            self._view_graph is not None
+            and self._view_epoch == epoch
+            and self._view_slack == slack
+        ):
+            self.graph_reuses += 1
+            return self._view_graph
+        self._view_graph = self.build_suspect_graph(epoch, slack)
+        self._view_epoch = epoch
+        self._view_slack = slack
+        self.graph_builds += 1
+        return self._view_graph
+
+    def _refresh_view_edge(self, l: ProcessId, k: ProcessId) -> None:
+        """Re-derive the tracked graph's ``(l, k)`` edge after an entry write.
+
+        An entry write can change the band membership of exactly one pair,
+        so this is the entire incremental maintenance step.
+        """
+        graph = self._view_graph
+        if graph is None:
+            return
+        epoch, slack = self._view_epoch, self._view_slack
+        present = self._in_band(self._rows[l][k], epoch, slack) or self._in_band(
+            self._rows[k][l], epoch, slack
+        )
+        if present:
+            if graph.add_edge(l, k):
+                self.incremental_edge_updates += 1
+        elif graph.remove_edge(l, k):
+            self.incremental_edge_updates += 1
+
+    def iter_probe_graphs(
+        self, start_epoch: int, candidates: Sequence[int], slack: Optional[int] = None
+    ) -> Iterator[Tuple[int, SuspectGraph]]:
+        """Yield ``(epoch, graph)`` for ascending candidate epochs.
+
+        Used by the next-viable-epoch probe: instead of rebuilding the
+        suspect graph from scratch at every candidate threshold, one
+        working graph is carried forward and only the pairs whose band
+        membership can change between consecutive candidates are
+        re-derived.  A pair's edge presence is a step function of the
+        epoch, changing only at ``value + 1`` (the entry leaves the band)
+        and ``value - slack`` (a future-dated entry enters it), so those
+        boundaries are the only refresh points.
+
+        ``candidates`` must be ascending and all ``> start_epoch``.  The
+        yielded graph is the same (mutating) working object each time —
+        consume it before advancing the iterator.
+        """
+        working = self.suspect_graph_view(start_epoch, slack).copy()
+        boundaries: List[Tuple[int, int, int]] = []
+        for l in range(1, self.n + 1):
+            row = self._rows[l]
+            for k in range(l + 1, self.n + 1):
+                for value in (row[k], self._rows[k][l]):
+                    if not value:
+                        continue
+                    if value + 1 > start_epoch:
+                        boundaries.append((value + 1, l, k))
+                    if slack is not None and value - slack > start_epoch:
+                        boundaries.append((value - slack, l, k))
+        boundaries.sort()
+        index = 0
+        for candidate in candidates:
+            touched = set()
+            while index < len(boundaries) and boundaries[index][0] <= candidate:
+                touched.add(boundaries[index][1:])
+                index += 1
+            for l, k in touched:
+                present = self._in_band(self._rows[l][k], candidate, slack) or (
+                    self._in_band(self._rows[k][l], candidate, slack)
+                )
+                if present:
+                    working.add_edge(l, k)
+                else:
+                    working.remove_edge(l, k)
+            yield candidate, working
+
     def entries(self) -> Iterable[Tuple[int, int, int]]:
         """Yield all nonzero ``(suspector, suspectee, epoch)`` entries."""
         for l in range(1, self.n + 1):
@@ -139,6 +263,7 @@ class SuspicionMatrix:
     def copy(self) -> "SuspicionMatrix":
         clone = SuspicionMatrix(self.n)
         clone._rows = [list(row) for row in self._rows]
+        clone.version = self.version
         return clone
 
     def __eq__(self, other: object) -> bool:

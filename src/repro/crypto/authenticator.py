@@ -31,6 +31,15 @@ class SignedMessage:
         return ("signed", self.payload, self.signature.canonical())
 
 
+# Per-object verification memo.  A broadcast hands the *same*
+# SignedMessage object to every receiver; keying by ``id`` (with the
+# message and registry pinned in the value, so a recycled id can never
+# alias) answers the n-1 repeat verifications with one dict hit and no
+# payload re-hashing.  Cleared wholesale when full.
+_VERIFY_MEMO: dict = {}
+_VERIFY_MEMO_LIMIT = 65536
+
+
 class Authenticator:
     """Signing capability bound to one process id.
 
@@ -52,7 +61,15 @@ class Authenticator:
 
     def verify(self, message: SignedMessage) -> bool:
         """Check a signed message; ``False`` on any mismatch."""
-        return verify_payload(self._registry, message.signature, message.payload)
+        key = id(message)
+        hit = _VERIFY_MEMO.get(key)
+        if hit is not None and hit[0] is message and hit[1] is self._registry:
+            return hit[2]
+        result = verify_payload(self._registry, message.signature, message.payload)
+        if len(_VERIFY_MEMO) >= _VERIFY_MEMO_LIMIT:
+            _VERIFY_MEMO.clear()
+        _VERIFY_MEMO[key] = (message, self._registry, result)
+        return result
 
     def require_valid(self, message: SignedMessage) -> SignedMessage:
         """Verify or raise :class:`AuthenticationError` (harness helper)."""

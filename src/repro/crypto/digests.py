@@ -67,10 +67,40 @@ def _encode_into(value: Any, out: bytearray) -> None:
         raise TypeError(f"cannot canonically encode {type(value).__name__}: {value!r}")
 
 
+# Encoding memo for signing/verification.  A broadcast signs one payload
+# object and every receiver re-encodes it to verify; at n=30 that made
+# canonical encoding the single largest cost on the UPDATE hot path.  The
+# cache is keyed by payload *equality* (message payloads are frozen
+# dataclasses and heartbeat tuples, both hashing by value), so it is a
+# pure memo of a pure function — a tampered copy is a different key and
+# still encodes/verifies honestly.  The cache is cleared wholesale when
+# full, which only costs re-encodes, never correctness.
+_ENCODE_CACHE: dict = {}
+_ENCODE_LIMIT = 65536
+
+
+def canonical_encode_cached(value: Any) -> bytes:
+    """Memoized :func:`canonical_encode` for hashable values.
+
+    Unhashable containers fall back to a direct encode; the result is
+    always identical to :func:`canonical_encode`.
+    """
+    try:
+        cached = _ENCODE_CACHE.get(value)
+    except TypeError:  # unhashable: cannot memoize at all
+        return canonical_encode(value)
+    if cached is None:
+        cached = canonical_encode(value)
+        if len(_ENCODE_CACHE) >= _ENCODE_LIMIT:
+            _ENCODE_CACHE.clear()
+        _ENCODE_CACHE[value] = cached
+    return cached
+
+
 def digest(value: Any) -> str:
     """Hex digest of a payload's canonical encoding (SHA-256, truncated).
 
     Truncation to 16 bytes keeps traces readable; collision resistance at
     simulation scale is untouched.
     """
-    return hashlib.sha256(canonical_encode(value)).hexdigest()[:32]
+    return hashlib.sha256(canonical_encode_cached(value)).hexdigest()[:32]

@@ -24,6 +24,7 @@ messages arrive late or indirectly).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set
 
 from repro.crypto.authenticator import SignedMessage
@@ -47,6 +48,10 @@ class FailureDetector:
         self.policy = timeout_policy or TimeoutPolicy()
         self.require_signatures = require_signatures
         self._active: Dict[int, Expectation] = {}
+        # Source-indexed view of _active: on_receive only ever matches
+        # expectations whose source is the message's signer, so the
+        # per-message scan walks one bucket instead of every expectation.
+        self._by_source: Dict[ProcessId, Dict[int, Expectation]] = {}
         self._detected: Set[int] = set()
         self._published: FrozenSet[int] = frozenset()
         self._subscribers: List[SuspectedCallback] = []
@@ -92,21 +97,24 @@ class FailureDetector:
         timeout: Optional[float] = None,
     ) -> ExpectationHandle:
         """Register ``<EXPECT, P, source>``; arms a deadline timer."""
+        host = self.host
+        now = host.now
         wait = self.policy.timeout_for(source) if timeout is None else timeout
         expectation = Expectation(
             source=source,
             predicate=predicate,
             group=group,
-            deadline=self.host.now + wait,
+            deadline=now + wait,
             label=label,
         )
         self._active[expectation.eid] = expectation
+        self._by_source.setdefault(source, {})[expectation.eid] = expectation
         self.expectations_issued += 1
-        self.host.log.append(
-            self.host.now, self.pid, "fd.expect", source=source, label=label, group=group
+        host.log.append(
+            now, host.pid, "fd.expect", source=source, label=label, group=group
         )
-        self.host.set_timer(
-            wait, lambda: self._on_deadline(expectation), label=f"fd-exp:{label}"
+        host.set_timer(
+            wait, partial(self._on_deadline, expectation), label=label or "fd-exp"
         )
         return ExpectationHandle(expectation, self._cancel_one)
 
@@ -122,7 +130,7 @@ class FailureDetector:
             if group is not None and expectation.group != group:
                 continue
             expectation.cancelled = True
-            del self._active[expectation.eid]
+            self._forget(expectation)
             cancelled += 1
         if cancelled:
             self.host.log.append(
@@ -159,12 +167,13 @@ class FailureDetector:
             self.host.log.append(self.host.now, self.pid, "fd.unsigned", msg=kind, via=src)
             return
         fulfilled_open = False
-        for expectation in list(self._active.values()):
+        bucket = self._by_source.get(source)
+        for expectation in list(bucket.values()) if bucket else ():
             if not expectation.matches(kind, payload, source):
                 continue
             was_open = expectation.open_suspicion
             expectation.fulfilled = True
-            del self._active[expectation.eid]
+            self._forget(expectation)
             self.expectations_fulfilled += 1
             if was_open:
                 # Late arrival: the suspicion was premature; widen timeout.
@@ -176,11 +185,20 @@ class FailureDetector:
 
     # --------------------------------------------------------------- internals
 
+    def _forget(self, expectation: Expectation) -> None:
+        """Drop an expectation from both the flat map and the source index."""
+        self._active.pop(expectation.eid, None)
+        bucket = self._by_source.get(expectation.source)
+        if bucket is not None:
+            bucket.pop(expectation.eid, None)
+            if not bucket:
+                del self._by_source[expectation.source]
+
     def _cancel_one(self, expectation: Expectation) -> None:
         if expectation.fulfilled or expectation.cancelled:
             return
         expectation.cancelled = True
-        self._active.pop(expectation.eid, None)
+        self._forget(expectation)
         self._publish_if_changed()
 
     def _on_deadline(self, expectation: Expectation) -> None:

@@ -11,9 +11,10 @@ from repro.util.ids import ProcessId
 Predicate = Callable[[str, Any], bool]
 
 _next_expectation_id = itertools.count(1)
+_next_eid = _next_expectation_id.__next__
 
 
-@dataclass
+@dataclass(slots=True)
 class Expectation:
     """One registered expectation.
 
@@ -35,7 +36,7 @@ class Expectation:
     group: str
     deadline: float
     label: str = ""
-    eid: int = field(default_factory=lambda: next(_next_expectation_id))
+    eid: int = field(default_factory=_next_eid)
     fulfilled: bool = False
     timed_out: bool = False
     cancelled: bool = False
@@ -56,6 +57,8 @@ class Expectation:
 
 class ExpectationHandle:
     """Caller-facing handle: inspect status, cancel individually."""
+
+    __slots__ = ("_expectation", "_canceller")
 
     def __init__(self, expectation: Expectation, canceller: Callable[[Expectation], None]) -> None:
         self._expectation = expectation

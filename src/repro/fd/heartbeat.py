@@ -24,6 +24,11 @@ PING = "fd.ping"
 PONG = "fd.pong"
 
 
+def _is_heartbeat(kind: str, payload: Any) -> bool:
+    """Shared predicate — one function object instead of one per EXPECT."""
+    return kind == HEARTBEAT
+
+
 class HeartbeatModule(Module):
     """Periodic signed heartbeats plus rolling expectations for peers."""
 
@@ -66,7 +71,7 @@ class HeartbeatModule(Module):
         """Expect *some* next heartbeat from ``peer`` (any sequence)."""
         self._expectations[peer] = self.host.fd.expect(
             source=peer,
-            predicate=lambda kind, payload: kind == HEARTBEAT,
+            predicate=_is_heartbeat,
             group="heartbeat",
             label=f"hb<-p{peer}",
         )

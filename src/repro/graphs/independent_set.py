@@ -7,11 +7,16 @@ dual (complement of an independent set of size ``q`` is a cover of size
 backtracking search — the first complete set the search reaches is the
 lexicographic minimum because candidates are always tried in ascending id
 order.
+
+The search runs on the graph's neighbor bitmasks: the blocked set is a
+single int, so descending into a branch is one ``|`` and backtracking is
+free (the caller's mask is untouched) — no per-call set allocations in
+the inner loop.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterator, List, Optional, Set
+from typing import FrozenSet, Iterator, List, Optional
 
 from repro.graphs.suspect_graph import SuspectGraph
 from repro.graphs.vertex_cover import vertex_cover_at_most
@@ -29,46 +34,54 @@ def has_independent_set(graph: SuspectGraph, q: int) -> bool:
     return vertex_cover_at_most(graph, graph.n - q)
 
 
-def lex_first_independent_set(graph: SuspectGraph, q: int) -> Optional[FrozenSet[int]]:
+def lex_first_independent_set(
+    graph: SuspectGraph, q: int, assume_exists: bool = False
+) -> Optional[FrozenSet[int]]:
     """Lexicographically first independent set of size ``q``, or ``None``.
 
     Lexicographic order is on sorted id tuples: ``{1,3,4} < {1,3,5} <
     {2,3,4}`` — the order Algorithm 1 uses so that correct processes with
     equal suspect graphs select equal quorums.
+
+    ``assume_exists`` skips the vertex-cover existence pre-check; pass it
+    only when :func:`has_independent_set` was already confirmed for this
+    exact graph (the hot path checks viability immediately beforehand).
+    The search itself is complete either way — the pre-check only prunes
+    the hopeless-graph case quickly.
     """
     if q == 0:
         return frozenset()
     if q > graph.n:
         return None
-    if not has_independent_set(graph, q):
+    if not assume_exists and not has_independent_set(graph, q):
         return None
     chosen: List[int] = []
-    blocked: Set[int] = set()
-    if not _extend_lex(graph, q, 1, chosen, blocked):
+    if not _extend_lex(graph.adjacency_bitmasks(), graph.n, q, 1, chosen, 0):
         return None
     return frozenset(chosen)
 
 
 def _extend_lex(
-    graph: SuspectGraph, q: int, start: int, chosen: List[int], blocked: Set[int]
+    adj: List[int], n: int, q: int, start: int, chosen: List[int], blocked: int
 ) -> bool:
-    """Depth-first extension trying candidate ids in ascending order."""
+    """Depth-first extension trying candidate ids in ascending order.
+
+    ``blocked`` is a bitmask of ids excluded by earlier choices; it is
+    passed by value, so backtracking needs no undo.
+    """
     if len(chosen) == q:
         return True
     needed = q - len(chosen)
-    for v in range(start, graph.n + 1):
+    for v in range(start, n + 1):
         # Not enough ids left even if all were available.
-        if graph.n - v + 1 < needed:
+        if n - v + 1 < needed:
             return False
-        if v in blocked:
+        if (blocked >> v) & 1:
             continue
-        newly_blocked = [u for u in graph.neighbors(v) if u > v and u not in blocked]
         chosen.append(v)
-        blocked.update(newly_blocked)
-        if _extend_lex(graph, q, v + 1, chosen, blocked):
+        if _extend_lex(adj, n, q, v + 1, chosen, blocked | adj[v]):
             return True
         chosen.pop()
-        blocked.difference_update(newly_blocked)
     return False
 
 
@@ -78,7 +91,9 @@ def all_independent_sets(graph: SuspectGraph, q: int) -> Iterator[FrozenSet[int]
     Exponential in general — intended for tests and small worked examples
     (e.g. verifying Figure 4 and Lemma 8 on concrete graphs).
     """
-    def recurse(start: int, chosen: List[int], blocked: Set[int]) -> Iterator[FrozenSet[int]]:
+    adj = graph.adjacency_bitmasks()
+
+    def recurse(start: int, chosen: List[int], blocked: int) -> Iterator[FrozenSet[int]]:
         if len(chosen) == q:
             yield frozenset(chosen)
             return
@@ -86,14 +101,11 @@ def all_independent_sets(graph: SuspectGraph, q: int) -> Iterator[FrozenSet[int]
         for v in range(start, graph.n + 1):
             if graph.n - v + 1 < needed:
                 return
-            if v in blocked:
+            if (blocked >> v) & 1:
                 continue
-            newly_blocked = [u for u in graph.neighbors(v) if u > v and u not in blocked]
             chosen.append(v)
-            blocked.update(newly_blocked)
-            yield from recurse(v + 1, chosen, blocked)
+            yield from recurse(v + 1, chosen, blocked | adj[v])
             chosen.pop()
-            blocked.difference_update(newly_blocked)
 
     if 0 <= q <= graph.n:
-        yield from recurse(1, [], set())
+        yield from recurse(1, [], 0)

@@ -2,19 +2,39 @@
 
 A *suspect graph* (Section VI-B) connects processes ``l`` and ``k`` when
 one of them suspected the other in the current epoch or later.  The class
-below is a minimal adjacency-set graph tailored to that use: nodes are the
-fixed set ``1..n`` (isolated nodes matter — they are the well-behaved
-processes), and edges are unordered pairs.
+below is a minimal graph tailored to that use: nodes are the fixed set
+``1..n`` (isolated nodes matter — they are the well-behaved processes),
+and edges are unordered pairs.
+
+Adjacency is stored as one bitmask per node (bit ``k`` of
+``adjacency_bitmasks()[u]`` set iff ``(u, k)`` is an edge).  The quorum
+searches (:mod:`repro.graphs.independent_set`,
+:mod:`repro.graphs.vertex_cover`) run directly on these masks, which keeps
+their inner loops free of per-call set allocations.  ``neighbors()`` /
+``edges()`` answers are cached frozensets, invalidated on mutation — they
+used to be rebuilt on every call from inside the backtracking search.
+
+Each graph carries a ``(uid, version)`` identity: ``uid`` is unique per
+instance and ``version`` increments on every actual edge change.  Callers
+(the quorum memo in :class:`repro.core.quorum_selection`) use the pair as
+a cheap "has this graph changed since I last searched it?" key.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Iterator, List, Set, Tuple
+import itertools
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.util.errors import ConfigurationError
 from repro.util.ids import ProcessId, validate_pid
 
 Edge = Tuple[int, int]
+
+try:  # Python >= 3.10
+    _popcount = int.bit_count
+except AttributeError:  # pragma: no cover - 3.9 fallback
+    def _popcount(x: int) -> int:
+        return bin(x).count("1")
 
 
 def _normalize_edge(u: int, v: int) -> Edge:
@@ -23,15 +43,29 @@ def _normalize_edge(u: int, v: int) -> Edge:
     return (u, v) if u < v else (v, u)
 
 
+def _bits_to_ids(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
 class SuspectGraph:
     """Mutable simple undirected graph on nodes ``1..n``."""
+
+    _uid_counter = itertools.count()
 
     def __init__(self, n: int, edges: Iterable[Edge] = ()) -> None:
         if n < 1:
             raise ConfigurationError(f"graph needs n >= 1 nodes, got {n}")
         self.n = n
-        self._adj: List[Set[int]] = [set() for _ in range(n + 1)]
+        self._adj_bits: List[int] = [0] * (n + 1)
         self._edges: Set[Edge] = set()
+        self.uid = next(SuspectGraph._uid_counter)
+        self.version = 0
+        self._edges_cache: Optional[FrozenSet[Edge]] = None
+        self._nbr_cache: List[Optional[FrozenSet[int]]] = [None] * (n + 1)
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -45,8 +79,9 @@ class SuspectGraph:
         if edge in self._edges:
             return False
         self._edges.add(edge)
-        self._adj[edge[0]].add(edge[1])
-        self._adj[edge[1]].add(edge[0])
+        self._adj_bits[edge[0]] |= 1 << edge[1]
+        self._adj_bits[edge[1]] |= 1 << edge[0]
+        self._touch(edge)
         return True
 
     def remove_edge(self, u: ProcessId, v: ProcessId) -> bool:
@@ -55,9 +90,16 @@ class SuspectGraph:
         if edge not in self._edges:
             return False
         self._edges.discard(edge)
-        self._adj[edge[0]].discard(edge[1])
-        self._adj[edge[1]].discard(edge[0])
+        self._adj_bits[edge[0]] &= ~(1 << edge[1])
+        self._adj_bits[edge[1]] &= ~(1 << edge[0])
+        self._touch(edge)
         return True
+
+    def _touch(self, edge: Edge) -> None:
+        self.version += 1
+        self._edges_cache = None
+        self._nbr_cache[edge[0]] = None
+        self._nbr_cache[edge[1]] = None
 
     # ---------------------------------------------------------------- queries
 
@@ -65,33 +107,52 @@ class SuspectGraph:
         return range(1, self.n + 1)
 
     def edges(self) -> FrozenSet[Edge]:
-        return frozenset(self._edges)
+        if self._edges_cache is None:
+            self._edges_cache = frozenset(self._edges)
+        return self._edges_cache
 
     def has_edge(self, u: ProcessId, v: ProcessId) -> bool:
         return _normalize_edge(u, v) in self._edges
 
     def neighbors(self, u: ProcessId) -> FrozenSet[int]:
         validate_pid(u, self.n)
-        return frozenset(self._adj[u])
+        cached = self._nbr_cache[u]
+        if cached is None:
+            cached = frozenset(_bits_to_ids(self._adj_bits[u]))
+            self._nbr_cache[u] = cached
+        return cached
+
+    def adjacency_bits(self, u: ProcessId) -> int:
+        """Neighbor bitmask of ``u`` (bit ``k`` set iff ``(u, k)`` is an edge)."""
+        validate_pid(u, self.n)
+        return self._adj_bits[u]
+
+    def adjacency_bitmasks(self) -> List[int]:
+        """The per-node neighbor bitmasks, indexed by node id (index 0 unused).
+
+        This is the live internal list — callers must treat it as
+        read-only; it is exposed for the search inner loops.
+        """
+        return self._adj_bits
 
     def degree(self, u: ProcessId) -> int:
         validate_pid(u, self.n)
-        return len(self._adj[u])
+        return _popcount(self._adj_bits[u])
 
     def edge_count(self) -> int:
         return len(self._edges)
 
     def isolated_nodes(self) -> List[int]:
         """Nodes with no incident suspicion — always quorum-eligible."""
-        return [u for u in self.nodes() if not self._adj[u]]
+        return [u for u in self.nodes() if not self._adj_bits[u]]
 
     def is_independent(self, nodes: Iterable[ProcessId]) -> bool:
         """True iff no two of the given nodes are adjacent."""
-        members = set(nodes)
+        mask = 0
+        members = list(nodes)
         for u in members:
-            if self._adj[u] & members:
-                return False
-        return True
+            mask |= 1 << u
+        return all(not self._adj_bits[u] & mask for u in members)
 
     def contains_edges(self, edges: Iterable[Edge]) -> bool:
         """True iff every given edge is present (Definition 3b check)."""
@@ -103,12 +164,24 @@ class SuspectGraph:
         Used by the maximal-line-subgraph search, which must leave the
         candidate leader with degree 0.
         """
-        return SuspectGraph(
-            self.n, (edge for edge in self._edges if node not in edge)
+        return SuspectGraph._from_known_edges(
+            self.n, [edge for edge in self._edges if node not in edge]
         )
 
     def copy(self) -> "SuspectGraph":
-        return SuspectGraph(self.n, self._edges)
+        return SuspectGraph._from_known_edges(self.n, self._edges)
+
+    @classmethod
+    def _from_known_edges(cls, n: int, edges: Iterable[Edge]) -> "SuspectGraph":
+        """Fast constructor for edges already known to be valid/normalized."""
+        graph = cls(n)
+        adj = graph._adj_bits
+        for edge in edges:
+            graph._edges.add(edge)
+            adj[edge[0]] |= 1 << edge[1]
+            adj[edge[1]] |= 1 << edge[0]
+        graph.version = len(graph._edges)
+        return graph
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SuspectGraph):

@@ -6,21 +6,29 @@ cover.  Quorum existence therefore reduces to "does ``G`` have a vertex
 cover of size at most ``f``?", which the standard degree-branching
 algorithm answers in ``O(2^f * |E|)`` — comfortably fast at the paper's
 "consortium blockchain" scale, where ``f`` is small.
+
+The working adjacency is a ``node -> neighbor-bitmask`` dict, mirroring
+:meth:`SuspectGraph.adjacency_bitmasks`: node removal is a single
+``mask &= ~bit`` per entry and degree is a popcount, so the branching
+inner loop allocates no sets.  Branching order (pendant rule first, then
+a maximum-degree vertex with smallest-id tie-break) is unchanged from the
+set-based implementation, so the same graphs take the same decisions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict
 
-from repro.graphs.suspect_graph import SuspectGraph
+from repro.graphs.suspect_graph import SuspectGraph, _bits_to_ids, _popcount
 
 
 def vertex_cover_at_most(graph: SuspectGraph, k: int) -> bool:
     """Does ``graph`` have a vertex cover of size <= ``k``?"""
     if k < 0:
         return False
-    adjacency: Dict[int, Set[int]] = {
-        u: set(graph.neighbors(u)) for u in graph.nodes() if graph.degree(u) > 0
+    bits = graph.adjacency_bitmasks()
+    adjacency: Dict[int, int] = {
+        u: bits[u] for u in graph.nodes() if bits[u]
     }
     return _cover_search(adjacency, k)
 
@@ -37,54 +45,54 @@ def minimum_vertex_cover_size(graph: SuspectGraph) -> int:
     return graph.n  # unreachable: all nodes always cover everything
 
 
-def _cover_search(adjacency: Dict[int, Set[int]], k: int) -> bool:
+def _cover_search(adjacency: Dict[int, int], k: int) -> bool:
     """Branching search; ``adjacency`` maps only nodes of nonzero degree."""
     # Simplification loop: remove degree-0 entries, take degree-1 neighbors
     # greedily (covering a pendant edge via the non-pendant endpoint is
     # never worse than via the pendant).
     while True:
-        adjacency = {u: nbrs for u, nbrs in adjacency.items() if nbrs}
+        adjacency = {u: mask for u, mask in adjacency.items() if mask}
         if not adjacency:
             return True
         if k <= 0:
             return False
-        pendant = next((u for u, nbrs in adjacency.items() if len(nbrs) == 1), None)
-        if pendant is None:
+        pendant_mask = next(
+            (mask for mask in adjacency.values() if not mask & (mask - 1)), None
+        )
+        if pendant_mask is None:
             break
-        neighbor = next(iter(adjacency[pendant]))
+        neighbor = pendant_mask.bit_length() - 1
         adjacency = _remove_node(adjacency, neighbor)
         k -= 1
     # Branch on a maximum-degree vertex v: either v is in the cover, or all
     # of its neighbors are.
-    v = max(adjacency, key=lambda u: (len(adjacency[u]), -u))
-    neighbors = sorted(adjacency[v])
-    if len(neighbors) > k:
+    v = max(adjacency, key=lambda u: (_popcount(adjacency[u]), -u))
+    neighbors_mask = adjacency[v]
+    degree = _popcount(neighbors_mask)
+    if degree > k:
         # v must be in the cover: excluding it would force > k neighbors in.
         return _cover_search(_remove_node(adjacency, v), k - 1)
     if _cover_search(_remove_node(adjacency, v), k - 1):
         return True
     reduced = adjacency
-    for u in neighbors:
+    for u in _bits_to_ids(neighbors_mask):
         reduced = _remove_node(reduced, u)
-    return _cover_search(reduced, k - len(neighbors))
+    return _cover_search(reduced, k - degree)
 
 
-def _remove_node(adjacency: Dict[int, Set[int]], node: int) -> Dict[int, Set[int]]:
+def _remove_node(adjacency: Dict[int, int], node: int) -> Dict[int, int]:
     """Adjacency copy with ``node`` (and its incident edges) deleted."""
-    out: Dict[int, Set[int]] = {}
-    for u, nbrs in adjacency.items():
-        if u == node:
-            continue
-        out[u] = nbrs - {node} if node in nbrs else set(nbrs)
-    return out
+    clear = ~(1 << node)
+    return {u: mask & clear for u, mask in adjacency.items() if u != node}
 
 
 def greedy_cover_upper_bound(graph: SuspectGraph) -> int:
     """Cheap 2-approximate cover size via maximal matching (diagnostics)."""
-    matched: Set[int] = set()
+    matched = 0
     size = 0
     for u, v in sorted(graph.edges()):
-        if u not in matched and v not in matched:
-            matched.update((u, v))
+        pair = (1 << u) | (1 << v)
+        if not matched & pair:
+            matched |= pair
             size += 2
     return size

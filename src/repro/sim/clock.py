@@ -13,15 +13,16 @@ class SimClock:
     default, so "two communication rounds" in the paper is ~2.0 units).
     """
 
-    def __init__(self, start: float = 0.0) -> None:
-        self._now = start
+    __slots__ = ("now",)
 
-    @property
-    def now(self) -> float:
-        return self._now
+    def __init__(self, start: float = 0.0) -> None:
+        # Plain attribute, not a property: ``now`` is read on every
+        # scheduler step and send, and the attribute is mutated only via
+        # :meth:`advance_to`.
+        self.now = start
 
     def advance_to(self, time: float) -> None:
         """Move the clock forward; rejects travel into the past."""
-        if time < self._now:
-            raise SimulationError(f"clock cannot go backwards: {time} < {self._now}")
-        self._now = time
+        if time < self.now:
+            raise SimulationError(f"clock cannot go backwards: {time} < {self.now}")
+        self.now = time

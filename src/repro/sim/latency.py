@@ -88,9 +88,13 @@ class EventuallySynchronousLatency(LatencyModel):
         self.min_delay = min_delay
 
     def sample(self, time, src, dst, rng):  # noqa: D102
+        # Inlined ``rng.uniform(a, b)`` == ``a + (b - a) * rng.random()``:
+        # same formula as random.Random.uniform, so the drawn sequence is
+        # bit-identical, without the Python-level uniform() frame per
+        # message.
         if time < self.gst:
-            return rng.uniform(self.min_delay, self.pre_gst_max)
-        return rng.uniform(self.min_delay, self.delta)
+            return self.min_delay + (self.pre_gst_max - self.min_delay) * rng.random()
+        return self.min_delay + (self.delta - self.min_delay) * rng.random()
 
     def round_length(self, time):  # noqa: D102
         return self.pre_gst_max if time < self.gst else self.delta

@@ -15,6 +15,7 @@ VIII) assumes FIFO between correct processes, Algorithm 1 does not.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro.sim.latency import FixedLatency, LatencyModel
@@ -45,7 +46,12 @@ class SendAction:
     payload_override: Optional[Any] = None
 
 
-@dataclass
+# The no-interceptor verdict never varies; one frozen instance serves every
+# plain send instead of allocating a fresh SendAction per message.
+_DELIVER_ACTION = SendAction()
+
+
+@dataclass(slots=True)
 class Envelope:
     """One in-flight message."""
 
@@ -180,44 +186,47 @@ class Network:
         if dst not in self._hosts:
             self.log.append(self.scheduler.now, src, "net.unroutable", msg=kind, dst=dst)
             return
-        now = self.scheduler.now
+        now = self.scheduler.clock.now
         envelope = Envelope(kind=kind, payload=payload, src=src, dst=dst, sent_at=now)
-        action = SendAction()
         interceptor = self._interceptors.get(src)
-        if interceptor is not None:
-            action = interceptor(envelope)
         self.stats.record_sent(kind, src, dst)
-        if action.verdict == DROP:
-            self.stats.record_dropped(kind, src, dst)
-            self.log.append(now, src, "net.drop", msg=kind, dst=dst)
-            return
-        if action.payload_override is not None:
-            envelope.payload = action.payload_override
-            self.log.append(now, src, "net.rewrite", msg=kind, dst=dst)
+        if interceptor is None:
+            # Plain correct-process send: no verdict, no rewrite.
+            action = _DELIVER_ACTION
+        else:
+            action = interceptor(envelope)
+            if action.verdict == DROP:
+                self.stats.record_dropped(kind, src, dst)
+                self.log.append(now, src, "net.drop", msg=kind, dst=dst)
+                return
+            if action.payload_override is not None:
+                envelope.payload = action.payload_override
+                self.log.append(now, src, "net.rewrite", msg=kind, dst=dst)
         if self._trace_kinds is not None and kind in self._trace_kinds:
             self.log.append(now, src, "net.send", msg=kind, dst=dst)
-        if self._crosses_partition(src, dst):
+        if self._partition_groups is not None and self._crosses_partition(src, dst):
             self._held.append(envelope)
             return
         self._dispatch(envelope, extra_delay=action.extra_delay)
 
     def _dispatch(self, envelope: Envelope, extra_delay: float) -> None:
         """Sample latency, honour FIFO, and schedule delivery."""
-        now = self.scheduler.now
+        now = self.scheduler.clock.now
         delay = (
             self.latency.sample(now, envelope.src, envelope.dst, self.rng) + extra_delay
         )
         deliver_at = now + delay
         if self.fifo:
-            floor = self._last_delivery.get((envelope.src, envelope.dst), 0.0)
+            link = (envelope.src, envelope.dst)
+            floor = self._last_delivery.get(link, 0.0)
             if deliver_at <= floor:
                 deliver_at = floor + self._fifo_epsilon
-            self._last_delivery[(envelope.src, envelope.dst)] = deliver_at
+            self._last_delivery[link] = deliver_at
         envelope.deliver_at = deliver_at
+        # The label is debug-only; the envelope's kind is enough to identify
+        # a runaway storm without paying an f-string per send.
         self.scheduler.schedule_at(
-            deliver_at,
-            lambda: self._deliver(envelope),
-            label=f"net:{envelope.kind}:{envelope.src}->{envelope.dst}",
+            deliver_at, partial(self._deliver, envelope), label=envelope.kind
         )
 
     def inject(

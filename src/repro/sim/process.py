@@ -80,7 +80,7 @@ class ProcessHost:
 
     @property
     def now(self) -> float:
-        return self.network.scheduler.now
+        return self.network.scheduler.clock.now
 
     def add_module(self, module: Module) -> Module:
         """Attach a module; it will be started with the simulation."""
@@ -152,17 +152,16 @@ class ProcessHost:
         """Arm a one-shot timer; returns a cancellation handle."""
         if delay < 0:
             raise SimulationError(f"negative timer delay {delay}")
-        handle_box: List[TimerHandle] = []
+        handle: Optional[TimerHandle] = None
 
         def fire() -> None:
             if not self.running:
                 return
-            handle_box[0]._mark_fired()
+            handle._mark_fired()  # closure cell: bound before any fire time
             action()
 
-        event = self.scheduler.schedule(delay, fire, label=label or f"timer@p{self.pid}")
+        event = self.scheduler.schedule(delay, fire, label=label or "timer")
         handle = TimerHandle(event)
-        handle_box.append(handle)
         self._timers.append(handle)
         return handle
 

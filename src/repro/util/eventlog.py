@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LoggedEvent:
     """One record in an :class:`EventLog`.
 
@@ -50,7 +50,8 @@ class EventLog:
 
     def append(self, time: float, process: int, kind: str, **payload: Any) -> LoggedEvent:
         """Record and return a new event."""
-        event = LoggedEvent(time=time, process=process, kind=kind, payload=dict(payload))
+        # ``payload`` is the fresh kwargs dict — no defensive copy needed.
+        event = LoggedEvent(time=time, process=process, kind=kind, payload=payload)
         self._events.append(event)
         return event
 

@@ -40,6 +40,10 @@ class DeterministicRng:
         self.seed = seed
         self.name = name
         self._random = random.Random(seed)
+        # Bound C methods, re-exported without a delegation frame: latency
+        # sampling calls uniform() once per message.
+        self.uniform = self._random.uniform
+        self.random = self._random.random
 
     def child(self, *names: object) -> "DeterministicRng":
         """Create an independent child stream addressed by ``names``."""
@@ -47,17 +51,9 @@ class DeterministicRng:
         child_name = self.name + "/" + "/".join(str(n) for n in names)
         return DeterministicRng(child_seed, child_name)
 
-    def uniform(self, low: float, high: float) -> float:
-        """Uniform float in ``[low, high]``."""
-        return self._random.uniform(low, high)
-
     def randint(self, low: int, high: int) -> int:
         """Uniform integer in ``[low, high]`` inclusive."""
         return self._random.randint(low, high)
-
-    def random(self) -> float:
-        """Uniform float in ``[0, 1)``."""
-        return self._random.random()
 
     def choice(self, seq: Sequence[T]) -> T:
         """Uniform choice from a non-empty sequence."""

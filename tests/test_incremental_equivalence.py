@@ -1,0 +1,215 @@
+"""Equivalence of the incremental hot path with the from-scratch seed path.
+
+The §5.13 machinery (maintained suspect-graph view, band-delta epoch
+probes, quorum-search memo, gossip-forward dedup) is supposed to be a
+*pure* optimization: every observable decision must be byte-identical to
+the seed's rebuild-everything implementation.  These tests check that
+claim three ways:
+
+1. property-style randomized streams of ``mark``/``merge_row`` writes
+   (including Byzantine garbage) against a from-scratch rebuild after
+   every single write;
+2. a full dual simulation — ``incremental=True`` vs ``incremental=False``
+   worlds fed the same seed and crash — compared on their complete
+   quorum-event traces;
+3. targeted unit tests for the memo hit, the forward dedup, and the
+   scheduler's O(1) ``pending()`` counter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Tuple
+
+from repro.core.messages import KIND_UPDATE, UpdatePayload
+from repro.core.quorum_selection import QuorumSelectionModule
+from repro.core.suspicion_matrix import SuspicionMatrix
+from repro.fd.detector import FailureDetector
+from repro.fd.timers import TimeoutPolicy
+from repro.graphs.independent_set import lex_first_independent_set
+from repro.sim.runtime import Simulation, SimulationConfig
+from repro.sim.scheduler import Scheduler
+
+
+# --------------------------------------------------------------------------
+# 1. Incremental graph view == from-scratch rebuild, under random writes
+# --------------------------------------------------------------------------
+
+
+def _random_write(rng: random.Random, matrix: SuspicionMatrix, epoch: int) -> None:
+    """One randomized matrix mutation: a mark, or a (possibly garbage) row."""
+    n = matrix.n
+    if rng.random() < 0.5:
+        suspector, suspectee = rng.sample(range(1, n + 1), 2)
+        matrix.mark(suspector, suspectee, max(1, epoch + rng.randint(-2, 3)))
+        return
+    suspector = rng.randint(1, n)
+    row = [0] * (n + 1)
+    for _ in range(rng.randint(1, n)):
+        k = rng.randint(0, n)
+        roll = rng.random()
+        if roll < 0.15:
+            row[k] = rng.choice(["junk", -3, None, True, 2.5])  # Byzantine
+        else:
+            row[k] = max(0, epoch + rng.randint(-3, 4))
+    if rng.random() < 0.3:
+        row = row[1:]  # the 0-based dense wire arity, also accepted
+    matrix.merge_row(suspector, row)
+
+
+def _brute_force_lex_first(graph, q):
+    for combo in itertools.combinations(range(1, graph.n + 1), q):
+        if graph.is_independent(combo):
+            return frozenset(combo)
+    return None
+
+
+def test_incremental_view_matches_rebuild_under_random_streams():
+    for n, f, slack, seed in [(5, 2, None, 11), (6, 2, 1, 12), (7, 2, 1024, 13), (9, 3, 2, 14)]:
+        rng = random.Random(seed)
+        matrix = SuspicionMatrix(n)
+        epoch = 1
+        q = n - f
+        for step in range(200):
+            _random_write(rng, matrix, epoch)
+            if rng.random() < 0.1:
+                epoch += rng.randint(1, 2)  # re-track: exercises the rebuild path
+            view = matrix.suspect_graph_view(epoch, slack)
+            scratch = matrix.build_suspect_graph(epoch, slack)
+            assert view == scratch, f"n={n} slack={slack} step={step}"
+            fast = lex_first_independent_set(view, q)
+            slow = lex_first_independent_set(scratch, q)
+            assert fast == slow
+            if n <= 7:
+                assert fast == _brute_force_lex_first(scratch, q)
+
+
+def test_probe_graphs_match_rebuild_at_every_candidate():
+    for slack in (None, 1, 1024):
+        rng = random.Random(99)
+        matrix = SuspicionMatrix(6)
+        for _ in range(60):
+            _random_write(rng, matrix, epoch=3)
+        values = sorted({v for _, _, v in matrix.entries()})
+        candidates = sorted(
+            {v + 1 for v in values if v + 1 > 1}
+            | ({v - slack for v in values if v - slack > 1} if slack is not None else set())
+        )
+        for candidate, probed in matrix.iter_probe_graphs(1, candidates, slack):
+            assert probed == matrix.build_suspect_graph(candidate, slack)
+
+
+# --------------------------------------------------------------------------
+# 2. Dual simulation: incremental world == from-scratch world
+# --------------------------------------------------------------------------
+
+
+def _build_world(n: int, f: int, incremental: bool):
+    sim = Simulation(SimulationConfig(n=n, seed=7, gst=0.0, delta=1.0))
+    modules: Dict[int, QuorumSelectionModule] = {}
+    for pid in sim.pids:
+        host = sim.host(pid)
+        FailureDetector(host, TimeoutPolicy(base_timeout=4.0))
+        from repro.fd.heartbeat import HeartbeatModule
+
+        host.add_module(HeartbeatModule(host, n=n, period=2.0))
+        modules[pid] = host.add_module(
+            QuorumSelectionModule(host, n=n, f=f, incremental=incremental)
+        )
+    return sim, modules
+
+
+def _quorum_trace(modules) -> Tuple:
+    return tuple(
+        (e.time, e.process, e.epoch, tuple(sorted(e.quorum)))
+        for pid in sorted(modules)
+        for e in modules[pid].quorum_events
+    )
+
+
+def test_incremental_world_reproduces_seed_trace_exactly():
+    traces = {}
+    epochs = {}
+    for incremental in (False, True):
+        sim, modules = _build_world(10, 3, incremental)
+        sim.at(10.0, lambda sim=sim: sim.host(1).crash())
+        sim.run_until(120.0)
+        traces[incremental] = _quorum_trace(modules)
+        epochs[incremental] = {pid: m.epoch for pid, m in modules.items()}
+    assert traces[True] == traces[False]
+    assert epochs[True] == epochs[False]
+    assert traces[True]  # the crash did produce quorum changes
+
+
+# --------------------------------------------------------------------------
+# 3. Targeted unit tests: memo hit, forward dedup, O(1) pending()
+# --------------------------------------------------------------------------
+
+
+def _bare_qs_module(n: int = 4, f: int = 1, pid: int = 2):
+    sim = Simulation(SimulationConfig(n=n, seed=1))
+    host = sim.host(pid)
+    module = host.add_module(
+        QuorumSelectionModule(host, n=n, f=f, use_fd=False)
+    )
+    return sim, host, module
+
+
+def test_quorum_search_memo_hits_on_unchanged_band():
+    sim, host, module = _bare_qs_module(n=5, f=2)
+    module.matrix.mark(2, 1, 1)
+    module._update_quorum()
+    searches = module.quorum_searches
+    assert module.searches_memoized == 0
+    # Same graph uid/version/epoch/q: the memo answers, no new search.
+    module._update_quorum()
+    assert module.searches_memoized == 1
+    assert module.quorum_searches == searches
+    # A band-relevant write bumps the graph version: memo key misses.
+    module.matrix.mark(3, 1, 1)
+    module._update_quorum()
+    assert module.quorum_searches == searches + 1
+
+
+def test_forward_dedup_suppresses_repeat_gossip():
+    sim, host, module = _bare_qs_module(n=4, f=1, pid=2)
+    row_owner_sim = Simulation(SimulationConfig(n=4, seed=1))
+    signer = row_owner_sim.host(3)
+    payload = signer.authenticator.sign(UpdatePayload((0, 0, 0, 5, 0)))
+    sent_before = sim.stats.sent_by_kind.get(KIND_UPDATE, 0)
+    module._forward_update(payload, src=3)  # forwards to {1, 4}
+    after_first = sim.stats.sent_by_kind.get(KIND_UPDATE, 0)
+    assert after_first - sent_before == 2
+    assert module.forwards_suppressed == 0
+    # Same signed message arriving via a different peer: only the peer not
+    # yet served (p3 itself) is sent; p1 is suppressed, p4 was src.
+    module._forward_update(payload, src=4)
+    after_second = sim.stats.sent_by_kind.get(KIND_UPDATE, 0)
+    assert after_second - after_first == 1
+    assert module.forwards_suppressed == 1
+    # Third arrival: everyone has been served once; both non-src peers
+    # (p1 and p4) are suppressed, nothing is sent.
+    module._forward_update(payload, src=3)
+    assert sim.stats.sent_by_kind.get(KIND_UPDATE, 0) == after_second
+    assert module.forwards_suppressed == 3
+
+
+def test_scheduler_pending_is_exact_through_cancel_and_run():
+    scheduler = Scheduler()
+    events = [scheduler.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert scheduler.pending() == 5
+    events[0].cancelled = True
+    events[3].cancelled = True
+    assert scheduler.pending() == 3
+    events[3].cancelled = False  # un-cancel while still queued
+    assert scheduler.pending() == 4
+    events[0].cancelled = True  # re-cancel of a cancelled event: no-op
+    assert scheduler.pending() == 4
+    scheduler.run_until(2.5)  # fires events[1] (t=2); skips cancelled t=1
+    assert scheduler.pending() == 3
+    # Cancelling an already-fired event must not corrupt the counter.
+    events[1].cancelled = True
+    assert scheduler.pending() == 3
+    scheduler.run_to_quiescence()
+    assert scheduler.pending() == 0

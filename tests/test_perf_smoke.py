@@ -1,0 +1,32 @@
+"""Perf smoke tier — seconds-scale hot-path regression checks.
+
+``pytest -m perf_smoke`` runs only these; they also run in the default
+tier (they are ordinary tests).  Scales are capped at n=10 so the whole
+module stays under a few seconds even on slow shared runners; the full
+consortium-scale measurement lives in
+``benchmarks/bench_e21_update_hotpath.py`` / ``BENCH_hotpath.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.perf_report import check_invariants, run_hotpath_case
+
+pytestmark = pytest.mark.perf_smoke
+
+# Generous ceiling: the n=10 case runs in ~0.1s on the baseline machine;
+# 5s only trips on a real algorithmic regression (e.g. the incremental
+# view silently falling back to per-UPDATE rebuilds).
+SMOKE_WALL_CEILING = 5.0
+
+
+@pytest.mark.parametrize("n,f", [(5, 2), (10, 3)])
+def test_hotpath_smoke(n, f):
+    started = time.perf_counter()
+    row = run_hotpath_case(n, f)
+    elapsed = time.perf_counter() - started
+    check_invariants(row)
+    assert elapsed < SMOKE_WALL_CEILING
