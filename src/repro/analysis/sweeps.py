@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.util.errors import ConfigurationError
 
@@ -49,6 +49,27 @@ class SweepSummary:
             f"[{self.minimum:.3f}, {self.maximum:.3f}] "
             f"sd={self.stdev:.3f} (n={self.count})"
         )
+
+
+def grid_sweep(
+    metric_fn: Callable[..., Dict[str, float]],
+    grid: Sequence[Dict[str, object]],
+    seeds: Sequence[int],
+) -> List[Tuple[Dict[str, object], Dict[str, SweepSummary]]]:
+    """Run :func:`sweep` at every point of a parameter grid.
+
+    ``metric_fn(seed, **point)`` is evaluated over all seeds for each
+    ``point`` (a kwargs dict) in ``grid``; returns ``(point, summaries)``
+    pairs in grid order.  This is the E22 harness shape: one grid axis
+    (e.g. drop probability), one summary table per point.
+    """
+    if not grid:
+        raise ConfigurationError("grid_sweep needs at least one grid point")
+    results: List[Tuple[Dict[str, object], Dict[str, SweepSummary]]] = []
+    for point in grid:
+        summaries = sweep(lambda seed, p=point: metric_fn(seed, **p), seeds)
+        results.append((dict(point), summaries))
+    return results
 
 
 def sweep(

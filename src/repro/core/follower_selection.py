@@ -46,8 +46,23 @@ FD_GROUP = "follower-selection"
 class FollowerSelectionModule(QuorumSelectionModule):
     """Algorithm 2 running at one process."""
 
-    def __init__(self, host: ProcessHost, n: int, f: int, use_fd: bool = True) -> None:
-        super().__init__(host, n, f, use_fd=use_fd)
+    def __init__(
+        self,
+        host: ProcessHost,
+        n: int,
+        f: int,
+        use_fd: bool = True,
+        transport=None,
+        anti_entropy_period: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            host,
+            n,
+            f,
+            use_fd=use_fd,
+            transport=transport,
+            anti_entropy_period=anti_entropy_period,
+        )
         if n <= 3 * f:
             raise ConfigurationError(
                 f"Follower Selection assumes |Pi| > 3f; got n={n}, f={f}"
@@ -78,8 +93,7 @@ class FollowerSelectionModule(QuorumSelectionModule):
             if has_independent_set(graph, self.q):
                 break
             # Lines 9-16: inconsistent suspicions -> next epoch, defaults.
-            self.epoch = self._next_viable_epoch()
-            self.host.log.append(self.host.now, self.pid, "qs.epoch", epoch=self.epoch)
+            self._advance_epoch(self._next_viable_epoch())
             self._cancel_expectations()
             self.leader = 1
             self.stable = True
@@ -129,7 +143,7 @@ class FollowerSelectionModule(QuorumSelectionModule):
             epoch=self.epoch,
         )
         signed = self.host.authenticator.sign(payload)
-        self.host.broadcast(range(1, self.n + 1), KIND_FOLLOWERS, signed)
+        self._broadcast_protocol(KIND_FOLLOWERS, signed)
 
     # ------------------------------------------------------------ follower side
 
@@ -190,7 +204,7 @@ class FollowerSelectionModule(QuorumSelectionModule):
             self.qlast = quorum
             for dst in range(1, self.n + 1):
                 if dst not in (self.pid, src):
-                    self.host.send(dst, KIND_FOLLOWERS, payload)
+                    self._send_protocol(dst, KIND_FOLLOWERS, payload)
             self._issue(quorum, leader=self.leader)
 
     def _well_formed(self, body: FollowersPayload, sender: ProcessId) -> bool:

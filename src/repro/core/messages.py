@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, Tuple
 
 KIND_UPDATE = "qs.update"
 KIND_FOLLOWERS = "fs.followers"
+KIND_DIGEST = "qs.digest"
+KIND_ROWS = "qs.rows"
 
 
 @dataclass(frozen=True)
@@ -43,3 +45,37 @@ class FollowersPayload:
 
     def canonical(self):
         return ("followers", self.followers, self.line_edges, self.epoch)
+
+
+@dataclass(frozen=True)
+class MatrixDigestPayload:
+    """``<DIGEST, e, d_0..d_n>`` — anti-entropy summary of the local matrix.
+
+    ``row_digests[l]`` is the digest of row ``l`` of the sender's suspicion
+    matrix (index 0 is the digest of the unused placeholder row).  The
+    message is deliberately unsigned: a forged digest can at worst trigger
+    a redundant row shipment, and max-merge makes redundancy harmless —
+    whereas signing every periodic probe would be pure overhead.
+    """
+
+    epoch: int
+    row_digests: Tuple[str, ...]
+
+    def canonical(self):
+        return ("digest", self.epoch, self.row_digests)
+
+
+@dataclass(frozen=True)
+class RowCertsPayload:
+    """``<ROWS, certs>`` — anti-entropy response carrying signed rows.
+
+    Third parties cannot re-sign another process's row, so the only way to
+    ship merged matrix state is to relay the original signed ``UPDATE``
+    messages ("row certificates").  Each cert is verified independently by
+    the receiver; the envelope itself needs no signature.
+    """
+
+    certs: Tuple[Any, ...]
+
+    def canonical(self):
+        return ("rows", tuple(c.canonical() if hasattr(c, "canonical") else c for c in self.certs))

@@ -34,19 +34,35 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.events import QuorumEvent
-from repro.core.messages import KIND_UPDATE, UpdatePayload
+from repro.core.messages import (
+    KIND_DIGEST,
+    KIND_ROWS,
+    KIND_UPDATE,
+    MatrixDigestPayload,
+    RowCertsPayload,
+    UpdatePayload,
+)
 from repro.core.suspicion_matrix import SuspicionMatrix
 from repro.crypto.authenticator import SignedMessage
 from repro.graphs.independent_set import has_independent_set, lex_first_independent_set
 from repro.sim.process import Module, ProcessHost
+from repro.sim.transport import ReliableTransport
 from repro.util.errors import ConfigurationError
 from repro.util.ids import ProcessId, default_quorum
 
 QuorumListener = Callable[[QuorumEvent], None]
 
 # Forwarded-digest memory cap; on overflow the memory is reset, which can
-# at worst re-forward an old message once (gossip is idempotent).
+# at worst re-forward an old message once (gossip is idempotent).  Primary
+# bounding is the per-epoch prune in ``_advance_epoch``; the cap is the
+# backstop for very long single epochs.
 FORWARD_MEMORY_LIMIT = 65536
+
+# Row certificates retained per owner for anti-entropy.  A correct owner's
+# row is monotone, so dominance pruning keeps exactly one cert; only an
+# equivocating (Byzantine) owner can accumulate an antichain, and this cap
+# bounds the memory it can cost us.
+MAX_CERTS_PER_OWNER = 16
 
 
 class QuorumSelectionModule(Module):
@@ -61,6 +77,8 @@ class QuorumSelectionModule(Module):
         epoch_slack: Optional[int] = 1024,
         forward_updates: bool = True,
         incremental: bool = True,
+        transport: Optional[ReliableTransport] = None,
+        anti_entropy_period: Optional[float] = None,
     ) -> None:
         super().__init__(host)
         if not 1 <= f < n - f:
@@ -81,6 +99,16 @@ class QuorumSelectionModule(Module):
         # Incremental graph view + quorum memo (DESIGN.md §5.13); False
         # restores the from-scratch seed path for equivalence testing.
         self.incremental = incremental
+        # Optional lossy-channel countermeasures (DESIGN.md §5.14): route
+        # protocol messages through an ack/retransmit layer, and/or run a
+        # periodic digest-based matrix sync.  Both default off — the seed's
+        # reliable-channel behaviour (and its traces) are untouched then.
+        if anti_entropy_period is not None and anti_entropy_period <= 0:
+            raise ConfigurationError(
+                f"anti-entropy period must be positive, got {anti_entropy_period}"
+            )
+        self.transport = transport
+        self.anti_entropy_period = anti_entropy_period
         # --- Algorithm 1 state ---
         self.epoch = 1
         self.suspecting: FrozenSet[int] = frozenset()
@@ -89,13 +117,25 @@ class QuorumSelectionModule(Module):
         # --- hot-path caches ---
         self._memo_key: Optional[Tuple[int, int, int, int]] = None
         self._memo_quorum: Optional[FrozenSet[int]] = None
-        self._forwarded: Dict[Tuple[int, bytes], Set[int]] = {}
+        # (signer, tag) -> [last epoch the message was seen in, peers sent].
+        # The epoch tag lets _advance_epoch prune entries for messages that
+        # stopped circulating — gossip for a retired epoch dies out fast.
+        self._forwarded: Dict[Tuple[int, bytes], List[Any]] = {}
+        # --- anti-entropy state ---
+        # owner -> dominance-pruned signed UPDATEs proving its row.
+        self._row_certs: Dict[int, List[SignedMessage]] = {}
+        self._ae_cursor = 0
+        self._ae_handle: Optional[Any] = None
         # --- instrumentation ---
         self.quorum_events: List[QuorumEvent] = []
         self.quorums_per_epoch: Dict[int, int] = {}
         self.quorum_searches = 0
         self.searches_memoized = 0
         self.forwards_suppressed = 0
+        self.forward_entries_pruned = 0
+        self.ae_digests_sent = 0
+        self.ae_rows_sent = 0
+        self.ae_rows_applied = 0
         self._listeners: List[QuorumListener] = []
 
     # ------------------------------------------------------------- lifecycle
@@ -108,6 +148,17 @@ class QuorumSelectionModule(Module):
                     f"p{self.pid}: QuorumSelectionModule(use_fd=True) needs a failure detector"
                 )
             self.host.fd.subscribe_suspected(self.on_suspected)
+        if self.anti_entropy_period is not None:
+            self.host.subscribe(KIND_DIGEST, self._on_digest)
+            self.host.subscribe(KIND_ROWS, self._on_rows)
+            # Scheduler-level loop, not a host timer: the sync must keep
+            # ticking through crash/recover so a recovered process pulls
+            # itself back up to date without waiting for fresh suspicions.
+            self._ae_handle = self.host.scheduler.schedule_every(
+                self.anti_entropy_period,
+                self._anti_entropy_tick,
+                label=f"qs-ae@p{self.pid}",
+            )
 
     def add_quorum_listener(self, listener: QuorumListener) -> None:
         """Consumers (e.g. the replicated application) get QUORUM events."""
@@ -145,8 +196,37 @@ class QuorumSelectionModule(Module):
             if self.matrix.mark(self.pid, target, self.epoch):
                 changed = True
         signed = self.host.authenticator.sign(UpdatePayload(self.matrix.row(self.pid)))
-        self.host.broadcast(range(1, self.n + 1), KIND_UPDATE, signed)
+        if self.anti_entropy_period is not None:
+            self._remember_cert(signed)
+        self._broadcast_protocol(KIND_UPDATE, signed)
         return changed
+
+    # ------------------------------------------------------- message routing
+
+    def _send_protocol(self, dst: ProcessId, kind: str, payload: Any) -> None:
+        """Send a protocol message, reliably when a transport is attached."""
+        if self.transport is not None and dst != self.pid:
+            self.transport.send(dst, kind, payload)
+        else:
+            self.host.send(dst, kind, payload)
+
+    def _broadcast_protocol(self, kind: str, payload: Any) -> None:
+        """Broadcast to all (including self), honouring the transport.
+
+        Without a transport this is exactly the host broadcast the paper's
+        pseudocode uses; with one, the local copy still takes the host's
+        scheduled self-delivery path (ordering preserved) while remote
+        copies get retransmission.
+        """
+        if self.transport is None:
+            self.host.broadcast(range(1, self.n + 1), kind, payload)
+            return
+        self.host.broadcast((self.pid,), kind, payload)
+        if not self.host.running:
+            return
+        for dst in range(1, self.n + 1):
+            if dst != self.pid:
+                self.transport.send(dst, kind, payload)
 
     # ------------------------------------------------ Algorithm 1, lines 16-24
 
@@ -164,6 +244,8 @@ class QuorumSelectionModule(Module):
         body = payload.payload
         if not isinstance(body, UpdatePayload):
             return
+        if self.anti_entropy_period is not None:
+            self._remember_cert(payload)
         changed = self.matrix.merge_row(owner, body.row)
         if changed:
             # Forward the original signed message so peers converge even if
@@ -181,10 +263,15 @@ class QuorumSelectionModule(Module):
         wasteful; the memory guarantees each peer is sent a given signed
         UPDATE at most once by this process.
         """
-        if len(self._forwarded) >= FORWARD_MEMORY_LIMIT:
-            self._forwarded.clear()
         key = (payload.signature.signer, payload.signature.tag)
-        sent = self._forwarded.setdefault(key, set())
+        entry = self._forwarded.get(key)
+        if entry is None:
+            if len(self._forwarded) >= FORWARD_MEMORY_LIMIT:
+                self._forwarded.clear()
+            entry = self._forwarded[key] = [self.epoch, set()]
+        else:
+            entry[0] = self.epoch
+        sent = entry[1]
         for dst in range(1, self.n + 1):
             if dst in (self.pid, src):
                 continue
@@ -192,7 +279,7 @@ class QuorumSelectionModule(Module):
                 self.forwards_suppressed += 1
                 continue
             sent.add(dst)
-            self.host.send(dst, KIND_UPDATE, payload)
+            self._send_protocol(dst, KIND_UPDATE, payload)
 
     # ------------------------------------------------ Algorithm 1, lines 25-34
 
@@ -217,8 +304,7 @@ class QuorumSelectionModule(Module):
                 return
             if self._viable(graph):
                 break
-            self.epoch = self._next_viable_epoch()
-            self.host.log.append(self.host.now, self.pid, "qs.epoch", epoch=self.epoch)
+            self._advance_epoch(self._next_viable_epoch())
             # Re-stamp current suspicions in the new epoch and let peers
             # know (may itself remove the independent set again: loop).
             self._remark_and_broadcast()
@@ -230,6 +316,25 @@ class QuorumSelectionModule(Module):
         if quorum != self.qlast:
             self.qlast = quorum
             self._issue(quorum)
+
+    def _advance_epoch(self, new_epoch: int) -> None:
+        """Move to ``new_epoch`` (logging as the seed did) and collect
+        gossip bookkeeping for retired epochs.
+
+        An UPDATE that stopped circulating before the advance will never be
+        received again (every peer that held it has forwarded it already),
+        so forward-dedup entries last touched in an older epoch are dead
+        weight — pruning them is what keeps ``_forwarded`` bounded across
+        epoch-inflation runs instead of growing until the overflow reset.
+        An entry for a message that *does* arrive again is merely recreated
+        with an empty sent-set; re-forwarding is idempotent (max-merge).
+        """
+        self.epoch = new_epoch
+        self.host.log.append(self.host.now, self.pid, "qs.epoch", epoch=new_epoch)
+        stale = [key for key, entry in self._forwarded.items() if entry[0] < new_epoch]
+        for key in stale:
+            del self._forwarded[key]
+        self.forward_entries_pruned += len(stale)
 
     def _suspect_graph(self, epoch: Optional[int] = None):
         """The suspect graph at an epoch, with the inflation band applied.
@@ -286,6 +391,111 @@ class QuorumSelectionModule(Module):
                     return candidate
         return thresholds[-1]  # pragma: no cover - last is always viable
 
+    # ---------------------------------------------- anti-entropy (DESIGN §5.14)
+
+    def _remember_cert(self, signed: SignedMessage) -> None:
+        """Retain a signed UPDATE as a row certificate, dominance-pruned.
+
+        Gossip forwards relay the *original* signed messages because nobody
+        can re-sign another's row; anti-entropy needs the same originals to
+        repair peers later.  A correct owner's row only grows, so its newest
+        cert pointwise-dominates all earlier ones and exactly one survives;
+        only an equivocator can build an antichain, capped at
+        :data:`MAX_CERTS_PER_OWNER` (oldest dropped — its claims are
+        usually absorbed into peers' matrices already, and losing them only
+        costs convergence of the *liar's* row entries).
+        """
+        body = signed.payload
+        if not isinstance(body, UpdatePayload):
+            return
+        row = body.row
+        kept = self._row_certs.get(signed.signer)
+        if kept is None:
+            self._row_certs[signed.signer] = [signed]
+            return
+        survivors: List[SignedMessage] = []
+        for cert in kept:
+            old_row = cert.payload.row
+            if len(old_row) == len(row) and all(a >= b for a, b in zip(old_row, row)):
+                return  # an existing cert already proves everything new one does
+            if len(old_row) == len(row) and all(b >= a for a, b in zip(old_row, row)):
+                continue  # new cert strictly covers this one: drop it
+            survivors.append(cert)
+        survivors.append(signed)
+        if len(survivors) > MAX_CERTS_PER_OWNER:
+            survivors = survivors[-MAX_CERTS_PER_OWNER:]
+        self._row_certs[signed.signer] = survivors
+
+    def _anti_entropy_tick(self) -> None:
+        """Push a matrix digest to the next peer (round-robin).
+
+        Round-robin rather than random keeps the simulation deterministic
+        without touching any RNG stream, and guarantees every ordered pair
+        of correct processes syncs within ``n - 1`` periods — which is all
+        Lemma 1's eventual consistency needs once channels can lose gossip.
+        Digests and row replies ride the raw (lossy) channel on purpose: a
+        lost probe is retried by the next tick, so reliability here would
+        only add traffic.
+        """
+        if not self.host.running:
+            return
+        if self.n < 2:
+            return
+        # index into [1..n] \ {self.pid} without materialising the list
+        index = self._ae_cursor % (self.n - 1)
+        peer = index + 1 if index + 1 < self.pid else index + 2
+        self._ae_cursor += 1
+        payload = MatrixDigestPayload(self.epoch, self.matrix.row_digests())
+        self.host.send(peer, KIND_DIGEST, payload)
+        self.ae_digests_sent += 1
+
+    def _on_digest(self, kind: str, payload: Any, src: ProcessId) -> None:
+        """Answer a digest probe with certs for every differing row.
+
+        "Differing" may mean the prober is *ahead* of us — shipping our
+        certs is then redundant but harmless (max-merge), and the reverse
+        direction is covered when our own cursor reaches the prober.
+        """
+        if not isinstance(payload, MatrixDigestPayload):
+            return
+        theirs = payload.row_digests
+        mine = self.matrix.row_digests()
+        if not isinstance(theirs, tuple) or len(theirs) != len(mine):
+            return  # malformed or different n: Byzantine garbage
+        certs: List[SignedMessage] = []
+        for owner in range(1, self.n + 1):
+            if mine[owner] != theirs[owner]:
+                certs.extend(self._row_certs.get(owner, ()))
+        if certs:
+            self.host.send(src, KIND_ROWS, RowCertsPayload(tuple(certs)))
+            self.ae_rows_sent += 1
+
+    def _on_rows(self, kind: str, payload: Any, src: ProcessId) -> None:
+        """Verify and merge received row certificates; recompute once."""
+        if not isinstance(payload, RowCertsPayload):
+            return
+        certs = payload.certs
+        if not isinstance(certs, tuple):
+            return
+        if len(certs) > self.n * MAX_CERTS_PER_OWNER:
+            return  # no honest peer ships more than its full cert store
+        changed = False
+        for cert in certs:
+            if not isinstance(cert, SignedMessage):
+                continue
+            if not isinstance(cert.payload, UpdatePayload):
+                continue
+            if not self.host.authenticator.verify(cert):
+                continue
+            self._remember_cert(cert)
+            if self.matrix.merge_row(cert.signer, cert.payload.row):
+                changed = True
+                self.ae_rows_applied += 1
+        if changed:
+            # No gossip re-forward here: anti-entropy repairs pairwise and
+            # periodically, so flooding certs would defeat its point.
+            self._update_quorum()
+
     def _issue(self, quorum: FrozenSet[int], leader: Optional[int] = None) -> None:
         event = QuorumEvent(
             time=self.host.now,
@@ -324,4 +534,14 @@ class QuorumSelectionModule(Module):
             "graph_reuses": self.matrix.graph_reuses,
             "incremental_edge_updates": self.matrix.incremental_edge_updates,
             "forwards_suppressed": self.forwards_suppressed,
+        }
+
+    def robustness_stats(self) -> Dict[str, int]:
+        """Counters for the lossy-gossip (E22) benchmark harness."""
+        return {
+            "forward_entries_pruned": self.forward_entries_pruned,
+            "forward_entries_live": len(self._forwarded),
+            "ae_digests_sent": self.ae_digests_sent,
+            "ae_rows_sent": self.ae_rows_sent,
+            "ae_rows_applied": self.ae_rows_applied,
         }

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.crypto.digests import digest
 from repro.graphs.suspect_graph import SuspectGraph
 from repro.util.errors import ConfigurationError
 from repro.util.ids import ProcessId, validate_pid
@@ -51,6 +52,9 @@ class SuspicionMatrix:
         self.graph_builds = 0
         self.graph_reuses = 0
         self.incremental_edge_updates = 0
+        # --- per-version row-digest cache (anti-entropy summaries) ---
+        self._digests: Optional[Tuple[str, ...]] = None
+        self._digests_version = -1
 
     # ----------------------------------------------------------------- access
 
@@ -252,6 +256,21 @@ class SuspicionMatrix:
                 else:
                     working.remove_edge(l, k)
             yield candidate, working
+
+    def row_digests(self) -> Tuple[str, ...]:
+        """Digest of every row (index 0 included), for anti-entropy probes.
+
+        Two replicas hold identical row ``l`` iff their ``row_digests()[l]``
+        agree (collision-resistance caveat aside), so a periodic digest
+        exchange can identify exactly which rows diverge without shipping
+        the matrix.  Cached per :attr:`version` — the monotone change
+        counter — so quiescent periods recompute nothing.
+        """
+        if self._digests_version != self.version:
+            self._digests = tuple(digest(tuple(row)) for row in self._rows)
+            self._digests_version = self.version
+        assert self._digests is not None
+        return self._digests
 
     def entries(self) -> Iterable[Tuple[int, int, int]]:
         """Yield all nonzero ``(suspector, suspectee, epoch)`` entries."""

@@ -149,6 +149,47 @@ class LowerBoundStrategy:
         return None
 
 
+class PartitionScheduleStrategy:
+    """Replay a scripted sequence of network partitions and heals.
+
+    ``timeline`` is a sequence of ``(time, groups)`` entries, ascending in
+    time: ``groups`` is a sequence of process-id groups to partition into
+    at that time, or ``None`` to heal.  Consecutive partition entries
+    *re-partition* without healing in between — exactly the layout-change
+    path whose held-traffic handling the network must get right — so this
+    strategy doubles as the driver for partition churn experiments and the
+    regression scenarios around it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        timeline: Sequence[Tuple[float, Optional[Sequence[Sequence[int]]]]],
+    ) -> None:
+        previous = None
+        for time, _ in timeline:
+            if previous is not None and time < previous:
+                raise ConfigurationError("partition timeline must be ascending in time")
+            previous = time
+        self.sim = sim
+        self.timeline = list(timeline)
+        self.applied: List[Tuple[float, Optional[Tuple[Tuple[int, ...], ...]]]] = []
+
+    def install(self) -> None:
+        for time, groups in self.timeline:
+            frozen = (
+                None if groups is None else tuple(tuple(group) for group in groups)
+            )
+            self.sim.at(time, lambda g=frozen: self._apply(g), label="partition-schedule")
+
+    def _apply(self, groups: Optional[Tuple[Tuple[int, ...], ...]]) -> None:
+        if groups is None:
+            self.sim.network.heal()
+        else:
+            self.sim.network.partition(*[set(group) for group in groups])
+        self.applied.append((self.sim.now, groups))
+
+
 class RandomSuspicionStrategy:
     """Random adversary for the Theorem 3 sweep (E3).
 

@@ -10,7 +10,12 @@ failure detector (Sections II and IV).  This package provides that world:
   Stabilization Time (GST) after which message delays are bounded by
   ``delta`` (one "communication round" in the paper's vocabulary).
 - :class:`Network` — reliable, optionally FIFO, channels with hooks that
-  let an adversary manipulate traffic *of faulty processes only*.
+  let an adversary manipulate traffic *of faulty processes only*, plus an
+  opt-in :class:`ChaosConfig` lossy-channel model (drop / duplicate /
+  reorder per link) for robustness testing.
+- :class:`ReliableTransport` — ack + exponential-backoff retransmission
+  with receiver-side dedup, restoring per-link reliability on top of a
+  chaotic network.
 - :class:`ProcessHost` — per-process harness wiring the failure detector,
   quorum-selection module, and application together, with timers.
 - :class:`Simulation` — top-level builder/runner.
@@ -20,22 +25,32 @@ failure detector (Sections II and IV).  This package provides that world:
 
 from repro.sim.clock import SimClock
 from repro.sim.events import ScheduledEvent, TimerHandle
-from repro.sim.scheduler import Scheduler
+from repro.sim.scheduler import RepeatingHandle, Scheduler
 from repro.sim.latency import (
     LatencyModel,
     FixedLatency,
     UniformLatency,
     EventuallySynchronousLatency,
 )
-from repro.sim.network import Network, Envelope, SendAction, DELIVER, DROP
+from repro.sim.network import (
+    ChaosConfig,
+    DELIVER,
+    DROP,
+    Envelope,
+    LinkChaos,
+    Network,
+    SendAction,
+)
 from repro.sim.process import ProcessHost, Module
 from repro.sim.runtime import Simulation, SimulationConfig
 from repro.sim.tracing import MessageStats
+from repro.sim.transport import ReliableTransport
 
 __all__ = [
     "SimClock",
     "ScheduledEvent",
     "TimerHandle",
+    "RepeatingHandle",
     "Scheduler",
     "LatencyModel",
     "FixedLatency",
@@ -44,6 +59,9 @@ __all__ = [
     "Network",
     "Envelope",
     "SendAction",
+    "ChaosConfig",
+    "LinkChaos",
+    "ReliableTransport",
     "DELIVER",
     "DROP",
     "ProcessHost",

@@ -28,6 +28,16 @@ class LatencyModel:
         """Upper bound on correct-process delay at ``time`` (one round)."""
         raise NotImplementedError
 
+    def round_trip(self, time: float) -> float:
+        """Upper bound on a request/response exchange at ``time``.
+
+        Used as the default retransmission timeout seed by
+        :class:`repro.sim.transport.ReliableTransport`: an ack cannot be
+        expected sooner than a full round trip, so resending earlier is
+        pure duplicate traffic.
+        """
+        return 2.0 * self.round_length(time)
+
 
 class FixedLatency(LatencyModel):
     """Every message takes exactly ``delay`` units; ideal for unit tests."""

@@ -8,7 +8,7 @@ from typing import Dict, Optional
 from repro.crypto.authenticator import Authenticator
 from repro.crypto.keys import KeyRegistry
 from repro.sim.latency import EventuallySynchronousLatency, LatencyModel
-from repro.sim.network import Network
+from repro.sim.network import ChaosConfig, Network
 from repro.sim.process import ProcessHost
 from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import MessageStats
@@ -24,7 +24,9 @@ class SimulationConfig:
 
     ``n`` processes, optional seed, an optional explicit latency model
     (default: eventually synchronous with GST at ``gst`` and post-GST delay
-    bound ``delta``), FIFO channels on/off, and a scheduler step budget.
+    bound ``delta``), FIFO channels on/off, an optional chaotic-channel
+    model (``chaos``; ``None`` keeps the paper's reliable channels), and a
+    scheduler step budget.
     """
 
     n: int
@@ -34,6 +36,7 @@ class SimulationConfig:
     delta: float = 1.0
     pre_gst_max: float = 10.0
     latency: Optional[LatencyModel] = None
+    chaos: Optional[ChaosConfig] = None
     max_steps: int = 2_000_000
     extra: Dict[str, object] = field(default_factory=dict)
 
@@ -73,6 +76,7 @@ class Simulation:
             fifo=config.fifo,
             log=self.log,
             stats=self.stats,
+            chaos=config.chaos,
         )
         self.registry = KeyRegistry(config.n)
         self.pids = sorted(all_processes(config.n))

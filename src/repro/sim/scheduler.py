@@ -32,6 +32,25 @@ def _relaxed_gc() -> Iterator[None]:
         gc.set_threshold(*old)
 
 
+class RepeatingHandle:
+    """Cancellation handle for :meth:`Scheduler.schedule_every` loops.
+
+    Cancelling stops the loop permanently: the currently queued firing is
+    skipped and no further one is armed.
+    """
+
+    __slots__ = ("cancelled", "_event")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self._event = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancelled = True
+
+
 class Scheduler:
     """Priority-queue event loop with a hard step budget.
 
@@ -83,6 +102,33 @@ class Scheduler:
         self._live += 1
         heapq.heappush(self._queue, (time, event.seq, event))
         return event
+
+    def schedule_every(
+        self, period: float, action: Callable[[], None], label: str = ""
+    ) -> RepeatingHandle:
+        """Run ``action`` every ``period`` time units until cancelled.
+
+        The first firing is one period from now; each firing re-arms the
+        next *after* the action runs, so a slow action never overlaps
+        itself and a cancel() from inside the action stops the loop.  Used
+        for environment-level periodic work (anti-entropy sync, partition
+        schedules) that should keep ticking across process crash/recover
+        cycles — unlike :meth:`ProcessHost.set_timer` timers, which die
+        with the process.
+        """
+        if period <= 0:
+            raise SimulationError(f"repeating period must be positive, got {period}")
+        handle = RepeatingHandle()
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            action()
+            if not handle.cancelled:
+                handle._event = self.schedule(period, fire, label=label)
+
+        handle._event = self.schedule(period, fire, label=label)
+        return handle
 
     def pending(self) -> int:
         """Number of queued, non-cancelled events (O(1): live counter)."""

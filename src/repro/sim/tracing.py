@@ -20,8 +20,10 @@ class MessageStats:
         self.sent_by_kind: Counter = Counter()
         self.delivered_by_kind: Counter = Counter()
         self.dropped_by_kind: Counter = Counter()
+        self.lost_by_kind: Counter = Counter()
         self.sent_by_link: Counter = Counter()
         self.delivered_by_link: Counter = Counter()
+        self.lost_by_link: Counter = Counter()
 
     # ------------------------------------------------------------- recording
 
@@ -35,6 +37,11 @@ class MessageStats:
 
     def record_dropped(self, kind: str, src: int, dst: int) -> None:
         self.dropped_by_kind[kind] += 1
+
+    def record_lost(self, kind: str, src: int, dst: int) -> None:
+        """A message lost by the chaotic channel (vs. an adversary drop)."""
+        self.lost_by_kind[kind] += 1
+        self.lost_by_link[(src, dst)] += 1
 
     # --------------------------------------------------------------- queries
 
@@ -68,6 +75,7 @@ class MessageStats:
             "sent_by_kind": dict(self.sent_by_kind),
             "delivered_by_kind": dict(self.delivered_by_kind),
             "dropped_by_kind": dict(self.dropped_by_kind),
+            "lost_by_kind": dict(self.lost_by_kind),
         }
 
     def diff_sent(self, before: Dict[str, Dict]) -> Dict[str, int]:

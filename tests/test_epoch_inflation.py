@@ -29,6 +29,52 @@ def inject_inflated_row(sim, byz_pid, n, value=HUGE):
             host.send(dst, KIND_UPDATE, signed)
 
 
+def inject_edge_row(sim, signer_pid, edges, value):
+    """Sign and deliver a row claiming ``signer suspects k`` at ``value``."""
+    host = sim.host(signer_pid)
+    n = sim.config.n
+    row = [0] * (n + 1)
+    for k in edges:
+        row[k] = value
+    signed = host.authenticator.sign(UpdatePayload(tuple(row)))
+    for dst in range(1, n + 1):
+        host.send(dst, KIND_UPDATE, signed)  # signer included: everyone advances
+
+
+class TestForwardMemoryBounded:
+    """Gossip-forward dedup entries must not accumulate across epochs.
+
+    Every wave injects suspicion rows whose edges cover all size-q subsets
+    (no independent set), forcing one epoch advance per wave; each wave's
+    signed UPDATEs are distinct messages that enter every module's
+    ``_forwarded`` map.  Before the per-epoch prune, the map grew by a
+    handful of entries per epoch forever (until the overflow reset); now
+    entries last seen in a retired epoch are collected on advance.
+    """
+
+    def test_forward_map_stays_small_across_many_epochs(self):
+        sim, modules = build_qs_world(5, 2)
+        waves = 30
+        for wave in range(1, waves + 1):
+            t = 10.0 * wave
+            # Cover of all 3-subsets of {1..5}: edges (1,2),(3,4),(3,5),(4,5).
+            sim.at(t, lambda w=wave: inject_edge_row(sim, 1, (2,), w))
+            sim.at(t, lambda w=wave: inject_edge_row(sim, 3, (4, 5), w))
+            sim.at(t, lambda w=wave: inject_edge_row(sim, 4, (5,), w))
+        sim.run_until(10.0 * waves + 60.0)
+        for pid, module in modules.items():
+            # The run really did churn epochs and prune retired entries.
+            assert module.epoch > waves // 2, f"p{pid} advanced only to {module.epoch}"
+            assert module.forward_entries_pruned > 0, f"p{pid} never pruned"
+            # Live entries are those of the current epoch only — a small
+            # constant per wave, not proportional to the epochs traversed.
+            lifetime = module.forward_entries_pruned + len(module._forwarded)
+            assert len(module._forwarded) <= 16, (
+                f"p{pid} holds {len(module._forwarded)} forward entries "
+                f"(of {lifetime} lifetime) — prune is not working"
+            )
+
+
 class TestInflationAlone:
     def test_inflated_row_is_ignored_until_epochs_catch_up(self):
         # The far-future star forms no edges (band defense): the quorum

@@ -4,9 +4,10 @@ a partition-and-heal cycle."""
 import pytest
 
 from repro.core.spec import agreement_holds, no_suspicion_holds
+from repro.failures.strategies import PartitionScheduleStrategy
 from repro.sim.latency import FixedLatency
 from repro.sim.runtime import Simulation, SimulationConfig
-from repro.util.errors import SimulationError
+from repro.util.errors import ConfigurationError, SimulationError
 from tests.conftest import build_qs_world
 
 
@@ -66,6 +67,104 @@ class TestPartitionMechanics:
         sim.network.heal()
         assert sim.log.count("net.partition") == 1
         assert sim.log.count("net.heal") == 1
+
+
+class TestRepartitionEdgeCases:
+    """Layout changes while traffic is held — the bugs fixed in this PR."""
+
+    def test_repartition_releases_messages_now_on_same_side(self):
+        # Held under {1,2}|{3,4}; after re-partitioning to {1,3}|{2,4}
+        # the 1->3 message no longer crosses and must be released — under
+        # the old code it stayed stranded until a full heal().
+        sim, received = plain_sim()
+        sim.network.partition({1, 2}, {3, 4})
+        sim.host(1).send(3, "m", "freed-by-repartition")
+        sim.run_until(10.0)
+        sim.network.partition({1, 3}, {2, 4})
+        sim.run_until(30.0)
+        assert received[3] == [("freed-by-repartition", 1)]
+        event = sim.log.events(kind="net.partition")[-1]
+        assert event.payload["released"] == 1
+
+    def test_repartition_keeps_holding_still_crossing_messages(self):
+        sim, received = plain_sim()
+        sim.network.partition({1, 2}, {3, 4})
+        sim.host(1).send(3, "m", "still-cut")
+        sim.run_until(10.0)
+        sim.network.partition({1, 4}, {2, 3})  # 1->3 crosses both layouts
+        sim.run_until(30.0)
+        assert received[3] == []
+        sim.network.heal()
+        sim.run_until(60.0)
+        assert received[3] == [("still-cut", 1)]
+
+    def test_heal_then_repartition_delivers_only_released_traffic(self):
+        sim, received = plain_sim()
+        sim.network.partition({1, 2}, {3, 4})
+        sim.host(1).send(3, "m", "first")
+        sim.run_until(10.0)
+        sim.network.heal()
+        sim.network.partition({1, 2}, {3, 4})
+        sim.host(1).send(3, "m", "second")
+        sim.run_until(30.0)
+        # "first" was released by the heal; "second" is held by the new cut.
+        assert received[3] == [("first", 1)]
+        sim.network.heal()
+        sim.run_until(60.0)
+        assert received[3] == [("first", 1), ("second", 1)]
+
+    def test_inject_delay_survives_partition_hold(self):
+        # An inject with delay=10 held across a partition must still honour
+        # the full delay after release — the old heal() path redispatched
+        # with extra_delay=0, silently discarding it.
+        sim, received = plain_sim()
+        sim.network.partition({1}, {3})
+        sim.network.inject(1, 3, "m", "slow", delay=10.0)
+        sim.run_until(5.0)
+        healed_at = 5.0
+        sim.network.heal()
+        sim.run_until(healed_at + 9.0)
+        assert received[3] == []  # latency (1.0) + delay (10.0) not yet up
+        sim.run_until(healed_at + 12.0)
+        assert received[3] == [("slow", 1)]
+
+    def test_repartition_release_preserves_inject_delay(self):
+        sim, received = plain_sim()
+        sim.network.partition({1}, {3})
+        sim.network.inject(1, 3, "m", "slow", delay=10.0)
+        sim.run_until(5.0)
+        sim.network.partition({2}, {4})  # 1->3 no longer crosses: released
+        sim.run_until(5.0 + 9.0)
+        assert received[3] == []
+        sim.run_until(5.0 + 12.0)
+        assert received[3] == [("slow", 1)]
+
+
+class TestPartitionScheduleStrategy:
+    def test_timeline_replays_partitions_and_heals(self):
+        sim, received = plain_sim()
+        strategy = PartitionScheduleStrategy(
+            sim,
+            [
+                (5.0, [(1, 2), (3, 4)]),
+                (15.0, [(1, 3), (2, 4)]),  # re-partition, no heal between
+                (25.0, None),
+            ],
+        )
+        strategy.install()
+        sim.at(6.0, lambda: sim.host(1).send(3, "m", "cross"))
+        sim.run_until(60.0)
+        # Held under the first cut, released by the second (1 and 3 joined).
+        assert received[3] == [("cross", 1)]
+        assert [t for t, _ in strategy.applied] == [5.0, 15.0, 25.0]
+        assert strategy.applied[-1][1] is None
+        assert sim.log.count("net.partition") == 2
+        assert sim.log.count("net.heal") == 1
+
+    def test_descending_timeline_rejected(self):
+        sim, _ = plain_sim()
+        with pytest.raises(ConfigurationError):
+            PartitionScheduleStrategy(sim, [(10.0, None), (5.0, None)])
 
 
 class TestQuorumSelectionAcrossPartition:

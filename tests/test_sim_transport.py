@@ -1,0 +1,137 @@
+"""ReliableTransport: ack/retransmit/dedup semantics on lossy links."""
+
+import pytest
+
+from repro.sim.latency import FixedLatency
+from repro.sim.network import ChaosConfig, LinkChaos
+from repro.sim.runtime import Simulation, SimulationConfig
+from repro.sim.transport import ReliableTransport
+from repro.util.errors import ConfigurationError
+
+
+def transport_sim(n=3, seed=1, chaos=None, rto=4.0, max_retries=None):
+    sim = Simulation(
+        SimulationConfig(n=n, seed=seed, chaos=chaos, latency=FixedLatency(1.0))
+    )
+    transports = {}
+    received = {pid: [] for pid in sim.pids}
+    for pid in sim.pids:
+        host = sim.host(pid)
+        transports[pid] = host.add_module(
+            ReliableTransport(host, rto=rto, max_retries=max_retries)
+        )
+        host.subscribe("app", lambda k, p, s, pid=pid: received[pid].append((p, s)))
+    sim.start()
+    return sim, transports, received
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        sim = Simulation(SimulationConfig(n=2, seed=1))
+        host = sim.host(1)
+        for kwargs in (dict(rto=0.0), dict(backoff=0.5), dict(max_rto=-1.0), dict(max_retries=-1)):
+            with pytest.raises(ConfigurationError):
+                ReliableTransport(host, **kwargs)
+
+    def test_self_send_rejected(self):
+        sim, transports, _ = transport_sim()
+        with pytest.raises(ConfigurationError):
+            transports[1].send(1, "app", "hello-me")
+
+
+class TestReliableDelivery:
+    def test_clean_link_delivers_once_and_acks_stop_resends(self):
+        sim, transports, received = transport_sim()
+        transports[1].send(2, "app", "hello")
+        sim.run_until(100.0)
+        assert received[2] == [("hello", 1)]
+        assert transports[1].retransmissions == 0
+        assert transports[1].acks_received == 1
+        assert transports[1].pending_count() == 0
+
+    def test_lost_data_is_retransmitted_until_through(self):
+        # Only the 1->2 data direction is lossy, and only for a while: the
+        # first copies vanish, the backoff retries land after the link heals.
+        chaos = ChaosConfig(links={(1, 2): LinkChaos(drop=1.0)})
+        sim, transports, received = transport_sim(chaos=chaos)
+        transports[1].send(2, "app", "persistent")
+        sim.run_until(10.0)
+        assert received[2] == []
+        assert transports[1].retransmissions >= 1
+        # "Heal" the link by flipping the chaos switch off mid-run.
+        sim.network._chaos_active = False
+        sim.run_until(200.0)
+        assert received[2] == [("persistent", 1)]
+        assert transports[1].pending_count() == 0
+
+    def test_lost_ack_causes_duplicate_which_is_suppressed(self):
+        # Data gets through; every ack (2->1) is lost, so p1 retransmits
+        # and p2 must suppress the duplicates.
+        chaos = ChaosConfig(links={(2, 1): LinkChaos(drop=1.0)})
+        sim, transports, received = transport_sim(chaos=chaos)
+        transports[1].send(2, "app", "once-only")
+        sim.run_until(60.0)
+        assert received[2] == [("once-only", 1)]
+        assert transports[1].retransmissions >= 1
+        assert transports[2].duplicates_suppressed >= 1
+
+    def test_backoff_doubles_up_to_cap(self):
+        sim = Simulation(
+            SimulationConfig(n=2, seed=1, chaos=ChaosConfig(drop=1.0),
+                             latency=FixedLatency(1.0))
+        )
+        host = sim.host(1)
+        transport = host.add_module(ReliableTransport(host, rto=2.0, max_rto=10.0))
+        sim.start()
+        transport.send(2, "app", "void")
+        sim.run_until(100.0)
+        entry = next(iter(transport._pending.values()))
+        assert entry.rto == 10.0  # 2 -> 4 -> 8 -> 10 (capped)
+        assert transport.retransmissions >= 4
+
+    def test_max_retries_abandons_and_logs(self):
+        sim, transports, received = transport_sim(
+            chaos=ChaosConfig(drop=1.0), max_retries=3
+        )
+        transports[1].send(2, "app", "doomed")
+        sim.run_until(500.0)
+        assert received[2] == []
+        assert transports[1].abandoned == 1
+        assert transports[1].pending_count() == 0
+        assert sim.log.count("rel.giveup", process=1) == 1
+
+    def test_out_of_order_window_drains_into_floor(self):
+        sim, transports, received = transport_sim()
+        for i in range(5):
+            transports[1].send(2, "app", i)
+        sim.run_until(100.0)
+        assert [p for p, _ in received[2]] == [0, 1, 2, 3, 4]
+        assert transports[2]._recv_floor[1] == 5
+        assert transports[2]._recv_window.get(1, set()) == set()
+
+    def test_garbage_wrappers_ignored(self):
+        sim, transports, received = transport_sim()
+        # A Byzantine peer can address rel.data/rel.ack with arbitrary junk.
+        sim.host(1).send(2, "rel.data", "not-a-tuple")
+        sim.host(1).send(2, "rel.data", (0, "app", "bad-seq"))
+        sim.host(1).send(2, "rel.data", (True, "app", "bool-seq"))
+        sim.host(1).send(2, "rel.ack", "not-an-int")
+        sim.run_until(50.0)
+        assert received[2] == []
+        assert transports[2].delivered == 0
+
+
+class TestCrashRecovery:
+    def test_recover_rearms_pending_retransmissions(self):
+        # p1 sends while the link drops everything, then crashes (killing
+        # the retransmit timer), then recovers after the link is clean:
+        # the pending message must still go out.
+        chaos = ChaosConfig(links={(1, 2): LinkChaos(drop=1.0)})
+        sim, transports, received = transport_sim(chaos=chaos)
+        transports[1].send(2, "app", "survivor")
+        sim.at(6.0, lambda: sim.host(1).crash())
+        sim.at(20.0, lambda: sim.network.__setattr__("_chaos_active", False))
+        sim.at(30.0, lambda: sim.host(1).recover())
+        sim.run_until(200.0)
+        assert received[2] == [("survivor", 1)]
+        assert transports[1].pending_count() == 0
