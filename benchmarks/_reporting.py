@@ -1,0 +1,54 @@
+"""Shared reporting + engine knobs for every benchmark harness.
+
+This is *the* one place a bench result leaves the process: every
+``benchmarks/bench_e*.py`` and ``perf_report.py`` routes its
+human-readable summary through :func:`emit`, which both prints it and
+persists it under ``benchmarks/_results/`` so EXPERIMENTS.md can quote
+files that are guaranteed current.  (``conftest.py`` re-exports these
+for the historical ``from .conftest import emit, once`` form.)
+
+The engine knobs let one environment variable parallelize any sweep
+harness without editing it:
+
+- ``REPRO_SWEEP_JOBS=N`` — worker processes for engine-backed sweeps
+  (default 1: the serial, byte-identical reference path);
+- ``REPRO_SWEEP_CACHE=1`` — arm the on-disk result cache under
+  ``.benchmarks/cache/`` (default off under pytest so timing-sensitive
+  assertions always measure fresh runs).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.cache import ResultCache
+
+RESULTS_DIR = Path(__file__).parent / "_results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under ``benchmarks/_results``."""
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run a heavyweight simulation exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def engine_jobs() -> int:
+    """Worker count for engine-backed sweeps (``REPRO_SWEEP_JOBS``)."""
+    return max(1, int(os.environ.get("REPRO_SWEEP_JOBS", "1")))
+
+
+def engine_cache() -> Optional[ResultCache]:
+    """Result cache if armed via ``REPRO_SWEEP_CACHE=1``, else ``None``."""
+    if os.environ.get("REPRO_SWEEP_CACHE", "") not in ("1", "true", "yes"):
+        return None
+    return ResultCache(root=REPO_ROOT / ".benchmarks" / "cache")

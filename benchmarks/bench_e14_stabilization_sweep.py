@@ -4,36 +4,32 @@ E5 compares Quorum Selection with XPaxos' enumeration on single seeds;
 this sweep puts distributions behind the claim: over many random
 latency schedules, the time of the last view change and the number of
 view-change events after the same leader crash, for both policies.
+
+The metric runs through the parallel execution engine via the
+registered ``e14.stabilization_point`` task — ``REPRO_SWEEP_JOBS=N``
+fans the seeds across N worker processes, ``REPRO_SWEEP_CACHE=1`` reuses
+on-disk results (DESIGN.md §5.15); both default off, reproducing the
+serial path exactly.
 """
 
 from repro.analysis.report import Table
 from repro.analysis.sweeps import sweep
-from repro.xpaxos.system import build_system
+from repro.analysis.tasks import e14_stabilization_point
 
-from .conftest import emit, once
+from .conftest import emit, engine_cache, engine_jobs, once
 
 SEEDS = tuple(range(1, 13))
 N, F = 5, 2
 
 
-def metrics_for(seed: int):
-    out = {}
-    for mode in ("selection", "enumeration"):
-        system = build_system(n=N, f=F, mode=mode, clients=1, seed=seed)
-        system.adversary.crash(1, at=30.0)
-        system.run(900.0)
-        assert system.total_completed() == 20
-        assert system.histories_consistent()
-        vc_times = [e.time for e in system.sim.log.events(kind="xp.viewchange")]
-        out[f"{mode}.stabilized_at"] = max(vc_times) if vc_times else 0.0
-        out[f"{mode}.view_changes"] = max(
-            r.view_changes for r in system.correct_replicas()
-        )
-    return out
-
-
 def test_e14_stabilization_sweep(benchmark):
-    summaries = once(benchmark, lambda: sweep(metrics_for, SEEDS))
+    summaries = once(
+        benchmark,
+        lambda: sweep(
+            e14_stabilization_point, SEEDS,
+            jobs=engine_jobs(), cache=engine_cache(),
+        ),
+    )
 
     table = Table(
         ["metric", "mean", "min", "max", "stdev"],

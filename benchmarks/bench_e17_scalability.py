@@ -6,46 +6,37 @@ blockchains" with "tenths of nodes".  This experiment scales ``n`` up to
 suspicion matrix, independent-set search — crashes one default-quorum
 member, and reports convergence time, quorum changes, gossip traffic,
 and wall-clock cost of the run.
+
+The cases dispatch through the parallel execution engine as the
+registered ``e21.hotpath_case`` task (which *is* the E17 scenario, plus
+wall clock and hot-path counters); ``REPRO_SWEEP_JOBS=N`` runs them in
+N worker processes, default 1 = in-process serial.
 """
 
-import time
-
+from repro.analysis.exec import ParallelExecutor, TaskSpec
 from repro.analysis.report import Table
-from repro.core.spec import agreement_holds, no_suspicion_holds
-from tests.conftest import build_qs_world
+from repro.analysis.tasks import e21_hotpath_case
 
-from .conftest import emit, once
+from .conftest import emit, engine_jobs, once
 
 CASES = ((5, 2), (10, 3), (15, 4), (20, 5), (30, 6))
 
 
-def run_case(n: int, f: int):
-    started = time.perf_counter()
-    sim, modules = build_qs_world(n, f, seed=7)
-    sim.at(10.0, lambda: sim.host(1).crash())
-    sim.run_until(120.0)
-    wall = time.perf_counter() - started
-    correct = [modules[p] for p in sim.pids if p != 1]
-    change_times = [
-        e.time for e in sim.log.events(kind="qs.quorum") if e.process != 1
+def run_cases():
+    specs = [
+        TaskSpec.for_function(e21_hotpath_case, seed=7, n=n, f=f, repeats=1)
+        for n, f in CASES
     ]
-    converged_at = max(change_times) if change_times else 0.0
-    updates = sim.stats.sent_by_kind.get("qs.update", 0)
-    return {
-        "n": n,
-        "f": f,
-        "agree": agreement_holds(correct),
-        "no_suspicion": no_suspicion_holds(correct),
-        "changes": max(m.total_quorums_issued() for m in correct),
-        "converged_at": converged_at,
-        "updates": updates,
-        "wall_seconds": wall,
-        "final_min": min(correct[0].qlast),
-    }
+    outcomes = ParallelExecutor(jobs=engine_jobs(), chunk_size=1).run(specs)
+    rows = []
+    for outcome in outcomes:
+        assert outcome.ok, outcome.describe_error()
+        rows.append(outcome.value)
+    return rows
 
 
 def test_e17_scalability(benchmark):
-    rows = once(benchmark, lambda: [run_case(n, f) for n, f in CASES])
+    rows = once(benchmark, run_cases)
 
     table = Table(
         [

@@ -25,33 +25,15 @@ Writes the machine-readable report to ``BENCH_hotpath.json`` at the repo
 root (checked in) and the human-readable table to ``_results/``.
 """
 
-from repro.analysis.report import Table
-
 from .conftest import emit, once
-from .perf_report import SEED_BASELINE_WALL, write_report
+from .perf_report import SEED_BASELINE_WALL, render_table, write_report
 
 
 def test_e21_update_hotpath(benchmark):
     report = once(benchmark, lambda: write_report(repeats=2))
     rows = report["cases"]
 
-    table = Table(
-        [
-            "n", "f", "wall s", "seed wall s", "speedup",
-            "graph builds", "graph reuses", "edge updates", "memo hits",
-        ],
-        title="E21 — UPDATE hot path vs seed (E17 scenario)",
-    )
-    for row in rows:
-        hp = row["hotpath"]
-        table.add_row(
-            row["n"], row["f"],
-            round(row["wall_seconds"], 3), row["seed_wall_seconds"],
-            f"{row['speedup_vs_seed']:.1f}x",
-            hp["graph_builds"], hp["graph_reuses"],
-            hp["incremental_edge_updates"], hp["searches_memoized"],
-        )
-    emit("e21_update_hotpath", table.render())
+    emit("e21_update_hotpath", render_table(report))
 
     # Invariants were asserted per-case inside write_report(); here we pin
     # the headline claim: the big case is decisively faster than the seed.

@@ -13,6 +13,10 @@ as loss climbs.
 
 Writes the machine-readable report to ``BENCH_lossy_gossip.json`` at the
 repo root (checked in) and the human-readable table to ``_results/``.
+
+The per-point metric is the registered ``e22.lossy_point`` engine task
+(:mod:`repro.analysis.tasks`); ``REPRO_SWEEP_JOBS``/``REPRO_SWEEP_CACHE``
+parallelize and cache the grid without touching this harness.
 """
 
 import json
@@ -20,12 +24,9 @@ from pathlib import Path
 
 from repro.analysis.report import Table
 from repro.analysis.sweeps import grid_sweep
-from repro.core.spec import agreement_holds
-from repro.sim.network import ChaosConfig
-from repro.sim.transport import ReliableTransport
-from tests.conftest import build_qs_world
+from repro.analysis.tasks import e22_lossy_point
 
-from .conftest import emit, once
+from .conftest import emit, engine_cache, engine_jobs, once
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_lossy_gossip.json"
 
@@ -37,64 +38,25 @@ DROP_GRID = (0.0, 0.1, 0.2, 0.3)
 DUPLICATE, REORDER = 0.1, 0.2
 SEEDS = (3, 7, 11)
 
-_reference_memo = {}
-
-
-def reference_state(seed):
-    """Final (quorum, epoch) per correct process on reliable channels."""
-    if seed not in _reference_memo:
-        sim, modules = build_qs_world(N, F, seed=seed, base_timeout=BASE_TIMEOUT)
-        sim.at(10.0, lambda: sim.host(1).crash())
-        sim.run_until(HORIZON)
-        _reference_memo[seed] = {
-            pid: (m.qlast, m.epoch) for pid, m in modules.items() if pid != 1
-        }
-    return _reference_memo[seed]
-
-
-def run_point(seed, drop):
-    chaos = ChaosConfig(drop=drop, duplicate=DUPLICATE, reorder=REORDER)
-    sim, modules = build_qs_world(
-        N, F, seed=seed, base_timeout=BASE_TIMEOUT, chaos=chaos,
-        reliable=True, anti_entropy_period=ANTI_ENTROPY_PERIOD,
-    )
-    sim.at(10.0, lambda: sim.host(1).crash())
-    sim.run_until(HORIZON)
-    correct = {pid: m for pid, m in modules.items() if pid != 1}
-    assert agreement_holds(list(correct.values()))
-
-    final = {pid: (m.qlast, m.epoch) for pid, m in correct.items()}
-    matches = final == reference_state(seed)
-    change_times = [
-        e.time for e in sim.log.events(kind="qs.quorum") if e.process != 1
-    ]
-    transports = {
-        pid: next(
-            mod for mod in m.host._modules if isinstance(mod, ReliableTransport)
-        )
-        for pid, m in correct.items()
-    }
-    transport_totals = {}
-    for t in transports.values():
-        for key, value in t.stats().items():
-            transport_totals[key] = transport_totals.get(key, 0) + value
-    robustness_totals = {}
-    for m in correct.values():
-        for key, value in m.robustness_stats().items():
-            robustness_totals[key] = robustness_totals.get(key, 0) + value
-    return {
-        "matches_reference": float(matches),
-        "converged_at": max(change_times) if change_times else 0.0,
-        "messages_lost": float(sum(sim.stats.lost_by_kind.values())),
-        "retransmissions": float(transport_totals["retransmissions"]),
-        "duplicates_suppressed": float(transport_totals["duplicates_suppressed"]),
-        "ae_rows_applied": float(robustness_totals["ae_rows_applied"]),
-    }
-
 
 def test_e22_lossy_gossip(benchmark):
-    grid = [dict(drop=drop) for drop in DROP_GRID]
-    results = once(benchmark, lambda: grid_sweep(run_point, grid, SEEDS))
+    # One kwargs dict per grid point; the scenario constants ride along so
+    # the engine's cache key captures the full input tuple.
+    grid = [
+        dict(
+            drop=drop, duplicate=DUPLICATE, reorder=REORDER, n=N, f=F,
+            base_timeout=BASE_TIMEOUT, horizon=HORIZON,
+            anti_entropy_period=ANTI_ENTROPY_PERIOD,
+        )
+        for drop in DROP_GRID
+    ]
+    results = once(
+        benchmark,
+        lambda: grid_sweep(
+            e22_lossy_point, grid, SEEDS,
+            jobs=engine_jobs(), cache=engine_cache(),
+        ),
+    )
 
     table = Table(
         [

@@ -6,27 +6,18 @@ claims (see DESIGN.md §4 and EXPERIMENTS.md).  Conventions:
 - each bench *asserts* the reproduced shape (who wins, which bound holds),
   so ``pytest benchmarks/ --benchmark-only`` doubles as a reproduction
   check;
-- each bench prints its paper-style table through :func:`emit`, visible
+- each bench prints its paper-style table through :func:`emit` — the one
+  shared reporting helper, in :mod:`benchmarks._reporting` — visible
   with ``-s`` and collected into ``benchmarks/_results/*.txt`` for
   EXPERIMENTS.md.
+
+``emit``/``once`` are re-exported here because every bench imports them
+from ``.conftest``; new code should import :mod:`benchmarks._reporting`
+directly (``perf_report.py`` does, since conftest is pytest-specific).
 """
 
 from __future__ import annotations
 
-import os
-from pathlib import Path
+from ._reporting import RESULTS_DIR, emit, engine_cache, engine_jobs, once
 
-RESULTS_DIR = Path(__file__).parent / "_results"
-
-
-def emit(name: str, text: str) -> None:
-    """Print a result table and persist it under ``benchmarks/_results``."""
-    banner = f"\n=== {name} ===\n{text}\n"
-    print(banner)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-
-
-def once(benchmark, fn):
-    """Run a heavyweight simulation exactly once under the benchmark timer."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+__all__ = ["RESULTS_DIR", "emit", "engine_cache", "engine_jobs", "once"]

@@ -15,27 +15,36 @@ consortium scales and reports, per case:
 - a digest of the quorum-change trace, so two builds can be checked for
   behavioural identity without shipping the full trace.
 
-``python benchmarks/perf_report.py`` writes ``BENCH_hotpath.json`` at the
-repo root; ``bench_e21_update_hotpath.py`` drives the same functions under
-pytest and asserts the speedup floor.
+The cases run through the parallel execution engine (DESIGN.md §5.15):
+``python benchmarks/perf_report.py --jobs N`` dispatches them across N
+worker processes (never cached — the wall clock is the payload).  Before
+overwriting ``BENCH_hotpath.json`` the previous report is read back and
+any case whose ``wall_seconds`` regressed by more than 20% is flagged;
+``--strict`` turns flags into a non-zero exit, making this the perf
+regression gate for CI boxes with stable hardware.
+
+``bench_e21_update_hotpath.py`` drives the same functions under pytest
+and asserts the speedup floor.
 """
 
 from __future__ import annotations
 
-import hashlib
+import argparse
 import json
 import sys
-import time
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
     if entry not in sys.path:
         sys.path.insert(0, entry)
 
-from repro.core.spec import agreement_holds, no_suspicion_holds  # noqa: E402
-from tests.conftest import build_qs_world  # noqa: E402
+from repro.analysis.exec import ParallelExecutor, TaskSpec  # noqa: E402
+from repro.analysis.report import Table  # noqa: E402
+from repro.analysis.tasks import HOTPATH_COUNTERS, e21_hotpath_case  # noqa: E402
+
+from benchmarks._reporting import emit  # noqa: E402
 
 CASES: Tuple[Tuple[int, int], ...] = ((5, 2), (10, 3), (15, 4), (20, 5), (30, 6))
 
@@ -54,62 +63,18 @@ SEED_BASELINE_WALL: Dict[int, float] = {
 
 REPORT_PATH = REPO_ROOT / "BENCH_hotpath.json"
 
-HOTPATH_COUNTERS = (
-    "quorum_searches",
-    "searches_memoized",
-    "graph_builds",
-    "graph_reuses",
-    "incremental_edge_updates",
-    "forwards_suppressed",
-)
+#: A case is flagged when its wall time exceeds the previous report's by
+#: more than this fraction.
+REGRESSION_THRESHOLD = 0.20
 
 
 def run_hotpath_case(n: int, f: int, seed: int = 7, repeats: int = 1) -> dict:
     """Run the E17 scenario once per repeat; report best wall + invariants.
 
-    The counters and invariants come from the *last* repeat — the
-    simulation is deterministic, so every repeat produces identical
-    behaviour and only the wall clock varies.
+    Thin wrapper over the registered ``e21.hotpath_case`` engine task so
+    the smoke tier and ad-hoc callers share the measured code path.
     """
-    best_wall: Optional[float] = None
-    sim = modules = None
-    for _ in range(max(1, repeats)):
-        started = time.perf_counter()
-        sim, modules = build_qs_world(n, f, seed=seed)
-        sim.at(10.0, lambda: sim.host(1).crash())
-        sim.run_until(120.0)
-        wall = time.perf_counter() - started
-        if best_wall is None or wall < best_wall:
-            best_wall = wall
-    correct = [modules[p] for p in sim.pids if p != 1]
-    change_times = [
-        e.time for e in sim.log.events(kind="qs.quorum") if e.process != 1
-    ]
-    stats = {counter: 0 for counter in HOTPATH_COUNTERS}
-    for module in modules.values():
-        for counter, value in module.hotpath_stats().items():
-            stats[counter] += value
-    trace = [
-        (e.time, e.process, e.epoch, tuple(sorted(e.quorum)))
-        for pid in sorted(modules)
-        for e in modules[pid].quorum_events
-    ]
-    trace_digest = hashlib.sha256(
-        json.dumps(trace, separators=(",", ":")).encode()
-    ).hexdigest()
-    return {
-        "n": n,
-        "f": f,
-        "agree": agreement_holds(correct),
-        "no_suspicion": no_suspicion_holds(correct),
-        "changes": max(m.total_quorums_issued() for m in correct),
-        "converged_at": max(change_times) if change_times else 0.0,
-        "updates": sim.stats.sent_by_kind.get("qs.update", 0),
-        "final_min": min(correct[0].qlast),
-        "wall_seconds": best_wall,
-        "hotpath": stats,
-        "trace_sha256": trace_digest,
-    }
+    return e21_hotpath_case(seed=seed, n=n, f=f, repeats=repeats)
 
 
 def check_invariants(row: dict) -> None:
@@ -125,13 +90,68 @@ def check_invariants(row: dict) -> None:
     assert hotpath["incremental_edge_updates"] > 0
 
 
-def write_report(repeats: int = 3, path: Path = REPORT_PATH) -> dict:
-    """Run every case, write ``BENCH_hotpath.json``, return the report."""
+def find_regressions(
+    previous: Optional[dict], cases: List[dict],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> List[str]:
+    """Compare new wall times against the previous report's, per case.
+
+    Returns human-readable flag lines for every case whose
+    ``wall_seconds`` grew by more than ``threshold`` (fractional).
+    Missing or malformed previous reports flag nothing — the gate only
+    fires on evidence.
+    """
+    if not previous:
+        return []
+    old_walls = {
+        (row.get("n"), row.get("f")): row.get("wall_seconds")
+        for row in previous.get("cases", [])
+        if isinstance(row, dict)
+    }
+    flags = []
+    for row in cases:
+        old = old_walls.get((row["n"], row["f"]))
+        if not isinstance(old, (int, float)) or old <= 0:
+            continue
+        ratio = row["wall_seconds"] / old
+        if ratio > 1.0 + threshold:
+            flags.append(
+                f"n={row['n']} f={row['f']}: wall {old:.3f}s -> "
+                f"{row['wall_seconds']:.3f}s (+{(ratio - 1) * 100:.0f}%, "
+                f"threshold +{threshold * 100:.0f}%)"
+            )
+    return flags
+
+
+def read_previous_report(path: Path = REPORT_PATH) -> Optional[dict]:
+    """The report currently on disk, or ``None`` if absent/corrupt."""
+    try:
+        return json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+
+
+def write_report(repeats: int = 3, path: Path = REPORT_PATH, jobs: int = 1) -> dict:
+    """Run every case, write ``BENCH_hotpath.json``, return the report.
+
+    ``jobs>1`` runs the cases in worker processes via the engine (one
+    case per chunk — they differ wildly in cost).  Caching is
+    deliberately not offered here: the wall clock is the measurement.
+    """
+    specs = [
+        TaskSpec.for_function(e21_hotpath_case, seed=7, n=n, f=f, repeats=repeats)
+        for n, f in CASES
+    ]
+    outcomes = ParallelExecutor(jobs=jobs, chunk_size=1).run(specs)
     cases = []
-    for n, f in CASES:
-        row = run_hotpath_case(n, f, repeats=repeats)
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise RuntimeError(
+                f"hot-path case failed: {outcome.describe_error()}"
+            )
+        row = outcome.value
         check_invariants(row)
-        baseline = SEED_BASELINE_WALL.get(n)
+        baseline = SEED_BASELINE_WALL.get(row["n"])
         row["seed_wall_seconds"] = baseline
         row["speedup_vs_seed"] = (
             round(baseline / row["wall_seconds"], 2) if baseline else None
@@ -154,19 +174,48 @@ def write_report(repeats: int = 3, path: Path = REPORT_PATH) -> dict:
     return report
 
 
-def main() -> None:
-    report = write_report()
+def render_table(report: dict) -> str:
+    """The human-readable summary, shared by ``main`` and ``_results/``."""
+    table = Table(
+        [
+            "n", "f", "wall s", "seed wall s", "speedup",
+            "graph builds", "graph reuses", "edge updates", "memo hits",
+        ],
+        title="E21 — UPDATE hot path vs seed (E17 scenario)",
+    )
     for row in report["cases"]:
-        speedup = row["speedup_vs_seed"]
-        print(
-            f"n={row['n']:>2} f={row['f']}  wall={row['wall_seconds']:.3f}s"
-            f"  seed={row['seed_wall_seconds']:.3f}s"
-            f"  speedup={speedup:.1f}x"
-            f"  reuses={row['hotpath']['graph_reuses']}"
-            f"  builds={row['hotpath']['graph_builds']}"
+        hp = row["hotpath"]
+        table.add_row(
+            row["n"], row["f"],
+            round(row["wall_seconds"], 3), row["seed_wall_seconds"],
+            f"{row['speedup_vs_seed']:.1f}x",
+            hp["graph_builds"], hp["graph_reuses"],
+            hp["incremental_edge_updates"], hp["searches_memoized"],
         )
+    return table.render()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the cases (default 1)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per case, best wall wins")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero if any case regressed >20%%")
+    args = parser.parse_args(argv)
+
+    previous = read_previous_report()
+    report = write_report(repeats=args.repeats, jobs=args.jobs)
+    emit("e21_update_hotpath", render_table(report))
+    regressions = find_regressions(previous, report["cases"])
+    for line in regressions:
+        print(f"PERF REGRESSION: {line}")
     print(f"wrote {REPORT_PATH}")
+    if regressions and args.strict:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""On-disk result cache for sweep/benchmark task executions.
+
+Every sweep point the engine runs is a pure function of ``(task name,
+kwargs, seed, code)`` — the simulator is deterministic per seed — so its
+result can be cached on disk and reused until either the inputs or the
+*code* change.  :class:`ResultCache` stores one JSON file per result
+under ``.benchmarks/cache/`` keyed by the SHA-256 of the canonical JSON
+encoding of that tuple; :func:`code_fingerprint` folds the content of
+every ``repro`` source file into the key so editing any module under
+``src/repro/`` invalidates the whole cache — conservative, but it makes
+a cache hit *proof* that re-running the simulation would produce the
+same value (DESIGN.md §5.15).
+
+Robustness contract: a corrupted or truncated entry (bad JSON, wrong
+schema) is treated as a miss and deleted, never raised; concurrent
+writers are safe because entries are written to a temp file and
+atomically renamed; the cache is bounded by ``max_entries`` with
+oldest-access eviction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Default cache location, relative to the working directory (the repo
+#: root for every documented entry point: pytest, benchmarks, the CLI).
+DEFAULT_CACHE_DIR = Path(".benchmarks") / "cache"
+
+_FINGERPRINT_MEMO: Dict[Path, str] = {}
+
+
+def code_fingerprint(package_root: Optional[Path] = None) -> str:
+    """SHA-256 over the content of every ``.py`` file under the package.
+
+    Defaults to the installed ``repro`` package directory.  File paths
+    (relative, sorted) are folded in alongside contents so renames also
+    invalidate.  Memoized per root — the engine may ask once per worker.
+    """
+    root = (package_root or Path(__file__).resolve().parents[1]).resolve()
+    memo = _FINGERPRINT_MEMO.get(root)
+    if memo is not None:
+        return memo
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\1")
+    fingerprint = digest.hexdigest()
+    _FINGERPRINT_MEMO[root] = fingerprint
+    return fingerprint
+
+
+def canonical_key(task: str, kwargs: Mapping[str, Any], fingerprint: str) -> str:
+    """SHA-256 of the canonical JSON of ``(task, kwargs, fingerprint)``.
+
+    ``kwargs`` must be JSON-serializable (task specs are by contract);
+    ``sort_keys`` plus compact separators make the encoding canonical so
+    logically equal inputs always map to the same key.  The seed is part
+    of ``kwargs``, so every (point, seed) pair gets its own entry.
+    """
+    material = json.dumps(
+        {"task": task, "kwargs": kwargs, "fingerprint": fingerprint},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ResultCache` instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt_discarded: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt_discarded": self.corrupt_discarded,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class ResultCache:
+    """One-file-per-result JSON cache with LRU-by-mtime eviction.
+
+    ``fingerprint`` defaults to :func:`code_fingerprint`; tests inject
+    explicit strings to exercise invalidation without editing sources.
+    """
+
+    root: Path = DEFAULT_CACHE_DIR
+    fingerprint: Optional[str] = None
+    max_entries: int = 4096
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        if self.fingerprint is None:
+            self.fingerprint = code_fingerprint()
+
+    def key_for(self, task: str, kwargs: Mapping[str, Any]) -> str:
+        return canonical_key(task, kwargs, self.fingerprint)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; corrupted entries count as misses."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+            value = entry["value"]
+            if entry["key"] != key:
+                raise KeyError("key mismatch")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError, OSError):
+            self.stats.corrupt_discarded += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.stats.hits += 1
+        try:
+            os.utime(path)  # refresh access recency for eviction
+        except OSError:
+            pass
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` (must be JSON-serializable) atomically."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps({"key": key, "value": value}) + "\n")
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        self._evict_over_limit()
+
+    def _evict_over_limit(self) -> None:
+        entries = sorted(
+            self.root.glob("*.json"), key=lambda p: p.stat().st_mtime
+        )
+        excess = len(entries) - self.max_entries
+        for path in entries[:max(0, excess)]:
+            try:
+                path.unlink()
+                self.stats.evictions += 1
+            except OSError:
+                pass
+
+    def entry_count(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; return how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,246 @@
+"""Parallel experiment-execution engine (DESIGN.md §5.15).
+
+Sweeps and benchmark grids are embarrassingly parallel: every (point,
+seed) simulation is independent and deterministic.  This module turns
+them into *task specs* — a registry name plus a JSON-serializable kwargs
+dict — and runs them through a ``ProcessPoolExecutor``:
+
+- **spawn-safe by construction**: tasks are module-level functions
+  registered with :func:`sweep_task`; a spec carries the registry name
+  and defining module, and workers re-import the module before lookup.
+  Closures and lambdas are rejected at registration time, so nothing
+  unpicklable can reach the pool.
+- **chunked dispatch**: specs are submitted in chunks to amortize IPC
+  per-task overhead (one future per chunk, several tasks per future).
+- **crash isolation**: a task exception inside a worker becomes a
+  structured error record (type, message, traceback) on its
+  :class:`TaskResult`; the other tasks in the chunk — and the sweep —
+  complete normally.
+- **deterministic ordering**: results are returned in submission order
+  regardless of completion order, so ``jobs=N`` output is comparable
+  *by equality* against ``jobs=1``.
+- **caching**: with a :class:`~repro.analysis.cache.ResultCache`
+  attached, hits are served from disk before any dispatch and fresh
+  results are stored after; only tasks whose inputs (or the code
+  fingerprint) changed are simulated.
+"""
+
+from __future__ import annotations
+
+import importlib
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.cache import ResultCache
+from repro.util.errors import ConfigurationError
+
+_REGISTRY: Dict[str, Callable[..., Any]] = {}
+
+
+def sweep_task(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a module-level metric/task function under ``name``.
+
+    The function must be importable by name from its defining module —
+    that is what makes specs picklable under the ``spawn`` start method
+    — so closures and local functions are rejected here rather than
+    failing obscurely inside a worker.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        if "<locals>" in fn.__qualname__ or "<lambda>" in fn.__qualname__:
+            raise ConfigurationError(
+                f"sweep task {name!r} must be a module-level function "
+                f"(got {fn.__qualname__!r}); closures are not spawn-safe"
+            )
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not fn:
+            raise ConfigurationError(f"sweep task {name!r} already registered")
+        _REGISTRY[name] = fn
+        fn._sweep_task_name = name
+        return fn
+
+    return decorate
+
+
+def registered_task(name: str) -> Optional[Callable[..., Any]]:
+    return _REGISTRY.get(name)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of work: a registered task name plus kwargs.
+
+    ``module`` is the task's defining module; worker processes import it
+    to (re)populate the registry before resolving ``task``.  ``kwargs``
+    must be JSON-serializable — it doubles as cache-key material.
+    """
+
+    task: str
+    module: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def for_function(cls, fn: Callable[..., Any], **kwargs: Any) -> "TaskSpec":
+        name = getattr(fn, "_sweep_task_name", None)
+        if name is None:
+            raise ConfigurationError(
+                f"{getattr(fn, '__qualname__', fn)!r} is not a registered "
+                "sweep task; decorate it with @sweep_task(name) to run it "
+                "through the engine"
+            )
+        return cls(task=name, module=fn.__module__, kwargs=kwargs)
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of one spec: a value, or a structured error record."""
+
+    index: int
+    spec: TaskSpec
+    ok: bool
+    value: Any = None
+    error: Optional[Dict[str, str]] = None
+    cached: bool = False
+
+    def describe_error(self) -> str:
+        if self.ok or not self.error:
+            return ""
+        return f"{self.spec.task}{self.spec.kwargs}: " \
+               f"{self.error['type']}: {self.error['message']}"
+
+
+def resolve_task(spec: TaskSpec) -> Callable[..., Any]:
+    """Look up a spec's function, importing its module if needed."""
+    fn = _REGISTRY.get(spec.task)
+    if fn is None:
+        importlib.import_module(spec.module)
+        fn = _REGISTRY.get(spec.task)
+    if fn is None:
+        raise ConfigurationError(
+            f"task {spec.task!r} not found in registry after importing "
+            f"{spec.module!r}"
+        )
+    return fn
+
+
+def _error_record(exc: BaseException) -> Dict[str, str]:
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+    }
+
+
+def _run_chunk(specs: Sequence[TaskSpec]) -> List[Dict[str, Any]]:
+    """Worker entry point: run each spec, isolating per-task failures."""
+    out: List[Dict[str, Any]] = []
+    for spec in specs:
+        try:
+            fn = resolve_task(spec)
+            out.append({"ok": True, "value": fn(**spec.kwargs)})
+        except Exception as exc:  # crash isolation: record, keep going
+            out.append({"ok": False, "error": _error_record(exc)})
+    return out
+
+
+class ParallelExecutor:
+    """Run task specs across processes with caching and crash isolation.
+
+    ``jobs=1`` never touches multiprocessing: specs run inline, in
+    order, in this process — the serial reference path.  ``jobs>1``
+    dispatches cache misses to a spawn-based pool in chunks of
+    ``chunk_size`` (default: enough chunks for ~4 rounds per worker).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = jobs
+        self.cache = cache
+        self.chunk_size = chunk_size
+
+    def run(self, specs: Sequence[TaskSpec]) -> List[TaskResult]:
+        """Execute all specs; results come back in submission order."""
+        results: List[Optional[TaskResult]] = [None] * len(specs)
+        pending: List[int] = []
+        keys: Dict[int, str] = {}
+        for index, spec in enumerate(specs):
+            if self.cache is not None:
+                key = self.cache.key_for(spec.task, spec.kwargs)
+                keys[index] = key
+                hit, value = self.cache.get(key)
+                if hit:
+                    results[index] = TaskResult(
+                        index=index, spec=spec, ok=True, value=value, cached=True
+                    )
+                    continue
+            pending.append(index)
+
+        if pending and self.jobs == 1:
+            for index in pending:
+                results[index] = self._run_inline(index, specs[index])
+        elif pending:
+            self._run_pool(specs, pending, results)
+
+        for index in pending:
+            result = results[index]
+            if self.cache is not None and result is not None and result.ok:
+                self.cache.put(keys[index], result.value)
+        return list(results)  # every slot is filled by one of the paths
+
+    def _run_inline(self, index: int, spec: TaskSpec) -> TaskResult:
+        try:
+            value = resolve_task(spec)(**spec.kwargs)
+        except Exception as exc:
+            return TaskResult(index=index, spec=spec, ok=False,
+                              error=_error_record(exc))
+        return TaskResult(index=index, spec=spec, ok=True, value=value)
+
+    def _run_pool(
+        self,
+        specs: Sequence[TaskSpec],
+        pending: Sequence[int],
+        results: List[Optional[TaskResult]],
+    ) -> None:
+        chunk_size = self.chunk_size or max(
+            1, -(-len(pending) // (self.jobs * 4))  # ceil division
+        )
+        chunks = [
+            list(pending[i:i + chunk_size])
+            for i in range(0, len(pending), chunk_size)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(chunks)),
+            mp_context=get_context("spawn"),
+        ) as pool:
+            futures = {
+                pool.submit(_run_chunk, [specs[i] for i in chunk]): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                chunk = futures[future]
+                try:
+                    outcomes = future.result()
+                except Exception as exc:
+                    # The whole worker died (e.g. killed); isolate the
+                    # chunk as errors rather than aborting the sweep.
+                    record = _error_record(exc)
+                    outcomes = [{"ok": False, "error": record}] * len(chunk)
+                for index, outcome in zip(chunk, outcomes):
+                    results[index] = TaskResult(
+                        index=index,
+                        spec=specs[index],
+                        ok=outcome["ok"],
+                        value=outcome.get("value"),
+                        error=outcome.get("error"),
+                    )

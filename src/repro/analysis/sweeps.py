@@ -5,15 +5,26 @@ distributions.  :func:`sweep` runs a metric function over many seeds and
 returns a :class:`SweepSummary` (mean, min, max, stdev); benchmark E14
 uses it to put error bars on the Quorum-Selection-vs-enumeration
 stabilization comparison.
+
+Both :func:`sweep` and :func:`grid_sweep` accept ``jobs=`` and
+``cache=`` (DESIGN.md §5.15).  ``jobs=1`` with no cache is the exact
+seed-era serial loop — byte-identical output; anything else routes the
+(point, seed) tasks through :class:`repro.analysis.exec.ParallelExecutor`,
+which requires the metric function to be a ``@sweep_task``-registered
+module-level function (spawn-safe, cache-keyable).  The simulator is
+deterministic per seed, so parallel results are asserted *equal* to
+serial results, never merely close.
 """
 
 from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.util.errors import ConfigurationError
+from repro.analysis.cache import ResultCache
+from repro.analysis.exec import ParallelExecutor, TaskResult, TaskSpec
+from repro.util.errors import ConfigurationError, ExecutionError
 
 
 @dataclass(frozen=True)
@@ -51,42 +62,72 @@ class SweepSummary:
         )
 
 
-def grid_sweep(
-    metric_fn: Callable[..., Dict[str, float]],
-    grid: Sequence[Dict[str, object]],
-    seeds: Sequence[int],
-) -> List[Tuple[Dict[str, object], Dict[str, SweepSummary]]]:
-    """Run :func:`sweep` at every point of a parameter grid.
+@dataclass(frozen=True)
+class PointError:
+    """Structured record of a grid point whose tasks failed.
 
-    ``metric_fn(seed, **point)`` is evaluated over all seeds for each
-    ``point`` (a kwargs dict) in ``grid``; returns ``(point, summaries)``
-    pairs in grid order.  This is the E22 harness shape: one grid axis
-    (e.g. drop probability), one summary table per point.
+    Returned in place of the summaries dict when ``grid_sweep`` runs
+    with ``on_error="record"``: the sweep completes, and the harness
+    decides how to report the failed point.
     """
-    if not grid:
-        raise ConfigurationError("grid_sweep needs at least one grid point")
-    results: List[Tuple[Dict[str, object], Dict[str, SweepSummary]]] = []
-    for point in grid:
-        summaries = sweep(lambda seed, p=point: metric_fn(seed, **p), seeds)
-        results.append((dict(point), summaries))
-    return results
+
+    point: Tuple[Tuple[str, object], ...]
+    failures: Tuple[Dict[str, str], ...]
+
+    def describe(self) -> str:
+        first = self.failures[0] if self.failures else {}
+        return (
+            f"point {dict(self.point)} failed "
+            f"({len(self.failures)} task(s)): "
+            f"{first.get('type', '?')}: {first.get('message', '?')}"
+        )
 
 
-def sweep(
-    metric_fn: Callable[[int], Dict[str, float]],
+@dataclass(frozen=True)
+class BoundPoint:
+    """Picklable partial application of ``metric_fn(seed, **point)``.
+
+    Replaces the old per-point lambda, which could not cross a ``spawn``
+    boundary; instances are picklable whenever ``metric_fn`` is a
+    module-level function, so the same object serves the serial loop and
+    the process pool.
+    """
+
+    metric_fn: Callable[..., Dict[str, float]]
+    point: Tuple[Tuple[str, object], ...]
+
+    def __call__(self, seed: int) -> Dict[str, float]:
+        return self.metric_fn(seed, **dict(self.point))
+
+
+def bind_point(
+    metric_fn: Callable[..., Dict[str, float]], point: Dict[str, object]
+) -> BoundPoint:
+    """Bind one grid point's kwargs onto a metric function, picklably."""
+    return BoundPoint(metric_fn=metric_fn, point=tuple(sorted(point.items())))
+
+
+def _specs_for(
+    metric_fn: Union[Callable[[int], Dict[str, float]], BoundPoint],
     seeds: Sequence[int],
+) -> List[TaskSpec]:
+    """Build engine task specs for a registered metric over seeds."""
+    if isinstance(metric_fn, BoundPoint):
+        base = metric_fn.metric_fn
+        extra = dict(metric_fn.point)
+    else:
+        base = metric_fn
+        extra = {}
+    return [TaskSpec.for_function(base, seed=seed, **extra) for seed in seeds]
+
+
+def _summarize(
+    per_seed: Sequence[Dict[str, float]], seeds: Sequence[int]
 ) -> Dict[str, SweepSummary]:
-    """Run ``metric_fn(seed) -> {metric: value}`` over seeds; summarize.
-
-    Every seed must report the same metric names; missing or extra names
-    indicate a harness bug and raise.
-    """
-    if not seeds:
-        raise ConfigurationError("sweep needs at least one seed")
+    """Aggregate per-seed metric dicts, enforcing consistent names."""
     collected: Dict[str, List[float]] = {}
     expected_keys = None
-    for seed in seeds:
-        metrics = metric_fn(seed)
+    for seed, metrics in zip(seeds, per_seed):
         keys = set(metrics)
         if expected_keys is None:
             expected_keys = keys
@@ -101,3 +142,109 @@ def sweep(
         name: SweepSummary(name=name, values=tuple(values))
         for name, values in collected.items()
     }
+
+
+def _raise_on_failures(results: Sequence[TaskResult]) -> None:
+    failures = [r for r in results if not r.ok]
+    if failures:
+        raise ExecutionError(
+            f"{len(failures)} of {len(results)} sweep task(s) failed: "
+            + "; ".join(r.describe_error() for r in failures[:3]),
+            failures=[r.error for r in failures],
+        )
+
+
+def grid_sweep(
+    metric_fn: Callable[..., Dict[str, float]],
+    grid: Sequence[Dict[str, object]],
+    seeds: Sequence[int],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    on_error: str = "raise",
+) -> List[Tuple[Dict[str, object], Union[Dict[str, SweepSummary], PointError]]]:
+    """Run :func:`sweep` at every point of a parameter grid.
+
+    ``metric_fn(seed, **point)`` is evaluated over all seeds for each
+    ``point`` (a kwargs dict) in ``grid``; returns ``(point, summaries)``
+    pairs in grid order.  This is the E22 harness shape: one grid axis
+    (e.g. drop probability), one summary table per point.
+
+    With ``jobs>1`` or a cache the *entire* (point, seed) cross product
+    is dispatched as one batch, so workers stay busy across point
+    boundaries.  ``on_error="record"`` turns a failed point into a
+    :class:`PointError` result instead of aborting the whole grid.
+    """
+    if not grid:
+        raise ConfigurationError("grid_sweep needs at least one grid point")
+    if on_error not in ("raise", "record"):
+        raise ConfigurationError(
+            f'on_error must be "raise" or "record", got {on_error!r}'
+        )
+    if jobs == 1 and cache is None:
+        # Seed-era serial path, byte-identical output (modulo the
+        # picklable BoundPoint standing in for the old lambda).
+        results: List[Tuple[Dict[str, object],
+                            Union[Dict[str, SweepSummary], PointError]]] = []
+        for point in grid:
+            bound = bind_point(metric_fn, point)
+            try:
+                summaries = sweep(bound, seeds)
+            except Exception as exc:
+                if on_error != "record":
+                    raise
+                record = {"type": type(exc).__name__, "message": str(exc),
+                          "traceback": ""}
+                results.append((dict(point), PointError(
+                    point=tuple(sorted(point.items())), failures=(record,))))
+                continue
+            results.append((dict(point), summaries))
+        return results
+
+    if not seeds:
+        raise ConfigurationError("sweep needs at least one seed")
+    specs: List[TaskSpec] = []
+    for point in grid:
+        specs.extend(_specs_for(bind_point(metric_fn, point), seeds))
+    outcomes = ParallelExecutor(jobs=jobs, cache=cache).run(specs)
+    results = []
+    for offset, point in enumerate(grid):
+        chunk = outcomes[offset * len(seeds):(offset + 1) * len(seeds)]
+        failures = [r for r in chunk if not r.ok]
+        if failures:
+            if on_error != "record":
+                _raise_on_failures(chunk)
+            results.append((dict(point), PointError(
+                point=tuple(sorted(point.items())),
+                failures=tuple(r.error for r in failures),
+            )))
+            continue
+        results.append((dict(point), _summarize([r.value for r in chunk], seeds)))
+    return results
+
+
+def sweep(
+    metric_fn: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Dict[str, SweepSummary]:
+    """Run ``metric_fn(seed) -> {metric: value}`` over seeds; summarize.
+
+    Every seed must report the same metric names; missing or extra names
+    indicate a harness bug and raise.  ``jobs=1`` with no cache calls
+    ``metric_fn`` inline (any callable works — the seed behaviour);
+    otherwise ``metric_fn`` must be ``@sweep_task``-registered (or a
+    :func:`bind_point` wrapper of one) and the seeds run through the
+    engine, failures raising :class:`ExecutionError`.
+    """
+    if not seeds:
+        raise ConfigurationError("sweep needs at least one seed")
+    if jobs == 1 and cache is None:
+        return _summarize([metric_fn(seed) for seed in seeds], seeds)
+    results = ParallelExecutor(jobs=jobs, cache=cache).run(
+        _specs_for(metric_fn, seeds)
+    )
+    _raise_on_failures(results)
+    return _summarize([r.value for r in results], seeds)

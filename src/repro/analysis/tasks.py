@@ -1,0 +1,238 @@
+"""Registry-named task functions for the parallel execution engine.
+
+Each function here is a module-level, ``@sweep_task``-registered metric:
+spawn-started workers import this module and resolve tasks by name, so
+everything a benchmark wants to parallelize must live at module level
+(never a closure — see DESIGN.md §5.15).  The heavyweight scenario tasks
+return **deterministic** values only (no wall-clock fields), which is
+what lets the engine assert ``jobs=N`` output *equals* ``jobs=1`` output
+and lets the on-disk cache serve old results as if freshly computed.
+:func:`e21_hotpath_case` is the one exception — it exists to *measure*
+wall time, so it must never be cached.
+
+The ``demo.*`` tasks are tiny self-test metrics used by the engine's own
+test suite and by docs examples.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Dict, Optional
+
+from repro.analysis.exec import sweep_task
+from repro.core.spec import agreement_holds, no_suspicion_holds
+from repro.sim.network import ChaosConfig
+from repro.sim.transport import ReliableTransport
+from repro.sim.worlds import build_qs_world
+
+
+@sweep_task("demo.linear")
+def demo_linear(seed: int, scale: float = 1.0, offset: float = 0.0) -> Dict[str, float]:
+    """``value = seed * scale + offset`` — engine/cache self-test metric."""
+    return {"value": seed * scale + offset}
+
+
+@sweep_task("demo.flaky")
+def demo_flaky(seed: int, fail_seed: Optional[int] = None,
+               scale: float = 1.0) -> Dict[str, float]:
+    """Raises on ``seed == fail_seed`` — exercises crash isolation."""
+    if fail_seed is not None and seed == fail_seed:
+        raise ValueError(f"demo.flaky configured to fail on seed {seed}")
+    return {"value": seed * scale}
+
+
+@sweep_task("demo.sleep")
+def demo_sleep(seed: int, seconds: float = 0.05) -> Dict[str, float]:
+    """Sleeps then echoes the seed — for overlap/ordering tests."""
+    time.sleep(seconds)
+    return {"value": float(seed)}
+
+
+def _quorum_trace_digest(modules, crash_pid: int) -> str:
+    trace = [
+        (e.time, e.process, e.epoch, tuple(sorted(e.quorum)))
+        for pid in sorted(modules)
+        for e in modules[pid].quorum_events
+    ]
+    return hashlib.sha256(
+        json.dumps(trace, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+@sweep_task("e17.crash_case")
+def e17_crash_case(
+    seed: int,
+    n: int,
+    f: int,
+    crash_pid: int = 1,
+    crash_at: float = 10.0,
+    horizon: float = 120.0,
+) -> Dict[str, float]:
+    """The E17 scenario (crash one quorum member, full stack), metrics only.
+
+    All values are floats and fully determined by the kwargs, so this is
+    the reference task for equality-checked parallel sweeps (E23).
+    ``trace_fingerprint`` is the leading 48 bits of the SHA-256 of the
+    quorum-change trace as an exact float — two runs agree on it iff
+    they produced the identical change sequence.
+    """
+    sim, modules = build_qs_world(n, f, seed=seed)
+    sim.at(crash_at, lambda: sim.host(crash_pid).crash())
+    sim.run_until(horizon)
+    correct = [modules[p] for p in sim.pids if p != crash_pid]
+    change_times = [
+        e.time for e in sim.log.events(kind="qs.quorum") if e.process != crash_pid
+    ]
+    digest = _quorum_trace_digest(modules, crash_pid)
+    return {
+        "agree": float(agreement_holds(correct)),
+        "no_suspicion": float(no_suspicion_holds(correct)),
+        "changes": float(max(m.total_quorums_issued() for m in correct)),
+        "converged_at": max(change_times) if change_times else 0.0,
+        "updates": float(sim.stats.sent_by_kind.get("qs.update", 0)),
+        "final_min": float(min(correct[0].qlast)),
+        "trace_fingerprint": float(int(digest[:12], 16)),
+    }
+
+
+#: Aggregated per-module counters reported by ``e21.hotpath_case``.
+HOTPATH_COUNTERS = (
+    "quorum_searches",
+    "searches_memoized",
+    "graph_builds",
+    "graph_reuses",
+    "incremental_edge_updates",
+    "forwards_suppressed",
+)
+
+
+@sweep_task("e21.hotpath_case")
+def e21_hotpath_case(seed: int, n: int, f: int, repeats: int = 1) -> dict:
+    """E17 scenario with wall-clock and hot-path counters (perf_report).
+
+    Reports best-of-``repeats`` wall seconds — the simulation is
+    deterministic, so repeats differ only by host noise.  Because the
+    row contains a timing it must be run with ``cache=None``.
+    """
+    best_wall: Optional[float] = None
+    sim = modules = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        sim, modules = build_qs_world(n, f, seed=seed)
+        sim.at(10.0, lambda: sim.host(1).crash())
+        sim.run_until(120.0)
+        wall = time.perf_counter() - started
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    correct = [modules[p] for p in sim.pids if p != 1]
+    change_times = [
+        e.time for e in sim.log.events(kind="qs.quorum") if e.process != 1
+    ]
+    stats = {counter: 0 for counter in HOTPATH_COUNTERS}
+    for module in modules.values():
+        for counter, value in module.hotpath_stats().items():
+            stats[counter] += value
+    return {
+        "n": n,
+        "f": f,
+        "agree": agreement_holds(correct),
+        "no_suspicion": no_suspicion_holds(correct),
+        "changes": max(m.total_quorums_issued() for m in correct),
+        "converged_at": max(change_times) if change_times else 0.0,
+        "updates": sim.stats.sent_by_kind.get("qs.update", 0),
+        "final_min": min(correct[0].qlast),
+        "wall_seconds": best_wall,
+        "hotpath": stats,
+        "trace_sha256": _quorum_trace_digest(modules, 1),
+    }
+
+
+@sweep_task("e14.stabilization_point")
+def e14_stabilization_point(seed: int, n: int = 5, f: int = 2) -> Dict[str, float]:
+    """E14: leader crash at t=30 under selection vs enumeration policies."""
+    from repro.xpaxos.system import build_system
+
+    out: Dict[str, float] = {}
+    for mode in ("selection", "enumeration"):
+        system = build_system(n=n, f=f, mode=mode, clients=1, seed=seed)
+        system.adversary.crash(1, at=30.0)
+        system.run(900.0)
+        assert system.total_completed() == 20
+        assert system.histories_consistent()
+        vc_times = [e.time for e in system.sim.log.events(kind="xp.viewchange")]
+        out[f"{mode}.stabilized_at"] = max(vc_times) if vc_times else 0.0
+        out[f"{mode}.view_changes"] = float(max(
+            r.view_changes for r in system.correct_replicas()
+        ))
+    return out
+
+
+_E22_REFERENCE_MEMO: dict = {}
+
+
+def _e22_reference_state(seed: int, n: int, f: int, base_timeout: float,
+                         horizon: float) -> dict:
+    """Final (quorum, epoch) per correct process on reliable channels."""
+    memo_key = (seed, n, f, base_timeout, horizon)
+    if memo_key not in _E22_REFERENCE_MEMO:
+        sim, modules = build_qs_world(n, f, seed=seed, base_timeout=base_timeout)
+        sim.at(10.0, lambda: sim.host(1).crash())
+        sim.run_until(horizon)
+        _E22_REFERENCE_MEMO[memo_key] = {
+            pid: (m.qlast, m.epoch) for pid, m in modules.items() if pid != 1
+        }
+    return _E22_REFERENCE_MEMO[memo_key]
+
+
+@sweep_task("e22.lossy_point")
+def e22_lossy_point(
+    seed: int,
+    drop: float,
+    duplicate: float = 0.1,
+    reorder: float = 0.2,
+    n: int = 10,
+    f: int = 3,
+    base_timeout: float = 24.0,
+    horizon: float = 200.0,
+    anti_entropy_period: float = 5.0,
+) -> Dict[str, float]:
+    """E22: the E17 crash scenario on chaotic channels, robustness armed."""
+    chaos = ChaosConfig(drop=drop, duplicate=duplicate, reorder=reorder)
+    sim, modules = build_qs_world(
+        n, f, seed=seed, base_timeout=base_timeout, chaos=chaos,
+        reliable=True, anti_entropy_period=anti_entropy_period,
+    )
+    sim.at(10.0, lambda: sim.host(1).crash())
+    sim.run_until(horizon)
+    correct = {pid: m for pid, m in modules.items() if pid != 1}
+    assert agreement_holds(list(correct.values()))
+
+    final = {pid: (m.qlast, m.epoch) for pid, m in correct.items()}
+    matches = final == _e22_reference_state(seed, n, f, base_timeout, horizon)
+    change_times = [
+        e.time for e in sim.log.events(kind="qs.quorum") if e.process != 1
+    ]
+    transports = {
+        pid: next(
+            mod for mod in m.host._modules if isinstance(mod, ReliableTransport)
+        )
+        for pid, m in correct.items()
+    }
+    transport_totals: Dict[str, float] = {}
+    for t in transports.values():
+        for key, value in t.stats().items():
+            transport_totals[key] = transport_totals.get(key, 0) + value
+    robustness_totals: Dict[str, float] = {}
+    for m in correct.values():
+        for key, value in m.robustness_stats().items():
+            robustness_totals[key] = robustness_totals.get(key, 0) + value
+    return {
+        "matches_reference": float(matches),
+        "converged_at": max(change_times) if change_times else 0.0,
+        "messages_lost": float(sum(sim.stats.lost_by_kind.values())),
+        "retransmissions": float(transport_totals["retransmissions"]),
+        "duplicates_suppressed": float(transport_totals["duplicates_suppressed"]),
+        "ae_rows_applied": float(robustness_totals["ae_rows_applied"]),
+    }

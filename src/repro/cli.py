@@ -9,6 +9,9 @@ Quick entry points into the reproduction without writing a script:
 - ``savings [--f-max N]`` — the introduction's message-savings table.
 - ``worst-case [--f F]`` — exhaustive/greedy per-epoch worst case
   (the "simulations suggest" experiment).
+- ``sweep [--jobs N] [--no-cache]`` — the E17 crash grid through the
+  parallel execution engine with the on-disk result cache
+  (DESIGN.md §5.15).
 
 Each command prints a table built by the same code the benchmarks use.
 """
@@ -118,6 +121,74 @@ def _cmd_worst_case(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis.cache import ResultCache
+    from repro.analysis.sweeps import PointError, grid_sweep
+    from repro.analysis.tasks import e17_crash_case
+    from repro.util.errors import ConfigurationError
+
+    try:
+        cases = [
+            tuple(int(part) for part in chunk.split(":"))
+            for chunk in args.cases.split(",") if chunk
+        ]
+        seeds = [int(chunk) for chunk in args.seeds.split(",") if chunk]
+        if any(len(case) != 2 for case in cases) or not cases or not seeds:
+            raise ValueError
+    except ValueError:
+        print("--cases must look like '5:2,10:3' and --seeds like '3,7,11'",
+              file=sys.stderr)
+        return 2
+
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    grid = [dict(n=n, f=f) for n, f in cases]
+    started = time.perf_counter()
+    try:
+        results = grid_sweep(
+            e17_crash_case, grid, seeds,
+            jobs=args.jobs, cache=cache, on_error="record",
+        )
+    except ConfigurationError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    wall = time.perf_counter() - started
+
+    table = Table(
+        ["n", "f", "quorum changes", "converged at (sim t)",
+         "UPDATE msgs (mean)", "agree"],
+        title=(
+            f"E17 crash grid — jobs={args.jobs}, seeds={seeds}, "
+            f"cache={'off' if cache is None else cache.root}"
+        ),
+    )
+    failed = 0
+    for point, summaries in results:
+        if isinstance(summaries, PointError):
+            failed += 1
+            table.add_row(point["n"], point["f"], "ERROR", "-", "-",
+                          summaries.describe())
+            continue
+        table.add_row(
+            point["n"], point["f"],
+            round(summaries["changes"].mean, 2),
+            round(summaries["converged_at"].mean, 2),
+            round(summaries["updates"].mean, 1),
+            summaries["agree"].minimum == 1.0,
+        )
+    print(table.render())
+    line = f"wall: {wall:.3f}s, jobs={args.jobs}"
+    if cache is not None:
+        stats = cache.stats
+        line += (
+            f", cache hits={stats.hits} misses={stats.misses} "
+            f"(hit rate {stats.hit_rate:.0%})"
+        )
+    print(line)
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -149,6 +220,22 @@ def build_parser() -> argparse.ArgumentParser:
                            help="per-epoch worst case ('simulations suggest')")
     worst.add_argument("--f", type=int, default=2)
     worst.set_defaults(func=_cmd_worst_case)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="E17 crash grid via the parallel engine + result cache (E23)",
+    )
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1 = serial)")
+    sweep.add_argument("--cases", default="5:2,10:3,15:4",
+                       help="comma-separated n:f grid points")
+    sweep.add_argument("--seeds", default="3,7,11",
+                       help="comma-separated seeds per point")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="always simulate; skip the on-disk cache")
+    sweep.add_argument("--cache-dir", default=".benchmarks/cache",
+                       help="result cache directory (default .benchmarks/cache)")
+    sweep.set_defaults(func=_cmd_sweep)
 
     return parser
 

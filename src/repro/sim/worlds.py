@@ -1,0 +1,55 @@
+"""Canonical world builders for integration tests, benchmarks, and tasks.
+
+Historically ``build_qs_world`` lived in ``tests/conftest.py``; the
+parallel execution engine (DESIGN.md §5.15) needs it importable from the
+installed package so that spawn-started worker processes and the CLI can
+construct the same worlds without depending on the test tree.
+``tests/conftest.py`` re-exports it, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.follower_selection import FollowerSelectionModule
+from repro.core.quorum_selection import QuorumSelectionModule
+from repro.fd.detector import FailureDetector
+from repro.fd.heartbeat import HeartbeatModule
+from repro.fd.timers import TimeoutPolicy
+from repro.sim.network import ChaosConfig
+from repro.sim.runtime import Simulation, SimulationConfig
+from repro.sim.transport import ReliableTransport
+
+
+def build_qs_world(
+    n: int,
+    f: int,
+    seed: int = 3,
+    follower_mode: bool = False,
+    gst: float = 0.0,
+    heartbeat_period: float = 2.0,
+    base_timeout: float = 4.0,
+    chaos: Optional[ChaosConfig] = None,
+    reliable: bool = False,
+    anti_entropy_period: Optional[float] = None,
+) -> Tuple[Simulation, Dict[int, QuorumSelectionModule]]:
+    """Full stack for Quorum/Follower Selection integration tests.
+
+    ``chaos`` switches the network to the lossy-channel model;
+    ``reliable`` routes UPDATE/FOLLOWERS through a per-process
+    :class:`ReliableTransport`; ``anti_entropy_period`` arms the periodic
+    matrix sync.  All three default off, reproducing the seed world.
+    """
+    sim = Simulation(SimulationConfig(n=n, seed=seed, gst=gst, delta=1.0, chaos=chaos))
+    modules: Dict[int, QuorumSelectionModule] = {}
+    for pid in sim.pids:
+        host = sim.host(pid)
+        FailureDetector(host, TimeoutPolicy(base_timeout=base_timeout))
+        host.add_module(HeartbeatModule(host, n=n, period=heartbeat_period))
+        transport = host.add_module(ReliableTransport(host)) if reliable else None
+        extra = dict(transport=transport, anti_entropy_period=anti_entropy_period)
+        if follower_mode:
+            modules[pid] = host.add_module(FollowerSelectionModule(host, n=n, f=f, **extra))
+        else:
+            modules[pid] = host.add_module(QuorumSelectionModule(host, n=n, f=f, **extra))
+    return sim, modules

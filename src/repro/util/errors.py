@@ -42,3 +42,18 @@ class SimulationError(ReproError):
     Examples: scheduling an event in the past, or running a simulation that
     exceeded its configured step budget without quiescing.
     """
+
+
+class ExecutionError(ReproError):
+    """A parallel sweep task failed inside a worker process.
+
+    Raised by :mod:`repro.analysis.sweeps` when one or more task
+    executions dispatched through the engine returned a structured error
+    record and the caller asked for failures to propagate
+    (``on_error="raise"``).  Carries the per-task records so harnesses
+    running with ``on_error="record"`` can report them instead.
+    """
+
+    def __init__(self, message: str, failures=()):  # noqa: D401
+        super().__init__(message)
+        self.failures = tuple(failures)

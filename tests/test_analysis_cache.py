@@ -1,0 +1,133 @@
+"""Tests for the on-disk result cache (DESIGN.md §5.15)."""
+
+import json
+
+import pytest
+
+from repro.analysis.cache import (
+    ResultCache,
+    canonical_key,
+    code_fingerprint,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cache", fingerprint="fp-A")
+
+
+class TestKeying:
+    def test_key_is_canonical_over_kwarg_order(self):
+        a = canonical_key("t", {"x": 1, "y": 2}, "fp")
+        b = canonical_key("t", {"y": 2, "x": 1}, "fp")
+        assert a == b
+
+    def test_key_varies_with_every_component(self):
+        base = canonical_key("t", {"x": 1}, "fp")
+        assert canonical_key("u", {"x": 1}, "fp") != base
+        assert canonical_key("t", {"x": 2}, "fp") != base
+        assert canonical_key("t", {"x": 1}, "fp2") != base
+
+    def test_seed_in_kwargs_separates_entries(self):
+        assert canonical_key("t", {"seed": 1}, "fp") != \
+            canonical_key("t", {"seed": 2}, "fp")
+
+    def test_code_fingerprint_stable_and_hexdigest(self):
+        fp = code_fingerprint()
+        assert fp == code_fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, cache):
+        key = cache.key_for("t", {"seed": 1})
+        hit, _ = cache.get(key)
+        assert not hit
+        cache.put(key, {"value": 42})
+        hit, value = cache.get(key)
+        assert hit and value == {"value": 42}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_persists_across_instances(self, cache):
+        key = cache.key_for("t", {"seed": 1})
+        cache.put(key, [1, 2, 3])
+        reopened = ResultCache(root=cache.root, fingerprint="fp-A")
+        hit, value = reopened.get(key)
+        assert hit and value == [1, 2, 3]
+
+    def test_fingerprint_change_invalidates(self, cache):
+        key = cache.key_for("t", {"seed": 1})
+        cache.put(key, "old-code-result")
+        changed = ResultCache(root=cache.root, fingerprint="fp-B")
+        hit, _ = changed.get(changed.key_for("t", {"seed": 1}))
+        assert not hit  # different fingerprint -> different key -> miss
+
+    def test_hit_rate(self, cache):
+        key = cache.key_for("t", {})
+        cache.get(key)
+        cache.put(key, 1)
+        cache.get(key)
+        cache.get(key)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestCorruption:
+    def test_bad_json_is_a_miss_not_a_crash(self, cache):
+        key = cache.key_for("t", {"seed": 1})
+        cache.put(key, {"v": 1})
+        path = cache.root / f"{key}.json"
+        path.write_text("{this is not json")
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.stats.corrupt_discarded == 1
+        assert not path.exists()  # discarded so the recompute can re-store
+        cache.put(key, {"v": 2})
+        hit, value = cache.get(key)
+        assert hit and value == {"v": 2}
+
+    def test_wrong_schema_is_a_miss(self, cache):
+        key = cache.key_for("t", {"seed": 1})
+        cache.root.mkdir(parents=True, exist_ok=True)
+        (cache.root / f"{key}.json").write_text(json.dumps({"unrelated": 1}))
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.stats.corrupt_discarded == 1
+
+    def test_key_mismatch_is_a_miss(self, cache):
+        key = cache.key_for("t", {"seed": 1})
+        cache.root.mkdir(parents=True, exist_ok=True)
+        (cache.root / f"{key}.json").write_text(
+            json.dumps({"key": "someone-else", "value": 9})
+        )
+        hit, _ = cache.get(key)
+        assert not hit
+
+
+class TestEviction:
+    def test_oldest_entries_evicted_over_limit(self, tmp_path):
+        import os
+        import time
+        cache = ResultCache(root=tmp_path / "c", fingerprint="fp",
+                            max_entries=3)
+        keys = [cache.key_for("t", {"seed": s}) for s in range(5)]
+        base = time.time() - 100
+        for i, key in enumerate(keys):
+            cache.put(key, i)
+            # deterministic mtimes: older seeds look older on disk
+            os.utime(cache.root / f"{key}.json", (base + i, base + i))
+        cache.put(cache.key_for("t", {"seed": 99}), 99)
+        assert cache.entry_count() == 3
+        assert cache.stats.evictions >= 2
+        hit, _ = cache.get(keys[0])
+        assert not hit  # oldest gone
+        hit, value = cache.get(cache.key_for("t", {"seed": 99}))
+        assert hit and value == 99  # newest kept
+
+    def test_clear(self, cache):
+        for s in range(3):
+            cache.put(cache.key_for("t", {"seed": s}), s)
+        assert cache.clear() == 3
+        assert cache.entry_count() == 0

@@ -1,0 +1,210 @@
+"""Tests for the parallel execution engine and engine-backed sweeps.
+
+Process-pool tests use ``jobs=2`` with tiny demo tasks: on a single-CPU
+host they exercise correctness (equality, ordering, isolation), not
+speed — the speedup claims live in ``benchmarks/bench_e23_parallel_sweep``.
+"""
+
+import pytest
+
+from repro.analysis.cache import ResultCache
+from repro.analysis.exec import (
+    ParallelExecutor,
+    TaskSpec,
+    resolve_task,
+    sweep_task,
+)
+from repro.analysis.sweeps import PointError, bind_point, grid_sweep, sweep
+from repro.analysis.tasks import demo_flaky, demo_linear, demo_sleep
+from repro.util.errors import ConfigurationError, ExecutionError
+
+
+def specs_for(fn, seeds, **kwargs):
+    return [TaskSpec.for_function(fn, seed=seed, **kwargs) for seed in seeds]
+
+
+class TestRegistry:
+    def test_registered_function_resolves(self):
+        spec = TaskSpec.for_function(demo_linear, seed=3)
+        assert spec.task == "demo.linear"
+        assert resolve_task(spec) is demo_linear
+
+    def test_unregistered_function_rejected(self):
+        def local_metric(seed):
+            return {"v": seed}
+
+        with pytest.raises(ConfigurationError, match="not a registered"):
+            TaskSpec.for_function(local_metric, seed=1)
+
+    def test_closures_rejected_at_registration(self):
+        with pytest.raises(ConfigurationError, match="spawn-safe"):
+            def make():
+                @sweep_task("bad.closure")
+                def inner(seed):
+                    return {"v": seed}
+            make()
+
+    def test_unknown_task_name_raises(self):
+        spec = TaskSpec(task="no.such.task", module="repro.analysis.tasks")
+        with pytest.raises(ConfigurationError, match="not found"):
+            resolve_task(spec)
+
+
+class TestInlineExecutor:
+    def test_jobs_1_runs_inline_in_order(self):
+        results = ParallelExecutor(jobs=1).run(specs_for(demo_linear, [5, 1, 3]))
+        assert [r.value["value"] for r in results] == [5.0, 1.0, 3.0]
+        assert all(r.ok and not r.cached for r in results)
+
+    def test_inline_failure_is_isolated(self):
+        results = ParallelExecutor(jobs=1).run(
+            specs_for(demo_flaky, [1, 2, 3], fail_seed=2)
+        )
+        assert [r.ok for r in results] == [True, False, True]
+        assert results[1].error["type"] == "ValueError"
+        assert "seed 2" in results[1].error["message"]
+        assert "traceback" in results[1].error
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(jobs=0)
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(jobs=2, chunk_size=0)
+
+
+class TestPoolExecutor:
+    def test_parallel_equals_inline(self):
+        specs = specs_for(demo_linear, [1, 2, 3, 4, 5], scale=2.0)
+        inline = ParallelExecutor(jobs=1).run(specs)
+        pooled = ParallelExecutor(jobs=2).run(specs)
+        assert [r.value for r in pooled] == [r.value for r in inline]
+
+    def test_ordering_independent_of_completion(self):
+        # Later submissions sleep less, so they complete first; results
+        # must still come back in submission order.
+        specs = [
+            TaskSpec.for_function(demo_sleep, seed=i, seconds=0.2 - 0.06 * i)
+            for i in range(4)
+        ]
+        results = ParallelExecutor(jobs=2, chunk_size=1).run(specs)
+        assert [r.value["value"] for r in results] == [0.0, 1.0, 2.0, 3.0]
+        assert [r.index for r in results] == [0, 1, 2, 3]
+
+    def test_worker_failure_isolated_per_task(self):
+        results = ParallelExecutor(jobs=2, chunk_size=2).run(
+            specs_for(demo_flaky, [1, 2, 3, 4], fail_seed=3)
+        )
+        assert [r.ok for r in results] == [True, True, False, True]
+        assert results[2].error["type"] == "ValueError"
+
+
+class TestExecutorCache:
+    def test_cold_stores_warm_hits(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "c", fingerprint="fp")
+        specs = specs_for(demo_linear, [1, 2, 3])
+        cold = ParallelExecutor(jobs=1, cache=cache).run(specs)
+        assert cache.stats.stores == 3 and cache.stats.hits == 0
+        warm_cache = ResultCache(root=tmp_path / "c", fingerprint="fp")
+        warm = ParallelExecutor(jobs=1, cache=warm_cache).run(specs)
+        assert warm_cache.stats.hits == 3 and warm_cache.stats.misses == 0
+        assert [r.value for r in warm] == [r.value for r in cold]
+        assert all(r.cached for r in warm)
+
+    def test_failures_never_cached(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "c", fingerprint="fp")
+        specs = specs_for(demo_flaky, [1, 2], fail_seed=2)
+        ParallelExecutor(jobs=1, cache=cache).run(specs)
+        assert cache.stats.stores == 1  # only seed 1
+        retry = ParallelExecutor(jobs=1, cache=cache).run(
+            specs_for(demo_flaky, [1, 2], fail_seed=None)
+        )
+        # seed 1 hits (same kwargs), seed 2's kwargs changed -> recompute
+        assert retry[0].cached or retry[0].ok
+        assert retry[1].ok
+
+    def test_corrupted_entry_recomputes(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "c", fingerprint="fp")
+        specs = specs_for(demo_linear, [7])
+        ParallelExecutor(jobs=1, cache=cache).run(specs)
+        key = cache.key_for(specs[0].task, specs[0].kwargs)
+        (cache.root / f"{key}.json").write_text("garbage{{{")
+        fresh = ResultCache(root=tmp_path / "c", fingerprint="fp")
+        results = ParallelExecutor(jobs=1, cache=fresh).run(specs)
+        assert results[0].ok and not results[0].cached
+        assert results[0].value == {"value": 7.0}
+        assert fresh.stats.corrupt_discarded == 1
+        assert fresh.stats.stores == 1  # recomputed value re-banked
+
+
+class TestSweepEngine:
+    def test_serial_path_unchanged_for_plain_callables(self):
+        result = sweep(lambda seed: {"a": seed}, seeds=[1, 2])
+        assert result["a"].values == (1.0, 2.0)
+
+    def test_parallel_requires_registered_task(self):
+        with pytest.raises(ConfigurationError, match="not a registered"):
+            sweep(lambda seed: {"a": seed}, seeds=[1, 2], jobs=2)
+
+    def test_parallel_sweep_equals_serial(self):
+        serial = sweep(demo_linear, [1, 2, 3])
+        parallel = sweep(demo_linear, [1, 2, 3], jobs=2)
+        assert parallel == serial
+
+    def test_sweep_failure_raises_execution_error_with_records(self):
+        bound = bind_point(demo_flaky, {"fail_seed": 2})
+        with pytest.raises(ExecutionError) as excinfo:
+            sweep(bound, [1, 2, 3], jobs=2)
+        assert excinfo.value.failures
+        assert excinfo.value.failures[0]["type"] == "ValueError"
+
+    def test_bound_point_same_callable_serial_and_parallel(self):
+        bound = bind_point(demo_linear, {"scale": 3.0})
+        assert bound(2) == {"value": 6.0}          # serial call path
+        serial = sweep(bound, [1, 2])              # legacy loop
+        parallel = sweep(bound, [1, 2], jobs=2)    # engine path
+        assert serial == parallel
+        assert serial["value"].values == (3.0, 6.0)
+
+
+class TestGridSweepEngine:
+    GRID = [{"scale": 1.0}, {"scale": 2.0}, {"scale": 3.0}]
+
+    def test_grid_parallel_equals_serial(self):
+        serial = grid_sweep(demo_linear, self.GRID, [1, 2, 3])
+        parallel = grid_sweep(demo_linear, self.GRID, [1, 2, 3], jobs=2)
+        assert parallel == serial
+
+    def test_failing_point_recorded_not_fatal(self):
+        grid = [{"fail_seed": 2}, {"fail_seed": None}]
+        results = grid_sweep(demo_flaky, grid, [1, 2, 3], jobs=2,
+                             on_error="record")
+        assert isinstance(results[0][1], PointError)
+        assert results[0][1].failures[0]["type"] == "ValueError"
+        assert "fail_seed" in results[0][1].describe()
+        healthy = results[1][1]
+        assert healthy["value"].values == (1.0, 2.0, 3.0)
+
+    def test_failing_point_raises_by_default(self):
+        grid = [{"fail_seed": 2}]
+        with pytest.raises(ExecutionError):
+            grid_sweep(demo_flaky, grid, [1, 2, 3], jobs=2)
+
+    def test_serial_record_mode_matches(self):
+        grid = [{"fail_seed": 2}, {"fail_seed": None}]
+        results = grid_sweep(demo_flaky, grid, [1, 2, 3], on_error="record")
+        assert isinstance(results[0][1], PointError)
+        assert results[1][1]["value"].values == (1.0, 2.0, 3.0)
+
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_sweep(demo_linear, self.GRID, [1], on_error="explode")
+
+    def test_grid_cache_roundtrip(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "c", fingerprint="fp")
+        cold = grid_sweep(demo_linear, self.GRID, [1, 2], jobs=1, cache=cache)
+        assert cache.stats.stores == 6
+        warm_cache = ResultCache(root=tmp_path / "c", fingerprint="fp")
+        warm = grid_sweep(demo_linear, self.GRID, [1, 2], jobs=1,
+                          cache=warm_cache)
+        assert warm == cold
+        assert warm_cache.stats.hit_rate == 1.0

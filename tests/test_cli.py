@@ -46,3 +46,30 @@ class TestCommands:
         assert main(["crash-compare", "--f", "1"]) == 0
         out = capsys.readouterr().out
         assert "quorum selection" in out and "enumeration" in out
+
+
+class TestSweepCommand:
+    def test_sweep_serial_no_cache(self, capsys):
+        assert main(["sweep", "--cases", "5:2", "--seeds", "3,7",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "E17 crash grid" in out and "jobs=1" in out
+        assert "cache=off" in out
+
+    def test_sweep_cache_cold_then_warm(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["sweep", "--cases", "5:2", "--seeds", "3",
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "misses=1" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "hits=1" in warm and "hit rate 100%" in warm
+
+    def test_sweep_rejects_malformed_cases(self, capsys):
+        assert main(["sweep", "--cases", "5-2", "--no-cache"]) == 2
+        assert "--cases" in capsys.readouterr().err
+
+    def test_sweep_rejects_empty_seeds(self, capsys):
+        assert main(["sweep", "--seeds", "", "--no-cache"]) == 2

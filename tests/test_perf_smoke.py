@@ -13,7 +13,11 @@ import time
 
 import pytest
 
-from benchmarks.perf_report import check_invariants, run_hotpath_case
+from benchmarks.perf_report import (
+    check_invariants,
+    find_regressions,
+    run_hotpath_case,
+)
 
 pytestmark = pytest.mark.perf_smoke
 
@@ -30,3 +34,33 @@ def test_hotpath_smoke(n, f):
     elapsed = time.perf_counter() - started
     check_invariants(row)
     assert elapsed < SMOKE_WALL_CEILING
+
+
+class TestRegressionGate:
+    """perf_report's >20% wall-time gate against the previous report."""
+
+    OLD = {"cases": [{"n": 5, "f": 2, "wall_seconds": 1.0},
+                     {"n": 10, "f": 3, "wall_seconds": 2.0}]}
+
+    def test_within_threshold_passes(self):
+        new = [{"n": 5, "f": 2, "wall_seconds": 1.15},
+               {"n": 10, "f": 3, "wall_seconds": 1.9}]
+        assert find_regressions(self.OLD, new) == []
+
+    def test_regression_flagged_per_case(self):
+        new = [{"n": 5, "f": 2, "wall_seconds": 1.5},
+               {"n": 10, "f": 3, "wall_seconds": 2.0}]
+        flags = find_regressions(self.OLD, new)
+        assert len(flags) == 1
+        assert "n=5" in flags[0] and "+50%" in flags[0]
+
+    def test_no_previous_report_flags_nothing(self):
+        new = [{"n": 5, "f": 2, "wall_seconds": 100.0}]
+        assert find_regressions(None, new) == []
+        assert find_regressions({}, new) == []
+
+    def test_unknown_or_malformed_cases_ignored(self):
+        old = {"cases": [{"n": 5, "f": 2, "wall_seconds": "fast"}, "junk"]}
+        new = [{"n": 5, "f": 2, "wall_seconds": 9.0},
+               {"n": 99, "f": 9, "wall_seconds": 9.0}]
+        assert find_regressions(old, new) == []
