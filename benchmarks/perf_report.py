@@ -203,6 +203,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="timing repeats per case, best wall wins")
     parser.add_argument("--strict", action="store_true",
                         help="exit non-zero if any case regressed >20%%")
+    parser.add_argument("--net", action="store_true",
+                        help="also run the live loopback runtime benchmark "
+                             "(E24) and write BENCH_net_loopback.json")
+    parser.add_argument("--net-rounds", type=int, default=4,
+                        help="stabilization rounds per case for --net")
     args = parser.parse_args(argv)
 
     previous = read_previous_report()
@@ -212,6 +217,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     for line in regressions:
         print(f"PERF REGRESSION: {line}")
     print(f"wrote {REPORT_PATH}")
+
+    if args.net:
+        from benchmarks import bench_e24_net_loopback as e24
+
+        net_report = e24.write_report(rounds=args.net_rounds)
+        emit("e24_net_loopback", e24.render_table(net_report))
+        print(f"wrote {e24.REPORT_PATH}")
+
     if regressions and args.strict:
         return 1
     return 0

@@ -12,13 +12,21 @@ Quick entry points into the reproduction without writing a script:
 - ``sweep [--jobs N] [--no-cache]`` — the E17 crash grid through the
   parallel execution engine with the on-disk result cache
   (DESIGN.md §5.15).
+- ``cluster --n 7 --f 2 [--kill PID@T] [--recover PID@T]`` — launch a
+  live loopback cluster (one OS process per replica over TCP), inject
+  crashes/recoveries on schedule, and report the cluster verdict.
+- ``node`` — one replica of such a cluster (used internally by
+  ``cluster``; documented for running replicas across machines).
 
 Each command prints a table built by the same code the benchmarks use.
+Invalid argument combinations exit with status 2 and a one-line message
+— never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -33,7 +41,22 @@ from repro.analysis.bounds import (
 from repro.analysis.report import Table
 
 
+def _invalid(message: str) -> int:
+    """Reject an invalid argument combination: message to stderr, exit 2."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _require_f(f: int) -> Optional[int]:
+    """Shared ``--f`` sanity check; returns an exit code when invalid."""
+    if f < 1:
+        return _invalid(f"--f must be >= 1, got {f}")
+    return None
+
+
 def _cmd_bounds(args: argparse.Namespace) -> int:
+    if args.f_max < 1:
+        return _invalid(f"--f-max must be >= 1, got {args.f_max}")
     table = Table(
         [
             "f", "Thm 3 f(f+1)", "Thm 4 C(f+2,2)", "changes C(f+2,2)-1",
@@ -52,6 +75,9 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 
 
 def _cmd_thm4(args: argparse.Namespace) -> int:
+    invalid = _require_f(args.f)
+    if invalid is not None:
+        return invalid
     from repro.analysis.runner import run_thm4_adversary
 
     f = args.f
@@ -69,6 +95,9 @@ def _cmd_thm4(args: argparse.Namespace) -> int:
 
 
 def _cmd_crash_compare(args: argparse.Namespace) -> int:
+    invalid = _require_f(args.f)
+    if invalid is not None:
+        return invalid
     from repro.analysis.runner import run_xpaxos_crash_comparison
 
     f = args.f
@@ -88,6 +117,8 @@ def _cmd_crash_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_savings(args: argparse.Namespace) -> int:
+    if args.f_max < 1:
+        return _invalid(f"--f-max must be >= 1, got {args.f_max}")
     from repro.analysis.runner import measure_message_savings
 
     table = Table(
@@ -104,6 +135,9 @@ def _cmd_savings(args: argparse.Namespace) -> int:
 
 
 def _cmd_worst_case(args: argparse.Namespace) -> int:
+    invalid = _require_f(args.f)
+    if invalid is not None:
+        return invalid
     from repro.analysis.abstract import exhaustive_max_changes, greedy_max_changes
 
     f = args.f
@@ -122,6 +156,8 @@ def _cmd_worst_case(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        return _invalid(f"--jobs must be >= 1, got {args.jobs}")
     import time
 
     from repro.analysis.cache import ResultCache
@@ -189,11 +225,106 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.net.cluster import ClusterConfig, parse_schedule, run_cluster
+    from repro.util.errors import ConfigurationError
+
+    try:
+        config = ClusterConfig(
+            n=args.n,
+            f=args.f,
+            duration=args.duration,
+            kills=parse_schedule(args.kill, "kill"),
+            recovers=parse_schedule(args.recover, "recover"),
+            kill_mode=args.kill_mode,
+            follower_mode=args.follower_mode,
+            heartbeat_period=args.heartbeat,
+            base_timeout=args.timeout,
+            anti_entropy_period=args.anti_entropy,
+            run_dir=args.run_dir,
+        )
+        config.validate()
+    except ConfigurationError as exc:
+        return _invalid(str(exc))
+
+    result = run_cluster(config)
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        table = Table(
+            ["metric", "value"],
+            title=(
+                f"Live loopback cluster — n={args.n}, f={args.f}, "
+                f"{args.duration:.1f}s, kill_mode={args.kill_mode}"
+            ),
+        )
+        quorum = summary["final_quorum"]
+        table.add_row("correct replicas", ",".join(map(str, summary["correct_pids"])))
+        table.add_row("agreement", summary["agreement"])
+        table.add_row("final quorum", ",".join(map(str, quorum)) if quorum else "-")
+        table.add_row("active quorum (no crashed member)", summary["active_quorum"])
+        table.add_row("max quorum changes / epoch", summary["max_changes_per_epoch"])
+        table.add_row("Thm 3 bound f(f+1)", args.f * (args.f + 1))
+        table.add_row("wall seconds", summary["wall_seconds"])
+        print(table.render())
+        if result.run_dir is not None:
+            print(f"per-node event streams: {result.run_dir}/node_*.jsonl")
+    healthy = summary["agreement"] and (
+        summary["active_quorum"] or not (config.kills or config.recovers)
+    )
+    return 0 if healthy else 1
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    from repro.net.node import NodeConfig, parse_peer_map, run_node_blocking
+    from repro.util.errors import ConfigurationError
+
+    peers = None
+    if args.peers != "-":
+        try:
+            entries = dict(
+                part.split("=", 1) for part in args.peers.split(",") if part
+            )
+            peers = parse_peer_map(entries)
+        except (ValueError, KeyError):
+            return _invalid(
+                "--peers expects '-' (stdin rendezvous) or "
+                "'1=host:port,2=host:port,...'"
+            )
+    try:
+        config = NodeConfig(
+            pid=args.pid,
+            n=args.n,
+            f=args.f,
+            port=args.port,
+            peers=peers,
+            follower_mode=args.follower_mode,
+            heartbeat_period=args.heartbeat,
+            base_timeout=args.timeout,
+            duration=args.duration,
+            queue_capacity=args.queue_capacity,
+            anti_entropy_period=args.anti_entropy,
+            kills_at=tuple(args.kill_at),
+            recovers_at=tuple(args.recover_at),
+        )
+        config.validate()
+        run_node_blocking(config)
+    except ConfigurationError as exc:
+        return _invalid(str(exc))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Quorum Selection for Byzantine Fault "
                     "Tolerance' (Jehl, ICDCS 2019)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -236,6 +367,59 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", default=".benchmarks/cache",
                        help="result cache directory (default .benchmarks/cache)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="live loopback cluster: one OS process per replica over TCP",
+    )
+    cluster.add_argument("--n", type=int, default=7, help="replicas (default 7)")
+    cluster.add_argument("--f", type=int, default=2, help="fault bound (default 2)")
+    cluster.add_argument("--duration", type=float, default=10.0,
+                         help="run length in wall seconds (default 10)")
+    cluster.add_argument("--kill", action="append", default=[], metavar="PID@T",
+                         help="crash PID at T seconds after start (repeatable)")
+    cluster.add_argument("--recover", action="append", default=[], metavar="PID@T",
+                         help="recover PID at T seconds after start (repeatable)")
+    cluster.add_argument("--kill-mode", choices=("host", "process"), default="host",
+                         help="host = silent crash with state (recoverable); "
+                              "process = SIGKILL the replica")
+    cluster.add_argument("--follower-mode", action="store_true",
+                         help="run Follower Selection instead of Quorum Selection")
+    cluster.add_argument("--heartbeat", type=float, default=0.3,
+                         help="heartbeat period in seconds (default 0.3)")
+    cluster.add_argument("--timeout", type=float, default=2.0,
+                         help="failure-detector base timeout in seconds (default 2)")
+    cluster.add_argument("--anti-entropy", type=float, default=None,
+                         help="periodic matrix sync period (default off)")
+    cluster.add_argument("--run-dir", default=None,
+                         help="directory for per-node JSONL event streams")
+    cluster.add_argument("--json", action="store_true",
+                         help="print the machine-readable summary instead of a table")
+    cluster.set_defaults(func=_cmd_cluster)
+
+    node = sub.add_parser(
+        "node",
+        help="one live replica (spawned by `cluster`; usable across machines)",
+    )
+    node.add_argument("--pid", type=int, required=True)
+    node.add_argument("--n", type=int, required=True)
+    node.add_argument("--f", type=int, required=True)
+    node.add_argument("--port", type=int, default=0,
+                      help="listen port (default 0 = ephemeral)")
+    node.add_argument("--peers", default="-",
+                      help="'-' reads a JSON peer map from stdin (rendezvous); "
+                           "or '1=host:port,2=host:port,...'")
+    node.add_argument("--duration", type=float, default=10.0)
+    node.add_argument("--heartbeat", type=float, default=0.3)
+    node.add_argument("--timeout", type=float, default=2.0)
+    node.add_argument("--queue-capacity", type=int, default=1024)
+    node.add_argument("--anti-entropy", type=float, default=None)
+    node.add_argument("--follower-mode", action="store_true")
+    node.add_argument("--kill-at", type=float, action="append", default=[],
+                      metavar="T", help="crash own host T seconds after ready")
+    node.add_argument("--recover-at", type=float, action="append", default=[],
+                      metavar="T", help="recover own host T seconds after ready")
+    node.set_defaults(func=_cmd_node)
 
     return parser
 

@@ -1,0 +1,91 @@
+"""The host API contract shared by every runtime.
+
+Protocol modules (:class:`repro.sim.process.Module` subclasses — the
+failure detector, Quorum/Follower Selection, heartbeats, applications)
+never talk to a network or an event loop directly: they go through the
+*host* they are mounted on.  Two runtimes implement the contract today:
+
+- :class:`repro.sim.process.ProcessHost` — the deterministic
+  discrete-event simulator (virtual time, in-memory channels);
+- :class:`repro.net.host.NetHost` — the live asyncio runtime (wall-clock
+  time, length-prefixed JSON frames over TCP).
+
+Because modules are written against this surface only, the exact same
+module objects run unchanged on either runtime; the sim<->net parity
+harness (:mod:`repro.net.parity`) is the executable proof.
+
+The contract, as exercised by the in-tree modules:
+
+====================  =====================================================
+member                behaviour required of every host
+====================  =====================================================
+``pid``               1-based process id.
+``running``           ``False`` after :meth:`crash` until :meth:`recover`.
+``fd``                the failure detector, or ``None`` (set by the FD).
+``authenticator``     :class:`repro.crypto.authenticator.Authenticator`.
+``log``               :class:`repro.util.eventlog.EventLog`-compatible.
+``now``               current time (simulated or wall seconds since start).
+``scheduler``         exposes ``schedule_every(period, action, label)``.
+``subscribe``         route delivered messages of a kind to a handler.
+``add_module``        attach a module; started with the host.
+``send``              one message to one process (no implicit signing).
+``broadcast``         to targets; self-delivery is *scheduled*, not inline.
+``set_timer``         one-shot timer; dies with the process on crash.
+``crash``             silence the process: no receives, sends, or timers.
+``recover``           resume with state intact; re-runs module ``recover``.
+``deliver``           dispatch to subscribers (FDs call this post-auth).
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Tuple
+
+from repro.util.ids import ProcessId
+
+DeliveryHandler = Callable[[str, Any, ProcessId], None]
+
+#: Attributes every host must expose (checked by :func:`missing_host_api`).
+HOST_API_ATTRS: Tuple[str, ...] = (
+    "pid",
+    "running",
+    "fd",
+    "authenticator",
+    "log",
+    "now",
+    "scheduler",
+    "subscribe",
+    "add_module",
+    "send",
+    "broadcast",
+    "set_timer",
+    "crash",
+    "recover",
+    "deliver",
+)
+
+
+def missing_host_api(host: Any) -> Tuple[str, ...]:
+    """Names from :data:`HOST_API_ATTRS` the candidate host lacks.
+
+    Returns an empty tuple for a conforming host.  Used by tests and by
+    harnesses that accept "any host" to fail fast with a readable message
+    instead of an :class:`AttributeError` deep inside a module.
+    """
+    return tuple(name for name in HOST_API_ATTRS if not hasattr(host, name))
+
+
+def require_host_api(host: Any) -> Any:
+    """Validate a host against the contract; returns it unchanged."""
+    missing = missing_host_api(host)
+    if missing:
+        raise TypeError(
+            f"{type(host).__name__} does not implement the host API; "
+            f"missing: {', '.join(missing)}"
+        )
+    return host
+
+
+def broadcast_targets(n: int) -> Iterable[ProcessId]:
+    """The paper's "to all processes, including self" target set."""
+    return range(1, n + 1)

@@ -1,0 +1,48 @@
+"""Live asyncio network runtime: the module stack over real TCP sockets.
+
+Every protocol module in this repository is written against the host API
+(:mod:`repro.hostapi`); this package provides the second implementation
+of that API — real sockets, real clocks, real process crashes — so
+:class:`~repro.core.quorum_selection.QuorumSelectionModule`, the failure
+detector, and Follower Selection run *unchanged* outside the simulator.
+
+Layers, bottom up:
+
+- :mod:`repro.net.wire` — length-prefixed tagged-JSON framing of the
+  existing signed envelopes (same payload dataclasses, same signatures).
+- :mod:`repro.net.peer` — per-peer connections: dial-on-demand,
+  reconnect with exponential backoff + jitter, bounded outbound queues
+  whose overflow policy is *drop* (an omission failure — exactly the
+  fault class Quorum Selection is built to tolerate).
+- :mod:`repro.net.timers` — wall-clock timer service with the simulator
+  scheduler's timer semantics.
+- :mod:`repro.net.host` — :class:`NetHost`, the host-API implementation.
+- :mod:`repro.net.node` — one replica: host + stack + JSON event stream.
+- :mod:`repro.net.cluster` — multi-OS-process loopback/LAN harness with
+  scheduled crash/recovery injection (``python -m repro cluster``).
+- :mod:`repro.net.parity` — the sim<->net parity harness: one crash
+  schedule, both runtimes, same final quorum, Thm 3 bound respected.
+"""
+
+from repro.net.host import NetHost
+from repro.net.peer import PeerManager, ReconnectPolicy
+from repro.net.timers import NetTimerService
+from repro.net.wire import (
+    FrameDecoder,
+    WireError,
+    decode_value,
+    encode_frame,
+    encode_value,
+)
+
+__all__ = [
+    "NetHost",
+    "PeerManager",
+    "ReconnectPolicy",
+    "NetTimerService",
+    "FrameDecoder",
+    "WireError",
+    "encode_frame",
+    "encode_value",
+    "decode_value",
+]

@@ -1,0 +1,166 @@
+"""Sim<->net parity: one crash schedule, two runtimes, same answer.
+
+The point of the live runtime is that it changes *nothing* about the
+protocol — so the same scripted crash schedule, executed by the
+discrete-event simulator and by a real loopback cluster, must select the
+same final quorum, and both executions must respect Theorem 3's
+``f(f+1)`` per-epoch quorum-change bound.
+
+Schedules are expressed in **heartbeat periods**, not seconds: the sim
+runs with its canonical 2.0-unit period while the cluster runs with a
+sub-second wall period, and scaling by period keeps the *relative*
+timing (how many beats a process was dead for) identical across
+runtimes.  Exact quorum-change *counts* are not required to match —
+wall-clock detection latencies differ from simulated ones, so the two
+runtimes may pass through different intermediate quorums — but both
+must stay inside the theorem's envelope and land on the same final
+quorum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.net.cluster import ClusterConfig, ClusterResult, run_cluster
+from repro.sim.worlds import build_qs_world
+
+
+@dataclass(frozen=True)
+class ParitySchedule:
+    """A crash/recovery script in heartbeat-period units."""
+
+    n: int
+    f: int
+    #: (pid, periods-after-start) pairs.
+    kills: Tuple[Tuple[int, float], ...] = ()
+    recovers: Tuple[Tuple[int, float], ...] = ()
+    duration_periods: float = 40.0
+
+    def crashed_at_end(self) -> FrozenSet[int]:
+        last: Dict[int, Tuple[float, str]] = {}
+        for pid, t in self.kills:
+            if pid not in last or t >= last[pid][0]:
+                last[pid] = (t, "kill")
+        for pid, t in self.recovers:
+            if pid not in last or t >= last[pid][0]:
+                last[pid] = (t, "recover")
+        return frozenset(pid for pid, (_, what) in last.items() if what == "kill")
+
+
+@dataclass
+class RuntimeOutcome:
+    """What one runtime concluded, reduced to the parity-relevant facts."""
+
+    runtime: str
+    final_quorums: Dict[int, FrozenSet[int]]  # correct pid -> final quorum
+    max_changes_per_epoch: int
+    final_epochs: Dict[int, int]
+
+    @property
+    def agreed_quorum(self) -> Optional[FrozenSet[int]]:
+        quorums = set(self.final_quorums.values())
+        return next(iter(quorums)) if len(quorums) == 1 else None
+
+
+def run_sim_schedule(
+    schedule: ParitySchedule,
+    seed: int = 3,
+    heartbeat_period: float = 2.0,
+    base_timeout: float = 4.0,
+) -> RuntimeOutcome:
+    """Execute the schedule on the discrete-event simulator."""
+    sim, modules = build_qs_world(
+        schedule.n,
+        schedule.f,
+        seed=seed,
+        heartbeat_period=heartbeat_period,
+        base_timeout=base_timeout,
+    )
+    for pid, periods in schedule.kills:
+        sim.at(periods * heartbeat_period, lambda p=pid: sim.host(p).crash())
+    for pid, periods in schedule.recovers:
+        sim.at(periods * heartbeat_period, lambda p=pid: sim.host(p).recover())
+    sim.run_until(schedule.duration_periods * heartbeat_period)
+
+    crashed = schedule.crashed_at_end()
+    correct = [pid for pid in sim.pids if pid not in crashed]
+    return RuntimeOutcome(
+        runtime="sim",
+        final_quorums={pid: modules[pid].qlast for pid in correct},
+        max_changes_per_epoch=max(
+            modules[pid].max_quorums_in_any_epoch() for pid in correct
+        ),
+        final_epochs={pid: modules[pid].epoch for pid in correct},
+    )
+
+
+def run_net_schedule(
+    schedule: ParitySchedule,
+    heartbeat_period: float = 0.3,
+    base_timeout: float = 2.0,
+    run_dir=None,
+) -> Tuple[RuntimeOutcome, ClusterResult]:
+    """Execute the schedule on a live loopback cluster."""
+    config = ClusterConfig(
+        n=schedule.n,
+        f=schedule.f,
+        duration=schedule.duration_periods * heartbeat_period,
+        kills=tuple((pid, t * heartbeat_period) for pid, t in schedule.kills),
+        recovers=tuple((pid, t * heartbeat_period) for pid, t in schedule.recovers),
+        kill_mode="host",
+        heartbeat_period=heartbeat_period,
+        base_timeout=base_timeout,
+        run_dir=run_dir,
+    )
+    result = run_cluster(config)
+    outcome = RuntimeOutcome(
+        runtime="net",
+        final_quorums=result.final_quorums(),
+        max_changes_per_epoch=result.max_changes_per_epoch(),
+        final_epochs={
+            pid: result.nodes[pid].final["epoch"] for pid in result.correct_pids()
+        },
+    )
+    return outcome, result
+
+
+def thm3_bound(f: int) -> int:
+    """Theorem 3: at most ``f(f+1)`` quorum changes per epoch."""
+    return f * (f + 1)
+
+
+def parity_problems(
+    sim: RuntimeOutcome, net: RuntimeOutcome, schedule: ParitySchedule
+) -> List[str]:
+    """Every way the two executions disagree; empty means parity holds."""
+    problems: List[str] = []
+    bound = thm3_bound(schedule.f)
+
+    for outcome in (sim, net):
+        if not outcome.final_quorums:
+            problems.append(f"{outcome.runtime}: no correct replica reported a final quorum")
+            continue
+        if outcome.agreed_quorum is None:
+            problems.append(
+                f"{outcome.runtime}: correct replicas disagree on the final quorum: "
+                f"{ {p: sorted(q) for p, q in outcome.final_quorums.items()} }"
+            )
+        if outcome.max_changes_per_epoch > bound:
+            problems.append(
+                f"{outcome.runtime}: {outcome.max_changes_per_epoch} quorum changes in "
+                f"one epoch exceeds Thm 3's f(f+1) = {bound}"
+            )
+
+    sim_quorum, net_quorum = sim.agreed_quorum, net.agreed_quorum
+    if sim_quorum is not None and net_quorum is not None and sim_quorum != net_quorum:
+        problems.append(
+            f"final quorum differs: sim={sorted(sim_quorum)} net={sorted(net_quorum)}"
+        )
+    if sim_quorum is not None:
+        crashed = schedule.crashed_at_end()
+        if sim_quorum & crashed:
+            problems.append(
+                f"sim final quorum {sorted(sim_quorum)} contains crashed {sorted(crashed)}"
+            )
+    return problems

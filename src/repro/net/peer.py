@@ -1,0 +1,309 @@
+"""Per-peer TCP connections: dial-on-demand, backoff, bounded queues.
+
+One :class:`PeerManager` serves one replica.  It owns:
+
+- a listening server (ephemeral port by default — port-collision-safe
+  for CI) whose inbound streams are parsed by
+  :class:`~repro.net.wire.FrameDecoder` and handed to the host's ingress
+  callback;
+- one :class:`PeerConnection` per remote process for *outbound* traffic.
+
+Outbound design choices, all in service of the paper's fault model:
+
+- **Dial-on-demand**: a connection attempt starts when the first frame
+  for that peer is enqueued (or eagerly via :meth:`PeerManager.warm_up`).
+- **Reconnect with exponential backoff + jitter**: a dead peer costs a
+  bounded, de-synchronized dial rate instead of a thundering herd.
+- **Bounded outbound queue, drop-oldest-rejected policy**: when the
+  queue is full the new frame is *dropped and counted*.  A drop is an
+  omission failure on that link — precisely what the failure detector
+  suspects and Quorum Selection tolerates — so backpressure degrades
+  into the protocol's own fault model instead of unbounded memory.
+
+Frames already written to a socket that later dies are simply lost
+(in-flight messages of a crashing link), again an omission.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.net.wire import FrameDecoder, WireError, encode_frame
+
+IngressHandler = Callable[[str, Any, int], None]
+
+
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Exponential backoff with jitter for redialing a peer."""
+
+    initial_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25  # +/- fraction of the computed delay
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before reconnect ``attempt`` (0-based), jittered."""
+        base = min(self.max_delay, self.initial_delay * (self.multiplier ** attempt))
+        if self.jitter <= 0:
+            return base
+        spread = base * self.jitter
+        return max(0.0, base + rng.uniform(-spread, spread))
+
+
+@dataclass
+class PeerStats:
+    """Counters one manager accumulates; surfaced in node final reports."""
+
+    frames_sent: int = 0
+    frames_received: int = 0
+    frames_dropped_backpressure: int = 0
+    frames_malformed: int = 0
+    frames_auth_rejected: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    dials: int = 0
+    reconnects: int = 0
+    connections_accepted: int = 0
+    connections_dropped: int = 0
+    send_errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class PeerConnection:
+    """Outbound side of one directed link ``self -> peer``."""
+
+    def __init__(
+        self,
+        peer: int,
+        addr: Tuple[str, int],
+        stats: PeerStats,
+        policy: ReconnectPolicy,
+        rng: random.Random,
+        queue_capacity: int,
+    ) -> None:
+        self.peer = peer
+        self.addr = addr
+        self.stats = stats
+        self.policy = policy
+        self.rng = rng
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_capacity)
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.task: Optional[asyncio.Task] = None
+        self.closed = False
+
+    def enqueue(self, frame: bytes) -> bool:
+        """Queue a frame; drop (and count) when the buffer is full."""
+        if self.closed:
+            return False
+        try:
+            self.queue.put_nowait(frame)
+        except asyncio.QueueFull:
+            self.stats.frames_dropped_backpressure += 1
+            return False
+        if self.task is None or self.task.done():
+            self.task = asyncio.get_running_loop().create_task(self._run())
+        return True
+
+    @property
+    def connected(self) -> bool:
+        return self.writer is not None and not self.writer.is_closing()
+
+    async def _dial(self) -> bool:
+        """One connect attempt; ``True`` when a writer is established."""
+        host, port = self.addr
+        self.stats.dials += 1
+        try:
+            _, writer = await asyncio.open_connection(host, port)
+        except OSError:
+            return False
+        self.writer = writer
+        return True
+
+    async def ensure_connected(self, deadline: Optional[float] = None) -> bool:
+        """Dial (with backoff) until connected or ``deadline`` loop-time."""
+        loop = asyncio.get_running_loop()
+        attempt = 0
+        while not self.closed:
+            if self.connected or await self._dial():
+                return True
+            self.stats.reconnects += 1
+            delay = self.policy.delay(attempt, self.rng)
+            attempt += 1
+            if deadline is not None and loop.time() + delay >= deadline:
+                return False
+            await asyncio.sleep(delay)
+        return False
+
+    async def _run(self) -> None:
+        """Writer loop: dial on demand, drain the queue, survive resets."""
+        while not self.closed:
+            if not self.connected and not await self.ensure_connected():
+                return
+            try:
+                frame = await self.queue.get()
+            except (asyncio.CancelledError, RuntimeError):
+                return
+            try:
+                assert self.writer is not None
+                self.writer.write(frame)
+                await self.writer.drain()
+                self.stats.frames_sent += 1
+                self.stats.bytes_sent += len(frame)
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # The frame is lost (omission on a dying link); redial for
+                # the next one rather than retrying this one — reliability
+                # above best-effort is the protocol's job, not the link's.
+                self.stats.send_errors += 1
+                self._drop_writer()
+
+    def _drop_writer(self) -> None:
+        if self.writer is not None:
+            try:
+                self.writer.close()
+            except Exception:
+                pass
+            self.writer = None
+
+    async def close(self) -> None:
+        self.closed = True
+        if self.task is not None:
+            self.task.cancel()
+            try:
+                await self.task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self.task = None
+        self._drop_writer()
+
+
+class PeerManager:
+    """All connections of one replica: a server plus per-peer outbounds."""
+
+    def __init__(
+        self,
+        pid: int,
+        addresses: Optional[Dict[int, Tuple[str, int]]] = None,
+        ingress: Optional[IngressHandler] = None,
+        queue_capacity: int = 1024,
+        policy: Optional[ReconnectPolicy] = None,
+        rng_seed: Optional[int] = None,
+    ) -> None:
+        self.pid = pid
+        self.addresses: Dict[int, Tuple[str, int]] = dict(addresses or {})
+        self.ingress = ingress
+        self.queue_capacity = queue_capacity
+        self.policy = policy or ReconnectPolicy()
+        # Seedable for reproducible backoff in tests; wall-clock runs can
+        # leave it None for OS entropy.
+        self.rng = random.Random(rng_seed)
+        self.stats = PeerStats()
+        self._connections: Dict[int, PeerConnection] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._reader_tasks: set = set()
+
+    # -------------------------------------------------------------- serving
+
+    async def start_server(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Listen for inbound peer streams; returns the bound address.
+
+        ``port=0`` (the default) asks the OS for an ephemeral port — the
+        collision-safe choice for parallel CI jobs.
+        """
+        self._server = await asyncio.start_server(self._serve, host, port)
+        sock = self._server.sockets[0]
+        bound = sock.getsockname()
+        return bound[0], bound[1]
+
+    async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.stats.connections_accepted += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+            task.add_done_callback(self._reader_tasks.discard)
+        decoder = FrameDecoder()
+        seen_malformed = 0
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    return
+                try:
+                    frames = decoder.feed(chunk)
+                except WireError:
+                    # Framing desync: the stream is garbage from here on.
+                    self.stats.connections_dropped += 1
+                    return
+                if decoder.malformed != seen_malformed:
+                    self.stats.frames_malformed += decoder.malformed - seen_malformed
+                    seen_malformed = decoder.malformed
+                for kind, payload, src in frames:
+                    self.stats.frames_received += 1
+                    if self.ingress is not None:
+                        self.ingress(kind, payload, src)
+                self.stats.bytes_received += len(chunk)
+        except (ConnectionError, asyncio.CancelledError, asyncio.IncompleteReadError):
+            self.stats.connections_dropped += 1
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # ----------------------------------------------------------- outbound
+
+    def connection(self, peer: int) -> PeerConnection:
+        conn = self._connections.get(peer)
+        if conn is None:
+            addr = self.addresses.get(peer)
+            if addr is None:
+                raise KeyError(f"no address registered for peer {peer}")
+            conn = PeerConnection(
+                peer, addr, self.stats, self.policy, self.rng, self.queue_capacity
+            )
+            self._connections[peer] = conn
+        return conn
+
+    def send(self, dst: int, kind: str, payload: Any) -> bool:
+        """Encode and enqueue one frame for ``dst`` (dial-on-demand)."""
+        frame = encode_frame(kind, payload, self.pid)
+        return self.connection(dst).enqueue(frame)
+
+    async def warm_up(self, timeout: float = 10.0) -> bool:
+        """Eagerly dial every known peer; ``True`` if all connected.
+
+        Used by the cluster harness as a start barrier: modules begin
+        after the mesh is up, so the first heartbeats are not lost to
+        dial latency and the failure detector starts from a connected
+        world (the live analogue of GST already holding at t=0).
+        Dial-on-demand still covers peers that come up later.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        results = await asyncio.gather(
+            *(
+                self.connection(peer).ensure_connected(deadline=deadline)
+                for peer in sorted(self.addresses)
+                if peer != self.pid
+            ),
+            return_exceptions=True,
+        )
+        return all(result is True for result in results)
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:
+                pass
+            self._server = None
+        for task in list(self._reader_tasks):
+            task.cancel()
+        for conn in self._connections.values():
+            await conn.close()

@@ -1,0 +1,277 @@
+"""Length-prefixed tagged-JSON wire codec for the live runtime.
+
+A frame on the wire is a 4-byte big-endian length followed by one UTF-8
+JSON object ``{"v": 1, "k": kind, "s": src, "p": payload}``.  The payload
+vocabulary is exactly the one :mod:`repro.crypto.digests` canonically
+encodes — ``None``/bool/int/float/str plus bytes, tuples, lists, sets,
+frozensets, dicts, and the protocol dataclasses (signed envelopes,
+signatures, UPDATE/FOLLOWERS/DIGEST/ROWS payloads).  Python-only types
+are wrapped in single-key tag objects (``{"__tuple__": [...]}`` etc.) so
+a decoded payload is *type-identical* to the sent one — which matters
+because signature verification re-derives the canonical encoding from
+the decoded object: a tuple that came back as a list would change the
+bytes under the MAC and reject every valid signature.
+
+Decoding is strict and defensive: unknown tags, wrong arities, oversized
+frames, and over-deep nesting raise :class:`WireError` — receivers drop
+the frame (or connection) and count it, never crash.  Anything a
+Byzantine peer can put on a socket goes through this gauntlet before any
+protocol module sees it.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Iterator, List, Tuple
+
+from repro.core.messages import (
+    FollowersPayload,
+    MatrixDigestPayload,
+    RowCertsPayload,
+    UpdatePayload,
+)
+from repro.crypto.authenticator import SignedMessage
+from repro.crypto.signatures import Signature
+
+#: Wire protocol version; bumped on any incompatible framing change.
+WIRE_VERSION = 1
+
+#: Upper bound on one frame's JSON body.  Honest traffic is tiny (a
+#: signed row for n=100 is ~1 KiB); the cap bounds what a malicious or
+#: broken peer can make a receiver buffer.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Maximum nesting depth accepted while decoding (stack-bomb guard).
+MAX_DEPTH = 32
+
+_LEN = struct.Struct(">I")
+
+
+class WireError(ValueError):
+    """A frame violated the wire protocol (malformed, oversized, unknown)."""
+
+
+# --------------------------------------------------------------- value codec
+
+
+def encode_value(value: Any, _depth: int = 0) -> Any:
+    """Map a payload structure onto JSON-representable tagged values."""
+    if _depth > MAX_DEPTH:
+        raise WireError(f"payload nesting exceeds {MAX_DEPTH}")
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v, _depth + 1) for v in value]}
+    if isinstance(value, list):
+        return {"__list__": [encode_value(v, _depth + 1) for v in value]}
+    if isinstance(value, (set, frozenset)):
+        tag = "__frozenset__" if isinstance(value, frozenset) else "__set__"
+        items = sorted(
+            (encode_value(v, _depth + 1) for v in value),
+            key=lambda item: json.dumps(item, sort_keys=True),
+        )
+        return {tag: items}
+    if isinstance(value, dict):
+        return {
+            "__map__": [
+                [encode_value(k, _depth + 1), encode_value(v, _depth + 1)]
+                for k, v in value.items()
+            ]
+        }
+    if isinstance(value, SignedMessage):
+        return {
+            "__signed__": [
+                encode_value(value.payload, _depth + 1),
+                encode_value(value.signature, _depth + 1),
+            ]
+        }
+    if isinstance(value, Signature):
+        return {"__sig__": [value.signer, value.tag.hex()]}
+    if isinstance(value, UpdatePayload):
+        return {"__update__": list(value.row)}
+    if isinstance(value, FollowersPayload):
+        return {
+            "__followers__": [
+                list(value.followers),
+                [list(edge) for edge in value.line_edges],
+                value.epoch,
+            ]
+        }
+    if isinstance(value, MatrixDigestPayload):
+        return {"__digest__": [value.epoch, list(value.row_digests)]}
+    if isinstance(value, RowCertsPayload):
+        return {"__rows__": [encode_value(c, _depth + 1) for c in value.certs]}
+    raise WireError(f"cannot encode {type(value).__name__} for the wire")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise WireError(message)
+
+
+def _int(value: Any, what: str) -> int:
+    _require(isinstance(value, int) and not isinstance(value, bool), f"{what} must be an int")
+    return value
+
+
+def _int_tuple(value: Any, what: str) -> Tuple[int, ...]:
+    _require(isinstance(value, list), f"{what} must be a list")
+    return tuple(_int(v, what) for v in value)
+
+
+def decode_value(value: Any, _depth: int = 0) -> Any:
+    """Inverse of :func:`encode_value`; raises :class:`WireError` on garbage."""
+    if _depth > MAX_DEPTH:
+        raise WireError(f"payload nesting exceeds {MAX_DEPTH}")
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        raise WireError("bare JSON arrays are not in the vocabulary (use a tag)")
+    _require(isinstance(value, dict) and len(value) == 1, "expected a single-key tag object")
+    tag, body = next(iter(value.items()))
+    if tag == "__bytes__":
+        _require(isinstance(body, str), "__bytes__ body must be a hex string")
+        try:
+            return bytes.fromhex(body)
+        except ValueError as exc:
+            raise WireError("__bytes__ body is not valid hex") from exc
+    if tag == "__tuple__":
+        _require(isinstance(body, list), "__tuple__ body must be a list")
+        return tuple(decode_value(v, _depth + 1) for v in body)
+    if tag == "__list__":
+        _require(isinstance(body, list), "__list__ body must be a list")
+        return [decode_value(v, _depth + 1) for v in body]
+    if tag in ("__set__", "__frozenset__"):
+        _require(isinstance(body, list), f"{tag} body must be a list")
+        items = [decode_value(v, _depth + 1) for v in body]
+        return frozenset(items) if tag == "__frozenset__" else set(items)
+    if tag == "__map__":
+        _require(isinstance(body, list), "__map__ body must be a list of pairs")
+        out = {}
+        for pair in body:
+            _require(isinstance(pair, list) and len(pair) == 2, "__map__ entries must be pairs")
+            out[decode_value(pair[0], _depth + 1)] = decode_value(pair[1], _depth + 1)
+        return out
+    if tag == "__signed__":
+        _require(isinstance(body, list) and len(body) == 2, "__signed__ needs [payload, sig]")
+        signature = decode_value(body[1], _depth + 1)
+        _require(isinstance(signature, Signature), "__signed__ second element must be a __sig__")
+        return SignedMessage(decode_value(body[0], _depth + 1), signature)
+    if tag == "__sig__":
+        _require(isinstance(body, list) and len(body) == 2, "__sig__ needs [signer, tag]")
+        _require(isinstance(body[1], str), "__sig__ tag must be a hex string")
+        try:
+            mac = bytes.fromhex(body[1])
+        except ValueError as exc:
+            raise WireError("__sig__ tag is not valid hex") from exc
+        return Signature(signer=_int(body[0], "signer"), tag=mac)
+    if tag == "__update__":
+        return UpdatePayload(row=_int_tuple(body, "__update__ row"))
+    if tag == "__followers__":
+        _require(
+            isinstance(body, list) and len(body) == 3,
+            "__followers__ needs [followers, edges, epoch]",
+        )
+        followers = _int_tuple(body[0], "followers")
+        _require(isinstance(body[1], list), "line edges must be a list")
+        edges = []
+        for edge in body[1]:
+            _require(isinstance(edge, list) and len(edge) == 2, "line edges must be pairs")
+            edges.append((_int(edge[0], "edge"), _int(edge[1], "edge")))
+        return FollowersPayload(
+            followers=followers, line_edges=tuple(edges), epoch=_int(body[2], "epoch")
+        )
+    if tag == "__digest__":
+        _require(isinstance(body, list) and len(body) == 2, "__digest__ needs [epoch, digests]")
+        _require(isinstance(body[1], list), "row digests must be a list")
+        digests = []
+        for item in body[1]:
+            _require(isinstance(item, str), "row digests must be strings")
+            digests.append(item)
+        return MatrixDigestPayload(epoch=_int(body[0], "epoch"), row_digests=tuple(digests))
+    if tag == "__rows__":
+        _require(isinstance(body, list), "__rows__ body must be a list")
+        return RowCertsPayload(certs=tuple(decode_value(v, _depth + 1) for v in body))
+    raise WireError(f"unknown wire tag {tag!r}")
+
+
+# -------------------------------------------------------------------- framing
+
+
+def encode_frame(kind: str, payload: Any, src: int) -> bytes:
+    """One wire frame: length prefix + versioned JSON envelope."""
+    body = json.dumps(
+        {"v": WIRE_VERSION, "k": kind, "s": src, "p": encode_value(payload)},
+        separators=(",", ":"),
+        allow_nan=False,
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_frame_body(body: bytes) -> Tuple[str, Any, int]:
+    """Decode one frame body into ``(kind, payload, src)``."""
+    try:
+        envelope = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"frame is not valid JSON: {exc}") from exc
+    _require(isinstance(envelope, dict), "frame envelope must be an object")
+    _require(envelope.get("v") == WIRE_VERSION, "unsupported wire version")
+    kind = envelope.get("k")
+    _require(isinstance(kind, str) and bool(kind), "frame kind must be a non-empty string")
+    src = envelope.get("s")
+    _require(
+        isinstance(src, int) and not isinstance(src, bool) and src >= 1,
+        "frame src must be a 1-based process id",
+    )
+    return kind, decode_value(envelope.get("p")), src
+
+
+class FrameDecoder:
+    """Incremental frame parser for one TCP stream.
+
+    Feed arbitrary byte chunks; complete frames come back decoded.  Two
+    failure modes are distinguished on purpose:
+
+    - a *single* malformed frame (bad JSON, unknown tag) is skipped and
+      counted in :attr:`malformed` — resynchronization is safe because
+      the length prefix still delimits it;
+    - a *framing* violation (length prefix beyond :data:`MAX_FRAME_BYTES`)
+      raises :class:`WireError`, because the stream can no longer be
+      trusted to resynchronize — the caller should drop the connection.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.malformed = 0
+        self.frames_decoded = 0
+
+    def feed(self, data: bytes) -> List[Tuple[str, Any, int]]:
+        """Consume bytes; return every complete, valid frame decoded."""
+        self._buffer.extend(data)
+        return list(self._drain())
+
+    def _drain(self) -> Iterator[Tuple[str, Any, int]]:
+        while True:
+            if len(self._buffer) < _LEN.size:
+                return
+            (length,) = _LEN.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise WireError(
+                    f"length prefix {length} exceeds MAX_FRAME_BYTES; stream corrupt"
+                )
+            if len(self._buffer) < _LEN.size + length:
+                return
+            body = bytes(self._buffer[_LEN.size : _LEN.size + length])
+            del self._buffer[: _LEN.size + length]
+            try:
+                frame = decode_frame_body(body)
+            except WireError:
+                self.malformed += 1
+                continue
+            self.frames_decoded += 1
+            yield frame

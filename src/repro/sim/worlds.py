@@ -5,20 +5,59 @@ parallel execution engine (DESIGN.md §5.15) needs it importable from the
 installed package so that spawn-started worker processes and the CLI can
 construct the same worlds without depending on the test tree.
 ``tests/conftest.py`` re-exports it, so existing imports keep working.
+
+:func:`attach_qs_stack` is the per-host half of world building: it wires
+the Figure-1 module stack (failure detector, heartbeats, Quorum or
+Follower Selection) onto *any* host implementing the host API
+(:mod:`repro.hostapi`).  ``build_qs_world`` uses it for simulated hosts;
+the live network runtime (:mod:`repro.net.node`) uses it for real ones —
+the sim<->net parity guarantee starts with both runtimes assembling the
+exact same stack through this one function.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.follower_selection import FollowerSelectionModule
 from repro.core.quorum_selection import QuorumSelectionModule
 from repro.fd.detector import FailureDetector
 from repro.fd.heartbeat import HeartbeatModule
 from repro.fd.timers import TimeoutPolicy
+from repro.hostapi import require_host_api
 from repro.sim.network import ChaosConfig
 from repro.sim.runtime import Simulation, SimulationConfig
 from repro.sim.transport import ReliableTransport
+
+
+def attach_qs_stack(
+    host: Any,
+    n: int,
+    f: int,
+    follower_mode: bool = False,
+    heartbeat_period: float = 2.0,
+    base_timeout: float = 4.0,
+    transport: Optional[ReliableTransport] = None,
+    anti_entropy_period: Optional[float] = None,
+) -> QuorumSelectionModule:
+    """Mount the full Figure-1 stack on one host; returns the QS module.
+
+    The host only needs the host API — a simulated
+    :class:`~repro.sim.process.ProcessHost` and a live
+    :class:`~repro.net.host.NetHost` both qualify.  A ``transport`` is
+    attached *here* (between the heartbeat and the selection module) so
+    module start order — and therefore the event trace — matches the seed
+    world byte for byte.
+    """
+    require_host_api(host)
+    FailureDetector(host, TimeoutPolicy(base_timeout=base_timeout))
+    host.add_module(HeartbeatModule(host, n=n, period=heartbeat_period))
+    if transport is not None:
+        host.add_module(transport)
+    extra = dict(transport=transport, anti_entropy_period=anti_entropy_period)
+    if follower_mode:
+        return host.add_module(FollowerSelectionModule(host, n=n, f=f, **extra))
+    return host.add_module(QuorumSelectionModule(host, n=n, f=f, **extra))
 
 
 def build_qs_world(
@@ -44,12 +83,15 @@ def build_qs_world(
     modules: Dict[int, QuorumSelectionModule] = {}
     for pid in sim.pids:
         host = sim.host(pid)
-        FailureDetector(host, TimeoutPolicy(base_timeout=base_timeout))
-        host.add_module(HeartbeatModule(host, n=n, period=heartbeat_period))
-        transport = host.add_module(ReliableTransport(host)) if reliable else None
-        extra = dict(transport=transport, anti_entropy_period=anti_entropy_period)
-        if follower_mode:
-            modules[pid] = host.add_module(FollowerSelectionModule(host, n=n, f=f, **extra))
-        else:
-            modules[pid] = host.add_module(QuorumSelectionModule(host, n=n, f=f, **extra))
+        transport = ReliableTransport(host) if reliable else None
+        modules[pid] = attach_qs_stack(
+            host,
+            n,
+            f,
+            follower_mode=follower_mode,
+            heartbeat_period=heartbeat_period,
+            base_timeout=base_timeout,
+            transport=transport,
+            anti_entropy_period=anti_entropy_period,
+        )
     return sim, modules

@@ -73,3 +73,67 @@ class TestSweepCommand:
 
     def test_sweep_rejects_empty_seeds(self, capsys):
         assert main(["sweep", "--seeds", "", "--no-cache"]) == 2
+
+    def test_sweep_rejects_nonpositive_jobs(self, capsys):
+        assert main(["sweep", "--cases", "5:2", "--jobs", "0",
+                     "--no-cache"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestHygiene:
+    """Invalid arguments exit non-zero with a message, never a traceback."""
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["thm4", "--f", "0"],
+            ["worst-case", "--f", "0"],
+            ["crash-compare", "--f", "-1"],
+            ["bounds", "--f-max", "0"],
+            ["savings", "--f-max", "0"],
+        ],
+    )
+    def test_nonpositive_f_rejected(self, argv, capsys):
+        assert main(argv) == 2
+        assert "f" in capsys.readouterr().err
+
+
+class TestClusterCommand:
+    """Validation-only paths: nothing here launches processes."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["cluster", "--n", "4", "--f", "2"],  # q = n-f must exceed f
+            ["cluster", "--n", "5", "--f", "1", "--kill", "9@1"],  # bad pid
+            ["cluster", "--n", "5", "--f", "1", "--kill", "nope"],  # bad format
+            ["cluster", "--n", "5", "--f", "1", "--duration", "5",
+             "--kill", "1@5"],  # outside the run window
+            ["cluster", "--n", "5", "--f", "1", "--kill", "1@1",
+             "--recover", "1@3", "--kill-mode", "process"],  # no state left
+        ],
+    )
+    def test_invalid_cluster_combos_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert capsys.readouterr().err.strip()
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["node", "--pid", "9", "--n", "5", "--f", "1"],  # pid out of range
+            ["node", "--pid", "1", "--n", "4", "--f", "2"],  # q <= f
+            ["node", "--pid", "1", "--n", "5", "--f", "1",
+             "--peers", "1=garbage"],  # unparseable peer map
+            ["node", "--pid", "1", "--n", "5", "--f", "1",
+             "--duration", "-1"],  # negative duration
+        ],
+    )
+    def test_invalid_node_combos_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert capsys.readouterr().err.strip()

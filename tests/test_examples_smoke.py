@@ -1,0 +1,35 @@
+"""Examples smoke tier: every ``examples/*.py`` must run clean.
+
+Marked ``examples`` so CI can run the tier on its own (``-m examples``).
+Each script executes in-process under ``runpy`` with ``__main__``
+semantics — importable, runnable, and exiting zero is the contract the
+README makes for every example.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.examples
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert EXAMPLES, f"no example scripts found under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script, capsys, monkeypatch):
+    # Scripts that read sys.argv must see their own name, not pytest's.
+    monkeypatch.setattr("sys.argv", [str(script)])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    except SystemExit as exc:  # explicit sys.exit(0) is fine
+        assert exc.code in (None, 0), f"{script.name} exited {exc.code}"
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"

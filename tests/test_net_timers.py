@@ -1,0 +1,102 @@
+"""NetTimerService: scheduler-compatible semantics on a real event loop."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.net.timers import NetTimerService
+from repro.util.errors import SimulationError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_one_shot_fires_once():
+    async def scenario():
+        timers = NetTimerService(asyncio.get_running_loop())
+        fired = []
+        timers.schedule(0.01, lambda: fired.append(timers.now))
+        await asyncio.sleep(0.05)
+        return timers, fired
+
+    timers, fired = run(scenario())
+    assert len(fired) == 1
+    assert timers.timers_fired == 1
+
+
+def test_cancel_before_fire_is_honoured_lazily():
+    async def scenario():
+        timers = NetTimerService(asyncio.get_running_loop())
+        fired = []
+        event = timers.schedule(0.01, lambda: fired.append(1))
+        event.cancelled = True
+        await asyncio.sleep(0.05)
+        return timers, fired
+
+    timers, fired = run(scenario())
+    assert fired == []
+    assert timers.timers_cancelled == 1
+    assert timers.timers_fired == 0
+
+
+def test_negative_delay_rejected():
+    async def scenario():
+        timers = NetTimerService(asyncio.get_running_loop())
+        with pytest.raises(SimulationError):
+            timers.schedule(-0.1, lambda: None)
+
+    run(scenario())
+
+
+def test_now_advances_from_zero():
+    async def scenario():
+        timers = NetTimerService(asyncio.get_running_loop())
+        start = timers.now
+        await asyncio.sleep(0.02)
+        return start, timers.now
+
+    start, later = run(scenario())
+    assert 0 <= start < 0.01
+    assert later > start
+
+
+def test_schedule_at_absolute_service_time():
+    async def scenario():
+        timers = NetTimerService(asyncio.get_running_loop())
+        fired = []
+        timers.schedule_at(0.02, lambda: fired.append(timers.now))
+        await asyncio.sleep(0.06)
+        return fired
+
+    fired = run(scenario())
+    assert len(fired) == 1
+    assert fired[0] >= 0.015
+
+
+def test_repeating_fires_until_cancelled_from_inside():
+    async def scenario():
+        timers = NetTimerService(asyncio.get_running_loop())
+        ticks = []
+
+        def tick():
+            ticks.append(timers.now)
+            if len(ticks) == 3:
+                handle.cancel()  # cancel from inside the action
+
+        handle = timers.schedule_every(0.01, tick)
+        await asyncio.sleep(0.1)
+        return ticks
+
+    assert len(run(scenario())) == 3
+
+
+def test_repeating_rejects_nonpositive_period():
+    async def scenario():
+        timers = NetTimerService(asyncio.get_running_loop())
+        with pytest.raises(SimulationError):
+            timers.schedule_every(0.0, lambda: None)
+
+    run(scenario())
