@@ -122,6 +122,16 @@ class ResultCache:
     def key_for(self, task: str, kwargs: Mapping[str, Any]) -> str:
         return canonical_key(task, kwargs, self.fingerprint)
 
+    def register_metrics(self, obs) -> None:
+        """Fold this cache's statistics into an observability registry.
+
+        The counters stay plain ints on the lookup path; the registered
+        collector copies them out only when a snapshot is taken.
+        """
+        from repro.obs.observability import cache_stats_collector
+
+        obs.add_collector(cache_stats_collector(self.stats))
+
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 

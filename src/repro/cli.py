@@ -17,6 +17,10 @@ Quick entry points into the reproduction without writing a script:
   crashes/recoveries on schedule, and report the cluster verdict.
 - ``node`` — one replica of such a cluster (used internally by
   ``cluster``; documented for running replicas across machines).
+- ``metrics {sim,net,render,diff}`` — snapshot the observability
+  registry from a deterministic simulation or a live loopback cluster,
+  re-render saved snapshots, or diff two of them; output as a table,
+  Prometheus text exposition, or JSON.
 
 Each command prints a table built by the same code the benchmarks use.
 Invalid argument combinations exit with status 2 and a one-line message
@@ -307,12 +311,121 @@ def _cmd_node(args: argparse.Namespace) -> int:
             anti_entropy_period=args.anti_entropy,
             kills_at=tuple(args.kill_at),
             recovers_at=tuple(args.recover_at),
+            metrics_prom_path=args.metrics_prom,
         )
         config.validate()
         run_node_blocking(config)
     except ConfigurationError as exc:
         return _invalid(str(exc))
     return 0
+
+
+def _emit_snapshot(snapshot: dict, render: str, out: Optional[str]) -> int:
+    """Render a metrics snapshot in the requested format, to stdout or file."""
+    from repro.obs.registry import render_prometheus, render_table
+
+    if render == "json":
+        text = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    elif render == "prom":
+        text = render_prometheus(snapshot)
+    else:
+        text = render_table(snapshot)
+    if not text.endswith("\n"):
+        text += "\n"
+    if out is not None:
+        with open(out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _load_snapshot(path: str) -> dict:
+    from repro.obs.registry import SNAPSHOT_SCHEMA
+    from repro.util.errors import ConfigurationError
+
+    try:
+        with open(path) as handle:
+            snapshot = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read snapshot {path}: {exc}") from None
+    if not isinstance(snapshot, dict) or snapshot.get("schema") != SNAPSHOT_SCHEMA:
+        raise ConfigurationError(
+            f"{path} is not a {SNAPSHOT_SCHEMA} snapshot "
+            "(produce one with `repro metrics sim --render json`)"
+        )
+    return snapshot
+
+
+def _cmd_metrics_sim(args: argparse.Namespace) -> int:
+    from repro.net.cluster import parse_schedule
+    from repro.sim.worlds import build_qs_world
+    from repro.util.errors import ConfigurationError
+
+    try:
+        kills = parse_schedule(args.kill, "kill")
+        recovers = parse_schedule(args.recover, "recover")
+        sim, _modules = build_qs_world(
+            args.n, args.f, seed=args.seed, follower_mode=args.follower_mode
+        )
+    except ConfigurationError as exc:
+        return _invalid(str(exc))
+    for pid, t in kills:
+        sim.at(t, sim.host(pid).crash)
+    for pid, t in recovers:
+        sim.at(t, sim.host(pid).recover)
+    sim.run_until(args.duration)
+    return _emit_snapshot(sim.obs.snapshot(), args.render, args.out)
+
+
+def _cmd_metrics_net(args: argparse.Namespace) -> int:
+    from repro.net.cluster import ClusterConfig, parse_schedule, run_cluster
+    from repro.util.errors import ConfigurationError
+
+    try:
+        config = ClusterConfig(
+            n=args.n,
+            f=args.f,
+            duration=args.duration,
+            kills=parse_schedule(args.kill, "kill"),
+            recovers=parse_schedule(args.recover, "recover"),
+            follower_mode=args.follower_mode,
+            heartbeat_period=args.heartbeat,
+            base_timeout=args.timeout,
+            run_dir=args.run_dir,
+        )
+        config.validate()
+    except ConfigurationError as exc:
+        return _invalid(str(exc))
+    result = run_cluster(config)
+    merged = result.merged_metrics()
+    if merged is None:
+        print("error: no node emitted a metrics snapshot", file=sys.stderr)
+        return 1
+    return _emit_snapshot(merged, args.render, args.out)
+
+
+def _cmd_metrics_render(args: argparse.Namespace) -> int:
+    from repro.util.errors import ConfigurationError
+
+    try:
+        snapshot = _load_snapshot(args.snapshot)
+    except ConfigurationError as exc:
+        return _invalid(str(exc))
+    return _emit_snapshot(snapshot, args.render, args.out)
+
+
+def _cmd_metrics_diff(args: argparse.Namespace) -> int:
+    from repro.obs.registry import diff_snapshots
+    from repro.util.errors import ConfigurationError
+
+    try:
+        before = _load_snapshot(args.before)
+        after = _load_snapshot(args.after)
+    except ConfigurationError as exc:
+        return _invalid(str(exc))
+    return _emit_snapshot(diff_snapshots(before, after), args.render, args.out)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -419,7 +532,72 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="T", help="crash own host T seconds after ready")
     node.add_argument("--recover-at", type=float, action="append", default=[],
                       metavar="T", help="recover own host T seconds after ready")
+    node.add_argument("--metrics-prom", default=None, metavar="PATH",
+                      help="write final metrics as Prometheus text to PATH")
     node.set_defaults(func=_cmd_node)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="snapshot/diff/render the observability registry (sim or live)",
+    )
+    metrics_sub = metrics.add_subparsers(dest="mode", required=True)
+
+    msim = metrics_sub.add_parser(
+        "sim", help="run a deterministic simulation and print its metrics"
+    )
+    msim.add_argument("--n", type=int, default=5)
+    msim.add_argument("--f", type=int, default=2)
+    msim.add_argument("--seed", type=int, default=3)
+    msim.add_argument("--duration", type=float, default=60.0,
+                      help="simulated seconds to run (default 60)")
+    msim.add_argument("--kill", action="append", default=[], metavar="PID@T",
+                      help="crash PID at sim time T (repeatable)")
+    msim.add_argument("--recover", action="append", default=[], metavar="PID@T",
+                      help="recover PID at sim time T (repeatable)")
+    msim.add_argument("--follower-mode", action="store_true")
+    msim.add_argument("--render", choices=("table", "prom", "json"),
+                      default="table")
+    msim.add_argument("--out", default=None, metavar="FILE",
+                      help="write to FILE instead of stdout")
+    msim.set_defaults(func=_cmd_metrics_sim)
+
+    mnet = metrics_sub.add_parser(
+        "net", help="run a live loopback cluster and print its merged metrics"
+    )
+    mnet.add_argument("--n", type=int, default=5)
+    mnet.add_argument("--f", type=int, default=2)
+    mnet.add_argument("--duration", type=float, default=8.0,
+                      help="run length in wall seconds (default 8)")
+    mnet.add_argument("--kill", action="append", default=[], metavar="PID@T")
+    mnet.add_argument("--recover", action="append", default=[], metavar="PID@T")
+    mnet.add_argument("--heartbeat", type=float, default=0.3)
+    mnet.add_argument("--timeout", type=float, default=2.0)
+    mnet.add_argument("--follower-mode", action="store_true")
+    mnet.add_argument("--run-dir", default=None,
+                      help="also write per-node JSONL + .prom files here")
+    mnet.add_argument("--render", choices=("table", "prom", "json"),
+                      default="table")
+    mnet.add_argument("--out", default=None, metavar="FILE")
+    mnet.set_defaults(func=_cmd_metrics_net)
+
+    mrender = metrics_sub.add_parser(
+        "render", help="re-render a saved snapshot JSON file"
+    )
+    mrender.add_argument("snapshot", help="snapshot JSON file (repro.metrics/1)")
+    mrender.add_argument("--render", choices=("table", "prom", "json"),
+                         default="table")
+    mrender.add_argument("--out", default=None, metavar="FILE")
+    mrender.set_defaults(func=_cmd_metrics_render)
+
+    mdiff = metrics_sub.add_parser(
+        "diff", help="delta between two saved snapshots (after - before)"
+    )
+    mdiff.add_argument("before", help="earlier snapshot JSON file")
+    mdiff.add_argument("after", help="later snapshot JSON file")
+    mdiff.add_argument("--render", choices=("table", "prom", "json"),
+                       default="table")
+    mdiff.add_argument("--out", default=None, metavar="FILE")
+    mdiff.set_defaults(func=_cmd_metrics_diff)
 
     return parser
 

@@ -45,6 +45,8 @@ from repro.core.messages import (
 from repro.core.suspicion_matrix import SuspicionMatrix
 from repro.crypto.authenticator import SignedMessage
 from repro.graphs.independent_set import has_independent_set, lex_first_independent_set
+from repro.obs.observability import NULL_OBS, get_obs
+from repro.obs.spans import SPAN_EPOCH_ADVANCE, SPAN_QUORUM_CHANGE, SPAN_SUSPICION_EDGE
 from repro.sim.process import Module, ProcessHost
 from repro.sim.transport import ReliableTransport
 from repro.util.errors import ConfigurationError
@@ -137,10 +139,18 @@ class QuorumSelectionModule(Module):
         self.ae_rows_sent = 0
         self.ae_rows_applied = 0
         self._listeners: List[QuorumListener] = []
+        # Bound in start(); NULL_OBS keeps bare stub hosts working.
+        self._obs = NULL_OBS
 
     # ------------------------------------------------------------- lifecycle
 
     def start(self) -> None:
+        self._obs = get_obs(self.host)
+        self._obs.add_collector(self._collect_metrics)
+        if self._obs.enabled:
+            # Suspicion-edge spans ride the matrix's write observer; the
+            # hot path pays one None-check per *actual* entry increase.
+            self.matrix.observer = self._on_matrix_write
         self.host.subscribe(KIND_UPDATE, self._on_update)
         if self.use_fd:
             if self.host.fd is None:
@@ -331,6 +341,7 @@ class QuorumSelectionModule(Module):
         """
         self.epoch = new_epoch
         self.host.log.append(self.host.now, self.pid, "qs.epoch", epoch=new_epoch)
+        self._obs.span(SPAN_EPOCH_ADVANCE, self.pid, self.host.now, epoch=new_epoch)
         stale = [key for key, entry in self._forwarded.items() if entry[0] < new_epoch]
         for key in stale:
             del self._forwarded[key]
@@ -514,8 +525,57 @@ class QuorumSelectionModule(Module):
             quorum=tuple(sorted(quorum)),
             leader=leader,
         )
+        self._obs.span(
+            SPAN_QUORUM_CHANGE, self.pid, self.host.now,
+            epoch=self.epoch, quorum=tuple(sorted(quorum)),
+        )
         for listener in self._listeners:
             listener(event)
+
+    # ---------------------------------------------------------- observability
+
+    def _on_matrix_write(self, suspector: int, suspectee: int, value: int) -> None:
+        """Matrix write observer: one suspicion-edge span per entry increase."""
+        self._obs.span(
+            SPAN_SUSPICION_EDGE, self.pid, self.host.now,
+            suspector=suspector, suspectee=suspectee, stamp=value,
+        )
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector: fold the plain-int counters in.
+
+        Runs only when a snapshot is taken (never on the UPDATE hot path);
+        every metric is labelled with this process's pid so the sim's
+        shared registry and a net node's private one export comparable
+        families.
+        """
+        pid = self.pid
+        registry.counter("qs_quorum_changes_total",
+                         help="QUORUM events issued", pid=pid
+                         ).set(len(self.quorum_events))
+        registry.gauge("qs_epoch", help="current epoch", pid=pid).set(self.epoch)
+        registry.gauge("qs_quorum_size", help="members in the current quorum",
+                       pid=pid).set(len(self.qlast))
+        registry.gauge("qs_suspecting", help="processes currently suspected",
+                       pid=pid).set(len(self.suspecting))
+        registry.gauge("qs_max_changes_per_epoch",
+                       help="worst per-epoch quorum-change count (Thm 3 subject)",
+                       pid=pid).set(self.max_quorums_in_any_epoch())
+        for name, value in (
+            ("qs_quorum_searches_total", self.quorum_searches),
+            ("qs_searches_memoized_total", self.searches_memoized),
+            ("qs_forwards_suppressed_total", self.forwards_suppressed),
+            ("qs_forward_entries_pruned_total", self.forward_entries_pruned),
+            ("qs_ae_digests_sent_total", self.ae_digests_sent),
+            ("qs_ae_rows_sent_total", self.ae_rows_sent),
+            ("qs_ae_rows_applied_total", self.ae_rows_applied),
+            ("matrix_entry_writes_total", self.matrix.version),
+            ("matrix_graph_builds_total", self.matrix.graph_builds),
+            ("matrix_graph_reuses_total", self.matrix.graph_reuses),
+            ("matrix_edge_updates_total", self.matrix.incremental_edge_updates),
+        ):
+            registry.counter(name, help="quorum-selection hot-path counter",
+                             pid=pid).set(value)
 
     # ------------------------------------------------------------ diagnostics
 

@@ -26,7 +26,7 @@ DESIGN.md §5.13 notes spell out the band argument.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.crypto.digests import digest
 from repro.graphs.suspect_graph import SuspectGraph
@@ -55,6 +55,11 @@ class SuspicionMatrix:
         # --- per-version row-digest cache (anti-entropy summaries) ---
         self._digests: Optional[Tuple[str, ...]] = None
         self._digests_version = -1
+        # Optional write observer, called as ``observer(suspector,
+        # suspectee, value)`` after an entry actually increased (never on
+        # no-op writes).  The QS module installs one when observability is
+        # enabled; ``None`` costs a single load-and-test per real write.
+        self.observer: Optional[Callable[[int, int, int], None]] = None
 
     # ----------------------------------------------------------------- access
 
@@ -85,6 +90,8 @@ class SuspicionMatrix:
             self._rows[suspector][suspectee] = epoch
             self.version += 1
             self._refresh_view_edge(suspector, suspectee)
+            if self.observer is not None:
+                self.observer(suspector, suspectee, epoch)
             return True
         return False
 
@@ -119,6 +126,7 @@ class SuspicionMatrix:
             if i and type(value) is int and value > entry
         ]
         changed = False
+        observer = self.observer
         for suspectee in increased:
             if suspectee == suspector:
                 continue
@@ -126,6 +134,8 @@ class SuspicionMatrix:
             changed = True
             self.version += 1
             self._refresh_view_edge(suspector, suspectee)
+            if observer is not None:
+                observer(suspector, suspectee, dense[suspectee])
         return changed
 
     # ----------------------------------------------------------- graph & views

@@ -29,6 +29,8 @@ from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set
 
 from repro.crypto.authenticator import SignedMessage
 from repro.fd.expectations import Expectation, ExpectationHandle, Predicate
+from repro.obs.observability import get_obs
+from repro.obs.spans import SPAN_EXPECTATION
 from repro.fd.timers import TimeoutPolicy
 from repro.util.ids import ProcessId
 
@@ -60,6 +62,8 @@ class FailureDetector:
         self.expectations_fulfilled = 0
         self.suspicions_raised = 0
         self.suspicions_cancelled = 0
+        self._obs = get_obs(host)
+        self._obs.add_collector(self._collect_metrics)
         host.fd = self
 
     # ------------------------------------------------------------- lifecycle
@@ -106,6 +110,7 @@ class FailureDetector:
             group=group,
             deadline=now + wait,
             label=label,
+            issued_at=now,
         )
         self._active[expectation.eid] = expectation
         self._by_source.setdefault(source, {})[expectation.eid] = expectation
@@ -179,6 +184,11 @@ class FailureDetector:
                 # Late arrival: the suspicion was premature; widen timeout.
                 fulfilled_open = True
                 self.policy.record_false_suspicion(source)
+                self._obs.span(
+                    SPAN_EXPECTATION, self.pid, expectation.issued_at,
+                    end=self.host.now, source=source,
+                    label=expectation.label, outcome="fulfilled_late",
+                )
         self.host.deliver(kind, payload, source)
         if fulfilled_open:
             self._publish_if_changed()
@@ -214,11 +224,33 @@ class FailureDetector:
             source=expectation.source,
             label=expectation.label,
         )
+        self._obs.span(
+            SPAN_EXPECTATION, self.pid, expectation.issued_at,
+            end=self.host.now, source=expectation.source,
+            label=expectation.label, outcome="timeout",
+        )
         # Publish even when the *set* is unchanged: each timeout is a fresh
         # <SUSPECTED, S> event, and consumers (e.g. XPaxos' enumeration
         # policy) must be re-notified that the still-suspected process keeps
         # failing expectations in the new view/epoch.
         self._publish(force=True)
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector for the detector's plain-int counters."""
+        pid = self.pid
+        for name, value in (
+            ("fd_expectations_issued_total", self.expectations_issued),
+            ("fd_expectations_fulfilled_total", self.expectations_fulfilled),
+            ("fd_suspicions_raised_total", self.suspicions_raised),
+            ("fd_suspicions_cancelled_total", self.suspicions_cancelled),
+        ):
+            registry.counter(name, help="failure-detector counter", pid=pid).set(value)
+        registry.gauge("fd_suspected", help="currently suspected processes",
+                       pid=pid).set(len(self._published))
+        registry.gauge("fd_detected", help="permanently detected processes",
+                       pid=pid).set(len(self._detected))
+        registry.gauge("fd_expectations_pending", help="open expectations",
+                       pid=pid).set(len(self._active))
 
     def _current_suspected(self) -> FrozenSet[int]:
         suspected = set(self._detected)
@@ -237,6 +269,11 @@ class FailureDetector:
         for target in current - self._published:
             self.suspicions_raised += 1
             self.host.log.append(self.host.now, self.pid, "fd.suspect", target=target)
+            # Fault-to-suspicion latency: completes the sample when this
+            # target's crash was injected through the same observability
+            # instance (always true in the sim; a live node only sees its
+            # own faults, so the sim carries the cross-process histogram).
+            self._obs.detection_observed(self.pid, target, self.host.now)
         for target in self._published - current:
             self.suspicions_cancelled += 1
             self.host.log.append(self.host.now, self.pid, "fd.unsuspect", target=target)

@@ -36,6 +36,9 @@ class Expectation:
     group: str
     deadline: float
     label: str = ""
+    #: Host time the expectation was registered (span start for the
+    #: expectation-lifecycle traces; 0.0 for hand-built test instances).
+    issued_at: float = 0.0
     eid: int = field(default_factory=_next_eid)
     fulfilled: bool = False
     timed_out: bool = False

@@ -16,6 +16,7 @@ from typing import Any, Dict, Optional
 
 from repro.crypto.authenticator import SignedMessage
 from repro.fd.expectations import ExpectationHandle
+from repro.obs.observability import get_obs
 from repro.sim.process import Module, ProcessHost
 from repro.util.ids import ProcessId
 
@@ -42,6 +43,7 @@ class HeartbeatModule(Module):
     def start(self) -> None:
         if self.host.fd is None:
             raise RuntimeError("HeartbeatModule requires a failure detector on the host")
+        get_obs(self.host).add_collector(self._collect_metrics)
         self.host.subscribe(HEARTBEAT, self._on_heartbeat)
         for peer in range(1, self.n + 1):
             if peer != self.pid:
@@ -54,6 +56,11 @@ class HeartbeatModule(Module):
             if peer != self.pid:
                 self._expect_next(peer)
         self._beat()
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector: beats emitted by this process."""
+        registry.counter("hb_beats_sent_total", help="heartbeat rounds emitted",
+                         pid=self.pid).set(self.sequence)
 
     # ------------------------------------------------------------------ beats
 

@@ -24,6 +24,8 @@ member                behaviour required of every host
 ``fd``                the failure detector, or ``None`` (set by the FD).
 ``authenticator``     :class:`repro.crypto.authenticator.Authenticator`.
 ``log``               :class:`repro.util.eventlog.EventLog`-compatible.
+``obs``               :class:`repro.obs.Observability` for this run (the
+                      sim shares one across all hosts; a net node owns one).
 ``now``               current time (simulated or wall seconds since start).
 ``scheduler``         exposes ``schedule_every(period, action, label)``.
 ``subscribe``         route delivered messages of a kind to a handler.
@@ -52,6 +54,7 @@ HOST_API_ATTRS: Tuple[str, ...] = (
     "fd",
     "authenticator",
     "log",
+    "obs",
     "now",
     "scheduler",
     "subscribe",

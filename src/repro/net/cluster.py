@@ -113,6 +113,14 @@ class NodeOutcome:
             return None
         return frozenset(self.final["quorum"])
 
+    @property
+    def metrics(self) -> Optional[dict]:
+        """The node's last metrics-registry snapshot, if it emitted one."""
+        for record in reversed(self.events):
+            if record.get("event") == "metrics":
+                return record.get("snapshot")
+        return None
+
 
 @dataclass
 class ClusterResult:
@@ -164,6 +172,25 @@ class ClusterResult:
             return False
         return not (quorum & self.config.crashed_at_end())
 
+    def metrics_snapshots(self) -> Dict[int, dict]:
+        """Per-node metrics snapshots (only nodes that emitted one)."""
+        return {
+            pid: node.metrics
+            for pid, node in sorted(self.nodes.items())
+            if node.metrics is not None
+        }
+
+    def merged_metrics(self) -> Optional[dict]:
+        """One cluster-wide snapshot: per-node registries merged.
+
+        Metric families are pid-labelled, so the merge is mostly a
+        union; genuinely shared names (none today) would sum.
+        """
+        from repro.obs.registry import merge_snapshots
+
+        snapshots = list(self.metrics_snapshots().values())
+        return merge_snapshots(snapshots) if snapshots else None
+
     def summary(self) -> dict:
         quorum = self.final_quorum()
         return {
@@ -201,6 +228,8 @@ def _node_command(config: ClusterConfig, pid: int) -> List[str]:
     ]
     if config.follower_mode:
         cmd.append("--follower-mode")
+    if config.run_dir is not None:
+        cmd += ["--metrics-prom", str(Path(config.run_dir) / f"node_{pid}.prom")]
     if config.anti_entropy_period is not None:
         cmd += ["--anti-entropy", str(config.anti_entropy_period)]
     if config.kill_mode == "host":

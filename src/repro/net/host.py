@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.crypto.authenticator import Authenticator, SignedMessage
 from repro.net.peer import PeerManager
+from repro.obs.observability import Observability, peer_stats_collector
 from repro.net.timers import NetTimerService
 from repro.sim.events import TimerHandle
 from repro.util.errors import SimulationError
@@ -45,12 +46,18 @@ class NetHost:
         authenticator: Authenticator,
         timers: NetTimerService,
         log: Optional[EventLog] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.pid = pid
         self.manager = manager
         self.authenticator = authenticator
         self.timers = timers
         self.log = log if log is not None else EventLog()
+        # Per-node observability (one registry per OS process; the node
+        # runner exports it as a JSONL event and Prometheus text).  Wire
+        # statistics are folded in at snapshot time.
+        self.obs = obs if obs is not None else Observability()
+        self.obs.add_collector(peer_stats_collector(manager.stats, pid))
         self.running = True
         self.fd: Optional[Any] = None  # duck-typed FailureDetector
         self._subscribers: Dict[str, List[DeliveryHandler]] = {}
@@ -183,6 +190,7 @@ class NetHost:
             timer.cancel()
         self._timers.clear()
         self.log.append(self.now, self.pid, "crash")
+        self.obs.fault_injected(self.pid, self.now)
 
     def recover(self) -> None:
         """Resume with state intact (crash-recovery, as in the simulator)."""
@@ -190,6 +198,7 @@ class NetHost:
             return
         self.running = True
         self.log.append(self.now, self.pid, "recover")
+        self.obs.fault_cleared(self.pid, self.now)
         if self.fd is not None and hasattr(self.fd, "recover"):
             self.fd.recover()
         for module in self._modules:

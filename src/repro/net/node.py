@@ -18,7 +18,11 @@ Stdout protocol, in order:
 4. Streamed transitions: ``quorum``, ``epoch``, ``suspect``,
    ``unsuspect``, ``crash``, ``recover`` — each stamped with node time
    ``t`` (seconds since ready) and absolute ``wall`` time.
-5. ``{"event": "final", ...}`` — end-of-run summary: final quorum and
+5. ``{"event": "metrics", "pid": P, "snapshot": {...}}`` — the node's
+   full metrics-registry snapshot (schema ``repro.metrics/1``), taken
+   after the run window closes.  Optionally also written as Prometheus
+   text exposition to ``NodeConfig.metrics_prom_path``.
+6. ``{"event": "final", ...}`` — end-of-run summary: final quorum and
    epoch, per-epoch quorum-change counts, wire statistics.
 
 Crash/recovery injection (``kills_at`` / ``recovers_at``, in seconds
@@ -40,6 +44,8 @@ from repro.crypto.keys import KeyRegistry
 from repro.net.host import NetHost
 from repro.net.peer import PeerManager
 from repro.net.timers import NetTimerService
+from repro.obs.observability import Observability
+from repro.obs.registry import render_prometheus
 from repro.sim.worlds import attach_qs_stack
 from repro.util.errors import ConfigurationError
 from repro.util.eventlog import EventLog
@@ -76,6 +82,10 @@ class NodeConfig:
     #: Seconds after ready at which this node's host crashes / recovers.
     kills_at: Tuple[float, ...] = field(default_factory=tuple)
     recovers_at: Tuple[float, ...] = field(default_factory=tuple)
+    #: Where to write this node's final metrics in Prometheus text
+    #: exposition format (``None`` disables the file; the JSONL
+    #: ``metrics`` event is emitted regardless).
+    metrics_prom_path: Optional[str] = None
 
     def validate(self) -> None:
         if not 1 <= self.f < self.n - self.f:
@@ -164,7 +174,11 @@ async def run_node(config: NodeConfig, emit=None) -> Dict[str, Any]:
     timers = NetTimerService(loop)
     log = StreamingEventLog(emit, config.pid)
     registry = KeyRegistry(config.n)
-    host = NetHost(config.pid, manager, Authenticator(registry, config.pid), timers, log=log)
+    obs = Observability()
+    host = NetHost(
+        config.pid, manager, Authenticator(registry, config.pid), timers,
+        log=log, obs=obs,
+    )
     module = attach_qs_stack(
         host,
         config.n,
@@ -183,6 +197,19 @@ async def run_node(config: NodeConfig, emit=None) -> Dict[str, Any]:
         timers.schedule(t, host.recover, label=f"inject-recover@p{config.pid}")
 
     await asyncio.sleep(config.duration)
+
+    snapshot = obs.snapshot()
+    emit({
+        "event": "metrics",
+        "pid": config.pid,
+        "t": round(timers.now, 6),
+        "snapshot": snapshot,
+        "spans": len(obs.spans),
+        "spans_dropped": obs.spans.dropped,
+    })
+    if config.metrics_prom_path:
+        with open(config.metrics_prom_path, "w") as prom:
+            prom.write(render_prometheus(snapshot))
 
     stats = manager.stats.as_dict()
     stats["frames_ignored_crashed"] = host.frames_ignored_crashed

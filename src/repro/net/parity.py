@@ -15,6 +15,12 @@ wall-clock detection latencies differ from simulated ones, so the two
 runtimes may pass through different intermediate quorums — but both
 must stay inside the theorem's envelope and land on the same final
 quorum.
+
+:data:`METRIC_PARITY_SCHEDULE` adds a stricter observability check on
+top: under a schedule that never forces a quorum change, the registry
+values ``qs_quorum_changes_total`` and ``qs_epoch`` must be *equal*
+across runtimes for every correct replica
+(:func:`metric_parity_problems`).
 """
 
 from __future__ import annotations
@@ -123,6 +129,110 @@ def run_net_schedule(
         },
     )
     return outcome, result
+
+
+#: Schedule for the *metric* parity check.  The killed process (pid 5)
+#: is outside the lexicographically-first initial quorum {1, 2, 3}, so
+#: no quorum change is ever required: every correct replica must end
+#: with exactly the same ``qs_quorum_changes_total`` and ``qs_epoch``
+#: values in both runtimes — equality, not just bounded-envelope parity.
+METRIC_PARITY_SCHEDULE = ParitySchedule(
+    n=5, f=2, kills=((5, 5.0),), duration_periods=25.0
+)
+
+#: Registry metrics that must be identical across runtimes for every
+#: correct replica.  Wall-clock-valued families (latency histograms)
+#: are deliberately excluded — only protocol-logic counters compare.
+PARITY_METRIC_NAMES = ("qs_quorum_changes_total", "qs_epoch")
+
+
+def run_sim_metrics(
+    schedule: ParitySchedule,
+    seed: int = 3,
+    heartbeat_period: float = 2.0,
+    base_timeout: float = 4.0,
+) -> dict:
+    """Execute the schedule on the simulator; return the metrics snapshot."""
+    sim, _modules = build_qs_world(
+        schedule.n,
+        schedule.f,
+        seed=seed,
+        heartbeat_period=heartbeat_period,
+        base_timeout=base_timeout,
+    )
+    for pid, periods in schedule.kills:
+        sim.at(periods * heartbeat_period, lambda p=pid: sim.host(p).crash())
+    for pid, periods in schedule.recovers:
+        sim.at(periods * heartbeat_period, lambda p=pid: sim.host(p).recover())
+    sim.run_until(schedule.duration_periods * heartbeat_period)
+    return sim.obs.snapshot()
+
+
+def run_net_metrics(
+    schedule: ParitySchedule,
+    heartbeat_period: float = 0.3,
+    base_timeout: float = 2.0,
+    run_dir=None,
+) -> Tuple[Dict[int, dict], ClusterResult]:
+    """Execute the schedule on a live cluster; return per-node snapshots."""
+    _outcome, result = run_net_schedule(
+        schedule,
+        heartbeat_period=heartbeat_period,
+        base_timeout=base_timeout,
+        run_dir=run_dir,
+    )
+    return result.metrics_snapshots(), result
+
+
+def metric_parity_problems(
+    sim_snapshot: dict,
+    net_snapshots: Dict[int, dict],
+    schedule: ParitySchedule,
+) -> List[str]:
+    """Ways the runtimes' registries disagree; empty means metric parity.
+
+    The sim carries one shared registry (all pids in one snapshot); each
+    net node owns its registry, so its values are looked up in its own
+    snapshot.  Only correct (never-crashed-at-end) replicas compare.
+    """
+    from repro.obs.registry import metric_value
+
+    problems: List[str] = []
+    crashed = schedule.crashed_at_end()
+    correct = [pid for pid in range(1, schedule.n + 1) if pid not in crashed]
+
+    for pid in correct:
+        net_snapshot = net_snapshots.get(pid)
+        if net_snapshot is None:
+            problems.append(f"net: node {pid} emitted no metrics snapshot")
+            continue
+        for name in PARITY_METRIC_NAMES:
+            sim_value = metric_value(sim_snapshot, name, pid=pid)
+            net_value = metric_value(net_snapshot, name, pid=pid)
+            if sim_value is None or net_value is None:
+                problems.append(
+                    f"{name}{{pid={pid}}}: missing from "
+                    f"{'sim' if sim_value is None else 'net'} snapshot"
+                )
+            elif sim_value != net_value:
+                problems.append(
+                    f"{name}{{pid={pid}}}: sim={sim_value} net={net_value}"
+                )
+
+    # Vacuousness guard: both runtimes must actually have *observed* the
+    # injected fault (equal-because-nothing-happened is not parity).
+    for runtime, lookup in (
+        ("sim", lambda pid: metric_value(sim_snapshot, "fd_suspicions_raised_total", pid=pid)),
+        ("net", lambda pid: metric_value(net_snapshots.get(pid) or {"metrics": []},
+                                         "fd_suspicions_raised_total", pid=pid)),
+    ):
+        raised = sum(lookup(pid) or 0 for pid in correct)
+        if not raised:
+            problems.append(
+                f"{runtime}: no correct replica raised a suspicion — "
+                "the injected crash went unobserved"
+            )
+    return problems
 
 
 def thm3_bound(f: int) -> int:

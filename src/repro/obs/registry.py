@@ -1,0 +1,322 @@
+"""Runtime-agnostic metrics registry (counters, gauges, histograms).
+
+One registry instance belongs to one run — a whole simulation (shared by
+every simulated process) or one live node (one OS process).  Instruments
+are identified by ``(name, labels)``; the same instrumentation point in a
+protocol module therefore produces the same metric family on both
+runtimes, labelled by ``pid``, which is what makes a sim snapshot and a
+net snapshot directly comparable (the sim<->net metric parity test in
+``tests/test_obs_parity.py`` does exactly that).
+
+Two recording disciplines coexist:
+
+- **inline**: rare protocol events (epoch advances, quorum changes,
+  detections) call ``.inc()`` / ``.observe()`` at the moment they happen;
+- **collect-on-snapshot**: hot-path code keeps its existing plain ``int``
+  counters and registers a *collector* callback instead
+  (:meth:`MetricsRegistry.add_collector`); collectors fold those ints
+  into the registry only when a snapshot is taken.  The hot path pays
+  nothing — the E21 benchmark constraint ("enabled but unexported must
+  not regress") falls out of this design rather than being tuned for.
+
+Histogram bucket boundaries are **fixed** (not adaptive) so a simulated
+run (bucket unit = sim time) and a live run (bucket unit = wall seconds)
+fill comparable shapes; both runtimes scale the heartbeat period, not the
+buckets.
+
+Snapshots are plain JSON-able dicts (schema ``repro.metrics/1``) and can
+be rendered as a table, as Prometheus text exposition, diffed, or merged
+across nodes (:func:`merge_snapshots` — how the cluster harness builds
+one cluster-wide view from per-node registries).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+SNAPSHOT_SCHEMA = "repro.metrics/1"
+
+#: Fixed boundaries for latency-style histograms.  The unit is "time"
+#: (sim units or wall seconds); identical boundaries on both runtimes are
+#: what keeps the exported shapes comparable.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+LabelItems = Tuple[Tuple[str, Any], ...]
+Collector = Callable[["MetricsRegistry"], None]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotone counter.  ``set()`` exists for collectors folding in an
+    externally-maintained int; it must never be used to go backwards."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_entry(self) -> Dict[str, Any]:
+        return {"name": self.name, "type": self.kind,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """Point-in-time value (current epoch, suspected-set size, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def to_entry(self) -> Dict[str, Any]:
+        return {"name": self.name, "type": self.kind,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative on render, plain counts here)."""
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, labels: Dict[str, Any],
+        buckets: Tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # last slot = +Inf
+        self.sum: float = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def to_entry(self) -> Dict[str, Any]:
+        return {
+            "name": self.name, "type": self.kind, "labels": dict(self.labels),
+            "buckets": list(self.buckets), "counts": list(self.counts),
+            "sum": self.sum, "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """All instruments of one run, plus the snapshot-time collectors."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelItems], Any] = {}
+        self._help: Dict[str, str] = {}
+        self._collectors: List[Collector] = []
+
+    # ------------------------------------------------------------ instruments
+
+    def _get(self, factory, name: str, help: str, labels: Dict[str, Any]):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(name, labels)
+            self._instruments[key] = instrument
+            if help and name not in self._help:
+                self._help[name] = help
+        return instrument
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self, name: str, help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_TIME_BUCKETS, **labels: Any,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = Histogram(name, labels, buckets)
+            self._instruments[key] = instrument
+            if help and name not in self._help:
+                self._help[name] = help
+        return instrument
+
+    # ------------------------------------------------------------- collectors
+
+    def add_collector(self, collector: Collector) -> None:
+        """Register a snapshot-time callback folding external counters in."""
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        for collector in self._collectors:
+            collector(self)
+
+    # --------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Run collectors, then return a JSON-able view of every instrument."""
+        self.collect()
+        entries = [inst.to_entry() for inst in self._instruments.values()]
+        entries.sort(key=_entry_sort_key)
+        return {"schema": SNAPSHOT_SCHEMA, "metrics": entries,
+                "help": dict(sorted(self._help.items()))}
+
+
+# --------------------------------------------------------------- pure helpers
+# Everything below operates on *snapshots* (plain dicts), so it works the
+# same on an in-process registry, a JSONL record shipped by a node, or a
+# file read back from disk.
+
+
+def _entry_sort_key(entry: Dict[str, Any]) -> Tuple:
+    return (entry["name"], tuple(sorted((k, str(v)) for k, v in entry["labels"].items())))
+
+
+def metric_value(snapshot: Dict[str, Any], name: str, **labels: Any) -> Optional[float]:
+    """The value of one counter/gauge in a snapshot, or ``None`` if absent."""
+    for entry in snapshot.get("metrics", ()):
+        if entry["name"] == name and entry["labels"] == labels:
+            return entry.get("value")
+    return None
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Union of several snapshots (e.g. one per cluster node).
+
+    Entries with identical ``(name, labels)`` are combined: counters and
+    histograms add, gauges keep the last writer (per-node gauges carry a
+    ``pid`` label, so in practice gauge collisions do not occur).
+    """
+    merged: Dict[Tuple[str, LabelItems], Dict[str, Any]] = {}
+    help_text: Dict[str, str] = {}
+    for snapshot in snapshots:
+        help_text.update(snapshot.get("help", {}))
+        for entry in snapshot.get("metrics", ()):
+            key = (entry["name"], _label_key(entry["labels"]))
+            held = merged.get(key)
+            if held is None:
+                merged[key] = json_copy(entry)
+            elif entry["type"] == "counter":
+                held["value"] += entry["value"]
+            elif entry["type"] == "histogram":
+                held["counts"] = [a + b for a, b in zip(held["counts"], entry["counts"])]
+                held["sum"] += entry["sum"]
+                held["count"] += entry["count"]
+            else:  # gauge: last writer wins
+                held["value"] = entry["value"]
+    entries = sorted(merged.values(), key=_entry_sort_key)
+    return {"schema": SNAPSHOT_SCHEMA, "metrics": entries,
+            "help": dict(sorted(help_text.items()))}
+
+
+def json_copy(entry: Dict[str, Any]) -> Dict[str, Any]:
+    """Deep-enough copy of a snapshot entry (lists and dicts one level in)."""
+    copied = dict(entry)
+    copied["labels"] = dict(entry["labels"])
+    if "counts" in copied:
+        copied["counts"] = list(copied["counts"])
+        copied["buckets"] = list(copied["buckets"])
+    return copied
+
+
+def diff_snapshots(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+    """``after - before`` for counters/histograms; gauges keep the after value.
+
+    Entries present only in ``after`` diff against zero; entries that
+    vanished are dropped (an instrument never disappears mid-run, so this
+    only happens when diffing unrelated runs).
+    """
+    old = {
+        (e["name"], _label_key(e["labels"])): e for e in before.get("metrics", ())
+    }
+    entries: List[Dict[str, Any]] = []
+    for entry in after.get("metrics", ()):
+        key = (entry["name"], _label_key(entry["labels"]))
+        prior = old.get(key)
+        diffed = json_copy(entry)
+        if prior is not None and entry["type"] == "counter":
+            diffed["value"] = entry["value"] - prior["value"]
+        elif prior is not None and entry["type"] == "histogram":
+            diffed["counts"] = [a - b for a, b in zip(entry["counts"], prior["counts"])]
+            diffed["sum"] = entry["sum"] - prior["sum"]
+            diffed["count"] = entry["count"] - prior["count"]
+        entries.append(diffed)
+    return {"schema": SNAPSHOT_SCHEMA, "metrics": entries,
+            "help": dict(after.get("help", {}))}
+
+
+def _format_labels(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Prometheus text exposition (format version 0.0.4) of a snapshot."""
+    help_text = snapshot.get("help", {})
+    lines: List[str] = []
+    seen_headers = set()
+    for entry in snapshot.get("metrics", ()):
+        name = entry["name"]
+        if name not in seen_headers:
+            seen_headers.add(name)
+            if name in help_text:
+                lines.append(f"# HELP {name} {help_text[name]}")
+            lines.append(f"# TYPE {name} {entry['type']}")
+        labels = entry["labels"]
+        if entry["type"] == "histogram":
+            cumulative = 0
+            for bound, count in zip(entry["buckets"], entry["counts"]):
+                cumulative += count
+                bucket_labels = dict(labels, le=format(bound, "g"))
+                lines.append(f"{name}_bucket{_format_labels(bucket_labels)} {cumulative}")
+            lines.append(
+                f"{name}_bucket{_format_labels(dict(labels, le='+Inf'))} {entry['count']}"
+            )
+            lines.append(f"{name}_sum{_format_labels(labels)} {format(entry['sum'], 'g')}")
+            lines.append(f"{name}_count{_format_labels(labels)} {entry['count']}")
+        else:
+            lines.append(f"{name}{_format_labels(labels)} {format(entry['value'], 'g')}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_table(snapshot: Dict[str, Any]) -> str:
+    """Human-readable table of a snapshot (histograms as count/sum)."""
+    from repro.analysis.report import Table
+
+    table = Table(["metric", "labels", "type", "value"], title="metrics snapshot")
+    for entry in snapshot.get("metrics", ()):
+        labels = ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items())) or "-"
+        if entry["type"] == "histogram":
+            value = f"count={entry['count']} sum={round(entry['sum'], 6)}"
+        else:
+            value = entry["value"]
+        table.add_row(entry["name"], labels, entry["type"], value)
+    return table.render()

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
 
+from repro.obs.observability import Observability, message_stats_collector
 from repro.sim.latency import FixedLatency, LatencyModel
 from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import MessageStats
@@ -166,6 +167,7 @@ class Network:
         log: Optional[EventLog] = None,
         stats: Optional[MessageStats] = None,
         chaos: Optional[ChaosConfig] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.scheduler = scheduler
         self.rng = rng.child("network")
@@ -173,6 +175,11 @@ class Network:
         self.fifo = fifo
         self.log = log if log is not None else EventLog()
         self.stats = stats if stats is not None else MessageStats()
+        # Run-wide observability, shared by every host on this network.
+        # Message accounting is folded in at snapshot time (collector), so
+        # the send/deliver hot path is untouched.
+        self.obs = obs if obs is not None else Observability()
+        self.obs.add_collector(message_stats_collector(self.stats))
         # Chaotic channel model.  The chaos stream is a *separate* RNG
         # child: enabling/disabling chaos never perturbs latency sampling,
         # and an inactive config short-circuits before any draw, keeping

@@ -65,6 +65,7 @@ class ProcessHost:
         self.network = network
         self.authenticator = authenticator
         self.log = log if log is not None else network.log
+        self.obs = network.obs
         self.running = True
         self.fd: Optional[Any] = None  # duck-typed FailureDetector
         self._subscribers: Dict[str, List[DeliveryHandler]] = {}
@@ -179,6 +180,7 @@ class ProcessHost:
             timer.cancel()
         self._timers.clear()
         self.log.append(self.now, self.pid, "crash")
+        self.obs.fault_injected(self.pid, self.now)
 
     def recover(self) -> None:
         """Restart a crashed process with its state intact (crash-recovery).
@@ -194,6 +196,7 @@ class ProcessHost:
             return
         self.running = True
         self.log.append(self.now, self.pid, "recover")
+        self.obs.fault_cleared(self.pid, self.now)
         if self.fd is not None and hasattr(self.fd, "recover"):
             self.fd.recover()
         for module in self._modules:

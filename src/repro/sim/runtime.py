@@ -7,6 +7,7 @@ from typing import Dict, Optional
 
 from repro.crypto.authenticator import Authenticator
 from repro.crypto.keys import KeyRegistry
+from repro.obs.observability import Observability
 from repro.sim.latency import EventuallySynchronousLatency, LatencyModel
 from repro.sim.network import ChaosConfig, Network
 from repro.sim.process import ProcessHost
@@ -32,6 +33,10 @@ class SimulationConfig:
     n: int
     seed: int = 1
     fifo: bool = True
+    #: Observability on/off.  Off skips every metric, span, and collector
+    #: registration; traces are byte-identical either way (instrumentation
+    #: never touches the event log, the RNG streams, or scheduling).
+    metrics: bool = True
     gst: float = 0.0
     delta: float = 1.0
     pre_gst_max: float = 10.0
@@ -77,7 +82,12 @@ class Simulation:
             log=self.log,
             stats=self.stats,
             chaos=config.chaos,
+            obs=Observability(enabled=config.metrics),
         )
+        # One observability instance for the whole run, shared by every
+        # host — detection latency spans need to see both the fault
+        # injection (crashing host) and the suspicion (observing host).
+        self.obs = self.network.obs
         self.registry = KeyRegistry(config.n)
         self.pids = sorted(all_processes(config.n))
         self._hosts: Dict[int, ProcessHost] = {}

@@ -71,6 +71,7 @@ def build_qs_world(
     chaos: Optional[ChaosConfig] = None,
     reliable: bool = False,
     anti_entropy_period: Optional[float] = None,
+    metrics: bool = True,
 ) -> Tuple[Simulation, Dict[int, QuorumSelectionModule]]:
     """Full stack for Quorum/Follower Selection integration tests.
 
@@ -78,8 +79,11 @@ def build_qs_world(
     ``reliable`` routes UPDATE/FOLLOWERS through a per-process
     :class:`ReliableTransport`; ``anti_entropy_period`` arms the periodic
     matrix sync.  All three default off, reproducing the seed world.
+    ``metrics=False`` disables observability entirely; the protocol trace
+    is byte-identical either way (the byte-identity test holds it to that).
     """
-    sim = Simulation(SimulationConfig(n=n, seed=seed, gst=gst, delta=1.0, chaos=chaos))
+    sim = Simulation(SimulationConfig(n=n, seed=seed, gst=gst, delta=1.0,
+                                      chaos=chaos, metrics=metrics))
     modules: Dict[int, QuorumSelectionModule] = {}
     for pid in sim.pids:
         host = sim.host(pid)

@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.crypto.authenticator import SignedMessage
+from repro.obs.observability import NULL_OBS, get_obs
+from repro.obs.spans import SPAN_VIEW_CHANGE
 from repro.sim.process import Module, ProcessHost
 from repro.util.errors import ConfigurationError
 from repro.util.ids import ProcessId
@@ -153,10 +155,13 @@ class XPaxosReplica(Module):
         self.commits = 0
         self.detected_events: List[Tuple[float, int, str]] = []
         self._execution_cursor = 0
+        self._obs = NULL_OBS  # bound in start()
 
     # ------------------------------------------------------------- lifecycle
 
     def start(self) -> None:
+        self._obs = get_obs(self.host)
+        self._obs.add_collector(self._collect_metrics)
         self.host.subscribe(KIND_REQUEST, self._on_request)
         self.host.subscribe(KIND_PREPARE, self._on_prepare)
         self.host.subscribe(KIND_COMMIT, self._on_commit)
@@ -167,6 +172,17 @@ class XPaxosReplica(Module):
             self.host.fd.subscribe_suspected(self._on_suspected)
         if self.qs is not None:
             self.qs.add_quorum_listener(self._on_selected_quorum)
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector for the replica's plain-int counters."""
+        pid = self.pid
+        registry.counter("xp_commits_total", help="operations committed",
+                         pid=pid).set(self.commits)
+        registry.counter("xp_view_changes_total", help="view changes completed",
+                         pid=pid).set(self.view_changes)
+        registry.counter("xp_checkpoints_total", help="checkpoints taken",
+                         pid=pid).set(self.checkpoints_made)
+        registry.gauge("xp_view", help="current view", pid=pid).set(self.view)
 
     # ---------------------------------------------------------------- helpers
 
@@ -642,6 +658,7 @@ class XPaxosReplica(Module):
             self.host.now, self.pid, "xp.viewchange",
             view=target, quorum=tuple(sorted(self.policy.quorum_of(target))),
         )
+        self._obs.span(SPAN_VIEW_CHANGE, self.pid, self.host.now, view=target)
         if self.host.fd is not None:
             # Section V-B: during view change processes may legitimately
             # stop sending expected normal-case messages.

@@ -1,0 +1,230 @@
+"""Fuzz tier: the wire codec under random payloads and random corruption.
+
+Two guarantees, both load-bearing for the live runtime:
+
+1. **Type-identical round-trip.**  Signature verification re-derives the
+   canonical encoding from the *decoded* payload, so a tuple that came
+   back as a list (or an int that came back as a bool) would silently
+   reject every valid signature.  Random payloads drawn from the full
+   wire vocabulary must decode to objects of exactly the same types, and
+   signed envelopes must still verify after the trip.
+
+2. **Typed failure under corruption.**  Anything a Byzantine peer or a
+   broken link can put on a socket must surface as :class:`WireError`
+   (or be silently skipped-and-counted by the stream decoder) — never as
+   a ``KeyError``/``TypeError``/``RecursionError`` escaping into the
+   receive loop.
+
+Seeds come from ``REPRO_PROP_SEEDS`` (default ``3,7,11``); randomness is
+:mod:`repro.util.rand` only.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.messages import (
+    FollowersPayload,
+    MatrixDigestPayload,
+    RowCertsPayload,
+    UpdatePayload,
+)
+from repro.crypto.authenticator import Authenticator, SignedMessage
+from repro.crypto.keys import KeyRegistry
+from repro.net.wire import (
+    FrameDecoder,
+    WireError,
+    decode_frame_body,
+    encode_frame,
+)
+from repro.util.rand import DeterministicRng, make_rng
+
+pytestmark = pytest.mark.props
+
+N = 5
+SEEDS = [
+    int(chunk)
+    for chunk in os.environ.get("REPRO_PROP_SEEDS", "3,7,11").split(",")
+    if chunk.strip()
+]
+
+_REGISTRY = KeyRegistry(N)
+_AUTH = {pid: Authenticator(_REGISTRY, pid) for pid in range(1, N + 1)}
+
+
+def random_scalar(rng: DeterministicRng):
+    kind = rng.randint(0, 5)
+    if kind == 0:
+        return None
+    if kind == 1:
+        return rng.coin(0.5)
+    if kind == 2:
+        return rng.randint(-(2 ** 40), 2 ** 40)
+    if kind == 3:
+        return rng.uniform(-1e6, 1e6)
+    if kind == 4:
+        return "".join(rng.choice("abc é☃{}\"\\") for _ in range(rng.randint(0, 12)))
+    return bytes(rng.randint(0, 255) for _ in range(rng.randint(0, 16)))
+
+
+def random_value(rng: DeterministicRng, depth: int = 0):
+    """A random payload from the full wire vocabulary, bounded depth."""
+    if depth >= 3 or rng.coin(0.4):
+        return random_scalar(rng)
+    kind = rng.randint(0, 7)
+    size = rng.randint(0, 4)
+    if kind == 0:
+        return tuple(random_value(rng, depth + 1) for _ in range(size))
+    if kind == 1:
+        return [random_value(rng, depth + 1) for _ in range(size)]
+    if kind == 2 or kind == 3:
+        items = {rng.randint(0, 2 ** 20) for _ in range(size)}
+        return frozenset(items) if kind == 3 else items
+    if kind == 4:
+        return {random_scalar(rng) if rng.coin(0.5) else rng.randint(0, 99):
+                random_value(rng, depth + 1) for _ in range(size)}
+    if kind == 5:
+        return random_protocol_payload(rng)
+    # Signed envelope around a nested payload — the hot case in practice.
+    signer = rng.randint(1, N)
+    return _AUTH[signer].sign(random_value(rng, depth + 1))
+
+
+def random_protocol_payload(rng: DeterministicRng):
+    kind = rng.randint(0, 3)
+    if kind == 0:
+        return UpdatePayload(row=tuple(rng.randint(0, 9) for _ in range(N + 1)))
+    if kind == 1:
+        return FollowersPayload(
+            followers=tuple(sorted({rng.randint(1, N) for _ in range(3)})),
+            line_edges=tuple(
+                (rng.randint(1, N), rng.randint(1, N)) for _ in range(rng.randint(0, 3))
+            ),
+            epoch=rng.randint(1, 9),
+        )
+    if kind == 2:
+        return MatrixDigestPayload(
+            epoch=rng.randint(1, 9),
+            row_digests=tuple(f"{rng.randint(0, 2 ** 32):08x}" for _ in range(N + 1)),
+        )
+    signer = rng.randint(1, N)
+    return RowCertsPayload(
+        certs=tuple(
+            _AUTH[signer].sign(UpdatePayload(row=tuple(rng.randint(0, 9) for _ in range(N + 1))))
+            for _ in range(rng.randint(1, 2))
+        )
+    )
+
+
+def assert_type_identical(sent, received, path="payload"):
+    """Structural equality where every node's *type* must match exactly."""
+    assert type(sent) is type(received), (
+        f"{path}: {type(sent).__name__} came back as {type(received).__name__}"
+    )
+    if isinstance(sent, (tuple, list)):
+        assert len(sent) == len(received), path
+        for i, (a, b) in enumerate(zip(sent, received)):
+            assert_type_identical(a, b, f"{path}[{i}]")
+    elif isinstance(sent, dict):
+        assert set(sent) == set(received), path
+        for key in sent:
+            assert_type_identical(sent[key], received[key], f"{path}[{key!r}]")
+    elif isinstance(sent, SignedMessage):
+        assert sent.signature == received.signature, path
+        assert_type_identical(sent.payload, received.payload, f"{path}.payload")
+    elif isinstance(sent, RowCertsPayload):
+        assert_type_identical(sent.certs, received.certs, f"{path}.certs")
+    else:
+        assert sent == received, path
+
+
+def random_frames(rng: DeterministicRng, count: int):
+    """``count`` random valid (kind, payload, src, frame-bytes) tuples."""
+    frames = []
+    for i in range(count):
+        item = rng.child(i)
+        kind = item.choice(["qs.update", "heartbeat", "fd.ping", "xp.prepare", "k"])
+        payload = random_value(item)
+        src = item.randint(1, N)
+        frames.append((kind, payload, src, encode_frame(kind, payload, src)))
+    return frames
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_frames_round_trip_type_identically(seed):
+    rng = make_rng(seed).child("roundtrip")
+    signed_seen = 0
+    for kind, payload, src, frame in random_frames(rng, 60):
+        decoded_kind, decoded_payload, decoded_src = decode_frame_body(frame[4:])
+        assert (decoded_kind, decoded_src) == (kind, src)
+        assert_type_identical(payload, decoded_payload)
+        if isinstance(payload, SignedMessage):
+            signed_seen += 1
+            # The decoded envelope must still verify: canonical encoding
+            # survived the trip bit-for-bit.
+            assert _AUTH[1].verify(decoded_payload)
+    assert signed_seen > 0  # the generator must actually cover envelopes
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_byte_mutations_raise_only_wire_errors(seed):
+    rng = make_rng(seed).child("mutate")
+    for kind, payload, src, frame in random_frames(rng, 25):
+        body = frame[4:]
+        for trial in range(8):
+            mrng = rng.child(kind, trial, len(body))
+            mutated = bytearray(body)
+            for _ in range(mrng.randint(1, 6)):
+                mutated[mrng.randint(0, len(mutated) - 1)] = mrng.randint(0, 255)
+            truncated = bytes(mutated[: mrng.randint(0, len(mutated))])
+            for candidate in (bytes(mutated), truncated):
+                try:
+                    decode_frame_body(candidate)
+                except WireError:
+                    pass  # the typed, expected failure
+                except Exception as exc:  # noqa: BLE001 - the property under test
+                    pytest.fail(
+                        f"seed={seed}: {type(exc).__name__} leaked from decoder: {exc!r}"
+                    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_stream_decoder_survives_corrupt_streams(seed):
+    rng = make_rng(seed).child("stream")
+    for trial in range(15):
+        trial_rng = rng.child(trial)
+        frames = random_frames(trial_rng.child("gen"), trial_rng.randint(2, 6))
+        stream = bytearray(b"".join(frame for _, _, _, frame in frames))
+
+        # Clean stream in random-sized chunks: every frame decodes.
+        decoder = FrameDecoder()
+        got = []
+        cursor = 0
+        while cursor < len(stream):
+            step = trial_rng.randint(1, 64)
+            got.extend(decoder.feed(bytes(stream[cursor:cursor + step])))
+            cursor += step
+        assert len(got) == len(frames) and decoder.malformed == 0
+
+        # Corrupted copy: flips may hit bodies (skipped + counted) or
+        # length prefixes (typed WireError ending the stream) — nothing
+        # else may escape, and progress is bounded by the input.
+        corrupt = bytearray(stream)
+        for _ in range(trial_rng.randint(1, 10)):
+            corrupt[trial_rng.randint(0, len(corrupt) - 1)] = trial_rng.randint(0, 255)
+        decoder = FrameDecoder()
+        decoded = 0
+        cursor = 0
+        try:
+            while cursor < len(corrupt):
+                step = trial_rng.randint(1, 64)
+                decoded += len(decoder.feed(bytes(corrupt[cursor:cursor + step])))
+                cursor += step
+        except WireError:
+            pass  # framing violation: connection drop, the documented response
+        except Exception as exc:  # noqa: BLE001 - the property under test
+            pytest.fail(f"seed={seed}: stream loop leaked {type(exc).__name__}: {exc!r}")
+        # Corruption can only lose frames, never mint valid ones.
+        assert decoded <= len(frames)

@@ -1,0 +1,115 @@
+"""Integration tests: the observability layer wired through the stack.
+
+Three properties:
+
+- the registry snapshot of a full simulated run *agrees with* the
+  modules' own internal counters (the collectors fold the right ints);
+- protocol spans cover the run's significant moments with host-clock
+  stamps;
+- turning metrics off (``SimulationConfig.metrics=False``) leaves the
+  protocol trace **byte-identical** — instrumentation never touches the
+  event log, the RNG streams, or the schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    SPAN_EPOCH_ADVANCE,
+    SPAN_FAULT,
+    SPAN_QUORUM_CHANGE,
+    SPAN_SUSPICION_EDGE,
+    metric_value,
+)
+from repro.sim.worlds import build_qs_world
+
+N, F, SEED = 5, 2, 7
+
+
+def crashed_world(metrics: bool = True, duration: float = 120.0):
+    """The canonical scenario: p1 (a quorum member) crashes at t=10."""
+    sim, modules = build_qs_world(N, F, seed=SEED, metrics=metrics)
+    sim.at(10.0, lambda: sim.host(1).crash())
+    sim.run_until(duration)
+    return sim, modules
+
+
+class TestMetricsMatchModules:
+    def test_registry_agrees_with_module_counters(self):
+        sim, modules = crashed_world()
+        snapshot = sim.obs.snapshot()
+        for pid in (2, 3, 4, 5):
+            module = modules[pid]
+            fd = sim.host(pid).fd
+            assert metric_value(snapshot, "qs_quorum_changes_total", pid=pid) == \
+                module.total_quorums_issued()
+            assert metric_value(snapshot, "qs_epoch", pid=pid) == module.epoch
+            assert metric_value(snapshot, "qs_quorum_size", pid=pid) == len(module.qlast)
+            assert metric_value(snapshot, "fd_suspicions_raised_total", pid=pid) == \
+                fd.suspicions_raised
+            assert metric_value(snapshot, "hb_beats_sent_total", pid=pid) > 0
+            assert metric_value(snapshot, "matrix_entry_writes_total", pid=pid) == \
+                module.matrix.version
+
+    def test_message_stats_folded_in(self):
+        sim, _modules = crashed_world()
+        snapshot = sim.obs.snapshot()
+        sent = metric_value(snapshot, "messages_sent_total", kind="heartbeat")
+        delivered = metric_value(snapshot, "messages_delivered_total", kind="heartbeat")
+        assert sent == sim.network.stats.sent_by_kind["heartbeat"] > 0
+        assert delivered is not None and 0 < delivered <= sent
+
+    def test_detection_latency_histogram_fills(self):
+        sim, _modules = crashed_world()
+        snapshot = sim.obs.snapshot()
+        samples = sum(
+            e["count"] for e in snapshot["metrics"]
+            if e["name"] == "fd_detection_latency"
+        )
+        # Every surviving process eventually suspects the crashed p1.
+        assert samples == N - 1
+
+    def test_spans_cover_the_run(self):
+        sim, modules = crashed_world()
+        names = {span.name for span in sim.obs.spans.spans}
+        assert {SPAN_FAULT, SPAN_SUSPICION_EDGE, SPAN_QUORUM_CHANGE} <= names
+        (fault,) = sim.obs.spans.by_name(SPAN_FAULT)
+        assert (fault.pid, fault.start, fault.attrs["what"]) == (1, 10.0, "crash")
+        for span in sim.obs.spans.by_name(SPAN_QUORUM_CHANGE):
+            quorum = span.attrs["quorum"]
+            assert quorum == tuple(sorted(quorum)) and len(quorum) == N - F
+            assert span.attrs["epoch"] >= 1
+        if any(m.epoch > 1 for m in modules.values()):
+            assert sim.obs.spans.by_name(SPAN_EPOCH_ADVANCE)
+
+
+class TestByteIdentity:
+    def test_chaos_off_trace_identical_with_and_without_metrics(self):
+        sim_on, _ = crashed_world(metrics=True)
+        sim_off, _ = crashed_world(metrics=False)
+        assert sim_on.log.render() == sim_off.log.render()
+
+    def test_metrics_off_records_nothing(self):
+        sim, _modules = crashed_world(metrics=False)
+        assert sim.obs.enabled is False
+        assert sim.obs.snapshot()["metrics"] == []
+        assert len(sim.obs.spans) == 0
+
+    def test_same_seed_same_snapshot(self):
+        """The snapshot itself is deterministic (modulo nothing)."""
+        first = crashed_world()[0].obs.snapshot()
+        second = crashed_world()[0].obs.snapshot()
+        assert first == second
+
+
+def test_matrix_observer_only_fires_on_real_increases():
+    from repro.core.suspicion_matrix import SuspicionMatrix
+
+    matrix = SuspicionMatrix(4)
+    calls = []
+    matrix.observer = lambda *args: calls.append(args)
+    assert matrix.mark(1, 2, 3)
+    assert not matrix.mark(1, 2, 2)  # lower stamp: no write, no callback
+    matrix.merge_row(1, (0, 0, 3, 5, 0))  # only (1,3)->5 increases
+    assert calls == [(1, 2, 3), (1, 3, 5)]

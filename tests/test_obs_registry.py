@@ -1,0 +1,212 @@
+"""Unit tests for the observability layer itself (registry + spans).
+
+Protocol-independent behaviour: instrument identity, snapshot schema and
+determinism, the snapshot algebra (merge/diff), both renderers, the
+span sink's bound, and the disabled/NULL_OBS zero-work guarantees that
+the hot-path budget rests on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    NULL_OBS,
+    Observability,
+    MetricsRegistry,
+    SNAPSHOT_SCHEMA,
+    SPAN_DETECTION,
+    SPAN_FAULT,
+    SpanSink,
+    diff_snapshots,
+    merge_snapshots,
+    metric_value,
+    render_prometheus,
+    render_table,
+)
+
+
+class TestRegistry:
+    def test_instruments_are_identified_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("reqs_total", pid=1)
+        assert registry.counter("reqs_total", pid=1) is a
+        assert registry.counter("reqs_total", pid=2) is not a
+        assert registry.gauge("reqs_total_gauge", pid=1) is not a
+
+    def test_counter_gauge_histogram_recording(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(7)
+        hist = registry.histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        snapshot = registry.snapshot()
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA
+        assert metric_value(snapshot, "c") == 5
+        assert metric_value(snapshot, "g") == 7
+        entry = next(e for e in snapshot["metrics"] if e["name"] == "h")
+        assert entry["counts"] == [1, 1, 1] and entry["count"] == 3
+        assert entry["sum"] == pytest.approx(55.5)
+
+    def test_snapshot_is_sorted_json_able_and_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total", pid=2).inc()
+        registry.counter("a_total", pid=1).inc()
+        registry.counter("z_total", pid=1).inc()
+        snapshot = registry.snapshot()
+        names = [(e["name"], e["labels"].get("pid")) for e in snapshot["metrics"]]
+        assert names == [("a_total", 1), ("z_total", 1), ("z_total", 2)]
+        # Round-trips through JSON unchanged (the node JSONL path).
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_collectors_run_at_snapshot_time_only(self):
+        registry = MetricsRegistry()
+        external = {"count": 0, "calls": 0}
+
+        def collector(reg: MetricsRegistry) -> None:
+            external["calls"] += 1
+            reg.counter("external_total").set(external["count"])
+
+        registry.add_collector(collector)
+        external["count"] = 41
+        assert external["calls"] == 0  # nothing happens before a snapshot
+        assert metric_value(registry.snapshot(), "external_total") == 41
+        external["count"] = 42
+        assert metric_value(registry.snapshot(), "external_total") == 42
+        assert external["calls"] == 2
+
+
+class TestSnapshotAlgebra:
+    def _snap(self, **counters):
+        registry = MetricsRegistry()
+        for name, value in counters.items():
+            registry.counter(name, pid=1).set(value)
+        return registry.snapshot()
+
+    def test_merge_sums_counters_and_unions_families(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("shared_total", kind="x").set(3)
+        r2.counter("shared_total", kind="x").set(4)
+        r1.counter("only_one_total", pid=1).set(9)
+        r1.histogram("lat", buckets=(1.0,)).observe(0.5)
+        r2.histogram("lat", buckets=(1.0,)).observe(2.0)
+        merged = merge_snapshots([r1.snapshot(), r2.snapshot()])
+        assert metric_value(merged, "shared_total", kind="x") == 7
+        assert metric_value(merged, "only_one_total", pid=1) == 9
+        hist = next(e for e in merged["metrics"] if e["name"] == "lat")
+        assert hist["counts"] == [1, 1] and hist["count"] == 2
+
+    def test_diff_subtracts_counters_keeps_gauges(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total")
+        gauge = registry.gauge("epoch")
+        counter.set(10)
+        gauge.set(1)
+        before = registry.snapshot()
+        counter.set(25)
+        gauge.set(3)
+        delta = diff_snapshots(before, registry.snapshot())
+        assert metric_value(delta, "ops_total") == 15
+        assert metric_value(delta, "epoch") == 3
+
+    def test_merge_and_diff_do_not_mutate_inputs(self):
+        first, second = self._snap(x_total=1), self._snap(x_total=2)
+        frozen = json.dumps([first, second], sort_keys=True)
+        merge_snapshots([first, second])
+        diff_snapshots(first, second)
+        assert json.dumps([first, second], sort_keys=True) == frozen
+
+
+class TestRenderers:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", help="requests", pid=1).set(5)
+        registry.histogram("lat", buckets=(1.0, 2.0), pid=1).observe(1.5)
+        return registry.snapshot()
+
+    def test_prometheus_exposition_shape(self):
+        text = render_prometheus(self._snapshot())
+        assert "# TYPE reqs_total counter" in text
+        assert "# HELP reqs_total requests" in text
+        assert 'reqs_total{pid="1"} 5' in text
+        # Histogram buckets are cumulative and close with +Inf/sum/count.
+        assert 'lat_bucket{le="1",pid="1"} 0' in text
+        assert 'lat_bucket{le="2",pid="1"} 1' in text
+        assert 'lat_bucket{le="+Inf",pid="1"} 1' in text
+        assert 'lat_sum{pid="1"} 1.5' in text and 'lat_count{pid="1"} 1' in text
+        assert text.endswith("\n")
+
+    def test_table_render_contains_every_family(self):
+        text = render_table(self._snapshot())
+        assert "reqs_total" in text and "lat" in text and "count=1" in text
+
+
+class TestSpans:
+    def test_sink_is_bounded_and_counts_drops(self):
+        sink = SpanSink(max_spans=3)
+        for i in range(5):
+            sink.record("x", pid=1, start=float(i))
+        assert len(sink) == 3 and sink.dropped == 2
+        assert [s.start for s in sink.by_name("x")] == [0.0, 1.0, 2.0]
+
+    def test_span_records_are_json_able(self):
+        sink = SpanSink()
+        sink.record("qs.quorum_change", pid=2, start=1.0, end=2.5, epoch=3)
+        (record,) = sink.to_records()
+        assert record == {"span": "qs.quorum_change", "pid": 2,
+                          "start": 1.0, "end": 2.5, "epoch": 3}
+        json.dumps(record)
+
+
+class TestDetectionLatency:
+    def test_fault_to_suspicion_measured_once_per_observer(self):
+        obs = Observability()
+        obs.fault_injected(5, now=10.0)
+        obs.detection_observed(observer=1, target=5, now=13.0)
+        obs.detection_observed(observer=1, target=5, now=14.0)  # repeat publish
+        obs.detection_observed(observer=2, target=5, now=12.0)
+        obs.detection_observed(observer=2, target=4, now=12.0)  # no fault: skip
+        snapshot = obs.snapshot()
+        one = next(e for e in snapshot["metrics"]
+                   if e["name"] == "fd_detection_latency" and e["labels"] == {"pid": 1})
+        assert one["count"] == 1 and one["sum"] == pytest.approx(3.0)
+        assert one["buckets"] == list(DEFAULT_TIME_BUCKETS)
+        spans = obs.spans.by_name(SPAN_DETECTION)
+        assert [(s.pid, s.duration) for s in spans] == [(1, 3.0), (2, 2.0)]
+        assert len(obs.spans.by_name(SPAN_FAULT)) == 1
+
+    def test_recovery_closes_the_fault_window(self):
+        obs = Observability()
+        obs.fault_injected(5, now=10.0)
+        obs.fault_cleared(5, now=11.0)
+        obs.detection_observed(observer=1, target=5, now=13.0)  # stale: no sample
+        assert metric_value(obs.snapshot(), "fd_detection_latency", pid=1) is None
+        assert not obs.spans.by_name(SPAN_DETECTION)
+
+
+class TestDisabled:
+    def test_disabled_obs_does_no_work(self):
+        obs = Observability(enabled=False)
+        obs.add_collector(lambda reg: pytest.fail("collector ran while disabled"))
+        obs.span("x", pid=1, start=0.0)
+        obs.fault_injected(1, now=0.0)
+        obs.detection_observed(2, 1, now=1.0)
+        snapshot = obs.snapshot()
+        assert snapshot["metrics"] == [] and len(obs.spans) == 0
+
+    def test_null_obs_is_a_disabled_singleton(self):
+        from repro.obs.observability import get_obs
+
+        assert NULL_OBS.enabled is False
+        assert get_obs(object()) is NULL_OBS
+
+        class HostWithObs:
+            obs = Observability()
+
+        host = HostWithObs()
+        assert get_obs(host) is host.obs

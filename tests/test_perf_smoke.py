@@ -16,6 +16,7 @@ import pytest
 from benchmarks.perf_report import (
     check_invariants,
     find_regressions,
+    read_previous_report,
     run_hotpath_case,
 )
 
@@ -64,3 +65,43 @@ class TestRegressionGate:
         new = [{"n": 5, "f": 2, "wall_seconds": 9.0},
                {"n": 99, "f": 9, "wall_seconds": 9.0}]
         assert find_regressions(old, new) == []
+
+
+class TestCheckedInReportGate:
+    """Gate against the *repo's* ``BENCH_hotpath.json``, when present.
+
+    The wall-clock comparison lives in the benchmark runner (machines
+    differ); what this tier pins is the **deterministic** column: the
+    quorum-change trace digest of the n=5 case must match the checked-in
+    report exactly — a cheap, machine-independent regression tripwire.
+    On checkouts without a report the gate skips with an explicit reason
+    instead of failing or silently passing.
+    """
+
+    def test_missing_report_reads_as_none(self, tmp_path):
+        assert read_previous_report(tmp_path / "nope.json") is None
+        corrupt = tmp_path / "bad.json"
+        corrupt.write_text("{not json")
+        assert read_previous_report(corrupt) is None
+
+    def test_trace_digest_matches_checked_in_report(self):
+        previous = read_previous_report()
+        if previous is None:
+            pytest.skip(
+                "BENCH_hotpath.json not present (fresh checkout) — "
+                "generate it with `python benchmarks/perf_report.py` "
+                "to arm the regression gate"
+            )
+        held = next(
+            (case for case in previous.get("cases", [])
+             if isinstance(case, dict) and case.get("n") == 5),
+            None,
+        )
+        if held is None or "trace_sha256" not in held:
+            pytest.skip("checked-in report carries no n=5 trace digest")
+        fresh = run_hotpath_case(5, 2)
+        assert fresh["trace_sha256"] == held["trace_sha256"], (
+            "the n=5 quorum-change trace diverged from BENCH_hotpath.json — "
+            "a behaviour change, not just a perf change; regenerate the "
+            "report only if the divergence is intended"
+        )
