@@ -123,6 +123,34 @@ def find_regressions(
     return flags
 
 
+def find_net_regressions(
+    previous: Optional[dict], report: dict,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> List[str]:
+    """Flag the live-runtime benchmark's throughput falling off a cliff.
+
+    Mirrors :func:`find_regressions` for ``BENCH_net_loopback.json``:
+    a flag line when ``update_throughput_frames_per_s`` dropped by more
+    than ``threshold`` (fractional) versus the previous report.  Missing
+    or malformed previous reports flag nothing.
+    """
+    if not previous:
+        return []
+    old = previous.get("update_throughput_frames_per_s")
+    new = report.get("update_throughput_frames_per_s")
+    if not isinstance(old, (int, float)) or old <= 0:
+        return []
+    if not isinstance(new, (int, float)):
+        return []
+    ratio = new / old
+    if ratio < 1.0 - threshold:
+        return [
+            f"UPDATE throughput {old:.0f}/s -> {new:.0f}/s "
+            f"({(ratio - 1) * 100:.0f}%, threshold -{threshold * 100:.0f}%)"
+        ]
+    return []
+
+
 def read_previous_report(path: Path = REPORT_PATH) -> Optional[dict]:
     """The report currently on disk, or ``None`` if absent/corrupt."""
     try:
@@ -221,8 +249,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.net:
         from benchmarks import bench_e24_net_loopback as e24
 
+        net_previous = read_previous_report(e24.REPORT_PATH)
         net_report = e24.write_report(rounds=args.net_rounds)
         emit("e24_net_loopback", e24.render_table(net_report))
+        net_regressions = find_net_regressions(net_previous, net_report)
+        for line in net_regressions:
+            print(f"PERF REGRESSION: {line}")
+        regressions.extend(net_regressions)
         print(f"wrote {e24.REPORT_PATH}")
 
     if regressions and args.strict:

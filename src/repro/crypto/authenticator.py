@@ -55,6 +55,11 @@ class Authenticator:
         self._registry = registry
         self.pid = pid
 
+    @property
+    def registry(self) -> KeyRegistry:
+        """The shared key registry (read-only; used to derive link MACs)."""
+        return self._registry
+
     def sign(self, payload: Any) -> SignedMessage:
         """Sign a payload as this process."""
         return SignedMessage(payload, sign_payload(self._registry, self.pid, payload))

@@ -25,8 +25,13 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.crypto.authenticator import Authenticator, SignedMessage
+from repro.net.batch import BatchAuthenticator
 from repro.net.peer import PeerManager
-from repro.obs.observability import Observability, peer_stats_collector
+from repro.obs.observability import (
+    Observability,
+    peer_stats_collector,
+    wire_stats_collector,
+)
 from repro.net.timers import NetTimerService
 from repro.sim.events import TimerHandle
 from repro.util.errors import SimulationError
@@ -58,6 +63,14 @@ class NetHost:
         # statistics are folded in at snapshot time.
         self.obs = obs if obs is not None else Observability()
         self.obs.add_collector(peer_stats_collector(manager.stats, pid))
+        self.obs.add_collector(wire_stats_collector(manager, pid))
+        # Derive the link-level batch MAC key from the same registry the
+        # protocol signatures use: batches from any registered peer can
+        # then be verified wholesale with one HMAC per envelope.
+        if manager.batch_auth is None:
+            registry = getattr(authenticator, "registry", None)
+            if registry is not None:
+                manager.batch_auth = BatchAuthenticator(registry, pid)
         self.running = True
         self.fd: Optional[Any] = None  # duck-typed FailureDetector
         self._subscribers: Dict[str, List[DeliveryHandler]] = {}

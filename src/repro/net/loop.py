@@ -1,0 +1,62 @@
+"""Optional uvloop event-loop policy with a clean stdlib fallback.
+
+uvloop is a drop-in libuv-based replacement for the default asyncio loop
+that roughly doubles socket throughput on Linux.  It is deliberately an
+*optional* accelerator: nothing in the runtime requires it, the
+container images do not ship it, and every call here degrades to the
+stdlib loop silently (recorded, not raised), so the same node command
+runs everywhere.
+
+Activation is explicit: pass ``--uvloop`` to ``repro node``/``cluster``
+or set ``REPRO_UVLOOP=1``.  Benchmarks record whether it was active so a
+BENCH_net_loopback.json number is never compared across loop
+implementations unknowingly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+_ACTIVE = False
+
+
+def uvloop_requested(flag: Optional[bool] = None) -> bool:
+    """Explicit flag, else the ``REPRO_UVLOOP`` environment toggle."""
+    if flag is not None:
+        return flag
+    return os.environ.get("REPRO_UVLOOP", "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def uvloop_available() -> bool:
+    try:
+        import uvloop  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def maybe_install_uvloop(flag: Optional[bool] = None) -> bool:
+    """Install the uvloop policy if requested and importable.
+
+    Returns ``True`` only when uvloop is actually active afterwards;
+    a request on a machine without uvloop is a recorded no-op, never an
+    error — the stdlib loop is the universal fallback.
+    """
+    global _ACTIVE
+    if not uvloop_requested(flag):
+        return False
+    try:
+        import asyncio
+
+        import uvloop
+    except Exception:
+        return False
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    _ACTIVE = True
+    return True
+
+
+def uvloop_active() -> bool:
+    """Whether :func:`maybe_install_uvloop` actually installed uvloop."""
+    return _ACTIVE

@@ -41,9 +41,12 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.crypto.authenticator import Authenticator
 from repro.crypto.keys import KeyRegistry
+from repro.net.batch import BatchAuthenticator
 from repro.net.host import NetHost
+from repro.net.loop import maybe_install_uvloop, uvloop_active
 from repro.net.peer import PeerManager
 from repro.net.timers import NetTimerService
+from repro.net.wire import WIRE_VERSIONS
 from repro.obs.observability import Observability
 from repro.obs.registry import render_prometheus
 from repro.sim.worlds import attach_qs_stack
@@ -86,6 +89,11 @@ class NodeConfig:
     #: exposition format (``None`` disables the file; the JSONL
     #: ``metrics`` event is emitted regardless).
     metrics_prom_path: Optional[str] = None
+    #: Wire codec this node offers/accepts (``None``: REPRO_WIRE_VERSION
+    #: or the default).  Connections still negotiate down per peer.
+    wire_version: Optional[int] = None
+    #: Install uvloop before running (no-op where unavailable).
+    uvloop: bool = False
 
     def validate(self) -> None:
         if not 1 <= self.f < self.n - self.f:
@@ -101,6 +109,10 @@ class NodeConfig:
         for t in (*self.kills_at, *self.recovers_at):
             if t < 0:
                 raise ConfigurationError(f"injection times must be >= 0, got {t}")
+        if self.wire_version is not None and self.wire_version not in WIRE_VERSIONS:
+            raise ConfigurationError(
+                f"wire_version must be one of {WIRE_VERSIONS}, got {self.wire_version}"
+            )
 
 
 class StreamingEventLog(EventLog):
@@ -151,10 +163,15 @@ async def run_node(config: NodeConfig, emit=None) -> Dict[str, Any]:
     emit = emit if emit is not None else make_emitter()
     loop = asyncio.get_running_loop()
 
+    # The key registry exists before the server does, so streams accepted
+    # during warm-up already verify link-level batch MACs.
+    registry = KeyRegistry(config.n)
     manager = PeerManager(
         config.pid,
         queue_capacity=config.queue_capacity,
         rng_seed=config.pid,  # reproducible backoff per replica
+        wire_version=config.wire_version,
+        batch_auth=BatchAuthenticator(registry, config.pid),
     )
     host_addr, port = await manager.start_server(config.bind_host, config.port)
     emit({"event": "listening", "pid": config.pid, "host": host_addr, "port": port})
@@ -173,7 +190,6 @@ async def run_node(config: NodeConfig, emit=None) -> Dict[str, Any]:
 
     timers = NetTimerService(loop)
     log = StreamingEventLog(emit, config.pid)
-    registry = KeyRegistry(config.n)
     obs = Observability()
     host = NetHost(
         config.pid, manager, Authenticator(registry, config.pid), timers,
@@ -226,6 +242,12 @@ async def run_node(config: NodeConfig, emit=None) -> Dict[str, Any]:
         "quorums_per_epoch": {str(e): c for e, c in sorted(module.quorums_per_epoch.items())},
         "suspecting": sorted(module.suspecting),
         "stats": stats,
+        "wire": {
+            "version": manager.wire_version,
+            "uvloop": uvloop_active(),
+            "batch_policy": manager.batch_policy.as_dict(),
+            **manager.wire_stats.as_dict(),
+        },
     }
     emit(final)
     await manager.close()
@@ -234,4 +256,7 @@ async def run_node(config: NodeConfig, emit=None) -> Dict[str, Any]:
 
 def run_node_blocking(config: NodeConfig, emit=None) -> Dict[str, Any]:
     """Synchronous wrapper: run the node on a fresh event loop."""
+    # ``--uvloop`` (or REPRO_UVLOOP=1) swaps the loop policy before the
+    # loop exists; on machines without uvloop this is a recorded no-op.
+    maybe_install_uvloop(config.uvloop or None)
     return asyncio.run(run_node(config, emit=emit))

@@ -1,4 +1,4 @@
-"""Per-peer TCP connections: dial-on-demand, backoff, bounded queues.
+"""Per-peer TCP connections: dial-on-demand, backoff, batched sends.
 
 One :class:`PeerManager` serves one replica.  It owns:
 
@@ -20,6 +20,20 @@ Outbound design choices, all in service of the paper's fault model:
   suspects and Quorum Selection tolerates — so backpressure degrades
   into the protocol's own fault model instead of unbounded memory.
 
+E27 adds the hot-path machinery on top:
+
+- **Per-connection codec negotiation** (hello/ack over WIRE_V1, the
+  lowest common denominator): a dialer offering WIRE_V2 settles on the
+  highest version the listener also speaks, and falls back to WIRE_V1
+  on timeout — so mixed-version clusters interoperate frame-for-frame.
+- **Deferred encoding + batched, pipelined writes**: ``send`` enqueues
+  ``(kind, payload)``; the writer task encodes with the *negotiated*
+  codec, coalesces frames per :class:`~repro.net.batch.BatchPolicy`,
+  and flushes one write (on WIRE_V2: one batch envelope under a single
+  link-level HMAC) per batch.  Senders never wait for a round trip —
+  the next round's frames pile into the queue while earlier batches are
+  still in flight.
+
 Frames already written to a socket that later dies are simply lost
 (in-flight messages of a crashing link), again an omission.
 """
@@ -28,10 +42,30 @@ from __future__ import annotations
 
 import asyncio
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.net.wire import FrameDecoder, WireError, encode_frame
+from repro.net.batch import MEMBER_OVERHEAD, BatchPolicy, WireStats
+from repro.net.wire import (
+    _CONTROL_PREFIX,
+    KIND_ACK,
+    KIND_HELLO,
+    WIRE_V1,
+    WIRE_V2,
+    WIRE_VERSIONS,
+    FrameDecoder,
+    WireError,
+    encode_ack,
+    encode_batch,
+    encode_hello,
+    frame_bytes,
+    make_frame_encoder,
+    negotiate_ack_version,
+    parse_ack_version,
+    resolve_wire_version,
+)
 
 IngressHandler = Callable[[str, Any, int], None]
 
@@ -70,6 +104,10 @@ class PeerStats:
     connections_accepted: int = 0
     connections_dropped: int = 0
     send_errors: int = 0
+    batches_sent: int = 0
+    batches_received: int = 0
+    batches_rejected: int = 0
+    handshakes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -78,35 +116,44 @@ class PeerStats:
 class PeerConnection:
     """Outbound side of one directed link ``self -> peer``."""
 
-    def __init__(
-        self,
-        peer: int,
-        addr: Tuple[str, int],
-        stats: PeerStats,
-        policy: ReconnectPolicy,
-        rng: random.Random,
-        queue_capacity: int,
-    ) -> None:
+    def __init__(self, manager: "PeerManager", peer: int, addr: Tuple[str, int]) -> None:
+        self.manager = manager
         self.peer = peer
         self.addr = addr
-        self.stats = stats
-        self.policy = policy
-        self.rng = rng
-        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_capacity)
+        self.stats = manager.stats
+        self.policy = manager.policy
+        self.rng = manager.rng
+        # A plain deque + wake event instead of asyncio.Queue: enqueue is
+        # the per-frame hot path, and a deque append costs a fraction of
+        # the Queue's getter/putter bookkeeping.
+        self.queue: Deque[Tuple[str, Any]] = deque()
+        self._wake = asyncio.Event()
+        self.reader: Optional[asyncio.StreamReader] = None
         self.writer: Optional[asyncio.StreamWriter] = None
         self.task: Optional[asyncio.Task] = None
         self.closed = False
+        #: Codec settled by the hello/ack handshake; ``None`` until then.
+        self.negotiated_version: Optional[int] = None
 
-    def enqueue(self, frame: bytes) -> bool:
-        """Queue a frame; drop (and count) when the buffer is full."""
+    def enqueue(self, kind: str, payload: Any) -> bool:
+        """Queue a frame; drop (and count) when the buffer is full.
+
+        Encoding is deferred to the writer task: the codec depends on the
+        per-connection negotiation, and a dropped frame should not pay
+        for bytes that will never reach a socket.
+        """
         if self.closed:
             return False
-        try:
-            self.queue.put_nowait(frame)
-        except asyncio.QueueFull:
+        queue = self.queue
+        if len(queue) >= self.manager.queue_capacity:
             self.stats.frames_dropped_backpressure += 1
             return False
-        if self.task is None or self.task.done():
+        if not queue:
+            # The writer only ever sleeps on an empty queue, so the
+            # empty->nonempty edge is the only one that needs a wakeup.
+            self._wake.set()
+        queue.append((kind, payload))
+        if self.task is None:  # _run clears it on every exit path
             self.task = asyncio.get_running_loop().create_task(self._run())
         return True
 
@@ -119,10 +166,12 @@ class PeerConnection:
         host, port = self.addr
         self.stats.dials += 1
         try:
-            _, writer = await asyncio.open_connection(host, port)
+            reader, writer = await asyncio.open_connection(host, port)
         except OSError:
             return False
+        self.reader = reader
         self.writer = writer
+        self.negotiated_version = None  # renegotiate per (re)connect
         return True
 
     async def ensure_connected(self, deadline: Optional[float] = None) -> bool:
@@ -140,27 +189,146 @@ class PeerConnection:
             await asyncio.sleep(delay)
         return False
 
-    async def _run(self) -> None:
-        """Writer loop: dial on demand, drain the queue, survive resets."""
-        while not self.closed:
-            if not self.connected and not await self.ensure_connected():
-                return
-            try:
-                frame = await self.queue.get()
-            except (asyncio.CancelledError, RuntimeError):
-                return
+    async def _negotiate(self) -> None:
+        """Settle the codec for this connection (idempotent per dial).
+
+        A listener that never acks (an old node, a half-dead link) costs
+        one handshake timeout, after which the connection speaks WIRE_V1
+        — the version every peer in any mixed cluster understands.
+        """
+        if self.negotiated_version is not None:
+            return
+        offered = self.manager.wire_version
+        if offered <= WIRE_V1:
+            self.negotiated_version = WIRE_V1
+        else:
             try:
                 assert self.writer is not None
-                self.writer.write(frame)
+                self.writer.write(encode_hello(self.manager.pid, offered))
                 await self.writer.drain()
-                self.stats.frames_sent += 1
-                self.stats.bytes_sent += len(frame)
-            except (ConnectionError, OSError, asyncio.CancelledError):
-                # The frame is lost (omission on a dying link); redial for
-                # the next one rather than retrying this one — reliability
-                # above best-effort is the protocol's job, not the link's.
-                self.stats.send_errors += 1
-                self._drop_writer()
+                self.negotiated_version = await asyncio.wait_for(
+                    self._read_ack(offered), self.manager.handshake_timeout
+                )
+                self.stats.handshakes += 1
+            except (
+                asyncio.TimeoutError,
+                ConnectionError,
+                OSError,
+                WireError,
+                AssertionError,
+            ):
+                self.negotiated_version = WIRE_V1
+        self.manager.wire_stats.record_negotiation(self.negotiated_version)
+
+    async def _read_ack(self, offered: int) -> int:
+        """Wait for the listener's ack on the connection's return path."""
+        assert self.reader is not None
+        decoder = FrameDecoder(accept_versions=(WIRE_V1,))
+        while True:
+            chunk = await self.reader.read(4096)
+            if not chunk:
+                raise ConnectionResetError("peer closed during handshake")
+            for kind, payload, _src in decoder.feed(chunk):
+                if kind == KIND_ACK:
+                    return parse_ack_version(payload, offered)
+
+    async def _collect(self) -> List[bytes]:
+        """Block for the first frame, then coalesce per the batch policy.
+
+        The inner drain loop is the per-frame hot path, so the batch
+        buffer is inlined (a list and a byte counter) and the encode
+        histogram is fed one bulk sample per flush instead of one bisect
+        per frame; :class:`~repro.net.batch.BatchBuffer` stays the
+        reference (and unit-tested) statement of the same triggers.
+        """
+        queue = self.queue
+        wake = self._wake
+        while not queue:
+            wake.clear()
+            await wake.wait()
+        manager = self.manager
+        policy = manager.batch_policy
+        version = self.negotiated_version or WIRE_V1
+        encode = manager.frame_encoder(version)
+        max_frames = policy.max_frames
+        max_bytes = policy.max_bytes
+        bodies: List[bytes] = []
+        nbytes = 0
+        encode_seconds = 0.0
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + policy.max_delay
+        while True:
+            started = perf_counter()
+            while queue:
+                kind, payload = queue.popleft()
+                try:
+                    body = encode(kind, payload)
+                except WireError:
+                    self.stats.send_errors += 1
+                    continue
+                bodies.append(body)
+                nbytes += len(body) + MEMBER_OVERHEAD
+                if len(bodies) >= max_frames or nbytes >= max_bytes:
+                    encode_seconds += perf_counter() - started
+                    manager.wire_stats.record_encode_bulk(encode_seconds, len(bodies))
+                    return bodies
+            encode_seconds += perf_counter() - started
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            wake.clear()
+            try:
+                await asyncio.wait_for(wake.wait(), remaining)
+            except asyncio.TimeoutError:
+                break
+        manager.wire_stats.record_encode_bulk(encode_seconds, len(bodies))
+        return bodies
+
+    async def _flush(self, bodies: List[bytes]) -> None:
+        """One write (and at most one link MAC) for the whole batch."""
+        assert self.writer is not None
+        version = self.negotiated_version or WIRE_V1
+        data: Optional[bytes] = None
+        if version >= WIRE_V2 and len(bodies) > 1:
+            try:
+                data = encode_batch(bodies, self.manager.pid, auth=self.manager.batch_auth)
+                self.stats.batches_sent += 1
+            except WireError:
+                data = None  # oversized envelope: fall back to plain frames
+        if data is None:
+            data = b"".join(frame_bytes(body) for body in bodies)
+        self.writer.write(data)
+        await self.writer.drain()
+        self.stats.frames_sent += len(bodies)
+        self.stats.bytes_sent += len(data)
+        self.manager.wire_stats.record_flush(len(bodies))
+
+    async def _run(self) -> None:
+        """Writer loop: dial on demand, batch the queue, survive resets."""
+        try:
+            while not self.closed:
+                if not self.connected and not await self.ensure_connected():
+                    return
+                try:
+                    await self._negotiate()
+                    bodies = await self._collect()
+                except (asyncio.CancelledError, RuntimeError):
+                    return
+                if not bodies:
+                    continue
+                try:
+                    await self._flush(bodies)
+                except (ConnectionError, OSError, asyncio.CancelledError):
+                    # The batch is lost (omission on a dying link); redial
+                    # for the next one rather than retrying this one —
+                    # reliability above best-effort is the protocol's job,
+                    # not the link's.
+                    self.stats.send_errors += 1
+                    self._drop_writer()
+        finally:
+            # Let the next enqueue respawn the loop (cheaper than a
+            # liveness check on every enqueue).
+            self.task = None
 
     def _drop_writer(self) -> None:
         if self.writer is not None:
@@ -169,6 +337,8 @@ class PeerConnection:
             except Exception:
                 pass
             self.writer = None
+        self.reader = None
+        self.negotiated_version = None
 
     async def close(self) -> None:
         self.closed = True
@@ -193,6 +363,10 @@ class PeerManager:
         queue_capacity: int = 1024,
         policy: Optional[ReconnectPolicy] = None,
         rng_seed: Optional[int] = None,
+        wire_version: Optional[int] = None,
+        batch_policy: Optional[BatchPolicy] = None,
+        batch_auth: Optional[Any] = None,
+        handshake_timeout: float = 3.0,
     ) -> None:
         self.pid = pid
         self.addresses: Dict[int, Tuple[str, int]] = dict(addresses or {})
@@ -203,9 +377,24 @@ class PeerManager:
         # leave it None for OS entropy.
         self.rng = random.Random(rng_seed)
         self.stats = PeerStats()
+        self.wire_version = resolve_wire_version(wire_version)
+        self.batch_policy = batch_policy if batch_policy is not None else BatchPolicy()
+        self.batch_auth = batch_auth
+        self.handshake_timeout = handshake_timeout
+        self.wire_stats = WireStats()
         self._connections: Dict[int, PeerConnection] = {}
+        self._enqueues: Dict[int, Callable[[str, Any], bool]] = {}
+        self._encoders: Dict[int, Callable[[str, Any], bytes]] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._reader_tasks: set = set()
+
+    def frame_encoder(self, version: int) -> Callable[[str, Any], bytes]:
+        """The (cached) ``(kind, payload) -> body`` encoder for a codec."""
+        encoder = self._encoders.get(version)
+        if encoder is None:
+            encoder = make_frame_encoder(self.pid, version)
+            self._encoders[version] = encoder
+        return encoder
 
     # -------------------------------------------------------------- serving
 
@@ -220,14 +409,26 @@ class PeerManager:
         bound = sock.getsockname()
         return bound[0], bound[1]
 
+    def _accepted_versions(self) -> Tuple[int, ...]:
+        """Codec versions this node decodes: everything up to its own."""
+        return tuple(v for v in WIRE_VERSIONS if v <= self.wire_version)
+
     async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         self.stats.connections_accepted += 1
         task = asyncio.current_task()
         if task is not None:
             self._reader_tasks.add(task)
             task.add_done_callback(self._reader_tasks.discard)
-        decoder = FrameDecoder()
+        # batch_auth is read through a provider per batch, so a host that
+        # wires the authenticator up after this stream was accepted still
+        # gets its batches verified.
+        decoder = FrameDecoder(
+            accept_versions=self._accepted_versions(),
+            batch_auth_provider=lambda: self.batch_auth,
+        )
         seen_malformed = 0
+        seen_batches = 0
+        seen_rejected = 0
         try:
             while True:
                 chunk = await reader.read(65536)
@@ -242,11 +443,24 @@ class PeerManager:
                 if decoder.malformed != seen_malformed:
                     self.stats.frames_malformed += decoder.malformed - seen_malformed
                     seen_malformed = decoder.malformed
-                for kind, payload, src in frames:
-                    self.stats.frames_received += 1
-                    if self.ingress is not None:
-                        self.ingress(kind, payload, src)
+                if decoder.batches_decoded != seen_batches:
+                    self.stats.batches_received += decoder.batches_decoded - seen_batches
+                    seen_batches = decoder.batches_decoded
+                if decoder.batches_rejected != seen_rejected:
+                    self.stats.batches_rejected += decoder.batches_rejected - seen_rejected
+                    seen_rejected = decoder.batches_rejected
                 self.stats.bytes_received += len(chunk)
+                ingress = self.ingress
+                delivered = 0
+                for kind, payload, src in frames:
+                    # inline is_control_kind: this loop is per-frame hot
+                    if kind.startswith(_CONTROL_PREFIX):
+                        self._handle_control(kind, payload, writer)
+                        continue
+                    delivered += 1
+                    if ingress is not None:
+                        ingress(kind, payload, src)
+                self.stats.frames_received += delivered
         except (ConnectionError, asyncio.CancelledError, asyncio.IncompleteReadError):
             self.stats.connections_dropped += 1
         finally:
@@ -254,6 +468,16 @@ class PeerManager:
                 writer.close()
             except Exception:
                 pass
+
+    def _handle_control(self, kind: str, payload: Any, writer: asyncio.StreamWriter) -> None:
+        """Negotiation frames: answered on the same stream, never delivered."""
+        if kind != KIND_HELLO:
+            return  # unknown control traffic is dropped, not forwarded
+        version = negotiate_ack_version(payload, self.wire_version)
+        try:
+            writer.write(encode_ack(self.pid, version))
+        except Exception:
+            pass  # a dead return path just means the dialer times out to V1
 
     # ----------------------------------------------------------- outbound
 
@@ -263,16 +487,17 @@ class PeerManager:
             addr = self.addresses.get(peer)
             if addr is None:
                 raise KeyError(f"no address registered for peer {peer}")
-            conn = PeerConnection(
-                peer, addr, self.stats, self.policy, self.rng, self.queue_capacity
-            )
+            conn = PeerConnection(self, peer, addr)
             self._connections[peer] = conn
+            self._enqueues[peer] = conn.enqueue
         return conn
 
     def send(self, dst: int, kind: str, payload: Any) -> bool:
-        """Encode and enqueue one frame for ``dst`` (dial-on-demand)."""
-        frame = encode_frame(kind, payload, self.pid)
-        return self.connection(dst).enqueue(frame)
+        """Enqueue one frame for ``dst`` (dial-on-demand, deferred encode)."""
+        enqueue = self._enqueues.get(dst)
+        if enqueue is None:  # first frame for this peer: build the link
+            enqueue = self.connection(dst).enqueue
+        return enqueue(kind, payload)
 
     async def warm_up(self, timeout: float = 10.0) -> bool:
         """Eagerly dial every known peer; ``True`` if all connected.

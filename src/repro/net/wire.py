@@ -1,16 +1,36 @@
-"""Length-prefixed tagged-JSON wire codec for the live runtime.
+"""Negotiable wire codecs for the live runtime: tagged JSON and binary.
 
-A frame on the wire is a 4-byte big-endian length followed by one UTF-8
-JSON object ``{"v": 1, "k": kind, "s": src, "p": payload}``.  The payload
-vocabulary is exactly the one :mod:`repro.crypto.digests` canonically
-encodes — ``None``/bool/int/float/str plus bytes, tuples, lists, sets,
-frozensets, dicts, and the protocol dataclasses (signed envelopes,
-signatures, UPDATE/FOLLOWERS/DIGEST/ROWS payloads).  Python-only types
-are wrapped in single-key tag objects (``{"__tuple__": [...]}`` etc.) so
-a decoded payload is *type-identical* to the sent one — which matters
-because signature verification re-derives the canonical encoding from
-the decoded object: a tuple that came back as a list would change the
-bytes under the MAC and reject every valid signature.
+A frame on the wire is a 4-byte big-endian length followed by one frame
+*body*.  Two codecs share that framing and are negotiated per connection
+(see :mod:`repro.net.peer`):
+
+- **WIRE_V1** — one UTF-8 JSON object ``{"v": 1, "k": kind, "s": src,
+  "p": payload}``.  Python-only types are wrapped in single-key tag
+  objects (``{"__tuple__": [...]}`` etc.).  Bodies always start with
+  ``{`` (0x7B), which is what makes version dispatch a first-byte check.
+- **WIRE_V2** — a compact binary body: a struct-packed fixed header
+  (magic byte 0x02, kind tag, source id), then a type-tagged binary
+  value encoding (LEB128 varints, zigzag ints, length-prefixed strings
+  and bytes).  Encoding reuses a preallocated scratch buffer and a memo
+  keyed by payload identity; decoding walks a ``memoryview`` cursor with
+  zero-copy slicing and memoizes immutable bodies.
+
+Batches are a third body shape (magic byte 0x03): several frame bodies
+in one envelope, optionally authenticated by a single link-level
+HMAC-SHA256 over the whole envelope — one MAC per *batch* where the
+ingress path previously paid one signature verification per *frame*
+(protocol-level signatures inside the payloads are still verified by the
+host and failure detector; the batch MAC adds link-origin integrity to
+otherwise unsigned frames such as anti-entropy probes).
+
+The payload vocabulary of both codecs is exactly the one
+:mod:`repro.crypto.digests` canonically encodes — ``None``/bool/int/
+float/str plus bytes, tuples, lists, sets, frozensets, dicts, and the
+protocol dataclasses.  A decoded payload is *type-identical* to the sent
+one — which matters because signature verification re-derives the
+canonical encoding from the decoded object: a tuple that came back as a
+list would change the bytes under the MAC and reject every valid
+signature.
 
 Decoding is strict and defensive: unknown tags, wrong arities, oversized
 frames, and over-deep nesting raise :class:`WireError` — receivers drop
@@ -22,8 +42,9 @@ protocol module sees it.
 from __future__ import annotations
 
 import json
+import os
 import struct
-from typing import Any, Iterator, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.messages import (
     FollowersPayload,
@@ -34,12 +55,20 @@ from repro.core.messages import (
 from repro.crypto.authenticator import SignedMessage
 from repro.crypto.signatures import Signature
 
-#: Wire protocol version; bumped on any incompatible framing change.
-WIRE_VERSION = 1
+#: The two negotiable codec versions.  ``WIRE_VERSION`` is kept as an
+#: alias of V1 for backward compatibility with earlier imports.
+WIRE_V1 = 1
+WIRE_V2 = 2
+WIRE_VERSIONS = (WIRE_V1, WIRE_V2)
+WIRE_VERSION = WIRE_V1
 
-#: Upper bound on one frame's JSON body.  Honest traffic is tiny (a
-#: signed row for n=100 is ~1 KiB); the cap bounds what a malicious or
-#: broken peer can make a receiver buffer.
+#: What a fresh connection offers when nothing picks a version
+#: explicitly (``PeerManager(wire_version=...)`` or ``REPRO_WIRE_VERSION``).
+DEFAULT_WIRE_VERSION = WIRE_V2
+
+#: Upper bound on one frame (or batch envelope) body.  Honest traffic is
+#: tiny (a signed row for n=100 is ~1 KiB); the cap bounds what a
+#: malicious or broken peer can make a receiver buffer.
 MAX_FRAME_BYTES = 1 << 20
 
 #: Maximum nesting depth accepted while decoding (stack-bomb guard).
@@ -47,12 +76,47 @@ MAX_DEPTH = 32
 
 _LEN = struct.Struct(">I")
 
+#: First body byte of a V2 frame / batch envelope.  V1 JSON bodies start
+#: with ``{`` (0x7B), so the three shapes are disjoint on the first byte.
+MAGIC_V2 = 0x02
+MAGIC_BATCH = 0x03
+
+#: Control frame kinds used by per-connection codec negotiation.  They
+#: are consumed by the peer layer and never reach a host's ingress.
+KIND_HELLO = "wire.hello"
+KIND_ACK = "wire.ack"
+_CONTROL_PREFIX = "wire."
+
 
 class WireError(ValueError):
     """A frame violated the wire protocol (malformed, oversized, unknown)."""
 
 
-# --------------------------------------------------------------- value codec
+class BatchAuthError(WireError):
+    """A batch envelope failed (or lacked) its link-level MAC."""
+
+
+def resolve_wire_version(version: Optional[int] = None) -> int:
+    """Explicit version, else ``REPRO_WIRE_VERSION``, else the default."""
+    if version is None:
+        raw = os.environ.get("REPRO_WIRE_VERSION", "").strip()
+        if not raw:
+            return DEFAULT_WIRE_VERSION
+        try:
+            version = int(raw)
+        except ValueError as exc:
+            raise WireError(f"REPRO_WIRE_VERSION must be an integer, got {raw!r}") from exc
+    if version not in WIRE_VERSIONS:
+        raise WireError(f"unsupported wire version {version!r} (have {WIRE_VERSIONS})")
+    return version
+
+
+def is_control_kind(kind: str) -> bool:
+    """Negotiation traffic: handled by the peer layer, never delivered."""
+    return kind.startswith(_CONTROL_PREFIX)
+
+
+# ------------------------------------------------------------ V1 value codec
 
 
 def encode_value(value: Any, _depth: int = 0) -> Any:
@@ -198,29 +262,467 @@ def decode_value(value: Any, _depth: int = 0) -> Any:
     raise WireError(f"unknown wire tag {tag!r}")
 
 
+# ------------------------------------------------------------ V2 value codec
+# One byte of type tag, then a fixed or length-prefixed binary body.
+# Ints are zigzag-mapped then LEB128 varints (arbitrary precision, small
+# magnitudes stay small); containers carry an element count; sets are
+# encoded in sorted-by-encoding order so equal sets produce equal bytes.
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_TUPLE = 0x07
+_T_LIST = 0x08
+_T_SET = 0x09
+_T_FROZENSET = 0x0A
+_T_MAP = 0x0B
+_T_SIGNED = 0x0C
+_T_SIG = 0x0D
+_T_UPDATE = 0x0E
+_T_FOLLOWERS = 0x0F
+_T_DIGEST = 0x10
+_T_ROWS = 0x11
+
+_F64 = struct.Struct(">d")
+
+#: V2 fixed frame header: magic byte, kind tag, source id (uint16).
+_HDR_V2 = struct.Struct(">BBH")
+
+#: Batch envelope header: magic byte, flags, source id, member count.
+_HDR_BATCH = struct.Struct(">BBHH")
+_MAC_BYTES = 32
+_FLAG_MAC = 0x01
+
+#: Hot protocol kinds get one-byte tags; anything else (tag 0) carries
+#: the kind string inline.  Append-only: ids are wire format.
+_KIND_IDS: Dict[str, int] = {
+    "heartbeat": 1,
+    "fd.ping": 2,
+    "fd.pong": 3,
+    "qs.update": 4,
+    "fs.followers": 5,
+    "qs.digest": 6,
+    "qs.rows": 7,
+    "xp.request": 8,
+    "xp.prepare": 9,
+    "xp.commit": 10,
+    "xp.reply": 11,
+}
+_KIND_BY_ID = {tag: kind for kind, tag in _KIND_IDS.items()}
+
+#: Longest accepted varint (bytes).  Honest ints are a handful of bytes;
+#: the cap stops a hostile stream from making the decoder build huge
+#: bignums one 7-bit limb at a time.
+_MAX_VARINT_BYTES = 128
+
+# Preallocated encode scratch.  asyncio is single-threaded per loop and
+# the codec never re-enters itself, but the busy flag keeps a second
+# concurrent encoder (another loop/thread) correct by falling back to a
+# fresh buffer.
+_SCRATCH = bytearray()
+_SCRATCH_BUSY = False
+
+# Encode memo: (kind, id(payload), src) -> (payload, body).  A broadcast
+# hands the same payload object to every link, and benchmarks resend one
+# object many times; pinning the payload in the value makes a recycled
+# id impossible to alias.  Only hashable (in practice immutable) payloads
+# are memoized.  Cleared wholesale when full.
+_ENCODE_MEMO: Dict[Tuple[str, int, int], Tuple[Any, bytes]] = {}
+# Decode memo: body bytes -> decoded frame, again only for hashable
+# payloads so a shared decoded object can never be mutated by a receiver.
+_DECODE_MEMO: Dict[bytes, Tuple[str, Any, int]] = {}
+_MEMO_LIMIT = 8192
+
+
+def _write_uvarint(buf: bytearray, n: int) -> None:
+    while n > 0x7F:
+        buf.append((n & 0x7F) | 0x80)
+        n >>= 7
+    buf.append(n)
+
+
+def _write_int(buf: bytearray, n: int) -> None:
+    _write_uvarint(buf, (n << 1) if n >= 0 else ((-n << 1) - 1))
+
+
+def _read_uvarint(body, pos: int, end: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    start = pos
+    while True:
+        if pos >= end:
+            raise WireError("truncated varint")
+        byte = body[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if pos - start >= _MAX_VARINT_BYTES:
+            raise WireError("varint too long")
+
+
+def _read_int(body, pos: int, end: int) -> Tuple[int, int]:
+    unsigned, pos = _read_uvarint(body, pos, end)
+    return (unsigned >> 1) if not unsigned & 1 else -((unsigned + 1) >> 1), pos
+
+
+def _encode_value_v2(buf: bytearray, value: Any, depth: int) -> None:
+    if depth > MAX_DEPTH:
+        raise WireError(f"payload nesting exceeds {MAX_DEPTH}")
+    if value is None:
+        buf.append(_T_NONE)
+        return
+    if isinstance(value, bool):
+        buf.append(_T_TRUE if value else _T_FALSE)
+        return
+    if isinstance(value, int):
+        buf.append(_T_INT)
+        _write_int(buf, value)
+        return
+    if isinstance(value, float):
+        buf.append(_T_FLOAT)
+        buf += _F64.pack(value)
+        return
+    if isinstance(value, str):
+        encoded = value.encode("utf-8")
+        buf.append(_T_STR)
+        _write_uvarint(buf, len(encoded))
+        buf += encoded
+        return
+    if isinstance(value, bytes):
+        buf.append(_T_BYTES)
+        _write_uvarint(buf, len(value))
+        buf += value
+        return
+    if isinstance(value, (tuple, list)):
+        buf.append(_T_TUPLE if isinstance(value, tuple) else _T_LIST)
+        _write_uvarint(buf, len(value))
+        for item in value:
+            _encode_value_v2(buf, item, depth + 1)
+        return
+    if isinstance(value, (set, frozenset)):
+        parts = []
+        for item in value:
+            part = bytearray()
+            _encode_value_v2(part, item, depth + 1)
+            parts.append(bytes(part))
+        parts.sort()
+        buf.append(_T_FROZENSET if isinstance(value, frozenset) else _T_SET)
+        _write_uvarint(buf, len(parts))
+        for part in parts:
+            buf += part
+        return
+    if isinstance(value, dict):
+        buf.append(_T_MAP)
+        _write_uvarint(buf, len(value))
+        for key, item in value.items():
+            _encode_value_v2(buf, key, depth + 1)
+            _encode_value_v2(buf, item, depth + 1)
+        return
+    if isinstance(value, SignedMessage):
+        buf.append(_T_SIGNED)
+        _encode_value_v2(buf, value.payload, depth + 1)
+        _encode_value_v2(buf, value.signature, depth + 1)
+        return
+    if isinstance(value, Signature):
+        buf.append(_T_SIG)
+        _write_int(buf, _int(value.signer, "signer"))
+        _require(isinstance(value.tag, bytes), "signature tag must be bytes")
+        _write_uvarint(buf, len(value.tag))
+        buf += value.tag
+        return
+    if isinstance(value, UpdatePayload):
+        buf.append(_T_UPDATE)
+        _write_uvarint(buf, len(value.row))
+        for entry in value.row:
+            _write_int(buf, _int(entry, "__update__ row"))
+        return
+    if isinstance(value, FollowersPayload):
+        buf.append(_T_FOLLOWERS)
+        _write_uvarint(buf, len(value.followers))
+        for pid in value.followers:
+            _write_int(buf, _int(pid, "followers"))
+        _write_uvarint(buf, len(value.line_edges))
+        for edge in value.line_edges:
+            _require(len(edge) == 2, "line edges must be pairs")
+            _write_int(buf, _int(edge[0], "edge"))
+            _write_int(buf, _int(edge[1], "edge"))
+        _write_int(buf, _int(value.epoch, "epoch"))
+        return
+    if isinstance(value, MatrixDigestPayload):
+        buf.append(_T_DIGEST)
+        _write_int(buf, _int(value.epoch, "epoch"))
+        _write_uvarint(buf, len(value.row_digests))
+        for digest_hex in value.row_digests:
+            _require(isinstance(digest_hex, str), "row digests must be strings")
+            encoded = digest_hex.encode("utf-8")
+            _write_uvarint(buf, len(encoded))
+            buf += encoded
+        return
+    if isinstance(value, RowCertsPayload):
+        buf.append(_T_ROWS)
+        _write_uvarint(buf, len(value.certs))
+        for cert in value.certs:
+            _encode_value_v2(buf, cert, depth + 1)
+        return
+    raise WireError(f"cannot encode {type(value).__name__} for the wire")
+
+
+def _take(body, pos: int, end: int, n: int) -> Tuple[Any, int]:
+    new_pos = pos + n
+    if new_pos > end:
+        raise WireError("truncated value")
+    return body[pos:new_pos], new_pos
+
+
+def _read_str(body, pos: int, end: int) -> Tuple[str, int]:
+    n, pos = _read_uvarint(body, pos, end)
+    raw, pos = _take(body, pos, end, n)
+    try:
+        return bytes(raw).decode("utf-8"), pos
+    except UnicodeDecodeError as exc:
+        raise WireError("invalid UTF-8 string") from exc
+
+
+def _read_count(body, pos: int, end: int) -> Tuple[int, int]:
+    """A container element count, bounded by the bytes that remain."""
+    n, pos = _read_uvarint(body, pos, end)
+    if n > end - pos:
+        raise WireError("container count exceeds remaining bytes")
+    return n, pos
+
+
+def _decode_value_v2(body, pos: int, end: int, depth: int) -> Tuple[Any, int]:
+    if depth > MAX_DEPTH:
+        raise WireError(f"payload nesting exceeds {MAX_DEPTH}")
+    if pos >= end:
+        raise WireError("truncated value")
+    tag = body[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        return _read_int(body, pos, end)
+    if tag == _T_FLOAT:
+        raw, pos = _take(body, pos, end, _F64.size)
+        return _F64.unpack(bytes(raw))[0], pos
+    if tag == _T_STR:
+        return _read_str(body, pos, end)
+    if tag == _T_BYTES:
+        n, pos = _read_uvarint(body, pos, end)
+        raw, pos = _take(body, pos, end, n)
+        return bytes(raw), pos
+    if tag in (_T_TUPLE, _T_LIST):
+        n, pos = _read_count(body, pos, end)
+        items = []
+        for _ in range(n):
+            item, pos = _decode_value_v2(body, pos, end, depth + 1)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), pos
+    if tag in (_T_SET, _T_FROZENSET):
+        n, pos = _read_count(body, pos, end)
+        items = []
+        for _ in range(n):
+            item, pos = _decode_value_v2(body, pos, end, depth + 1)
+            items.append(item)
+        try:
+            return (frozenset(items) if tag == _T_FROZENSET else set(items)), pos
+        except TypeError as exc:
+            raise WireError("unhashable set member") from exc
+    if tag == _T_MAP:
+        n, pos = _read_count(body, pos, end)
+        out = {}
+        for _ in range(n):
+            key, pos = _decode_value_v2(body, pos, end, depth + 1)
+            item, pos = _decode_value_v2(body, pos, end, depth + 1)
+            try:
+                out[key] = item
+            except TypeError as exc:
+                raise WireError("unhashable map key") from exc
+        return out, pos
+    if tag == _T_SIGNED:
+        payload, pos = _decode_value_v2(body, pos, end, depth + 1)
+        signature, pos = _decode_value_v2(body, pos, end, depth + 1)
+        _require(isinstance(signature, Signature), "signed envelope needs a signature")
+        return SignedMessage(payload, signature), pos
+    if tag == _T_SIG:
+        signer, pos = _read_int(body, pos, end)
+        n, pos = _read_uvarint(body, pos, end)
+        raw, pos = _take(body, pos, end, n)
+        return Signature(signer=signer, tag=bytes(raw)), pos
+    if tag == _T_UPDATE:
+        n, pos = _read_count(body, pos, end)
+        row = []
+        for _ in range(n):
+            entry, pos = _read_int(body, pos, end)
+            row.append(entry)
+        return UpdatePayload(row=tuple(row)), pos
+    if tag == _T_FOLLOWERS:
+        n, pos = _read_count(body, pos, end)
+        followers = []
+        for _ in range(n):
+            pid, pos = _read_int(body, pos, end)
+            followers.append(pid)
+        n, pos = _read_count(body, pos, end)
+        edges = []
+        for _ in range(n):
+            a, pos = _read_int(body, pos, end)
+            b, pos = _read_int(body, pos, end)
+            edges.append((a, b))
+        epoch, pos = _read_int(body, pos, end)
+        return (
+            FollowersPayload(
+                followers=tuple(followers), line_edges=tuple(edges), epoch=epoch
+            ),
+            pos,
+        )
+    if tag == _T_DIGEST:
+        epoch, pos = _read_int(body, pos, end)
+        n, pos = _read_count(body, pos, end)
+        digests = []
+        for _ in range(n):
+            digest_hex, pos = _read_str(body, pos, end)
+            digests.append(digest_hex)
+        return MatrixDigestPayload(epoch=epoch, row_digests=tuple(digests)), pos
+    if tag == _T_ROWS:
+        n, pos = _read_count(body, pos, end)
+        certs = []
+        for _ in range(n):
+            cert, pos = _decode_value_v2(body, pos, end, depth + 1)
+            certs.append(cert)
+        return RowCertsPayload(certs=tuple(certs)), pos
+    raise WireError(f"unknown V2 type tag {tag:#x}")
+
+
 # -------------------------------------------------------------------- framing
 
 
-def encode_frame(kind: str, payload: Any, src: int) -> bytes:
-    """One wire frame: length prefix + versioned JSON envelope."""
-    body = json.dumps(
-        {"v": WIRE_VERSION, "k": kind, "s": src, "p": encode_value(payload)},
-        separators=(",", ":"),
-        allow_nan=False,
-    ).encode("utf-8")
-    if len(body) > MAX_FRAME_BYTES:
-        raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+def frame_bytes(body: bytes) -> bytes:
+    """Length-prefix one already-encoded frame body."""
     return _LEN.pack(len(body)) + body
 
 
-def decode_frame_body(body: bytes) -> Tuple[str, Any, int]:
-    """Decode one frame body into ``(kind, payload, src)``."""
+def _encode_frame_body_v1(kind: str, payload: Any, src: int) -> bytes:
+    return json.dumps(
+        {"v": WIRE_V1, "k": kind, "s": src, "p": encode_value(payload)},
+        separators=(",", ":"),
+        allow_nan=False,
+    ).encode("utf-8")
+
+
+def _encode_frame_body_v2(kind: str, payload: Any, src: int) -> bytes:
+    global _SCRATCH_BUSY
+    memo_key = (kind, id(payload), src)
+    hit = _ENCODE_MEMO.get(memo_key)
+    if hit is not None and hit[0] is payload:
+        return hit[1]
+    if not isinstance(kind, str) or not kind:
+        raise WireError("frame kind must be a non-empty string")
+    if not isinstance(src, int) or isinstance(src, bool) or not 1 <= src <= 0xFFFF:
+        raise WireError("V2 frame src must be a pid in [1, 65535]")
+    if _SCRATCH_BUSY:
+        buf = bytearray()
+        reuse = False
+    else:
+        _SCRATCH_BUSY = True
+        buf = _SCRATCH
+        del buf[:]
+        reuse = True
     try:
-        envelope = json.loads(body.decode("utf-8"))
+        kind_tag = _KIND_IDS.get(kind, 0)
+        buf += _HDR_V2.pack(MAGIC_V2, kind_tag, src)
+        if kind_tag == 0:
+            encoded_kind = kind.encode("utf-8")
+            _write_uvarint(buf, len(encoded_kind))
+            buf += encoded_kind
+        try:
+            _encode_value_v2(buf, payload, 0)
+        except WireError:
+            raise
+        except Exception as exc:
+            raise WireError(f"cannot encode payload: {exc!r}") from exc
+        body = bytes(buf)
+    finally:
+        if reuse:
+            _SCRATCH_BUSY = False
+    try:
+        hash(payload)
+    except TypeError:
+        return body  # mutable payload: never memoize identity -> bytes
+    if len(_ENCODE_MEMO) >= _MEMO_LIMIT:
+        _ENCODE_MEMO.clear()
+    _ENCODE_MEMO[memo_key] = (payload, body)
+    return body
+
+
+def encode_frame_body(kind: str, payload: Any, src: int, version: int = WIRE_V1) -> bytes:
+    """One frame body (no length prefix) in the requested codec."""
+    if version == WIRE_V1:
+        body = _encode_frame_body_v1(kind, payload, src)
+    elif version == WIRE_V2:
+        body = _encode_frame_body_v2(kind, payload, src)
+    else:
+        raise WireError(f"unsupported wire version {version!r}")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+    return body
+
+
+def encode_frame(kind: str, payload: Any, src: int, version: int = WIRE_V1) -> bytes:
+    """One wire frame: length prefix + body (V1 by default, for interop)."""
+    return frame_bytes(encode_frame_body(kind, payload, src, version))
+
+
+def make_frame_encoder(src: int, version: int) -> Callable[[str, Any], bytes]:
+    """A ``(kind, payload) -> body`` callable pinned to one (src, version).
+
+    Equivalent to :func:`encode_frame_body` with the memo probe inlined —
+    the writer task calls this once per frame, so the closure saves a
+    dispatch layer on the hottest path.  The memo dict is cleared in
+    place when full, never reassigned, so the closure's reference stays
+    live.
+    """
+    if version == WIRE_V1:
+
+        def encode_v1(kind: str, payload: Any) -> bytes:
+            body = _encode_frame_body_v1(kind, payload, src)
+            if len(body) > MAX_FRAME_BYTES:
+                raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+            return body
+
+        return encode_v1
+    if version != WIRE_V2:
+        raise WireError(f"unsupported wire version {version!r}")
+    memo = _ENCODE_MEMO
+
+    def encode_v2(kind: str, payload: Any) -> bytes:
+        hit = memo.get((kind, id(payload), src))
+        if hit is not None and hit[0] is payload:
+            return hit[1]
+        body = _encode_frame_body_v2(kind, payload, src)
+        if len(body) > MAX_FRAME_BYTES:
+            raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+        return body
+
+    return encode_v2
+
+
+def _decode_frame_body_v1(body: bytes) -> Tuple[str, Any, int]:
+    try:
+        envelope = json.loads(bytes(body).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise WireError(f"frame is not valid JSON: {exc}") from exc
     _require(isinstance(envelope, dict), "frame envelope must be an object")
-    _require(envelope.get("v") == WIRE_VERSION, "unsupported wire version")
+    _require(envelope.get("v") == WIRE_V1, "unsupported wire version")
     kind = envelope.get("k")
     _require(isinstance(kind, str) and bool(kind), "frame kind must be a non-empty string")
     src = envelope.get("s")
@@ -231,47 +733,264 @@ def decode_frame_body(body: bytes) -> Tuple[str, Any, int]:
     return kind, decode_value(envelope.get("p")), src
 
 
+def _decode_frame_body_v2(body: bytes) -> Tuple[str, Any, int]:
+    hit = _DECODE_MEMO.get(body)
+    if hit is not None:
+        return hit
+    try:
+        end = len(body)
+        _magic, kind_tag, src = _HDR_V2.unpack_from(body, 0)
+        if src < 1:
+            raise WireError("frame src must be a 1-based process id")
+        pos = _HDR_V2.size
+        if kind_tag == 0:
+            kind, pos = _read_str(body, pos, end)
+            if not kind:
+                raise WireError("frame kind must be a non-empty string")
+        else:
+            kind = _KIND_BY_ID.get(kind_tag)
+            if kind is None:
+                raise WireError(f"unknown kind tag {kind_tag}")
+        payload, pos = _decode_value_v2(memoryview(body), pos, end, 0)
+        if pos != end:
+            raise WireError("trailing bytes after payload")
+    except WireError:
+        raise
+    except Exception as exc:  # defensive: malformed input must stay typed
+        raise WireError(f"malformed V2 frame: {exc!r}") from exc
+    frame = (kind, payload, src)
+    try:
+        hash(payload)
+    except TypeError:
+        return frame  # mutable payload: do not share one object via memo
+    if len(_DECODE_MEMO) >= _MEMO_LIMIT:
+        _DECODE_MEMO.clear()
+    _DECODE_MEMO[body] = frame
+    return frame
+
+
+def decode_frame_body(body: bytes) -> Tuple[str, Any, int]:
+    """Decode one frame body into ``(kind, payload, src)``.
+
+    Dispatches on the first byte: 0x02 is a V2 binary frame, ``{`` opens
+    a V1 JSON envelope, and anything else (including a batch envelope,
+    which is not a *single* frame) is a :class:`WireError`.
+    """
+    if not body:
+        raise WireError("empty frame body")
+    lead = body[0]
+    if lead == MAGIC_V2:
+        return _decode_frame_body_v2(bytes(body))
+    if lead == MAGIC_BATCH:
+        raise WireError("batch envelope where a single frame was expected")
+    return _decode_frame_body_v1(body)
+
+
+# ------------------------------------------------------------------- batching
+
+
+def encode_batch(bodies: Sequence[bytes], src: int, auth: Optional[Any] = None) -> bytes:
+    """Length-prefixed batch envelope around several frame bodies.
+
+    With ``auth`` (an object exposing ``mac(data) -> bytes``) the
+    envelope carries one HMAC-SHA256 over everything before it — a
+    single link-level MAC for the whole batch.
+    """
+    if not isinstance(src, int) or isinstance(src, bool) or not 1 <= src <= 0xFFFF:
+        raise WireError("batch src must be a pid in [1, 65535]")
+    if not bodies or len(bodies) > 0xFFFF:
+        raise WireError(f"batch must hold 1..65535 frames, got {len(bodies)}")
+    flags = _FLAG_MAC if auth is not None else 0
+    buf = bytearray(_HDR_BATCH.pack(MAGIC_BATCH, flags, src, len(bodies)))
+    for body in bodies:
+        buf += _LEN.pack(len(body))
+        buf += body
+    if auth is not None:
+        buf += auth.mac(bytes(buf))
+    if len(buf) > MAX_FRAME_BYTES:
+        raise WireError(f"batch of {len(buf)} bytes exceeds MAX_FRAME_BYTES")
+    return frame_bytes(bytes(buf))
+
+
+def split_batch_body(body: bytes, auth: Optional[Any] = None) -> Tuple[int, List[bytes]]:
+    """Validate a batch envelope; return ``(src, member frame bodies)``.
+
+    With ``auth`` (an object exposing ``verify(src, data, tag) -> bool``)
+    an envelope without a MAC, or with a MAC that does not verify, raises
+    :class:`BatchAuthError` — the whole batch is rejected, so tampering
+    with any single member frame kills every frame in the envelope.
+    """
+    if not isinstance(body, bytes):
+        body = bytes(body)  # member slices must be immutable (memo keys)
+    try:
+        magic, flags, src, count = _HDR_BATCH.unpack_from(body, 0)
+    except struct.error as exc:
+        raise WireError("truncated batch header") from exc
+    if magic != MAGIC_BATCH:
+        raise WireError("not a batch envelope")
+    if flags not in (0, _FLAG_MAC):
+        raise WireError(f"unknown batch flags {flags:#x}")
+    if src < 1:
+        raise WireError("batch src must be a 1-based process id")
+    end = len(body) - (_MAC_BYTES if flags & _FLAG_MAC else 0)
+    if end < _HDR_BATCH.size:
+        raise WireError("truncated batch envelope")
+    if auth is not None:
+        if not flags & _FLAG_MAC:
+            raise BatchAuthError("batch envelope carries no MAC")
+        view = memoryview(body)  # hmac takes any buffer; avoid two copies
+        if not auth.verify(src, view[:end], view[end:]):
+            raise BatchAuthError(f"batch MAC from p{src} failed verification")
+    pos = _HDR_BATCH.size
+    members: List[bytes] = []
+    lensize = _LEN.size
+    for _ in range(count):
+        if pos + lensize > end:
+            raise WireError("truncated batch member header")
+        (length,) = _LEN.unpack_from(body, pos)
+        pos += lensize
+        if length > MAX_FRAME_BYTES or pos + length > end:
+            raise WireError("batch member exceeds envelope")
+        members.append(body[pos : pos + length])
+        pos += length
+    if pos != end:
+        raise WireError("trailing bytes in batch envelope")
+    return src, members
+
+
+# ---------------------------------------------------------------- negotiation
+# Hello/ack both travel as V1 frames — the lowest common denominator any
+# peer can parse — so a V1-only receiver still answers and the pair
+# settles on V1 without ever minting a protocol frame.
+
+
+def encode_hello(src: int, max_version: int) -> bytes:
+    """The dialer's offer: "I speak up to ``max_version``"."""
+    return encode_frame(KIND_HELLO, {"max": max_version}, src, version=WIRE_V1)
+
+
+def encode_ack(src: int, version: int) -> bytes:
+    """The listener's answer: "we speak ``version`` on this link"."""
+    return encode_frame(KIND_ACK, {"version": version}, src, version=WIRE_V1)
+
+
+def negotiate_ack_version(payload: Any, own_max: int) -> int:
+    """Listener side: highest version both ends speak (V1 on garbage)."""
+    offered = payload.get("max") if isinstance(payload, dict) else None
+    if not isinstance(offered, int) or isinstance(offered, bool) or offered < WIRE_V1:
+        offered = WIRE_V1
+    return min(offered, own_max)
+
+
+def parse_ack_version(payload: Any, own_max: int) -> int:
+    """Dialer side: accept the listener's pick if we speak it, else V1."""
+    version = payload.get("version") if isinstance(payload, dict) else None
+    if (
+        isinstance(version, int)
+        and not isinstance(version, bool)
+        and WIRE_V1 <= version <= own_max
+        and version in WIRE_VERSIONS
+    ):
+        return version
+    return WIRE_V1
+
+
+# ------------------------------------------------------------ stream decoding
+
+
 class FrameDecoder:
     """Incremental frame parser for one TCP stream.
 
     Feed arbitrary byte chunks; complete frames come back decoded.  Two
     failure modes are distinguished on purpose:
 
-    - a *single* malformed frame (bad JSON, unknown tag) is skipped and
-      counted in :attr:`malformed` — resynchronization is safe because
-      the length prefix still delimits it;
+    - a *single* malformed frame (bad JSON, unknown tag, a codec version
+      outside ``accept_versions``) is skipped and counted in
+      :attr:`malformed` — resynchronization is safe because the length
+      prefix still delimits it; a batch that fails its link MAC is
+      likewise skipped wholesale and counted in :attr:`batches_rejected`;
     - a *framing* violation (length prefix beyond :data:`MAX_FRAME_BYTES`)
       raises :class:`WireError`, because the stream can no longer be
       trusted to resynchronize — the caller should drop the connection.
+
+    ``batch_auth_provider`` is a zero-argument callable returning the
+    current batch authenticator (or ``None``); it is re-read per batch so
+    an authenticator wired up after the connection was accepted still
+    takes effect.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        accept_versions: Optional[Sequence[int]] = None,
+        batch_auth_provider: Optional[Callable[[], Any]] = None,
+    ) -> None:
         self._buffer = bytearray()
         self.malformed = 0
         self.frames_decoded = 0
+        self.batches_decoded = 0
+        self.batches_rejected = 0
+        self.accept = frozenset(accept_versions if accept_versions is not None else WIRE_VERSIONS)
+        self._accept_v2 = WIRE_V2 in self.accept
+        self.batch_auth_provider = batch_auth_provider
 
     def feed(self, data: bytes) -> List[Tuple[str, Any, int]]:
         """Consume bytes; return every complete, valid frame decoded."""
-        self._buffer.extend(data)
-        return list(self._drain())
-
-    def _drain(self) -> Iterator[Tuple[str, Any, int]]:
+        buffer = self._buffer
+        buffer.extend(data)
+        out: List[Tuple[str, Any, int]] = []
+        decode_body = self._decode_body
+        lensize = _LEN.size
         while True:
-            if len(self._buffer) < _LEN.size:
-                return
-            (length,) = _LEN.unpack_from(self._buffer)
+            if len(buffer) < lensize:
+                return out
+            (length,) = _LEN.unpack_from(buffer)
             if length > MAX_FRAME_BYTES:
                 raise WireError(
                     f"length prefix {length} exceeds MAX_FRAME_BYTES; stream corrupt"
                 )
-            if len(self._buffer) < _LEN.size + length:
-                return
-            body = bytes(self._buffer[_LEN.size : _LEN.size + length])
-            del self._buffer[: _LEN.size + length]
-            try:
-                frame = decode_frame_body(body)
-            except WireError:
-                self.malformed += 1
+            total = lensize + length
+            if len(buffer) < total:
+                return out
+            body = bytes(buffer[lensize:total])
+            del buffer[:total]
+            if body and body[0] == MAGIC_BATCH:
+                if not self._accept_v2:
+                    self.malformed += 1
+                    continue
+                auth = self.batch_auth_provider() if self.batch_auth_provider else None
+                try:
+                    _src, members = split_batch_body(body, auth)
+                except BatchAuthError:
+                    self.batches_rejected += 1
+                    continue
+                except WireError:
+                    self.malformed += 1
+                    continue
+                self.batches_decoded += 1
+                for member in members:
+                    frame = decode_body(member)
+                    if frame is not None:
+                        out.append(frame)
                 continue
-            self.frames_decoded += 1
-            yield frame
+            frame = decode_body(body)
+            if frame is not None:
+                out.append(frame)
+
+    def _decode_body(self, body: bytes) -> Optional[Tuple[str, Any, int]]:
+        """One non-batch body, or ``None`` (counted) when unacceptable."""
+        if body and body[0] == MAGIC_V2:
+            if not self._accept_v2:
+                self.malformed += 1  # a V2 frame at a V1-only receiver
+                return None
+            frame = _DECODE_MEMO.get(body)
+            if frame is not None:  # only well-formed bodies are memoized
+                self.frames_decoded += 1
+                return frame
+        try:
+            frame = decode_frame_body(body)
+        except WireError:
+            self.malformed += 1
+            return None
+        self.frames_decoded += 1
+        return frame
+

@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
-from repro.obs.registry import DEFAULT_TIME_BUCKETS, Collector, MetricsRegistry
+from repro.obs.registry import (
+    BATCH_FRAME_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    ENCODE_SECONDS_BUCKETS,
+    Collector,
+    MetricsRegistry,
+)
 from repro.obs.spans import (
     DEFAULT_MAX_SPANS,
     SPAN_DETECTION,
@@ -146,6 +152,53 @@ def peer_stats_collector(stats: Any, pid: int) -> Collector:
         for name, value in stats.as_dict().items():
             registry.counter(f"peer_{name}_total", help="live TCP peer statistics",
                              pid=pid).set(value)
+
+    return collect
+
+
+def wire_stats_collector(manager: Any, pid: int) -> Collector:
+    """Fold a live node's codec/batching statistics in (duck-typed).
+
+    ``manager`` is anything shaped like :class:`~repro.net.peer.PeerManager`
+    (``wire_stats``, ``stats``, ``wire_version`` attributes); keeping the
+    dependency duck-typed means the obs layer never imports the network
+    stack.  Histogram state is *overwritten* from the manager's plain
+    arrays — the same collect-on-snapshot discipline as every other
+    collector, so the send hot path never touches a registry object.
+    """
+
+    def collect(registry: MetricsRegistry) -> None:
+        stats = manager.stats
+        ws = manager.wire_stats
+        registry.counter(
+            "net_bytes_sent_total", help="bytes written to peer sockets", pid=pid
+        ).set(stats.bytes_sent)
+        registry.counter(
+            "net_bytes_received_total", help="bytes read from peer sockets", pid=pid
+        ).set(stats.bytes_received)
+        registry.gauge(
+            "net_wire_version", help="configured wire codec version", pid=pid
+        ).set(manager.wire_version)
+        batch_hist = registry.histogram(
+            "net_batch_frames", help="frames coalesced per outbound flush",
+            buckets=BATCH_FRAME_BUCKETS, pid=pid,
+        )
+        batch_hist.counts = list(ws.batch_bucket_counts)
+        batch_hist.sum = float(ws.batch_frames_sum)
+        batch_hist.count = ws.batch_flushes
+        encode_hist = registry.histogram(
+            "wire_encode_seconds", help="time spent encoding one frame body",
+            buckets=ENCODE_SECONDS_BUCKETS, pid=pid,
+        )
+        encode_hist.counts = list(ws.encode_bucket_counts)
+        encode_hist.sum = ws.encode_seconds_sum
+        encode_hist.count = ws.encode_count
+        for version, count in sorted(ws.negotiated_versions.items()):
+            registry.counter(
+                "net_negotiated_connections_total",
+                help="outbound handshakes by negotiated codec version",
+                pid=pid, version=version,
+            ).set(count)
 
     return collect
 

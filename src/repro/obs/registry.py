@@ -41,6 +41,14 @@ SNAPSHOT_SCHEMA = "repro.metrics/1"
 #: what keeps the exported shapes comparable.
 DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
+#: Boundaries for the live runtime's wire instrumentation (E27).  They
+#: live here — not in :mod:`repro.net` — so the obs layer never imports
+#: the network stack (collectors are duck-typed over it instead).
+BATCH_FRAME_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+ENCODE_SECONDS_BUCKETS: Tuple[float, ...] = (
+    2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 1e-3, 1e-2,
+)
+
 LabelItems = Tuple[Tuple[str, Any], ...]
 Collector = Callable[["MetricsRegistry"], None]
 

@@ -186,19 +186,18 @@ def test_cancelled_timer_does_not_fire():
 
 def test_backpressure_drops_and_counts():
     async def scenario():
-        stats = PeerStats()
-        conn = PeerConnection(
-            peer=2,
-            addr=("127.0.0.1", 1),  # nothing listens here
-            stats=stats,
-            policy=ReconnectPolicy(initial_delay=0.05, max_delay=0.1),
-            rng=__import__("random").Random(0),
+        manager = PeerManager(
+            1,
+            addresses={2: ("127.0.0.1", 1)},  # nothing listens here
             queue_capacity=2,
+            policy=ReconnectPolicy(initial_delay=0.05, max_delay=0.1),
+            rng_seed=0,
         )
-        accepted = [conn.enqueue(b"frame%d" % i) for i in range(4)]
+        conn = manager.connection(2)
+        accepted = [conn.enqueue("qs.update", i) for i in range(4)]
         await asyncio.sleep(0.05)
-        await conn.close()
-        return accepted, stats
+        await manager.close()
+        return accepted, conn.stats
 
     accepted, stats = asyncio.run(scenario())
     assert accepted.count(False) == 2

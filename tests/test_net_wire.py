@@ -18,6 +18,8 @@ from repro.crypto.keys import KeyRegistry
 from repro.net.wire import (
     MAX_DEPTH,
     MAX_FRAME_BYTES,
+    WIRE_V1,
+    WIRE_V2,
     FrameDecoder,
     WireError,
     decode_frame_body,
@@ -192,3 +194,72 @@ class TestFraming:
     def test_oversized_payload_rejected_at_encode(self):
         with pytest.raises(WireError):
             encode_frame("x", "a" * (MAX_FRAME_BYTES + 1), 1)
+
+
+class TestV2Framing:
+    """The binary codec behind the same framing and decoder."""
+
+    def frame(self, kind="qs.update", payload=(1, 2), src=1):
+        return encode_frame(kind, payload, src, version=WIRE_V2)
+
+    def test_roundtrip(self):
+        kind, payload, src = decode_frame_body(self.frame()[4:])
+        assert (kind, payload, src) == ("qs.update", (1, 2), 1)
+
+    def test_unlisted_kind_travels_inline(self):
+        # Kinds outside the hot one-byte tag table carry the string.
+        body = self.frame(kind="custom.experimental")[4:]
+        assert decode_frame_body(body)[0] == "custom.experimental"
+
+    def test_v2_is_smaller_than_v1_for_protocol_traffic(self):
+        payload = UpdatePayload(row=(0, 0, 1, 0, 2))
+        v1 = encode_frame("qs.update", payload, 1, version=WIRE_V1)
+        v2 = encode_frame("qs.update", payload, 1, version=WIRE_V2)
+        assert len(v2) < len(v1)
+
+    def test_decoded_payload_type_identical_to_v1(self):
+        payload = {"k": (1, 2), "s": frozenset({3}), "b": b"\x00\xff"}
+        via_v1 = decode_frame_body(encode_frame("x", payload, 1)[4:])[1]
+        via_v2 = decode_frame_body(self.frame(payload=payload)[4:])[1]
+        assert via_v1 == via_v2 == payload
+        assert type(via_v2["k"]) is tuple and type(via_v2["s"]) is frozenset
+
+    def test_signed_update_survives_v2_and_verifies(self):
+        registry = KeyRegistry(4)
+        message = Authenticator(registry, 2).sign(UpdatePayload(row=(0, 0, 0, 1, 0)))
+        decoded = decode_frame_body(self.frame(payload=message)[4:])[1]
+        assert decoded == message
+        assert Authenticator(registry, 1).verify(decoded)
+
+    def test_stream_decoder_handles_mixed_codec_frames(self):
+        data = (
+            encode_frame("a", 1, 1, version=WIRE_V1)
+            + encode_frame("b", 2, 2, version=WIRE_V2)
+            + encode_frame("c", 3, 3, version=WIRE_V1)
+        )
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(len(data)):  # one byte at a time
+            frames.extend(decoder.feed(data[i : i + 1]))
+        assert [f[0] for f in frames] == ["a", "b", "c"]
+        assert decoder.malformed == 0
+
+    def test_v2_frame_at_v1_only_decoder_counted_malformed(self):
+        decoder = FrameDecoder(accept_versions=(WIRE_V1,))
+        assert decoder.feed(self.frame()) == []
+        assert decoder.malformed == 1
+
+    @pytest.mark.parametrize("src", [0, -1, 0x10000])
+    def test_src_outside_u16_rejected_at_encode(self, src):
+        with pytest.raises(WireError):
+            encode_frame("x", None, src, version=WIRE_V2)
+
+    def test_truncated_v2_body_is_typed_error(self):
+        body = self.frame(payload=(1, 2, 3))[4:]
+        for cut in range(1, len(body)):
+            with pytest.raises(WireError):
+                decode_frame_body(body[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(WireError):
+            decode_frame_body(self.frame()[4:] + b"\x00")

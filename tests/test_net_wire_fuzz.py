@@ -34,10 +34,20 @@ from repro.core.messages import (
 from repro.crypto.authenticator import Authenticator, SignedMessage
 from repro.crypto.keys import KeyRegistry
 from repro.net.wire import (
+    KIND_ACK,
+    KIND_HELLO,
+    WIRE_V1,
+    WIRE_V2,
+    WIRE_VERSIONS,
     FrameDecoder,
     WireError,
     decode_frame_body,
+    encode_ack,
     encode_frame,
+    encode_hello,
+    is_control_kind,
+    negotiate_ack_version,
+    parse_ack_version,
 )
 from repro.util.rand import DeterministicRng, make_rng
 
@@ -140,23 +150,30 @@ def assert_type_identical(sent, received, path="payload"):
         assert sent == received, path
 
 
-def random_frames(rng: DeterministicRng, count: int):
-    """``count`` random valid (kind, payload, src, frame-bytes) tuples."""
+def random_frames(rng: DeterministicRng, count: int, version: int = WIRE_V1):
+    """``count`` random valid (kind, payload, src, frame-bytes) tuples.
+
+    The kind pool deliberately mixes hot kinds (one-byte V2 kind tags)
+    with ``"k"`` (inline kind string), so both V2 header shapes fuzz.
+    """
     frames = []
     for i in range(count):
         item = rng.child(i)
         kind = item.choice(["qs.update", "heartbeat", "fd.ping", "xp.prepare", "k"])
         payload = random_value(item)
         src = item.randint(1, N)
-        frames.append((kind, payload, src, encode_frame(kind, payload, src)))
+        frames.append(
+            (kind, payload, src, encode_frame(kind, payload, src, version=version))
+        )
     return frames
 
 
+@pytest.mark.parametrize("version", WIRE_VERSIONS)
 @pytest.mark.parametrize("seed", SEEDS)
-def test_random_frames_round_trip_type_identically(seed):
+def test_random_frames_round_trip_type_identically(seed, version):
     rng = make_rng(seed).child("roundtrip")
     signed_seen = 0
-    for kind, payload, src, frame in random_frames(rng, 60):
+    for kind, payload, src, frame in random_frames(rng, 60, version=version):
         decoded_kind, decoded_payload, decoded_src = decode_frame_body(frame[4:])
         assert (decoded_kind, decoded_src) == (kind, src)
         assert_type_identical(payload, decoded_payload)
@@ -168,10 +185,11 @@ def test_random_frames_round_trip_type_identically(seed):
     assert signed_seen > 0  # the generator must actually cover envelopes
 
 
+@pytest.mark.parametrize("version", WIRE_VERSIONS)
 @pytest.mark.parametrize("seed", SEEDS)
-def test_byte_mutations_raise_only_wire_errors(seed):
+def test_byte_mutations_raise_only_wire_errors(seed, version):
     rng = make_rng(seed).child("mutate")
-    for kind, payload, src, frame in random_frames(rng, 25):
+    for kind, payload, src, frame in random_frames(rng, 25, version=version):
         body = frame[4:]
         for trial in range(8):
             mrng = rng.child(kind, trial, len(body))
@@ -190,12 +208,15 @@ def test_byte_mutations_raise_only_wire_errors(seed):
                     )
 
 
+@pytest.mark.parametrize("version", WIRE_VERSIONS)
 @pytest.mark.parametrize("seed", SEEDS)
-def test_stream_decoder_survives_corrupt_streams(seed):
+def test_stream_decoder_survives_corrupt_streams(seed, version):
     rng = make_rng(seed).child("stream")
     for trial in range(15):
         trial_rng = rng.child(trial)
-        frames = random_frames(trial_rng.child("gen"), trial_rng.randint(2, 6))
+        frames = random_frames(
+            trial_rng.child("gen"), trial_rng.randint(2, 6), version=version
+        )
         stream = bytearray(b"".join(frame for _, _, _, frame in frames))
 
         # Clean stream in random-sized chunks: every frame decodes.
@@ -228,3 +249,50 @@ def test_stream_decoder_survives_corrupt_streams(seed):
             pytest.fail(f"seed={seed}: stream loop leaked {type(exc).__name__}: {exc!r}")
         # Corruption can only lose frames, never mint valid ones.
         assert decoded <= len(frames)
+
+
+# ------------------------------------------------------------- negotiation
+# The hello/ack handshake must land inside the version vocabulary for
+# *any* payload a peer can send, and a mixed V1/V2 pair must settle on V1
+# using only control frames — no protocol frame is ever minted before the
+# codec is agreed.
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_negotiation_settles_in_vocabulary_under_garbage(seed):
+    rng = make_rng(seed).child("negotiate")
+    for trial in range(40):
+        item = rng.child(trial)
+        garbage = random_value(item)
+        own_max = item.choice(list(WIRE_VERSIONS))
+        acked = negotiate_ack_version(garbage, own_max)
+        assert acked in WIRE_VERSIONS and acked <= own_max
+        parsed = parse_ack_version(garbage, own_max)
+        assert parsed in WIRE_VERSIONS and parsed <= own_max
+
+
+def test_v1_and_v2_peers_settle_on_v1_without_minting_protocol_frames():
+    # Dialer speaks up to V2; listener only V1.  The hello travels as a
+    # V1 frame, so the V1-only decoder parses it without counting it
+    # malformed — and it is control traffic, never delivered to a host.
+    listener = FrameDecoder(accept_versions=(WIRE_V1,))
+    hello_frames = listener.feed(encode_hello(1, WIRE_V2))
+    assert [kind for kind, _, _ in hello_frames] == [KIND_HELLO]
+    assert listener.malformed == 0
+    kind, hello_payload, src = hello_frames[0]
+    assert is_control_kind(kind) and src == 1
+
+    acked = negotiate_ack_version(hello_payload, WIRE_V1)
+    assert acked == WIRE_V1
+
+    # The ack is V1 too; the V2 dialer accepts the downgrade.
+    dialer = FrameDecoder()
+    ack_frames = dialer.feed(encode_ack(2, acked))
+    assert [kind for kind, _, _ in ack_frames] == [KIND_ACK]
+    assert dialer.malformed == 0
+    assert is_control_kind(ack_frames[0][0])
+    assert parse_ack_version(ack_frames[0][1], WIRE_V2) == WIRE_V1
+
+    # Symmetric pair of V2 speakers settles on V2 the same way.
+    v2_hello = FrameDecoder().feed(encode_hello(1, WIRE_V2))[0]
+    assert negotiate_ack_version(v2_hello[1], WIRE_V2) == WIRE_V2
