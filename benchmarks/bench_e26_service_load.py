@@ -1,0 +1,161 @@
+"""E26 — replicated KV service under load: live TCP + deterministic sim.
+
+Drives the full client path (request ids, retry/backoff, redirect via
+learned views, server-side at-most-once dedup) against the XPaxos+QS
+stack and writes ``BENCH_service_load.json`` at the repo root:
+
+- **live**: ``n`` replica OS processes plus the client gateway
+  (:func:`repro.service.live.run_live_load`), closed-loop, with a
+  mid-run leader kill and recovery — throughput and latency p50/p99 for
+  the steady, crash, and recovery phases, plus the measured
+  client-visible view-change outage (kill → first completion served in
+  a higher view);
+- **sim**: the deterministic twin
+  (:func:`repro.service.loadgen.run_sim_load`) under the same fault
+  schedule, so the phase structure is reproducible bit-for-bit across
+  machines.
+
+Both halves assert the service invariants: every node's at-most-once
+equation holds, and replicas at the same execution frontier share one
+state digest.  ``python benchmarks/perf_report.py --service`` reruns
+this and flags a steady-state throughput drop of more than 20% against
+the previous report.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+import pytest  # noqa: E402
+
+from repro.analysis.report import Table  # noqa: E402
+from repro.service.live import run_live_load_blocking  # noqa: E402
+from repro.service.loadgen import run_sim_load  # noqa: E402
+
+from benchmarks._reporting import emit  # noqa: E402
+
+REPORT_PATH = REPO_ROOT / "BENCH_service_load.json"
+
+
+def run_live_case(
+    clients: int = 64,
+    duration: float = 14.0,
+    kill_leader_at: Optional[float] = 8.0,
+    recover_at: Optional[float] = 10.5,
+) -> dict:
+    """The live benchmark scenario; returns the (serializable) report."""
+    report = run_live_load_blocking(
+        n=4,
+        f=1,
+        clients=clients,
+        duration=duration,
+        kill_leader_at=kill_leader_at,
+        recover_at=recover_at,
+    )
+    assert report["at_most_once"], "a replica's at-most-once equation broke"
+    assert report["digests_agree"], "frontier replicas diverged"
+    return report
+
+
+def run_sim_case(
+    clients: int = 40,
+    duration: float = 120.0,
+    kill_leader_at: Optional[float] = 60.0,
+    recover_at: Optional[float] = 85.0,
+) -> dict:
+    """The deterministic twin of the live scenario."""
+    report = run_sim_load(
+        n=4,
+        f=1,
+        clients=clients,
+        duration=duration,
+        kill_leader_at=kill_leader_at,
+        recover_at=recover_at,
+    )
+    report.pop("world", None)  # live object handles are not serializable
+    assert report["at_most_once"], "a replica's at-most-once equation broke"
+    assert report["digests_agree"], "frontier replicas diverged"
+    return report
+
+
+def write_report(
+    path: Path = REPORT_PATH,
+    live_duration: float = 14.0,
+    live_clients: int = 64,
+) -> dict:
+    report = {
+        "benchmark": "E26 — replicated KV service + load generator",
+        "scenario": (
+            "closed-loop clients, zipfian GET/PUT/CAS/DEL mix, n=4 f=1; "
+            "initial leader killed mid-run and later recovered; phases "
+            "report completions inside their window, view_change the "
+            "client-visible outage (kill -> first reply in a higher view)"
+        ),
+        "live": run_live_case(clients=live_clients, duration=live_duration),
+        "sim": run_sim_case(),
+    }
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def render_table(report: dict) -> str:
+    live = report["live"]
+    sim = report["sim"]
+    table = Table(
+        ["runtime", "phase", "completed", "throughput", "p50", "p99"],
+        title=(
+            "E26 — KV service load (live: req/s; sim: req/sim-t) — "
+            f"live {live['clients']} clients, sim {sim['clients']} clients"
+        ),
+    )
+    for runtime, block in (("live", live), ("sim", sim)):
+        for name, phase in block["phases"].items():
+            if name == "view_change":
+                continue
+            table.add_row(
+                runtime, name, phase["completed"], phase["throughput"],
+                phase["latency_p50"], phase["latency_p99"],
+            )
+        outage = block["phases"].get("view_change", {}).get("outage")
+        table.add_row(runtime, "view-change outage", "-", outage, "-", "-")
+    return table.render()
+
+
+# ----------------------------------------------------------------- pytest
+
+
+@pytest.mark.net
+def test_e26_service_load_report():
+    """Scaled-down report run: invariants hold, the file is written."""
+    report = {
+        "benchmark": "E26 — replicated KV service + load generator (smoke)",
+        "live": run_live_case(clients=8, duration=6.0,
+                              kill_leader_at=3.0, recover_at=4.5),
+        "sim": run_sim_case(clients=20, duration=80.0,
+                            kill_leader_at=40.0, recover_at=60.0),
+    }
+    for runtime in ("live", "sim"):
+        block = report[runtime]
+        assert block["completed"] > 0
+        assert block["at_most_once"] and block["digests_agree"]
+        steady = block["phases"]["steady"]
+        assert steady["completed"] > 0
+        assert steady["latency_p50"] <= steady["latency_p99"]
+        view_change = block["phases"]["view_change"]
+        assert view_change["outage"] is not None and view_change["outage"] > 0
+    # The live gateway must actually route every reply it receives.
+    assert report["live"]["replies_unrouted"] == 0
+    emit("e26_service_load", render_table(report))
+
+
+if __name__ == "__main__":
+    emit("e26_service_load", render_table(write_report()))
+    print(f"wrote {REPORT_PATH}")

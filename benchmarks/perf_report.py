@@ -151,6 +151,37 @@ def find_net_regressions(
     return []
 
 
+def find_service_regressions(
+    previous: Optional[dict], report: dict,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> List[str]:
+    """Flag the KV-service benchmark's steady throughput dropping.
+
+    Mirrors :func:`find_net_regressions` for ``BENCH_service_load.json``:
+    a flag line when the live steady-state throughput fell by more than
+    ``threshold`` (fractional) versus the previous report.  Missing or
+    malformed previous reports flag nothing.
+    """
+    if not previous:
+        return []
+    try:
+        old = previous["live"]["phases"]["steady"]["throughput"]
+        new = report["live"]["phases"]["steady"]["throughput"]
+    except (KeyError, TypeError):
+        return []
+    if not isinstance(old, (int, float)) or old <= 0:
+        return []
+    if not isinstance(new, (int, float)):
+        return []
+    ratio = new / old
+    if ratio < 1.0 - threshold:
+        return [
+            f"service steady throughput {old:.0f}/s -> {new:.0f}/s "
+            f"({(ratio - 1) * 100:.0f}%, threshold -{threshold * 100:.0f}%)"
+        ]
+    return []
+
+
 def read_previous_report(path: Path = REPORT_PATH) -> Optional[dict]:
     """The report currently on disk, or ``None`` if absent/corrupt."""
     try:
@@ -236,6 +267,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(E24) and write BENCH_net_loopback.json")
     parser.add_argument("--net-rounds", type=int, default=4,
                         help="stabilization rounds per case for --net")
+    parser.add_argument("--service", action="store_true",
+                        help="also run the replicated KV service load "
+                             "benchmark (E26) and write BENCH_service_load.json")
     args = parser.parse_args(argv)
 
     previous = read_previous_report()
@@ -257,6 +291,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"PERF REGRESSION: {line}")
         regressions.extend(net_regressions)
         print(f"wrote {e24.REPORT_PATH}")
+
+    if args.service:
+        from benchmarks import bench_e26_service_load as e26
+
+        service_previous = read_previous_report(e26.REPORT_PATH)
+        service_report = e26.write_report()
+        emit("e26_service_load", e26.render_table(service_report))
+        service_regressions = find_service_regressions(
+            service_previous, service_report
+        )
+        for line in service_regressions:
+            print(f"PERF REGRESSION: {line}")
+        regressions.extend(service_regressions)
+        print(f"wrote {e26.REPORT_PATH}")
 
     if regressions and args.strict:
         return 1

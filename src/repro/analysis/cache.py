@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from repro.util.files import atomic_write_text
+
 #: Default cache location, relative to the working directory (the repo
 #: root for every documented entry point: pytest, benchmarks, the CLI).
 DEFAULT_CACHE_DIR = Path(".benchmarks") / "cache"
@@ -165,9 +167,7 @@ class ResultCache:
         """Store ``value`` (must be JSON-serializable) atomically."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps({"key": key, "value": value}) + "\n")
-        os.replace(tmp, path)
+        atomic_write_text(path, json.dumps({"key": key, "value": value}) + "\n")
         self.stats.stores += 1
         self._evict_over_limit()
 

@@ -316,12 +316,103 @@ def _cmd_node(args: argparse.Namespace) -> int:
             metrics_prom_path=args.metrics_prom,
             wire_version=args.wire_version,
             uvloop=args.uvloop,
+            service=args.service,
+            service_clients=args.service_clients,
+            batch_size=args.batch_size,
+            batch_window=args.batch_window,
+            checkpoint_interval=args.checkpoint_interval,
         )
         config.validate()
         run_node_blocking(config)
     except ConfigurationError as exc:
         return _invalid(str(exc))
     return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.util.errors import ConfigurationError
+
+    if args.mode == "open" and args.rate is None:
+        return _invalid("open-loop mode needs --rate")
+    kill = args.kill_leader_at
+    recover = args.recover_at
+    if recover is not None and kill is None:
+        return _invalid("--recover-at needs --kill-leader-at")
+    if args.clients is None:
+        args.clients = 100 if args.runtime == "sim" else 32
+    if args.duration is None:
+        args.duration = 300.0 if args.runtime == "sim" else 8.0
+    try:
+        if args.runtime == "sim":
+            from repro.service.loadgen import run_sim_load
+
+            report = run_sim_load(
+                n=args.n,
+                f=args.f,
+                clients=args.clients,
+                duration=args.duration,
+                mode=args.mode,
+                rate=args.rate,
+                seed=args.seed,
+                keys=args.keys,
+                zipf_s=args.zipf,
+                kill_leader_at=kill,
+                recover_at=recover,
+            )
+            report.pop("world", None)
+        else:
+            from repro.service.live import run_live_load_blocking
+
+            report = run_live_load_blocking(
+                n=args.n,
+                f=args.f,
+                clients=args.clients,
+                duration=args.duration,
+                mode=args.mode,
+                rate=args.rate,
+                seed=args.seed,
+                keys=args.keys,
+                zipf_s=args.zipf,
+                kill_leader_at=kill,
+                recover_at=recover,
+                run_dir=args.run_dir,
+            )
+    except ConfigurationError as exc:
+        return _invalid(str(exc))
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        unit = "s" if args.runtime == "live" else "sim-t"
+        table = Table(
+            ["phase", "completed", f"throughput (req/{unit})",
+             "latency p50", "latency p99"],
+            title=(
+                f"KV service load — {args.runtime}, n={args.n}, f={args.f}, "
+                f"{args.clients} clients, {args.mode}-loop"
+            ),
+        )
+        for name, phase in report["phases"].items():
+            if name == "view_change":
+                continue
+            table.add_row(
+                name, phase["completed"], phase["throughput"],
+                phase["latency_p50"], phase["latency_p99"],
+            )
+        print(table.render())
+        view_change = report["phases"].get("view_change")
+        if view_change is not None:
+            print(
+                f"view-change outage: {view_change['outage']} "
+                f"(new view learned by {view_change['new_view_learned_by']} clients)"
+            )
+        print(
+            f"offered={report['offered']} completed={report['completed']} "
+            f"retries={report['retries']} at_most_once={report['at_most_once']} "
+            f"digests_agree={report['digests_agree']}"
+        )
+    healthy = bool(report["at_most_once"]) and bool(report["digests_agree"])
+    return 0 if healthy else 1
 
 
 def _emit_snapshot(snapshot: dict, render: str, out: Optional[str]) -> int:
@@ -551,7 +642,49 @@ def build_parser() -> argparse.ArgumentParser:
                            "or REPRO_WIRE_VERSION)")
     node.add_argument("--uvloop", action="store_true",
                       help="install uvloop before running (no-op if missing)")
+    node.add_argument("--service", choices=("kv",), default=None,
+                      help="run a replicated service on top of the QS stack")
+    node.add_argument("--service-clients", type=int, default=0,
+                      help="logical client pids covered by the key registry")
+    node.add_argument("--batch-size", type=int, default=8,
+                      help="service consensus batch size (default 8)")
+    node.add_argument("--batch-window", type=float, default=0.002,
+                      help="service consensus batch window seconds (default 0.002)")
+    node.add_argument("--checkpoint-interval", type=int, default=128,
+                      help="service checkpoint every N slots (default 128)")
     node.set_defaults(func=_cmd_node)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive the replicated KV service under load (sim or live TCP)",
+    )
+    loadgen.add_argument("--runtime", choices=("sim", "live"), default="sim",
+                         help="deterministic sim or live loopback cluster")
+    loadgen.add_argument("--n", type=int, default=4, help="replicas (default 4)")
+    loadgen.add_argument("--f", type=int, default=1, help="fault bound (default 1)")
+    loadgen.add_argument("--clients", type=int, default=None,
+                         help="logical clients (default: 100 sim, 32 live)")
+    loadgen.add_argument("--duration", type=float, default=None,
+                         help="load window (default: 300 sim-t, 8 s live)")
+    loadgen.add_argument("--mode", choices=("closed", "open"), default="closed",
+                         help="closed-loop (one outstanding/client) or "
+                              "open-loop fixed-rate arrivals")
+    loadgen.add_argument("--rate", type=float, default=None,
+                         help="open-loop arrival rate (req per time unit)")
+    loadgen.add_argument("--seed", type=int, default=3)
+    loadgen.add_argument("--keys", type=int, default=1000,
+                         help="key-space size (default 1000)")
+    loadgen.add_argument("--zipf", type=float, default=1.1,
+                         help="zipf skew for key choice (default 1.1)")
+    loadgen.add_argument("--kill-leader-at", type=float, default=None,
+                         metavar="T", help="crash the initial leader at T")
+    loadgen.add_argument("--recover-at", type=float, default=None,
+                         metavar="T", help="recover the killed leader at T")
+    loadgen.add_argument("--run-dir", default=None,
+                         help="live only: per-node JSONL event streams")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the full machine-readable report")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     metrics = sub.add_parser(
         "metrics",

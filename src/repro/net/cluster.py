@@ -65,6 +65,18 @@ class ClusterConfig:
     wire_version: Optional[int] = None
     wire_versions: Optional[Dict[int, int]] = None
     uvloop: bool = False
+    #: Replicated service every node runs (``"kv"``) or ``None``.
+    service: Optional[str] = None
+    #: Logical client pids reserved in every node's key registry.
+    service_clients: int = 0
+    #: Extra (pid, "host:port") entries merged into the rendezvous peer
+    #: map — how client pids and the gateway pid route to the gateway
+    #: process, which binds *before* the cluster launches.
+    extra_peers: Tuple[Tuple[int, str], ...] = ()
+    #: Service-mode consensus tuning, passed through to every node.
+    batch_size: int = 8
+    batch_window: float = 0.002
+    checkpoint_interval: Optional[int] = 128
 
     def validate(self) -> None:
         from repro.net.wire import WIRE_VERSIONS
@@ -100,6 +112,19 @@ class ClusterConfig:
             raise ConfigurationError(
                 "recovery requires kill_mode='host' (a SIGKILLed process has no state)"
             )
+        if self.service not in (None, "kv"):
+            raise ConfigurationError(
+                f"service must be 'kv' or omitted, got {self.service!r}"
+            )
+        if self.service_clients < 0:
+            raise ConfigurationError(
+                f"service_clients must be >= 0, got {self.service_clients}"
+            )
+        for pid, _addr in self.extra_peers:
+            if pid <= self.n:
+                raise ConfigurationError(
+                    f"extra_peers pid {pid} collides with replica pids 1..{self.n}"
+                )
 
     def crashed_at_end(self) -> FrozenSet[int]:
         """Pids whose last scheduled transition leaves them crashed."""
@@ -255,6 +280,15 @@ def _node_command(config: ClusterConfig, pid: int) -> List[str]:
     wire_version = (config.wire_versions or {}).get(pid, config.wire_version)
     if wire_version is not None:
         cmd += ["--wire-version", str(wire_version)]
+    if config.service is not None:
+        cmd += [
+            "--service", config.service,
+            "--service-clients", str(config.service_clients),
+            "--batch-size", str(config.batch_size),
+            "--batch-window", str(config.batch_window),
+        ]
+        if config.checkpoint_interval is not None:
+            cmd += ["--checkpoint-interval", str(config.checkpoint_interval)]
     if config.uvloop:
         cmd.append("--uvloop")
     if config.kill_mode == "host":
@@ -306,8 +340,14 @@ def _reader(proc: subprocess.Popen, outcome: NodeOutcome, sink, lock) -> None:
             sink.flush()
 
 
-def run_cluster(config: ClusterConfig) -> ClusterResult:
-    """Launch, rendezvous, inject, collect.  Blocking; returns the result."""
+def run_cluster(config: ClusterConfig, on_ready=None) -> ClusterResult:
+    """Launch, rendezvous, inject, collect.  Blocking; returns the result.
+
+    ``on_ready(addresses)`` — if given — is called right after the peer
+    map is distributed, with the full ``{pid: "host:port"}`` map
+    (replicas plus ``extra_peers``).  The service gateway uses it to
+    learn replica addresses and start driving load.
+    """
     config.validate()
     started_at = time.time()
 
@@ -361,11 +401,15 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
                     addresses[pid] = f"{record['host']}:{record['port']}"
                     break
 
+        for pid, addr in config.extra_peers:
+            addresses[pid] = addr
         peer_map = json.dumps({str(pid): addr for pid, addr in addresses.items()})
         for pid, proc in procs.items():
             assert proc.stdin is not None
             proc.stdin.write(peer_map + "\n")
             proc.stdin.flush()
+        if on_ready is not None:
+            on_ready(dict(addresses))
 
         # ---- stream events -------------------------------------------
         for pid, proc in procs.items():

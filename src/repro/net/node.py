@@ -49,9 +49,10 @@ from repro.net.timers import NetTimerService
 from repro.net.wire import WIRE_VERSIONS
 from repro.obs.observability import Observability
 from repro.obs.registry import render_prometheus
-from repro.sim.worlds import attach_qs_stack
+from repro.sim.worlds import attach_kv_service_stack, attach_qs_stack
 from repro.util.errors import ConfigurationError
 from repro.util.eventlog import EventLog
+from repro.util.files import atomic_write_text
 
 #: Event-log kinds mirrored onto the JSON stream, log kind -> event name.
 STREAMED_KINDS = {
@@ -94,6 +95,17 @@ class NodeConfig:
     wire_version: Optional[int] = None
     #: Install uvloop before running (no-op where unavailable).
     uvloop: bool = False
+    #: Run a replicated service on top of the QS stack (``"kv"``), or
+    #: ``None`` for the bare selection stack.
+    service: Optional[str] = None
+    #: Logical client pids the key registry must cover in service mode
+    #: (clients occupy ``n+1 .. n+service_clients``; the gateway takes
+    #: ``n+service_clients+1``).
+    service_clients: int = 0
+    #: Service-mode consensus tuning (ignored without ``service``).
+    batch_size: int = 8
+    batch_window: float = 0.002
+    checkpoint_interval: Optional[int] = 128
 
     def validate(self) -> None:
         if not 1 <= self.f < self.n - self.f:
@@ -113,6 +125,14 @@ class NodeConfig:
             raise ConfigurationError(
                 f"wire_version must be one of {WIRE_VERSIONS}, got {self.wire_version}"
             )
+        if self.service not in (None, "kv"):
+            raise ConfigurationError(f"service must be 'kv' or omitted, got {self.service!r}")
+        if self.service_clients < 0:
+            raise ConfigurationError(
+                f"service_clients must be >= 0, got {self.service_clients}"
+            )
+        if self.service is not None and self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
 
 
 class StreamingEventLog(EventLog):
@@ -164,8 +184,14 @@ async def run_node(config: NodeConfig, emit=None) -> Dict[str, Any]:
     loop = asyncio.get_running_loop()
 
     # The key registry exists before the server does, so streams accepted
-    # during warm-up already verify link-level batch MACs.
-    registry = KeyRegistry(config.n)
+    # during warm-up already verify link-level batch MACs.  In service
+    # mode it also covers the logical client pids and the gateway pid —
+    # keys are derived per pid, so differently-sized registries agree on
+    # every pid they share.
+    registry_size = config.n
+    if config.service is not None:
+        registry_size = config.n + config.service_clients + 1
+    registry = KeyRegistry(registry_size)
     manager = PeerManager(
         config.pid,
         queue_capacity=config.queue_capacity,
@@ -186,7 +212,10 @@ async def run_node(config: NodeConfig, emit=None) -> Dict[str, Any]:
 
     # Warm the mesh before starting modules: the live analogue of GST
     # already holding at t=0 (dial-on-demand still covers latecomers).
-    warmed = await manager.warm_up(timeout=config.warmup_timeout)
+    # Service mode warms only the replica mesh — every client pid in the
+    # map routes to one gateway that is dialed on the first reply.
+    warm_targets = range(1, config.n + 1) if config.service is not None else None
+    warmed = await manager.warm_up(timeout=config.warmup_timeout, peers=warm_targets)
 
     timers = NetTimerService(loop)
     log = StreamingEventLog(emit, config.pid)
@@ -195,15 +224,28 @@ async def run_node(config: NodeConfig, emit=None) -> Dict[str, Any]:
         config.pid, manager, Authenticator(registry, config.pid), timers,
         log=log, obs=obs,
     )
-    module = attach_qs_stack(
-        host,
-        config.n,
-        config.f,
-        follower_mode=config.follower_mode,
-        heartbeat_period=config.heartbeat_period,
-        base_timeout=config.base_timeout,
-        anti_entropy_period=config.anti_entropy_period,
-    )
+    replica = None
+    if config.service is not None:
+        module, replica = attach_kv_service_stack(
+            host,
+            config.n,
+            config.f,
+            heartbeat_period=config.heartbeat_period,
+            base_timeout=config.base_timeout,
+            batch_size=config.batch_size,
+            batch_window=config.batch_window,
+            checkpoint_interval=config.checkpoint_interval,
+        )
+    else:
+        module = attach_qs_stack(
+            host,
+            config.n,
+            config.f,
+            follower_mode=config.follower_mode,
+            heartbeat_period=config.heartbeat_period,
+            base_timeout=config.base_timeout,
+            anti_entropy_period=config.anti_entropy_period,
+        )
     host.start()
     emit({"event": "ready", "pid": config.pid, "t": round(timers.now, 6), "warmed": warmed})
 
@@ -224,8 +266,8 @@ async def run_node(config: NodeConfig, emit=None) -> Dict[str, Any]:
         "spans_dropped": obs.spans.dropped,
     })
     if config.metrics_prom_path:
-        with open(config.metrics_prom_path, "w") as prom:
-            prom.write(render_prometheus(snapshot))
+        # Atomic so a scraper (or a crash mid-write) never sees a torn file.
+        atomic_write_text(config.metrics_prom_path, render_prometheus(snapshot))
 
     stats = manager.stats.as_dict()
     stats["frames_ignored_crashed"] = host.frames_ignored_crashed
@@ -249,6 +291,17 @@ async def run_node(config: NodeConfig, emit=None) -> Dict[str, Any]:
             **manager.wire_stats.as_dict(),
         },
     }
+    if replica is not None:
+        final["service"] = {
+            "kind": config.service,
+            "view": replica.view,
+            "executed": replica.executed_base + len(replica.executed),
+            "applied_requests": replica.kv.applied_requests,
+            "duplicates_refused": replica.kv.duplicates_refused,
+            "known_clients": replica.kv.known_clients,
+            "at_most_once": replica.kv.at_most_once_intact(),
+            "state_digest": replica.kv.state_digest(),
+        }
     emit(final)
     await manager.close()
     return final

@@ -45,7 +45,7 @@ import random
 from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.net.batch import MEMBER_OVERHEAD, BatchPolicy, WireStats
 from repro.net.wire import (
@@ -499,21 +499,30 @@ class PeerManager:
             enqueue = self.connection(dst).enqueue
         return enqueue(kind, payload)
 
-    async def warm_up(self, timeout: float = 10.0) -> bool:
-        """Eagerly dial every known peer; ``True`` if all connected.
+    async def warm_up(
+        self, timeout: float = 10.0, peers: Optional[Iterable[int]] = None
+    ) -> bool:
+        """Eagerly dial known peers; ``True`` if all connected.
 
         Used by the cluster harness as a start barrier: modules begin
         after the mesh is up, so the first heartbeats are not lost to
         dial latency and the failure detector starts from a connected
         world (the live analogue of GST already holding at t=0).
         Dial-on-demand still covers peers that come up later.
+
+        ``peers`` restricts the eager dial to a subset (a service node
+        warms only the replica mesh, not the client pids whose frames
+        all route to one gateway); ``None`` dials every known address.
         """
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
+        targets = sorted(self.addresses) if peers is None else [
+            peer for peer in sorted(peers) if peer in self.addresses
+        ]
         results = await asyncio.gather(
             *(
                 self.connection(peer).ensure_connected(deadline=deadline)
-                for peer in sorted(self.addresses)
+                for peer in targets
                 if peer != self.pid
             ),
             return_exceptions=True,

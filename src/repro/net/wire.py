@@ -54,6 +54,17 @@ from repro.core.messages import (
 )
 from repro.crypto.authenticator import SignedMessage
 from repro.crypto.signatures import Signature
+from repro.xpaxos.messages import (
+    CheckpointCertificate,
+    CheckpointPayload,
+    ClientRequest,
+    CommitCertificate,
+    CommitPayload,
+    NewViewPayload,
+    PreparePayload,
+    ReplyPayload,
+    ViewChangePayload,
+)
 
 #: The two negotiable codec versions.  ``WIRE_VERSION`` is kept as an
 #: alias of V1 for backward compatibility with earlier imports.
@@ -168,7 +179,89 @@ def encode_value(value: Any, _depth: int = 0) -> Any:
         return {"__digest__": [value.epoch, list(value.row_digests)]}
     if isinstance(value, RowCertsPayload):
         return {"__rows__": [encode_value(c, _depth + 1) for c in value.certs]}
+    if isinstance(value, ClientRequest):
+        return {
+            "__xreq__": [
+                _int(value.client, "client"),
+                _int(value.sequence, "sequence"),
+                encode_value(value.op, _depth + 1),
+            ]
+        }
+    if isinstance(value, PreparePayload):
+        return {
+            "__xprep__": [
+                _int(value.view, "view"),
+                _int(value.slot, "slot"),
+                [encode_value(sm, _depth + 1) for sm in value.signed_requests],
+            ]
+        }
+    if isinstance(value, CommitPayload):
+        return {
+            "__xcommit__": [
+                _int(value.view, "view"),
+                _int(value.slot, "slot"),
+                encode_value(value.prepare, _depth + 1),
+            ]
+        }
+    if isinstance(value, CommitCertificate):
+        return {
+            "__xcert__": [
+                encode_value(value.prepare, _depth + 1),
+                [encode_value(c, _depth + 1) for c in value.commits],
+            ]
+        }
+    if isinstance(value, CheckpointPayload):
+        _require(isinstance(value.state_digest, str), "state digest must be a string")
+        return {
+            "__xckpt__": [
+                _int(value.view, "view"),
+                _int(value.slot_count, "slot_count"),
+                value.state_digest,
+            ]
+        }
+    if isinstance(value, CheckpointCertificate):
+        return {"__xckptcert__": [encode_value(v, _depth + 1) for v in value.votes]}
+    if isinstance(value, ViewChangePayload):
+        return {
+            "__xvc__": [
+                _int(value.new_view, "new_view"),
+                [encode_value(c, _depth + 1) for c in value.committed],
+                _encode_prepared_pairs(value.prepared, _depth + 1),
+                encode_value(value.checkpoint, _depth + 1),
+                encode_value(value.snapshot, _depth + 1),
+            ]
+        }
+    if isinstance(value, NewViewPayload):
+        return {
+            "__xnv__": [
+                _int(value.view, "view"),
+                [encode_value(c, _depth + 1) for c in value.committed],
+                encode_value(value.checkpoint, _depth + 1),
+                encode_value(value.snapshot, _depth + 1),
+            ]
+        }
+    if isinstance(value, ReplyPayload):
+        return {
+            "__xreply__": [
+                _int(value.client, "client"),
+                _int(value.sequence, "sequence"),
+                encode_value(value.result, _depth + 1),
+                _int(value.replica, "replica"),
+                _int(value.view, "view"),
+            ]
+        }
     raise WireError(f"cannot encode {type(value).__name__} for the wire")
+
+
+def _encode_prepared_pairs(prepared: Any, depth: int) -> List[List[Any]]:
+    pairs = []
+    for entry in prepared:
+        _require(
+            isinstance(entry, tuple) and len(entry) == 2,
+            "prepared entries must be (slot, prepare) pairs",
+        )
+        pairs.append([_int(entry[0], "slot"), encode_value(entry[1], depth)])
+    return pairs
 
 
 def _require(condition: bool, message: str) -> None:
@@ -259,6 +352,109 @@ def decode_value(value: Any, _depth: int = 0) -> Any:
     if tag == "__rows__":
         _require(isinstance(body, list), "__rows__ body must be a list")
         return RowCertsPayload(certs=tuple(decode_value(v, _depth + 1) for v in body))
+    if tag == "__xreq__":
+        _require(isinstance(body, list) and len(body) == 3, "__xreq__ needs [client, seq, op]")
+        op = decode_value(body[2], _depth + 1)
+        _require(isinstance(op, tuple), "__xreq__ op must be a tuple")
+        return ClientRequest(
+            client=_int(body[0], "client"), sequence=_int(body[1], "sequence"), op=op
+        )
+    if tag == "__xprep__":
+        _require(
+            isinstance(body, list) and len(body) == 3,
+            "__xprep__ needs [view, slot, requests]",
+        )
+        _require(isinstance(body[2], list), "__xprep__ requests must be a list")
+        return PreparePayload(
+            view=_int(body[0], "view"),
+            slot=_int(body[1], "slot"),
+            signed_requests=tuple(decode_value(v, _depth + 1) for v in body[2]),
+        )
+    if tag == "__xcommit__":
+        _require(
+            isinstance(body, list) and len(body) == 3,
+            "__xcommit__ needs [view, slot, prepare]",
+        )
+        return CommitPayload(
+            view=_int(body[0], "view"),
+            slot=_int(body[1], "slot"),
+            prepare=decode_value(body[2], _depth + 1),
+        )
+    if tag == "__xcert__":
+        _require(
+            isinstance(body, list) and len(body) == 2,
+            "__xcert__ needs [prepare, commits]",
+        )
+        _require(isinstance(body[1], list), "__xcert__ commits must be a list")
+        return CommitCertificate(
+            prepare=decode_value(body[0], _depth + 1),
+            commits=tuple(decode_value(v, _depth + 1) for v in body[1]),
+        )
+    if tag == "__xckpt__":
+        _require(
+            isinstance(body, list) and len(body) == 3,
+            "__xckpt__ needs [view, slot_count, digest]",
+        )
+        _require(isinstance(body[2], str), "__xckpt__ digest must be a string")
+        return CheckpointPayload(
+            view=_int(body[0], "view"),
+            slot_count=_int(body[1], "slot_count"),
+            state_digest=body[2],
+        )
+    if tag == "__xckptcert__":
+        _require(isinstance(body, list), "__xckptcert__ body must be a list")
+        return CheckpointCertificate(
+            votes=tuple(decode_value(v, _depth + 1) for v in body)
+        )
+    if tag == "__xvc__":
+        _require(
+            isinstance(body, list) and len(body) == 5,
+            "__xvc__ needs [new_view, committed, prepared, checkpoint, snapshot]",
+        )
+        _require(isinstance(body[1], list), "__xvc__ committed must be a list")
+        _require(isinstance(body[2], list), "__xvc__ prepared must be a list")
+        prepared = []
+        for pair in body[2]:
+            _require(
+                isinstance(pair, list) and len(pair) == 2,
+                "__xvc__ prepared entries must be pairs",
+            )
+            prepared.append((_int(pair[0], "slot"), decode_value(pair[1], _depth + 1)))
+        snapshot = decode_value(body[4], _depth + 1)
+        _require(snapshot is None or isinstance(snapshot, tuple), "snapshot must be a tuple")
+        return ViewChangePayload(
+            new_view=_int(body[0], "new_view"),
+            committed=tuple(decode_value(v, _depth + 1) for v in body[1]),
+            prepared=tuple(prepared),
+            checkpoint=decode_value(body[3], _depth + 1),
+            snapshot=snapshot,
+        )
+    if tag == "__xnv__":
+        _require(
+            isinstance(body, list) and len(body) == 4,
+            "__xnv__ needs [view, committed, checkpoint, snapshot]",
+        )
+        _require(isinstance(body[1], list), "__xnv__ committed must be a list")
+        snapshot = decode_value(body[3], _depth + 1)
+        _require(snapshot is None or isinstance(snapshot, tuple), "snapshot must be a tuple")
+        return NewViewPayload(
+            view=_int(body[0], "view"),
+            committed=tuple(decode_value(v, _depth + 1) for v in body[1]),
+            checkpoint=decode_value(body[2], _depth + 1),
+            snapshot=snapshot,
+        )
+    if tag == "__xreply__":
+        _require(
+            isinstance(body, list) and len(body) == 5,
+            "__xreply__ needs [client, seq, result, replica, view]",
+        )
+        return ReplyPayload(
+            client=_int(body[0], "client"),
+            sequence=_int(body[1], "sequence"),
+            result=decode_value(body[2], _depth + 1),
+            replica=_int(body[3], "replica"),
+            view=_int(body[4], "view"),
+        )
     raise WireError(f"unknown wire tag {tag!r}")
 
 
@@ -286,6 +482,15 @@ _T_UPDATE = 0x0E
 _T_FOLLOWERS = 0x0F
 _T_DIGEST = 0x10
 _T_ROWS = 0x11
+_T_XREQUEST = 0x12
+_T_XPREPARE = 0x13
+_T_XCOMMIT = 0x14
+_T_XCERT = 0x15
+_T_XCKPT = 0x16
+_T_XCKPTCERT = 0x17
+_T_XVC = 0x18
+_T_XNV = 0x19
+_T_XREPLY = 0x1A
 
 _F64 = struct.Struct(">d")
 
@@ -311,6 +516,9 @@ _KIND_IDS: Dict[str, int] = {
     "xp.prepare": 9,
     "xp.commit": 10,
     "xp.reply": 11,
+    "xp.viewchange": 12,
+    "xp.newview": 13,
+    "xp.checkpoint": 14,
 }
 _KIND_BY_ID = {tag: kind for kind, tag in _KIND_IDS.items()}
 
@@ -470,6 +678,82 @@ def _encode_value_v2(buf: bytearray, value: Any, depth: int) -> None:
         for cert in value.certs:
             _encode_value_v2(buf, cert, depth + 1)
         return
+    if isinstance(value, ClientRequest):
+        buf.append(_T_XREQUEST)
+        _write_int(buf, _int(value.client, "client"))
+        _write_int(buf, _int(value.sequence, "sequence"))
+        _encode_value_v2(buf, value.op, depth + 1)
+        return
+    if isinstance(value, PreparePayload):
+        buf.append(_T_XPREPARE)
+        _write_int(buf, _int(value.view, "view"))
+        _write_int(buf, _int(value.slot, "slot"))
+        _write_uvarint(buf, len(value.signed_requests))
+        for sm in value.signed_requests:
+            _encode_value_v2(buf, sm, depth + 1)
+        return
+    if isinstance(value, CommitPayload):
+        buf.append(_T_XCOMMIT)
+        _write_int(buf, _int(value.view, "view"))
+        _write_int(buf, _int(value.slot, "slot"))
+        _encode_value_v2(buf, value.prepare, depth + 1)
+        return
+    if isinstance(value, CommitCertificate):
+        buf.append(_T_XCERT)
+        _encode_value_v2(buf, value.prepare, depth + 1)
+        _write_uvarint(buf, len(value.commits))
+        for commit in value.commits:
+            _encode_value_v2(buf, commit, depth + 1)
+        return
+    if isinstance(value, CheckpointPayload):
+        _require(isinstance(value.state_digest, str), "state digest must be a string")
+        buf.append(_T_XCKPT)
+        _write_int(buf, _int(value.view, "view"))
+        _write_int(buf, _int(value.slot_count, "slot_count"))
+        encoded = value.state_digest.encode("utf-8")
+        _write_uvarint(buf, len(encoded))
+        buf += encoded
+        return
+    if isinstance(value, CheckpointCertificate):
+        buf.append(_T_XCKPTCERT)
+        _write_uvarint(buf, len(value.votes))
+        for vote in value.votes:
+            _encode_value_v2(buf, vote, depth + 1)
+        return
+    if isinstance(value, ViewChangePayload):
+        buf.append(_T_XVC)
+        _write_int(buf, _int(value.new_view, "new_view"))
+        _write_uvarint(buf, len(value.committed))
+        for cert in value.committed:
+            _encode_value_v2(buf, cert, depth + 1)
+        _write_uvarint(buf, len(value.prepared))
+        for entry in value.prepared:
+            _require(
+                isinstance(entry, tuple) and len(entry) == 2,
+                "prepared entries must be (slot, prepare) pairs",
+            )
+            _write_int(buf, _int(entry[0], "slot"))
+            _encode_value_v2(buf, entry[1], depth + 1)
+        _encode_value_v2(buf, value.checkpoint, depth + 1)
+        _encode_value_v2(buf, value.snapshot, depth + 1)
+        return
+    if isinstance(value, NewViewPayload):
+        buf.append(_T_XNV)
+        _write_int(buf, _int(value.view, "view"))
+        _write_uvarint(buf, len(value.committed))
+        for cert in value.committed:
+            _encode_value_v2(buf, cert, depth + 1)
+        _encode_value_v2(buf, value.checkpoint, depth + 1)
+        _encode_value_v2(buf, value.snapshot, depth + 1)
+        return
+    if isinstance(value, ReplyPayload):
+        buf.append(_T_XREPLY)
+        _write_int(buf, _int(value.client, "client"))
+        _write_int(buf, _int(value.sequence, "sequence"))
+        _encode_value_v2(buf, value.result, depth + 1)
+        _write_int(buf, _int(value.replica, "replica"))
+        _write_int(buf, _int(value.view, "view"))
+        return
     raise WireError(f"cannot encode {type(value).__name__} for the wire")
 
 
@@ -600,6 +884,103 @@ def _decode_value_v2(body, pos: int, end: int, depth: int) -> Tuple[Any, int]:
             cert, pos = _decode_value_v2(body, pos, end, depth + 1)
             certs.append(cert)
         return RowCertsPayload(certs=tuple(certs)), pos
+    if tag == _T_XREQUEST:
+        client, pos = _read_int(body, pos, end)
+        sequence, pos = _read_int(body, pos, end)
+        op, pos = _decode_value_v2(body, pos, end, depth + 1)
+        _require(isinstance(op, tuple), "request op must be a tuple")
+        return ClientRequest(client=client, sequence=sequence, op=op), pos
+    if tag == _T_XPREPARE:
+        view, pos = _read_int(body, pos, end)
+        slot, pos = _read_int(body, pos, end)
+        n, pos = _read_count(body, pos, end)
+        requests = []
+        for _ in range(n):
+            sm, pos = _decode_value_v2(body, pos, end, depth + 1)
+            requests.append(sm)
+        return PreparePayload(view=view, slot=slot, signed_requests=tuple(requests)), pos
+    if tag == _T_XCOMMIT:
+        view, pos = _read_int(body, pos, end)
+        slot, pos = _read_int(body, pos, end)
+        prepare, pos = _decode_value_v2(body, pos, end, depth + 1)
+        return CommitPayload(view=view, slot=slot, prepare=prepare), pos
+    if tag == _T_XCERT:
+        prepare, pos = _decode_value_v2(body, pos, end, depth + 1)
+        n, pos = _read_count(body, pos, end)
+        commits = []
+        for _ in range(n):
+            commit, pos = _decode_value_v2(body, pos, end, depth + 1)
+            commits.append(commit)
+        return CommitCertificate(prepare=prepare, commits=tuple(commits)), pos
+    if tag == _T_XCKPT:
+        view, pos = _read_int(body, pos, end)
+        slot_count, pos = _read_int(body, pos, end)
+        state_digest, pos = _read_str(body, pos, end)
+        return CheckpointPayload(view=view, slot_count=slot_count, state_digest=state_digest), pos
+    if tag == _T_XCKPTCERT:
+        n, pos = _read_count(body, pos, end)
+        votes = []
+        for _ in range(n):
+            vote, pos = _decode_value_v2(body, pos, end, depth + 1)
+            votes.append(vote)
+        return CheckpointCertificate(votes=tuple(votes)), pos
+    if tag == _T_XVC:
+        new_view, pos = _read_int(body, pos, end)
+        n, pos = _read_count(body, pos, end)
+        committed = []
+        for _ in range(n):
+            cert, pos = _decode_value_v2(body, pos, end, depth + 1)
+            committed.append(cert)
+        n, pos = _read_count(body, pos, end)
+        prepared = []
+        for _ in range(n):
+            slot, pos = _read_int(body, pos, end)
+            sm, pos = _decode_value_v2(body, pos, end, depth + 1)
+            prepared.append((slot, sm))
+        checkpoint, pos = _decode_value_v2(body, pos, end, depth + 1)
+        snapshot, pos = _decode_value_v2(body, pos, end, depth + 1)
+        _require(snapshot is None or isinstance(snapshot, tuple), "snapshot must be a tuple")
+        return (
+            ViewChangePayload(
+                new_view=new_view,
+                committed=tuple(committed),
+                prepared=tuple(prepared),
+                checkpoint=checkpoint,
+                snapshot=snapshot,
+            ),
+            pos,
+        )
+    if tag == _T_XNV:
+        view, pos = _read_int(body, pos, end)
+        n, pos = _read_count(body, pos, end)
+        committed = []
+        for _ in range(n):
+            cert, pos = _decode_value_v2(body, pos, end, depth + 1)
+            committed.append(cert)
+        checkpoint, pos = _decode_value_v2(body, pos, end, depth + 1)
+        snapshot, pos = _decode_value_v2(body, pos, end, depth + 1)
+        _require(snapshot is None or isinstance(snapshot, tuple), "snapshot must be a tuple")
+        return (
+            NewViewPayload(
+                view=view,
+                committed=tuple(committed),
+                checkpoint=checkpoint,
+                snapshot=snapshot,
+            ),
+            pos,
+        )
+    if tag == _T_XREPLY:
+        client, pos = _read_int(body, pos, end)
+        sequence, pos = _read_int(body, pos, end)
+        result, pos = _decode_value_v2(body, pos, end, depth + 1)
+        replica, pos = _read_int(body, pos, end)
+        view, pos = _read_int(body, pos, end)
+        return (
+            ReplyPayload(
+                client=client, sequence=sequence, result=result, replica=replica, view=view
+            ),
+            pos,
+        )
     raise WireError(f"unknown V2 type tag {tag:#x}")
 
 

@@ -1,0 +1,36 @@
+"""Client-facing replicated key-value service on top of XPaxos+QS (E26).
+
+The package layers a real workload over the consensus stack:
+
+- :mod:`repro.service.kv` — the replicated state machine
+  (GET/PUT/DEL/CAS) with a per-client at-most-once dedup table that is
+  checkpointed with the log;
+- :mod:`repro.service.client` — the client library: client-id+sequence
+  request ids, exponential-backoff retry, redirect-to-leader learned
+  from replies;
+- :mod:`repro.service.loadgen` — open- and closed-loop load generation
+  with zipfian key choice, phase-windowed throughput/latency stats, and
+  the deterministic-sim driver;
+- :mod:`repro.service.live` — the asyncio gateway that multiplexes many
+  logical clients over one socket endpoint against a live cluster.
+"""
+
+from repro.service.kv import ServiceKVStore
+from repro.service.client import ServiceClient
+from repro.service.loadgen import (
+    LoadGenerator,
+    Workload,
+    percentile,
+    run_sim_load,
+    summarize_phase,
+)
+
+__all__ = [
+    "ServiceKVStore",
+    "ServiceClient",
+    "LoadGenerator",
+    "Workload",
+    "percentile",
+    "run_sim_load",
+    "summarize_phase",
+]

@@ -17,6 +17,7 @@ exact same stack through this one function.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.follower_selection import FollowerSelectionModule
@@ -99,3 +100,127 @@ def build_qs_world(
             anti_entropy_period=anti_entropy_period,
         )
     return sim, modules
+
+
+# --------------------------------------------------------- replicated service
+
+
+def attach_kv_service_stack(
+    host: Any,
+    n: int,
+    f: int,
+    heartbeat_period: float = 4.0,
+    base_timeout: float = 8.0,
+    batch_size: int = 1,
+    batch_window: float = 0.0,
+    checkpoint_interval: Optional[int] = None,
+):
+    """Mount the replicated-KV service stack on one host.
+
+    Failure detector, heartbeats, Quorum Selection, and an XPaxos
+    replica executing a :class:`~repro.service.kv.ServiceKVStore` — the
+    ``--service kv`` node role and the sim service world both assemble
+    through here, extending the sim<->net parity guarantee to the
+    service layer.  Returns ``(qs_module, replica)``.
+    """
+    from repro.service.kv import ServiceKVStore
+    from repro.xpaxos.quorum_policy import SelectionPolicy
+    from repro.xpaxos.replica import XPaxosReplica
+
+    require_host_api(host)
+    FailureDetector(host, TimeoutPolicy(base_timeout=base_timeout))
+    host.add_module(HeartbeatModule(host, n=n, period=heartbeat_period))
+    qs_module = host.add_module(QuorumSelectionModule(host, n=n, f=f))
+    replica = host.add_module(
+        XPaxosReplica(
+            host,
+            n=n,
+            f=f,
+            policy=SelectionPolicy(n, f),
+            qs_module=qs_module,
+            batch_size=batch_size,
+            batch_window=batch_window,
+            checkpoint_interval=checkpoint_interval,
+            state_machine=ServiceKVStore(),
+        )
+    )
+    return qs_module, replica
+
+
+@dataclass
+class KVServiceWorld:
+    """Handles to one assembled sim service world."""
+
+    sim: Simulation
+    n: int
+    f: int
+    replicas: Dict[int, Any]
+    qs_modules: Dict[int, QuorumSelectionModule]
+    clients: Dict[int, Any] = field(default_factory=dict)
+    adversary: Any = None
+
+    @property
+    def gen_host(self) -> Any:
+        """The host load generators hang their timers on."""
+        first_client = min(self.clients) if self.clients else min(self.replicas)
+        return self.sim.host(first_client)
+
+
+def build_kv_service_world(
+    n: int,
+    f: int,
+    clients: int,
+    seed: int = 3,
+    gst: float = 0.0,
+    delta: float = 1.0,
+    heartbeat_period: float = 4.0,
+    fd_base_timeout: float = 8.0,
+    retry_timeout: float = 10.0,
+    batch_size: int = 1,
+    batch_window: float = 0.0,
+    checkpoint_interval: Optional[int] = None,
+    max_steps: int = 20_000_000,
+) -> KVServiceWorld:
+    """Replicated KV service plus ``clients`` idle service clients.
+
+    Clients occupy pids ``n+1 .. n+clients`` (the registry covers them
+    because ``SimulationConfig.n`` counts every process) and submit
+    nothing on their own — drive them with a
+    :class:`~repro.service.loadgen.LoadGenerator`.
+    """
+    from repro.failures.adversary import Adversary
+    from repro.service.client import ServiceClient
+
+    sim = Simulation(
+        SimulationConfig(
+            n=n + clients, seed=seed, gst=gst, delta=delta,
+            fifo=True, max_steps=max_steps,
+        )
+    )
+    replicas: Dict[int, Any] = {}
+    qs_modules: Dict[int, QuorumSelectionModule] = {}
+    for pid in range(1, n + 1):
+        qs_module, replica = attach_kv_service_stack(
+            sim.host(pid),
+            n,
+            f,
+            heartbeat_period=heartbeat_period,
+            base_timeout=fd_base_timeout,
+            batch_size=batch_size,
+            batch_window=batch_window,
+            checkpoint_interval=checkpoint_interval,
+        )
+        qs_modules[pid] = qs_module
+        replicas[pid] = replica
+    client_modules: Dict[int, Any] = {}
+    for index in range(clients):
+        pid = n + 1 + index
+        host = sim.host(pid)
+        client_modules[pid] = host.add_module(
+            ServiceClient(host, n=n, f=f, retry_timeout=retry_timeout)
+        )
+    adversary = Adversary(sim, f_max=f)
+    return KVServiceWorld(
+        sim=sim, n=n, f=f, replicas=replicas, qs_modules=qs_modules,
+        clients=client_modules, adversary=adversary,
+    )

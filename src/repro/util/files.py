@@ -1,0 +1,35 @@
+"""Small filesystem helpers shared across the repo.
+
+``atomic_write_text`` is the tmp-file + ``os.replace`` pattern used by the
+sweep cache: readers either see the previous complete file or the new
+complete file, never a torn partial write.  ``os.replace`` is atomic on
+POSIX when source and destination live on the same filesystem, which the
+sibling tmp file guarantees.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` so a partial file is never visible.
+
+    The content goes to a same-directory tmp file first and is renamed over
+    the destination only once fully written.  A crash (or a scraper racing
+    the writer) mid-write leaves the previous file intact; the stale tmp
+    file is cleaned up on failure when possible.
+    """
+    target = Path(path)
+    tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.authenticator import SignedMessage
+from repro.sim.events import TimerHandle
 from repro.sim.process import Module, ProcessHost
 from repro.util.ids import ProcessId
 from repro.xpaxos.enumeration import leader_of_view
@@ -42,10 +43,13 @@ class XPaxosClient(Module):
         self.current: Optional[ClientRequest] = None
         self._votes: Dict[Any, set] = {}
         self._sent_at = 0.0
+        self._retry_timer: Optional[TimerHandle] = None
+        self.started_at = 0.0
         # Results: (sequence, op, result, latency, completion_time).
         self.completed: List[Tuple[int, Tuple[Any, ...], Any, float, float]] = []
 
     def start(self) -> None:
+        self.started_at = self.host.now
         self.host.subscribe(KIND_REPLY, self._on_reply)
         self._next_request()
 
@@ -56,6 +60,7 @@ class XPaxosClient(Module):
         return self.current is None and not self.ops
 
     def _next_request(self) -> None:
+        self._cancel_retry()
         if not self.ops:
             self.current = None
             return
@@ -79,13 +84,24 @@ class XPaxosClient(Module):
             self.host.send(leader, KIND_REQUEST, signed)
 
     def _arm_retry(self, sequence: int) -> None:
+        # One live timer chain at a time: superseded chains are cancelled so a
+        # long run never accumulates no-op timers in the scheduler heap.
+        self._cancel_retry()
+
         def retry() -> None:
             if self.current is not None and self.current.sequence == sequence:
                 self.host.log.append(self.host.now, self.pid, "client.retry", seq=sequence)
                 self._send_current(broadcast=True)
                 self._arm_retry(sequence)
 
-        self.host.set_timer(self.retry_timeout, retry, label=f"client-retry@p{self.pid}")
+        self._retry_timer = self.host.set_timer(
+            self.retry_timeout, retry, label=f"client-retry@p{self.pid}"
+        )
+
+    def _cancel_retry(self) -> None:
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
 
     # -------------------------------------------------------------- receiving
 
@@ -113,6 +129,7 @@ class XPaxosClient(Module):
                 seq=self.current.sequence, latency=round(latency, 4),
             )
             self.current = None
+            self._cancel_retry()
             if self.think_time > 0:
                 self.host.set_timer(self.think_time, self._next_request, label="client-think")
             else:
@@ -122,13 +139,19 @@ class XPaxosClient(Module):
 
     def mean_latency(self) -> float:
         if not self.completed:
-            return float("nan")
+            return 0.0
         return sum(entry[3] for entry in self.completed) / len(self.completed)
 
     def throughput(self, until: Optional[float] = None) -> float:
-        """Completed requests per time unit up to ``until`` (or run end)."""
+        """Completed requests per time unit between client start and ``until``.
+
+        The window opens at ``started_at`` (when :meth:`start` ran), not at
+        t=0, so clients joining a long-running system report their own rate
+        rather than one diluted by time they were not alive.
+        """
         horizon = until if until is not None else self.host.now
-        if horizon <= 0:
+        elapsed = horizon - self.started_at
+        if elapsed <= 0:
             return 0.0
         count = sum(1 for entry in self.completed if entry[4] <= horizon)
-        return count / horizon
+        return count / elapsed

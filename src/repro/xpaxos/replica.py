@@ -141,7 +141,11 @@ class XPaxosReplica(Module):
         self.slots: Dict[int, SlotState] = {}
         self.next_slot = 0
         self.kv: StateMachine = state_machine if state_machine is not None else KeyValueStore()
+        self._apply_request = getattr(self.kv, "apply_request", None)
         self.executed: List[ClientRequest] = []
+        #: Requests covered by the stable checkpoint and pruned from
+        #: ``executed`` (service mode only; 0 otherwise).
+        self.executed_base = 0
         self.executed_certs: List[Any] = []  # CommitCertificate per slot
         self._executed_ids: Set[Tuple[int, int]] = set()
         self._reply_cache: Dict[Tuple[int, int], Any] = {}
@@ -513,9 +517,21 @@ class XPaxosReplica(Module):
 
         The snapshot keeps the flat request history so a replica adopting
         it can still serve retransmissions and the harness can check
-        prefix consistency; a production system would keep only the KV
-        data and reply cache.
+        prefix consistency.  Service state machines carry their own
+        per-client dedup table inside ``snapshot_items()``, so their
+        snapshots keep only the applied-request *count* — without the
+        bound, view-change payloads (which ship the snapshot) grow with
+        total history and stall the live event loop long enough to trip
+        failure detectors on healthy peers.
         """
+        if self._apply_request is not None:
+            return (
+                "xp-snapshot-svc",
+                slot_count,
+                self.executed_base + len(self.executed),
+                self.kv.snapshot_items(),
+                (),
+            )
         return (
             "xp-snapshot",
             slot_count,
@@ -585,6 +601,17 @@ class XPaxosReplica(Module):
             for key, votes in self._ckpt_votes.items()
             if key[1] > slot_count
         }
+        if snapshot[0] == "xp-snapshot-svc":
+            # The service dedup table now covers everything up to the
+            # snapshot; drop the flat history and its reply-cache entries
+            # so replica memory — and view-change payloads — stay bounded.
+            covered = max(0, snapshot[2] - self.executed_base)
+            for request in self.executed[:covered]:
+                rid = request.request_id()
+                self._executed_ids.discard(rid)
+                self._reply_cache.pop(rid, None)
+            del self.executed[:covered]
+            self.executed_base = snapshot[2]
         self.host.log.append(
             self.host.now, self.pid, "xp.checkpoint",
             slots=slot_count, live_certs=len(self.executed_certs),
@@ -595,7 +622,12 @@ class XPaxosReplica(Module):
         if rid in self._executed_ids:
             result = self._reply_cache.get(rid)
         else:
-            result = self.kv.apply(request.op)
+            # Service state machines dedup per client (at-most-once) and
+            # need the request id; plain ones only see the operation.
+            if self._apply_request is not None:
+                result = self._apply_request(request.client, request.sequence, request.op)
+            else:
+                result = self.kv.apply(request.op)
             self.executed.append(request)
             self._executed_ids.add(rid)
             self._reply_cache[rid] = result
@@ -828,13 +860,17 @@ class XPaxosReplica(Module):
             if (
                 not isinstance(snapshot, tuple)
                 or len(snapshot) != 5
-                or snapshot[0] != "xp-snapshot"
+                or snapshot[0] not in ("xp-snapshot", "xp-snapshot-svc")
                 or snapshot[1] != reference.slot_count
                 or digest(snapshot) != reference.state_digest
             ):
                 return None
             base_slot = reference.slot_count
-            base_requests = len(snapshot[2])
+            base_requests = (
+                snapshot[2]
+                if snapshot[0] == "xp-snapshot-svc"
+                else len(snapshot[2])
+            )
         for index, cert in enumerate(committed):
             if not isinstance(cert, CommitCertificate) or not certificate_is_valid(
                 cert, base_slot + index, self.policy.quorum_of, self._verify
@@ -847,14 +883,23 @@ class XPaxosReplica(Module):
 
     def _adopt_snapshot(self, checkpoint: CheckpointCertificate, snapshot: Tuple) -> None:
         """Jump to a certified checkpoint wholesale (state transfer)."""
-        canonicals = snapshot[2]
-        self.executed = [
-            ClientRequest(client=c[1], sequence=c[2], op=tuple(c[3]))
-            for c in canonicals
-        ]
-        self.kv.restore(snapshot[3], [tuple(c[3]) for c in canonicals])
-        self._executed_ids = {(c[1], c[2]) for c in canonicals}
-        self._reply_cache = dict(snapshot[4])
+        if snapshot[0] == "xp-snapshot-svc":
+            # Compact service snapshot: state lives in the KV items (data
+            # plus per-client dedup table); the flat history is elided.
+            self.executed = []
+            self.executed_base = snapshot[2]
+            self.kv.restore(snapshot[3], [])
+            self._executed_ids = set()
+            self._reply_cache = {}
+        else:
+            canonicals = snapshot[2]
+            self.executed = [
+                ClientRequest(client=c[1], sequence=c[2], op=tuple(c[3]))
+                for c in canonicals
+            ]
+            self.kv.restore(snapshot[3], [tuple(c[3]) for c in canonicals])
+            self._executed_ids = {(c[1], c[2]) for c in canonicals}
+            self._reply_cache = dict(snapshot[4])
         self.executed_certs = []
         self.checkpoint_slot = snapshot[1]
         self.checkpoint = (checkpoint, snapshot)
@@ -882,6 +927,27 @@ class XPaxosReplica(Module):
             return cert.prepare.payload.requests
 
         base_slot = checkpoint.payload.slot_count if checkpoint is not None else 0
+        if self._apply_request is not None:
+            # Service mode: snapshots are compact (counts, not flat
+            # history), so longest-history comparison happens on request
+            # counts; per-request dedup during replay falls to the state
+            # machine's at-most-once table.
+            their_base = snapshot[2] if snapshot is not None else 0
+            theirs_len = their_base + sum(
+                len(requests_of(cert)) for cert in committed
+            )
+            mine_len = self.executed_base + len(self.executed)
+            if theirs_len > mine_len:
+                if checkpoint is not None and base_slot > self.total_slots:
+                    self._adopt_snapshot(checkpoint, snapshot)
+                for index, cert in enumerate(committed):
+                    absolute = base_slot + index
+                    if absolute < self.total_slots:
+                        continue
+                    self._apply_batch(requests_of(cert), cert)
+            self.next_slot = self.total_slots
+            self._execution_cursor = self.total_slots
+            return
         snapshot_canonicals = snapshot[2] if snapshot is not None else ()
         mine = tuple(request.canonical() for request in self.executed)
         theirs = tuple(snapshot_canonicals) + tuple(

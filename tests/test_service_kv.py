@@ -1,0 +1,126 @@
+"""Tests for the replicated KV service state machine (ServiceKVStore)."""
+
+import pytest
+
+from repro.service.kv import STALE, ServiceKVStore
+
+
+class TestOperations:
+    def setup_method(self):
+        self.kv = ServiceKVStore()
+
+    def test_put_returns_previous_value(self):
+        assert self.kv.apply(("put", "a", 1)) is None
+        assert self.kv.apply(("put", "a", 2)) == 1
+        assert self.kv.get("a") == 2
+
+    def test_get_and_del(self):
+        self.kv.apply(("put", "a", 1))
+        assert self.kv.apply(("get", "a")) == 1
+        assert self.kv.apply(("del", "a")) == 1
+        assert self.kv.apply(("get", "a")) is None
+        assert self.kv.apply(("del", "a")) is None
+
+    def test_cas_success_and_failure(self):
+        # None matches an absent key.
+        assert self.kv.apply(("cas", "k", None, 10)) == ("ok", None)
+        assert self.kv.apply(("cas", "k", 10, 11)) == ("ok", 10)
+        # Mismatched expectation: no write.
+        assert self.kv.apply(("cas", "k", 99, 12)) == ("fail", 11)
+        assert self.kv.get("k") == 11
+
+    def test_noop_and_unknown(self):
+        assert self.kv.apply(("noop",)) is None
+        assert self.kv.apply(("frob", "x")) == ("rejected", "frob")
+        assert len(self.kv) == 0
+
+
+class TestAtMostOnce:
+    def setup_method(self):
+        self.kv = ServiceKVStore()
+
+    def test_retry_of_last_request_returns_cached_result(self):
+        first = self.kv.apply_request(7, 0, ("put", "a", 1))
+        again = self.kv.apply_request(7, 0, ("put", "a", 1))
+        assert first is None and again is None
+        assert self.kv.get("a") == 1
+        assert self.kv.applied_requests == 1
+        assert self.kv.duplicates_refused == 1
+
+    def test_cached_result_is_the_original_not_a_reexecution(self):
+        self.kv.apply_request(7, 0, ("put", "a", 1))
+        self.kv.apply_request(7, 1, ("put", "a", 2))
+        # A straggler retry of sequence 1 must see the result computed
+        # the first time ("previous value was 1"), not a re-execution.
+        assert self.kv.apply_request(7, 1, ("put", "a", 2)) == 1
+        assert self.kv.get("a") == 2
+
+    def test_stale_sequence_is_refused(self):
+        self.kv.apply_request(7, 0, ("put", "a", 1))
+        self.kv.apply_request(7, 1, ("put", "a", 2))
+        result = self.kv.apply_request(7, 0, ("put", "a", 1))
+        assert result == (STALE, 0, 1)
+        assert self.kv.get("a") == 2
+        assert self.kv.duplicates_refused == 1
+
+    def test_dedup_is_per_client(self):
+        self.kv.apply_request(7, 0, ("put", "a", 1))
+        self.kv.apply_request(8, 0, ("put", "a", 2))
+        assert self.kv.duplicates_refused == 0
+        assert self.kv.applied_requests == 2
+        assert self.kv.known_clients == 2
+
+    def test_at_most_once_intact_equation(self):
+        for seq in range(3):
+            self.kv.apply_request(7, seq, ("put", "a", seq))
+        self.kv.apply_request(8, 0, ("get", "a"))
+        self.kv.apply_request(7, 2, ("put", "a", 2))  # retry, refused
+        assert self.kv.at_most_once_intact()
+        # Simulate a double apply: the equation must break.
+        self.kv.applied_requests += 1
+        assert not self.kv.at_most_once_intact()
+
+
+class TestCheckpointing:
+    def test_snapshot_restore_round_trip(self):
+        kv = ServiceKVStore()
+        kv.apply_request(7, 0, ("put", "a", 1))
+        kv.apply_request(7, 1, ("cas", "a", 1, 2))
+        kv.apply_request(8, 0, ("del", "missing"))
+
+        clone = ServiceKVStore()
+        clone.restore(kv.snapshot_items(), [])
+        assert clone.state_digest() == kv.state_digest()
+        assert clone.get("a") == 2
+        # applied_requests re-baselines from the dedup table so the
+        # at-most-once equation stays exact after state transfer.
+        assert clone.applied_requests == kv.applied_requests
+        assert clone.at_most_once_intact()
+
+    def test_restored_store_still_refuses_covered_duplicates(self):
+        kv = ServiceKVStore()
+        kv.apply_request(7, 0, ("put", "a", 1))
+        kv.apply_request(7, 1, ("put", "a", 2))
+
+        clone = ServiceKVStore()
+        clone.restore(kv.snapshot_items(), [])
+        assert clone.apply_request(7, 1, ("put", "a", 2)) == 1
+        assert clone.duplicates_refused == 1
+        assert clone.get("a") == 2
+
+    def test_digest_is_history_independent(self):
+        # A replica that caught up via compact snapshot carries no flat
+        # history; it must still digest-match a replica that executed
+        # every op — the dedup table pins each client's position.
+        executed = ServiceKVStore()
+        executed.apply_request(7, 0, ("put", "a", 1))
+        executed.apply_request(7, 1, ("get", "a"))
+        transferred = ServiceKVStore()
+        transferred.restore(executed.snapshot_items(), [])
+        assert executed.history and not transferred.history
+        assert executed.state_digest() == transferred.state_digest()
+
+    def test_restore_rejects_foreign_snapshot(self):
+        kv = ServiceKVStore()
+        with pytest.raises(ValueError):
+            kv.restore(("not-svc", (), ()), [])

@@ -1,0 +1,134 @@
+"""Tests for the service load generator and the sim load driver."""
+
+import pytest
+
+from repro.service.loadgen import (
+    LoadGenerator,
+    Workload,
+    percentile,
+    run_sim_load,
+    summarize_phase,
+)
+
+
+class TestWorkload:
+    def test_deterministic_for_a_seed(self):
+        a = Workload(seed=5, keys=50)
+        b = Workload(seed=5, keys=50)
+        assert [a.next_op() for _ in range(50)] == [b.next_op() for _ in range(50)]
+
+    def test_different_seeds_diverge(self):
+        a = Workload(seed=5, keys=50)
+        b = Workload(seed=6, keys=50)
+        assert [a.next_op() for _ in range(50)] != [b.next_op() for _ in range(50)]
+
+    def test_zipfian_skew_favours_low_ranks(self):
+        workload = Workload(seed=1, keys=100, zipf_s=1.2)
+        counts = {}
+        for _ in range(3000):
+            key = workload.next_key()
+            counts[key] = counts.get(key, 0) + 1
+        assert max(counts, key=counts.get) == "key-0"
+        assert counts["key-0"] > 10 * counts.get("key-50", 1)
+
+    def test_op_mix_shapes(self):
+        workload = Workload(seed=2, keys=10)
+        seen = set()
+        for _ in range(500):
+            op = workload.next_op()
+            seen.add(op[0])
+            if op[0] == "cas":
+                assert len(op) == 4
+            elif op[0] == "put":
+                assert len(op) == 3
+            else:
+                assert len(op) == 2
+        assert seen == {"get", "put", "cas", "del"}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Workload(seed=1, keys=0)
+        with pytest.raises(ValueError):
+            Workload(seed=1, keys=10, mix=(("get", 0.0),))
+
+
+class TestStats:
+    def test_percentile_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 50) == 20.0
+        assert percentile(values, 99) == 40.0
+        assert percentile(values, 0) == 10.0
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_summarize_phase_windows_on_completion_time(self):
+        completions = [
+            (0, ("get", "k"), None, 0.5, 1.0, 0),
+            (1, ("get", "k"), None, 1.5, 5.0, 0),
+            (2, ("get", "k"), None, 2.5, 9.0, 0),
+        ]
+        phase = summarize_phase(completions, 0.0, 6.0)
+        assert phase["completed"] == 2
+        assert phase["throughput"] == round(2 / 6.0, 3)
+        assert phase["latency_p50"] == 0.5
+        assert phase["latency_p99"] == 1.5
+
+    def test_summarize_phase_empty_window(self):
+        phase = summarize_phase([], 0.0, 10.0)
+        assert phase["completed"] == 0
+        assert phase["latency_mean"] == 0.0
+        assert phase["latency_p99"] == 0.0
+
+
+class TestLoadGeneratorValidation:
+    def test_open_loop_needs_a_rate(self):
+        workload = Workload(seed=1, keys=10)
+        with pytest.raises(ValueError):
+            LoadGenerator(object(), [object()], workload, mode="open")
+        with pytest.raises(ValueError):
+            LoadGenerator(object(), [object()], workload, mode="wat")
+        with pytest.raises(ValueError):
+            LoadGenerator(object(), [], workload)
+
+
+class TestSimLoad:
+    def test_closed_loop_steady_state(self):
+        report = run_sim_load(n=4, f=1, clients=10, duration=40.0, seed=3)
+        assert report["completed"] > 0
+        assert report["completed"] == report["offered"]
+        assert report["at_most_once"]
+        assert report["digests_agree"]
+        steady = report["phases"]["steady"]
+        # In-flight requests at the window edge finish during the drain.
+        assert 0 < steady["completed"] <= report["completed"]
+        assert steady["latency_p50"] <= steady["latency_p99"]
+        # Every completed request was applied exactly once at the frontier.
+        assert max(report["replica_applied"].values()) == report["completed"]
+
+    def test_open_loop_respects_offered_rate(self):
+        report = run_sim_load(
+            n=4, f=1, clients=10, duration=40.0, seed=3, mode="open", rate=0.5
+        )
+        # One arrival per 2 sim-seconds for 40 sim-seconds.
+        assert 15 <= report["offered"] <= 21
+        assert report["completed"] == report["offered"]
+        assert report["at_most_once"]
+
+    def test_at_most_once_under_retry_and_leader_kill(self):
+        # An aggressive retry timeout makes clients rebroadcast while
+        # the original request is still in flight, and the kill forces a
+        # view change mid-load: at-most-once must hold through both.
+        report = run_sim_load(
+            n=4, f=1, clients=10, duration=80.0, seed=3,
+            retry_timeout=4.0, kill_leader_at=30.0, recover_at=55.0,
+        )
+        assert report["retries"] > 0
+        assert report["at_most_once"]
+        assert report["digests_agree"]
+        assert report["completed"] == report["offered"]
+        assert max(report["replica_applied"].values()) == report["completed"]
+        view_change = report["phases"]["view_change"]
+        assert view_change["outage"] is not None and view_change["outage"] > 0
+        assert view_change["new_view_learned_by"] == 10
+        # Progress resumed after the view change.
+        assert report["phases"]["recovery"]["completed"] > 0

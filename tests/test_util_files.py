@@ -1,0 +1,72 @@
+"""Regression tests for the atomic text-write helper (torn Prometheus files)."""
+
+import os
+
+import pytest
+
+from repro.util.files import atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        atomic_write_text(target, "qs_epoch 3\n")
+        assert target.read_text() == "qs_epoch 3\n"
+
+    def test_overwrites_previous_content(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        atomic_write_text(target, "old\n")
+        atomic_write_text(target, "new\n")
+        assert target.read_text() == "new\n"
+        # No tmp droppings left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.prom"]
+
+    def test_interrupt_mid_write_never_exposes_partial_file(self, tmp_path, monkeypatch):
+        # Simulate a crash after the tmp file is partially written but before
+        # the rename: the destination must still hold the previous complete
+        # content, never a prefix of the new one.
+        target = tmp_path / "metrics.prom"
+        atomic_write_text(target, "complete v1\n")
+
+        import pathlib
+
+        original_write_text = pathlib.Path.write_text
+
+        def interrupted_write_text(self, text, *args, **kwargs):
+            original_write_text(self, text[: len(text) // 2], *args, **kwargs)
+            raise KeyboardInterrupt("simulated interrupt mid-write")
+
+        monkeypatch.setattr(pathlib.Path, "write_text", interrupted_write_text)
+        with pytest.raises(KeyboardInterrupt):
+            atomic_write_text(target, "complete v2 that never lands\n")
+        monkeypatch.undo()
+
+        assert target.read_text() == "complete v1\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.prom"]
+
+    def test_interrupt_before_replace_keeps_previous_file(self, tmp_path, monkeypatch):
+        # Crash between the (complete) tmp write and the rename: previous
+        # file stays visible, the stale tmp file is cleaned up.
+        target = tmp_path / "metrics.prom"
+        atomic_write_text(target, "complete v1\n")
+
+        def failing_replace(src, dst, *args, **kwargs):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "complete v2\n")
+        monkeypatch.undo()
+
+        assert target.read_text() == "complete v1\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.prom"]
+
+    def test_node_prometheus_export_uses_atomic_write(self):
+        # The torn-write site in net/node.py must go through the helper.
+        import inspect
+
+        from repro.net import node
+
+        source = inspect.getsource(node.run_node)
+        assert "atomic_write_text" in source
+        assert 'open(config.metrics_prom_path, "w")' not in source

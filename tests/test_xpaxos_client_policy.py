@@ -98,10 +98,95 @@ class TestClientBehaviour:
         system.run(50.0)
         assert system.total_completed() == 0
 
-    def test_mean_latency_nan_when_empty(self):
-        import math
-
+    def test_mean_latency_zero_when_empty(self):
         system = build_system(n=5, f=2, clients=1, seed=3, client_ops=[[]])
         system.run(10.0)
         client = list(system.clients.values())[0]
-        assert math.isnan(client.mean_latency())
+        assert client.mean_latency() == 0.0
+        assert client.throughput() == 0.0
+
+
+class _StubHost:
+    """Minimal host for client arithmetic tests (no scheduler needed)."""
+
+    def __init__(self):
+        self.pid = 9
+        self.now = 0.0
+        self._modules = []
+
+    def add_module(self, module):
+        self._modules.append(module)
+        return module
+
+    def subscribe(self, kind, handler):
+        pass
+
+
+class TestClientDiagnostics:
+    def test_throughput_measured_from_client_start(self):
+        from repro.xpaxos.client import XPaxosClient
+
+        host = _StubHost()
+        client = XPaxosClient(host, n=5, f=2, ops=[])
+        host.now = 50.0
+        client.start()
+        assert client.started_at == 50.0
+        # Two completions at t=60 and t=80; horizon t=100 -> 2 ops / 50 units.
+        client.completed.append((0, ("get", "k"), None, 1.0, 60.0))
+        client.completed.append((1, ("get", "k"), None, 1.0, 80.0))
+        host.now = 100.0
+        assert client.throughput() == pytest.approx(2 / 50.0)
+        # A horizon before the client started never divides by <= 0.
+        assert client.throughput(until=40.0) == 0.0
+        assert client.throughput(until=50.0) == 0.0
+
+    def test_retry_timers_stay_bounded_over_many_requests(self):
+        # Regression: each request used to arm a fresh retry chain without
+        # cancelling the previous one, so scheduler pending() grew with the
+        # number of requests when retry_timeout was long.
+        ops = [[("put", f"k{i}", i) for i in range(20)]]
+        system = build_system(n=5, f=2, clients=1, seed=3,
+                              client_ops=ops, client_retry=10_000.0)
+        system.run(400.0)
+        client = list(system.clients.values())[0]
+        assert client.done
+        assert len(client.completed) == 20
+        live_retries = [
+            event
+            for _, _, event in system.sim.scheduler._queue
+            if not event.cancelled and (event.label or "").startswith("client-retry")
+        ]
+        assert len(live_retries) <= 1
+
+    def test_redirect_to_new_leader_after_view_change(self):
+        # After a leader crash the client broadcasts on timeout, learns the
+        # new view from replies, and sends subsequent requests straight to
+        # the new leader — no broadcast, no retry.
+        from repro.xpaxos.enumeration import leader_of_view
+
+        system = build_system(n=5, f=2, mode="selection", clients=1, seed=9)
+        system.adversary.crash(1, at=30.0)
+        system.run(800.0)
+        client = list(system.clients.values())[0]
+        assert client.done and client.believed_view > 0
+        new_leader = leader_of_view(client.believed_view, 5, 3)
+        assert new_leader != 1
+
+        sent = []
+        original_send = client.host.send
+
+        def recording_send(dst, kind, payload):
+            sent.append((dst, kind))
+            return original_send(dst, kind, payload)
+
+        client.host.send = recording_send
+        retries_before = system.sim.log.count("client.retry")
+        done_before = len(client.completed)
+        client.ops.extend([("put", "redirect", i) for i in range(3)])
+        client._next_request()
+        system.run(900.0)
+
+        assert len(client.completed) == done_before + 3
+        assert system.sim.log.count("client.retry") == retries_before
+        request_targets = [dst for dst, kind in sent if kind == "xp.request"]
+        assert request_targets == [new_leader] * 3
