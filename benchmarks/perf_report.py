@@ -182,6 +182,45 @@ def find_service_regressions(
     return []
 
 
+def find_shard_regressions(
+    previous: Optional[dict], report: dict,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> List[str]:
+    """Flag the shard-scaling benchmark's live throughput dropping.
+
+    Mirrors :func:`find_service_regressions` for
+    ``BENCH_shard_scaling.json``: one flag line per shard count M whose
+    live aggregate steady throughput fell by more than ``threshold``
+    (fractional) versus the previous report.  Missing or malformed
+    previous reports flag nothing.
+    """
+    if not previous:
+        return []
+    flags = []
+    old_points = previous.get("live", {}).get("points", {})
+    new_points = report.get("live", {}).get("points", {})
+    if not isinstance(old_points, dict) or not isinstance(new_points, dict):
+        return []
+    for m, new_point in new_points.items():
+        old_point = old_points.get(m)
+        try:
+            old = old_point["aggregate"]["steady"]["throughput"]
+            new = new_point["aggregate"]["steady"]["throughput"]
+        except (KeyError, TypeError):
+            continue
+        if not isinstance(old, (int, float)) or old <= 0:
+            continue
+        if not isinstance(new, (int, float)):
+            continue
+        ratio = new / old
+        if ratio < 1.0 - threshold:
+            flags.append(
+                f"shard M={m} aggregate throughput {old:.0f}/s -> {new:.0f}/s "
+                f"({(ratio - 1) * 100:.0f}%, threshold -{threshold * 100:.0f}%)"
+            )
+    return flags
+
+
 def read_previous_report(path: Path = REPORT_PATH) -> Optional[dict]:
     """The report currently on disk, or ``None`` if absent/corrupt."""
     try:
@@ -270,6 +309,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--service", action="store_true",
                         help="also run the replicated KV service load "
                              "benchmark (E26) and write BENCH_service_load.json")
+    parser.add_argument("--shard", action="store_true",
+                        help="also run the shard-scaling benchmark (E30a) "
+                             "and write BENCH_shard_scaling.json")
     args = parser.parse_args(argv)
 
     previous = read_previous_report()
@@ -305,6 +347,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"PERF REGRESSION: {line}")
         regressions.extend(service_regressions)
         print(f"wrote {e26.REPORT_PATH}")
+
+    if args.shard:
+        from benchmarks import bench_e30_shard_scaling as e30
+
+        shard_previous = read_previous_report(e30.REPORT_PATH)
+        shard_report = e30.write_report()
+        emit("e30_shard_scaling", e30.render_table(shard_report))
+        shard_regressions = find_shard_regressions(shard_previous, shard_report)
+        for line in shard_regressions:
+            print(f"PERF REGRESSION: {line}")
+        regressions.extend(shard_regressions)
+        print(f"wrote {e30.REPORT_PATH}")
 
     if regressions and args.strict:
         return 1

@@ -338,10 +338,22 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     recover = args.recover_at
     if recover is not None and kill is None:
         return _invalid("--recover-at needs --kill-leader-at")
+    if args.shards < 1:
+        return _invalid(f"--shards must be >= 1, got {args.shards}")
+    if not 0 <= args.kill_shard < args.shards:
+        return _invalid(
+            f"--kill-shard {args.kill_shard} out of range for "
+            f"{args.shards} shards"
+        )
     if args.clients is None:
-        args.clients = 100 if args.runtime == "sim" else 32
+        if args.shards > 1:
+            args.clients = 50 if args.runtime == "sim" else 16
+        else:
+            args.clients = 100 if args.runtime == "sim" else 32
     if args.duration is None:
         args.duration = 300.0 if args.runtime == "sim" else 8.0
+    if args.shards > 1:
+        return _cmd_loadgen_sharded(args, kill, recover)
     try:
         if args.runtime == "sim":
             from repro.service.loadgen import run_sim_load
@@ -405,6 +417,95 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             print(
                 f"view-change outage: {view_change['outage']} "
                 f"(new view learned by {view_change['new_view_learned_by']} clients)"
+            )
+        print(
+            f"offered={report['offered']} completed={report['completed']} "
+            f"retries={report['retries']} at_most_once={report['at_most_once']} "
+            f"digests_agree={report['digests_agree']}"
+        )
+    healthy = bool(report["at_most_once"]) and bool(report["digests_agree"])
+    return 0 if healthy else 1
+
+
+def _cmd_loadgen_sharded(args: argparse.Namespace, kill, recover) -> int:
+    """``loadgen --shards M``: the deployment-level sharded drivers."""
+    from repro.util.errors import ConfigurationError
+
+    try:
+        if args.runtime == "sim":
+            from repro.shard.sim import run_sim_shard_load
+
+            report = run_sim_shard_load(
+                shards=args.shards,
+                n=args.n,
+                f=args.f,
+                clients=args.clients,
+                duration=args.duration,
+                mode=args.mode,
+                rate=args.rate,
+                seed=args.seed,
+                keys=args.keys,
+                zipf_s=args.zipf,
+                vnodes=args.vnodes,
+                kill_shard_leader_at=kill,
+                kill_shard=args.kill_shard,
+                recover_at=recover,
+            )
+            report.pop("worlds", None)
+        else:
+            from repro.shard.live import run_live_shard_load_blocking
+
+            report = run_live_shard_load_blocking(
+                shards=args.shards,
+                n=args.n,
+                f=args.f,
+                clients=args.clients,
+                duration=args.duration,
+                mode=args.mode,
+                rate=args.rate,
+                seed=args.seed,
+                keys=args.keys,
+                zipf_s=args.zipf,
+                vnodes=args.vnodes,
+                kill_shard_leader_at=kill,
+                kill_shard=args.kill_shard,
+                recover_at=recover,
+                run_dir=args.run_dir,
+            )
+    except ConfigurationError as exc:
+        return _invalid(str(exc))
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        unit = "s" if args.runtime == "live" else "sim-t"
+        table = Table(
+            ["shard", "phase", "completed", f"throughput (req/{unit})",
+             "latency p50", "latency p99"],
+            title=(
+                f"Sharded KV load — {args.runtime}, {args.shards} shards x "
+                f"(n={args.n}, f={args.f}), {args.clients} clients/shard, "
+                f"{args.mode}-loop"
+            ),
+        )
+        blocks = [("all", report["aggregate"])] + [
+            (str(s), block["phases"])
+            for s, block in sorted(report["per_shard"].items())
+        ]
+        for shard_label, phases in blocks:
+            for name, phase in phases.items():
+                if name == "view_change":
+                    continue
+                table.add_row(
+                    shard_label, name, phase["completed"], phase["throughput"],
+                    phase["latency_p50"], phase["latency_p99"],
+                )
+        print(table.render())
+        if report["kill"] is not None:
+            view_change = report["kill"].get("view_change") or {}
+            print(
+                f"shard {report['kill']['shard']} leader killed at "
+                f"{report['kill']['at']}: outage={view_change.get('outage')}"
             )
         print(
             f"offered={report['offered']} completed={report['completed']} "
@@ -503,11 +604,24 @@ def _cmd_metrics_net(args: argparse.Namespace) -> int:
     return _emit_snapshot(merged, args.render, args.out)
 
 
+def _load_merged(paths) -> dict:
+    """Load one or more snapshot files; merge when more than one.
+
+    Merging uses :func:`~repro.obs.registry.merge_snapshots` — the same
+    rollup the sharded drivers apply across shard clusters — so
+    ``metrics render shard_0.json shard_1.json`` shows deployment totals.
+    """
+    from repro.obs.registry import merge_snapshots
+
+    snapshots = [_load_snapshot(path) for path in paths]
+    return snapshots[0] if len(snapshots) == 1 else merge_snapshots(snapshots)
+
+
 def _cmd_metrics_render(args: argparse.Namespace) -> int:
     from repro.util.errors import ConfigurationError
 
     try:
-        snapshot = _load_snapshot(args.snapshot)
+        snapshot = _load_merged(args.snapshots)
     except ConfigurationError as exc:
         return _invalid(str(exc))
     return _emit_snapshot(snapshot, args.render, args.out)
@@ -518,8 +632,8 @@ def _cmd_metrics_diff(args: argparse.Namespace) -> int:
     from repro.util.errors import ConfigurationError
 
     try:
-        before = _load_snapshot(args.before)
-        after = _load_snapshot(args.after)
+        before = _load_merged(args.before.split(","))
+        after = _load_merged(args.after.split(","))
     except ConfigurationError as exc:
         return _invalid(str(exc))
     return _emit_snapshot(diff_snapshots(before, after), args.render, args.out)
@@ -676,8 +790,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="key-space size (default 1000)")
     loadgen.add_argument("--zipf", type=float, default=1.1,
                          help="zipf skew for key choice (default 1.1)")
+    loadgen.add_argument("--shards", type=int, default=1,
+                         help="independent shard clusters behind a "
+                              "consistent-hash router (default 1)")
+    loadgen.add_argument("--vnodes", type=int, default=128,
+                         help="virtual nodes per shard on the hash ring "
+                              "(default 128; --shards > 1 only)")
     loadgen.add_argument("--kill-leader-at", type=float, default=None,
-                         metavar="T", help="crash the initial leader at T")
+                         metavar="T", help="crash the initial leader at T "
+                              "(with --shards: the leader of --kill-shard)")
+    loadgen.add_argument("--kill-shard", type=int, default=0,
+                         help="which shard's leader --kill-leader-at crashes "
+                              "(default 0)")
     loadgen.add_argument("--recover-at", type=float, default=None,
                          metavar="T", help="recover the killed leader at T")
     loadgen.add_argument("--run-dir", default=None,
@@ -737,7 +861,9 @@ def build_parser() -> argparse.ArgumentParser:
     mrender = metrics_sub.add_parser(
         "render", help="re-render a saved snapshot JSON file"
     )
-    mrender.add_argument("snapshot", help="snapshot JSON file (repro.metrics/1)")
+    mrender.add_argument("snapshots", nargs="+", metavar="SNAPSHOT",
+                         help="snapshot JSON file(s) (repro.metrics/1); "
+                              "several are merged into one rollup")
     mrender.add_argument("--render", choices=("table", "prom", "json"),
                          default="table")
     mrender.add_argument("--out", default=None, metavar="FILE")
@@ -746,8 +872,10 @@ def build_parser() -> argparse.ArgumentParser:
     mdiff = metrics_sub.add_parser(
         "diff", help="delta between two saved snapshots (after - before)"
     )
-    mdiff.add_argument("before", help="earlier snapshot JSON file")
-    mdiff.add_argument("after", help="later snapshot JSON file")
+    mdiff.add_argument("before", help="earlier snapshot JSON file "
+                       "(comma-separate several to merge before diffing)")
+    mdiff.add_argument("after", help="later snapshot JSON file "
+                       "(comma-separate several to merge before diffing)")
     mdiff.add_argument("--render", choices=("table", "prom", "json"),
                        default="table")
     mdiff.add_argument("--out", default=None, metavar="FILE")

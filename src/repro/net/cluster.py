@@ -48,6 +48,9 @@ class ClusterConfig:
     n: int
     f: int
     duration: float = 10.0
+    #: Free-form tag carried into the summary (e.g. ``"shard-2"`` when a
+    #: sharded deployment runs several clusters side by side).
+    label: str = ""
     #: (pid, seconds-after-ready) pairs.
     kills: Tuple[Tuple[int, float], ...] = ()
     recovers: Tuple[Tuple[int, float], ...] = ()
@@ -239,6 +242,7 @@ class ClusterResult:
     def summary(self) -> dict:
         quorum = self.final_quorum()
         return {
+            **({"label": self.config.label} if self.config.label else {}),
             "n": self.config.n,
             "f": self.config.f,
             "duration": self.config.duration,

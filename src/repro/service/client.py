@@ -19,7 +19,7 @@ socket endpoint (``subscribe=False``; the gateway routes replies by
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.crypto.authenticator import SignedMessage
 from repro.sim.events import TimerHandle
@@ -30,6 +30,23 @@ from repro.xpaxos.messages import KIND_REPLY, KIND_REQUEST, ClientRequest, Reply
 
 #: Completion callback: (op, result, latency).
 CompletionCallback = Callable[[Tuple[Any, ...], Any, float], None]
+
+
+class Completion(NamedTuple):
+    """One completed request, as recorded by :attr:`ServiceClient.completed`.
+
+    A named record rather than a bare tuple so phase-window slicing and
+    cross-shard merging key off field names (``completed_at``,
+    ``latency``) instead of positional indices.  Field order is the
+    historical tuple layout, so positional consumers keep working.
+    """
+
+    sequence: int
+    op: Tuple[Any, ...]
+    result: Any
+    latency: float
+    completed_at: float
+    view: int
 
 
 class ServiceClient(Module):
@@ -66,10 +83,15 @@ class ServiceClient(Module):
         self._votes: Dict[Any, set] = {}
         self._submitted_at = 0.0
         self._retry_timer: Optional[TimerHandle] = None
+        #: Retries of the *current* request (resets on dispatch).
+        self._retry_round = 0
+        #: True once any valid reply has confirmed a serving view — the
+        #: leader learned from it is worth one targeted retry before the
+        #: n-fold broadcast escalation.
+        self._leader_learned = False
         self.started_at = 0.0
         self.retries = 0
-        # Results: (sequence, op, result, latency, completion_time, view).
-        self.completed: List[Tuple[int, Tuple[Any, ...], Any, float, float, int]] = []
+        self.completed: List[Completion] = []
 
     def start(self) -> None:
         self.started_at = self.host.now
@@ -107,6 +129,7 @@ class ServiceClient(Module):
         self._signed_current = self.authenticator.sign(self.current)
         self._current_callback = callback
         self._current_timeout = self.retry_timeout
+        self._retry_round = 0
         self._votes = {}
         self._submitted_at = self.host.now
         self._send_current(broadcast=False)
@@ -130,11 +153,19 @@ class ServiceClient(Module):
             if self.current is None or self.current.sequence != sequence:
                 return
             self.retries += 1
+            # A leader learned from real replies earns one targeted
+            # retry before escalating: broadcast-on-first-retry is n x
+            # request amplification exactly when the system is loaded
+            # (the usual reason a reply is late).  An unconfirmed view
+            # (no reply ever seen) escalates immediately.
+            leader_first = self._leader_learned and self._retry_round == 0
+            self._retry_round += 1
             self.host.log.append(
                 self.host.now, self.pid, "svc.client.retry",
                 client=self.client_id, seq=sequence,
+                broadcast=not leader_first,
             )
-            self._send_current(broadcast=True)
+            self._send_current(broadcast=not leader_first)
             self._current_timeout = min(
                 self._current_timeout * self.backoff, self.max_retry_timeout
             )
@@ -160,6 +191,7 @@ class ServiceClient(Module):
             return
         if reply.replica != payload.signer:
             return
+        self._leader_learned = True
         if reply.view > self.believed_view:
             self.believed_view = reply.view
         if self.current is None or reply.sequence != self.current.sequence:
@@ -174,7 +206,8 @@ class ServiceClient(Module):
         latency = self.host.now - self._submitted_at
         op = self.current.op
         self.completed.append(
-            (self.current.sequence, op, reply.result, latency, self.host.now, reply.view)
+            Completion(self.current.sequence, op, reply.result, latency,
+                       self.host.now, reply.view)
         )
         callback = self._current_callback
         self.current = None
@@ -193,7 +226,7 @@ class ServiceClient(Module):
     def mean_latency(self) -> float:
         if not self.completed:
             return 0.0
-        return sum(entry[3] for entry in self.completed) / len(self.completed)
+        return sum(entry.latency for entry in self.completed) / len(self.completed)
 
     def throughput(self, until: Optional[float] = None) -> float:
         """Completed requests per time unit since this client started."""
@@ -201,5 +234,5 @@ class ServiceClient(Module):
         elapsed = horizon - self.started_at
         if elapsed <= 0:
             return 0.0
-        count = sum(1 for entry in self.completed if entry[4] <= horizon)
+        count = sum(1 for entry in self.completed if entry.completed_at <= horizon)
         return count / elapsed

@@ -235,7 +235,7 @@ async def run_live_load(
 
         # Completion times shifted to load-relative seconds, sim-style.
         completions = [
-            (entry[0], entry[1], entry[2], entry[3], entry[4] - t0, entry[5])
+            entry._replace(completed_at=entry.completed_at - t0)
             for entry in generator.all_completions()
         ]
     finally:
@@ -252,9 +252,9 @@ async def run_live_load(
         if recover_at is not None:
             phases["recovery"] = summarize_phase(completions, recover_at, duration)
         resumed = [
-            entry[4]
+            entry.completed_at
             for entry in completions
-            if entry[4] > kill_leader_at and entry[5] > 0
+            if entry.completed_at > kill_leader_at and entry.view > 0
         ]
         higher_view = [
             client.believed_view
@@ -268,6 +268,37 @@ async def run_live_load(
             "new_view_learned_by": len(higher_view),
         }
 
+    verdict = service_verdict(cluster_result)
+    return {
+        "n": n,
+        "f": f,
+        "clients": clients,
+        "mode": mode,
+        "rate": rate,
+        "seed": seed,
+        "duration": duration,
+        "offered": generator.offered,
+        "completed": generator.completed,
+        "retries": generator.total_retries,
+        "phases": phases,
+        "kill_leader_at": kill_leader_at,
+        "recover_at": recover_at,
+        "initial_leader": initial_leader,
+        "at_most_once": verdict["at_most_once"],
+        "duplicates_refused": verdict["duplicates_refused"],
+        "replica_applied": verdict["replica_applied"],
+        "digests_agree": verdict["digests_agree"],
+        "replies_unrouted": gateway.replies_unrouted,
+        "cluster": cluster_result.summary(),
+    }
+
+
+def service_verdict(cluster_result) -> Dict[str, Any]:
+    """Service invariants over one cluster's final node records.
+
+    Shared by the single-cluster driver above and the sharded live
+    driver (:mod:`repro.shard.live`), which evaluates it per shard.
+    """
     service_finals: Dict[int, Dict[str, Any]] = {}
     for pid, node in cluster_result.nodes.items():
         if node.final is not None and "service" in node.final:
@@ -285,20 +316,6 @@ async def run_live_load(
         if applied[pid] == most_applied
     }
     return {
-        "n": n,
-        "f": f,
-        "clients": clients,
-        "mode": mode,
-        "rate": rate,
-        "seed": seed,
-        "duration": duration,
-        "offered": generator.offered,
-        "completed": generator.completed,
-        "retries": generator.total_retries,
-        "phases": phases,
-        "kill_leader_at": kill_leader_at,
-        "recover_at": recover_at,
-        "initial_leader": initial_leader,
         "at_most_once": all(
             block["at_most_once"] for block in service_finals.values()
         ) if service_finals else None,
@@ -307,8 +324,6 @@ async def run_live_load(
         ),
         "replica_applied": {pid: applied[pid] for pid in sorted(applied)},
         "digests_agree": len(frontier_digests) <= 1,
-        "replies_unrouted": gateway.replies_unrouted,
-        "cluster": cluster_result.summary(),
     }
 
 

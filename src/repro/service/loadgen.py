@@ -25,7 +25,12 @@ import bisect
 import random
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.service.client import ServiceClient
+from repro.service.client import Completion, ServiceClient
+
+__all__ = [
+    "Completion", "Workload", "LoadGenerator", "percentile",
+    "summarize_phase", "run_sim_load", "DEFAULT_MIX",
+]
 
 #: Default operation mix: read-heavy, as the zipfian web workloads are.
 DEFAULT_MIX = (("get", 0.70), ("put", 0.20), ("cas", 0.05), ("del", 0.05))
@@ -105,14 +110,25 @@ def percentile(values: Sequence[float], p: float) -> float:
     return ordered[int(rank) - 1]
 
 
+def as_completion(entry: Any) -> Completion:
+    """Coerce a legacy positional tuple into a :class:`Completion`."""
+    return entry if isinstance(entry, Completion) else Completion(*entry)
+
+
 def summarize_phase(
     completions: Sequence[Tuple[Any, ...]],
     start: float,
     end: float,
 ) -> Dict[str, float]:
-    """Throughput and latency stats over completions in ``[start, end)``."""
-    window = [entry for entry in completions if start <= entry[4] < end]
-    latencies = [entry[3] for entry in window]
+    """Throughput and latency stats over completions in ``[start, end)``.
+
+    Windowing keys off the *named* ``completed_at`` / ``latency`` fields
+    (bare six-tuples are coerced), so a record-layout change can never
+    silently slice the wrong column.
+    """
+    window = [entry for entry in map(as_completion, completions)
+              if start <= entry.completed_at < end]
+    latencies = [entry.latency for entry in window]
     duration = max(end - start, 1e-9)
     return {
         "start": round(start, 6),
@@ -204,17 +220,17 @@ class LoadGenerator:
 
     # ------------------------------------------------------------ diagnostics
 
-    def all_completions(self) -> List[Tuple[Any, ...]]:
+    def all_completions(self) -> List[Completion]:
         """Completion records of every client, ordered by completion time.
 
-        Entries are ``(sequence, op, result, latency, completion_time,
-        view)`` — the view the serving quorum reported, which is how the
-        benchmark finds the first post-kill completion in a new view.
+        Entries are :class:`Completion` named records; ``view`` is the
+        view the serving quorum reported, which is how the benchmark
+        finds the first post-kill completion in a new view.
         """
-        merged: List[Tuple[Any, ...]] = []
+        merged: List[Completion] = []
         for client in self.clients:
-            merged.extend(client.completed)
-        merged.sort(key=lambda entry: entry[4])
+            merged.extend(map(as_completion, client.completed))
+        merged.sort(key=lambda entry: entry.completed_at)
         return merged
 
     @property
@@ -304,8 +320,8 @@ def run_sim_load(
             phases["recovery"] = summarize_phase(completions, recover_at, duration)
         # Client-visible view-change outage: kill -> first completion
         # served in a higher view (in-flight old-view replies excluded).
-        resumed = [entry[4] for entry in completions
-                   if entry[4] > kill_leader_at and entry[5] > 0]
+        resumed = [entry.completed_at for entry in completions
+                   if entry.completed_at > kill_leader_at and entry.view > 0]
         higher_view = [
             client.believed_view for client in world.clients.values()
             if client.believed_view > 0

@@ -1,0 +1,22 @@
+"""Sharded deployment: M independent XPaxos+QS clusters behind one router.
+
+The paper's Quorum Selection module is strictly per-cluster, so the
+orthogonal throughput axis is horizontal: partition the key space over
+``M`` independent clusters, each running the full, unchanged protocol
+stack, and route every KV request by key.
+
+- :mod:`repro.shard.ring` — seeded consistent-hash ring (virtual nodes,
+  stable SHA-256 key placement);
+- :mod:`repro.shard.router` — :class:`ShardRouter` over per-shard client
+  pools plus the :class:`ShardedLoadGenerator` that drives all shards
+  concurrently;
+- :mod:`repro.shard.sim` — M deterministic service worlds advanced in
+  lockstep (the reproducible twin);
+- :mod:`repro.shard.live` — M one-process-per-replica TCP clusters
+  fronted by one router process holding M client gateways.
+"""
+
+from repro.shard.ring import HashRing
+from repro.shard.router import ShardRouter, ShardedLoadGenerator
+
+__all__ = ["HashRing", "ShardRouter", "ShardedLoadGenerator"]

@@ -1,0 +1,90 @@
+"""Seeded consistent-hash ring with virtual nodes.
+
+Key -> shard mapping for the sharded deployment (DESIGN.md §5.19).  Two
+properties the deployment leans on, both covered by the props tier:
+
+- **balance** — each shard owns ``vnodes`` pseudo-random arcs of the
+  2^64 ring, so shard loads concentrate around the fair share (relative
+  spread shrinks like ``1/sqrt(vnodes)``);
+- **minimal remapping** — growing ``shards`` from ``M`` to ``M+1`` (same
+  seed, same ``vnodes``) only moves keys *onto* the new shard: a key's
+  own ring position never changes, and every old vnode arc either
+  survives intact or is split by a new-shard vnode.  Roughly ``K/(M+1)``
+  of ``K`` keys move; none migrate between old shards.
+
+Placement follows the :mod:`repro.util.rand` derivation style: vnode
+positions hash a textual ``seed/shard/vnode`` path with SHA-256, so the
+ring is stable across runs, platforms, and Python versions.  Keys hash
+*without* the seed — their positions are fixed; only arc ownership is
+seeded.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence
+
+from repro.util.errors import ConfigurationError
+
+#: Default virtual nodes per shard.  128 keeps worst-case shard load
+#: within ~±25% of fair share at small M (see tests/test_props_shard_ring).
+DEFAULT_VNODES = 128
+
+
+def _point(text: str) -> int:
+    """A stable position on the 2^64 ring for a textual path."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def key_point(key: str) -> int:
+    """Ring position of a key (seed-independent — see module docstring)."""
+    return _point(f"key/{key}")
+
+
+class HashRing:
+    """Immutable consistent-hash ring mapping keys to ``shards`` ids."""
+
+    def __init__(self, shards: int, vnodes: int = DEFAULT_VNODES,
+                 seed: int = 0) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"need at least one shard, got {shards}")
+        if vnodes < 1:
+            raise ConfigurationError(f"need at least one vnode, got {vnodes}")
+        self.shards = shards
+        self.vnodes = vnodes
+        self.seed = seed
+        placed = sorted(
+            (_point(f"{seed}/shard-{shard}/vnode-{vnode}"), shard)
+            for shard in range(shards)
+            for vnode in range(vnodes)
+        )
+        self._points: List[int] = [point for point, _ in placed]
+        self._owners: List[int] = [owner for _, owner in placed]
+
+    def shard_of(self, key: str) -> int:
+        """The shard owning ``key``: the first vnode at or after its point."""
+        index = bisect.bisect_left(self._points, key_point(key))
+        if index == len(self._points):
+            index = 0  # wrap: past the last vnode belongs to the first
+        return self._owners[index]
+
+    def distribution(self, keys: Iterable[str]) -> Dict[int, int]:
+        """Shard -> key count over ``keys`` (every shard present, even empty)."""
+        counts = {shard: 0 for shard in range(self.shards)}
+        for key in keys:
+            counts[self.shard_of(key)] += 1
+        return counts
+
+    def remapped(self, other: "HashRing", keys: Sequence[str]) -> List[str]:
+        """Keys whose owner differs between this ring and ``other``."""
+        return [key for key in keys if self.shard_of(key) != other.shard_of(key)]
+
+    def describe(self) -> Dict[str, int]:
+        """Serializable ring identity for reports and rendezvous checks."""
+        return {"shards": self.shards, "vnodes": self.vnodes, "seed": self.seed}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"HashRing(shards={self.shards}, vnodes={self.vnodes}, "
+                f"seed={self.seed})")

@@ -1,0 +1,204 @@
+"""Key-routing over M independent clusters' client pools.
+
+:class:`ShardRouter` owns the ring and one pool of
+:class:`~repro.service.client.ServiceClient`\\ s per shard.  Every KV
+operation carries its key at position 1 (``("put", key, v)``, ...);
+the router hashes the key, picks a client from the owning shard's pool
+(idle-preferring round-robin, so queues only build once a whole shard is
+saturated), and submits.  Each client belongs to exactly one shard's
+cluster — replicas never see another shard's keys, so every shard runs
+the full, unchanged protocol stack.
+
+:class:`ShardedLoadGenerator` is the deployment-level twin of
+:class:`~repro.service.loadgen.LoadGenerator`: one workload stream
+drives all shards concurrently.  Closed loop keeps ``sum(pool sizes)``
+requests outstanding deployment-wide — a completion on any shard feeds
+the next operation, routed wherever its key lives — and open loop
+routes fixed-rate arrivals by key.  Per-shard completion records keep
+their own cluster's clock; drivers align them via :attr:`t0`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.client import Completion, ServiceClient
+from repro.service.loadgen import Workload, as_completion
+from repro.shard.ring import HashRing
+from repro.util.errors import ConfigurationError
+
+
+def key_of(op: Tuple[Any, ...]) -> str:
+    """The routing key of a KV operation (keyless ops route like ``""``)."""
+    return str(op[1]) if len(op) > 1 else ""
+
+
+class ShardRouter:
+    """Routes operations to per-shard client pools by consistent hashing."""
+
+    def __init__(
+        self, ring: HashRing, pools: Dict[int, Sequence[ServiceClient]]
+    ) -> None:
+        if sorted(pools) != list(range(ring.shards)):
+            raise ConfigurationError(
+                f"pools must cover shards 0..{ring.shards - 1}, got {sorted(pools)}"
+            )
+        if any(not pool for pool in pools.values()):
+            raise ConfigurationError("every shard needs at least one client")
+        self.ring = ring
+        self.pools: Dict[int, List[ServiceClient]] = {
+            shard: list(pool) for shard, pool in pools.items()
+        }
+        self._next: Dict[int, int] = {shard: 0 for shard in pools}
+        self.routed: Dict[int, int] = {shard: 0 for shard in pools}
+
+    @property
+    def total_clients(self) -> int:
+        return sum(len(pool) for pool in self.pools.values())
+
+    def shard_of(self, op: Tuple[Any, ...]) -> int:
+        return self.ring.shard_of(key_of(op))
+
+    def client_for(self, shard: int) -> ServiceClient:
+        """Idle-preferring round-robin within one shard's pool."""
+        pool = self.pools[shard]
+        start = self._next[shard]
+        chosen = None
+        for offset in range(len(pool)):
+            candidate = pool[(start + offset) % len(pool)]
+            if candidate.idle:
+                chosen = candidate
+                self._next[shard] = (start + offset + 1) % len(pool)
+                break
+        if chosen is None:
+            chosen = pool[start % len(pool)]
+            self._next[shard] = (start + 1) % len(pool)
+        return chosen
+
+    def submit(self, op: Tuple[Any, ...], callback=None) -> int:
+        """Route one operation by key; returns the owning shard."""
+        shard = self.shard_of(op)
+        self.routed[shard] += 1
+        self.client_for(shard).submit(op, callback=callback)
+        return shard
+
+
+class ShardedLoadGenerator:
+    """One workload stream driving every shard of a deployment.
+
+    ``hosts`` maps shard -> the host whose clock and timers that shard's
+    clients live on (the per-world generator host in the sim, the
+    per-shard gateway host live).  Open-loop arrivals tick on shard 0's
+    host — the router then fans each arrival out by key.
+    """
+
+    def __init__(
+        self,
+        hosts: Dict[int, Any],
+        router: ShardRouter,
+        workload: Workload,
+        mode: str = "closed",
+        rate: Optional[float] = None,
+        duration: float = 60.0,
+    ) -> None:
+        if mode not in ("closed", "open"):
+            raise ConfigurationError(
+                f"mode must be 'closed' or 'open', got {mode!r}"
+            )
+        if mode == "open" and (rate is None or rate <= 0):
+            raise ConfigurationError("open-loop mode needs a positive rate")
+        if sorted(hosts) != sorted(router.pools):
+            raise ConfigurationError("hosts must cover exactly the router's shards")
+        self.hosts = dict(hosts)
+        self.router = router
+        self.workload = workload
+        self.mode = mode
+        self.rate = rate
+        self.duration = duration
+        self.offered = 0
+        #: Per-shard clock origin, captured at :meth:`start`.
+        self.t0: Dict[int, float] = {}
+        self._arrival_handle = None
+        self._stopped = False
+
+    # ---------------------------------------------------------------- driving
+
+    def start(self) -> None:
+        self.t0 = {shard: host.now for shard, host in self.hosts.items()}
+        if self.mode == "closed":
+            # One outstanding request per client, deployment-wide; keys
+            # decide which shard each lands on, queues absorb skew.
+            for _ in range(self.router.total_clients):
+                self._offer()
+        else:
+            anchor = self.hosts[min(self.hosts)]
+            period = 1.0 / float(self.rate)
+            self._arrival_handle = anchor.scheduler.schedule_every(
+                period, self._offer, label="shard-loadgen-arrival"
+            )
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._arrival_handle is not None:
+            self._arrival_handle.cancel()
+            self._arrival_handle = None
+
+    def _expired(self, shard: int) -> bool:
+        return self.hosts[shard].now - self.t0.get(shard, 0.0) >= self.duration
+
+    def _offer(self) -> None:
+        if self._stopped:
+            return
+        op = self.workload.next_op()
+        shard = self.router.shard_of(op)
+        if self._expired(shard):
+            if self._arrival_handle is not None:
+                self._arrival_handle.cancel()
+                self._arrival_handle = None
+            return
+        self.offered += 1
+        callback = None
+        if self.mode == "closed":
+            callback = lambda op_, result, latency: self._offer()  # noqa: E731
+        self.router.submit(op, callback=callback)
+
+    # ------------------------------------------------------------ diagnostics
+
+    def shard_completions(self) -> Dict[int, List[Completion]]:
+        """Per-shard completion records, each on its own cluster's clock."""
+        merged: Dict[int, List[Completion]] = {}
+        for shard, pool in self.router.pools.items():
+            records: List[Completion] = []
+            for client in pool:
+                records.extend(map(as_completion, client.completed))
+            records.sort(key=lambda entry: entry.completed_at)
+            merged[shard] = records
+        return merged
+
+    def all_completions(self) -> List[Completion]:
+        """Every shard's completions, merged and time-ordered."""
+        merged: List[Completion] = []
+        for records in self.shard_completions().values():
+            merged.extend(records)
+        merged.sort(key=lambda entry: entry.completed_at)
+        return merged
+
+    @property
+    def completed(self) -> int:
+        return sum(
+            len(client.completed)
+            for pool in self.router.pools.values()
+            for client in pool
+        )
+
+    @property
+    def backlog(self) -> int:
+        return self.offered - self.completed
+
+    @property
+    def total_retries(self) -> int:
+        return sum(
+            client.retries
+            for pool in self.router.pools.values()
+            for client in pool
+        )

@@ -224,3 +224,37 @@ def build_kv_service_world(
         sim=sim, n=n, f=f, replicas=replicas, qs_modules=qs_modules,
         clients=client_modules, adversary=adversary,
     )
+
+
+def shard_seed(seed: int, shard: int) -> int:
+    """Root seed of one shard's world, derived by name (stable path)."""
+    from repro.util.rand import derive_seed
+
+    return derive_seed(seed, "shard", shard)
+
+
+def build_sharded_kv_worlds(
+    shards: int,
+    n: int,
+    f: int,
+    clients: int,
+    seed: int = 3,
+    **world_kwargs: Any,
+) -> list:
+    """``shards`` independent KV service worlds for one deployment.
+
+    Each world is a full :func:`build_kv_service_world` (own pid space
+    1..n+clients, own RNG streams) under a per-shard derived seed, so
+    shard worlds are statistically independent yet the deployment as a
+    whole replays deterministically from one root seed.  The sharded
+    sim driver (:mod:`repro.shard.sim`) advances them in lockstep.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    return [
+        build_kv_service_world(
+            n=n, f=f, clients=clients, seed=shard_seed(seed, shard),
+            **world_kwargs,
+        )
+        for shard in range(shards)
+    ]

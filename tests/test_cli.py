@@ -137,3 +137,85 @@ class TestClusterCommand:
     def test_invalid_node_combos_exit_2(self, argv, capsys):
         assert main(argv) == 2
         assert capsys.readouterr().err.strip()
+
+
+class TestLoadgenSharding:
+    """Validation-only paths: nothing here launches clusters."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["loadgen", "--shards", "0"],
+            ["loadgen", "--shards", "-1"],
+            ["loadgen", "--shards", "2", "--kill-shard", "2",
+             "--kill-leader-at", "10"],
+            ["loadgen", "--shards", "2", "--kill-shard", "-1"],
+        ],
+    )
+    def test_invalid_shard_combos_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert capsys.readouterr().err.strip()
+
+    def test_sim_sharded_smoke(self, capsys):
+        assert main([
+            "loadgen", "--runtime", "sim", "--shards", "2",
+            "--clients", "4", "--duration", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 shards" in out
+        assert "at_most_once=True" in out
+
+
+class TestMetricsMultiSnapshot:
+    def _snapshot(self, tmp_path, name, seed):
+        path = tmp_path / name
+        assert main([
+            "metrics", "sim", "--n", "4", "--f", "1", "--seed", str(seed),
+            "--duration", "20", "--render", "json", "--out", str(path),
+        ]) == 0
+        return path
+
+    def test_render_merges_several_snapshots(self, tmp_path, capsys):
+        import json as jsonlib
+
+        a = self._snapshot(tmp_path, "a.json", 3)
+        b = self._snapshot(tmp_path, "b.json", 7)
+        capsys.readouterr()
+        assert main([
+            "metrics", "render", str(a), str(b), "--render", "json",
+        ]) == 0
+        merged = jsonlib.loads(capsys.readouterr().out)
+        single = jsonlib.loads(a.read_text())
+        assert merged["schema"] == single["schema"]
+
+        # Counters sum across snapshots: the merged total must be at
+        # least either input's alone.
+        def counter_total(snapshot):
+            return sum(
+                series["value"]
+                for series in snapshot["metrics"]
+                if series["type"] == "counter"
+            )
+
+        assert counter_total(merged) >= counter_total(single)
+
+    def test_diff_accepts_comma_separated_sides(self, tmp_path, capsys):
+        a = self._snapshot(tmp_path, "a.json", 3)
+        b = self._snapshot(tmp_path, "b.json", 7)
+        capsys.readouterr()
+        assert main([
+            "metrics", "diff", f"{a},{b}", f"{a},{b}", "--render", "json",
+        ]) == 0
+        # Identical merged sides diff to zero everywhere.
+        import json as jsonlib
+
+        delta = jsonlib.loads(capsys.readouterr().out)
+        for series in delta["metrics"]:
+            if series["type"] == "counter":
+                assert series["value"] == 0
+
+    def test_render_rejects_a_non_snapshot_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        assert main(["metrics", "render", str(bogus)]) == 2
+        assert capsys.readouterr().err.strip()

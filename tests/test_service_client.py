@@ -125,6 +125,48 @@ class TestDispatchAndRetry:
         assert client.current is None
         assert host.live_timers() == []
 
+    def test_first_retry_goes_leader_first_once_a_leader_is_learned(self):
+        # A client that has seen real replies knows who leads; its first
+        # retry re-targets that leader alone, and only the second retry
+        # escalates to the full n-fold broadcast.
+        host = FakeHost()
+        client = make_client(host, retry_timeout=1.0)
+        client.submit(("put", "a", 1))
+        for replica in (1, 2):
+            client.on_reply(
+                KIND_REPLY, reply_from(replica, CLIENT_PID, 0, None, view=1), replica
+            )
+        assert client.believed_view == 1
+
+        client.submit(("get", "a"))
+        host.sent.clear()
+        (timer,) = host.live_timers()
+        timer.fire()
+        leader = leader_of_view(1, N, N - F)
+        assert [entry[0] for entry in host.sent] == [leader]
+
+        host.sent.clear()
+        (timer,) = host.live_timers()
+        timer.fire()
+        assert [entry[0] for entry in host.sent] == [1, 2, 3, 4]
+
+    def test_completion_records_are_named(self):
+        host = FakeHost()
+        client = make_client(host)
+        client.submit(("put", "a", 1))
+        for replica in (1, 2):
+            client.on_reply(KIND_REPLY, reply_from(replica, CLIENT_PID, 0, "ok"), replica)
+        (entry,) = client.completed
+        assert entry.sequence == 0
+        assert entry.op == ("put", "a", 1)
+        assert entry.result == "ok"
+        assert entry.view == 0
+        # Positional layout preserved for historical consumers.
+        assert tuple(entry) == (
+            entry.sequence, entry.op, entry.result,
+            entry.latency, entry.completed_at, entry.view,
+        )
+
     def test_stale_retry_closure_is_a_no_op(self):
         host = FakeHost()
         client = make_client(host)

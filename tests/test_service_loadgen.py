@@ -2,9 +2,11 @@
 
 import pytest
 
+from repro.service.client import Completion
 from repro.service.loadgen import (
     LoadGenerator,
     Workload,
+    as_completion,
     percentile,
     run_sim_load,
     summarize_phase,
@@ -78,6 +80,24 @@ class TestStats:
         assert phase["completed"] == 0
         assert phase["latency_mean"] == 0.0
         assert phase["latency_p99"] == 0.0
+
+    def test_as_completion_coerces_legacy_tuples(self):
+        # Regression for the named-record migration: bare 6-tuples (the
+        # historical completion layout) still summarize identically to
+        # Completion records — field names, not positions, do the work.
+        legacy = (0, ("get", "k"), "v", 0.5, 1.0, 2)
+        entry = as_completion(legacy)
+        assert isinstance(entry, Completion)
+        assert entry.latency == 0.5
+        assert entry.completed_at == 1.0
+        assert entry.view == 2
+        assert as_completion(entry) is entry
+        named = [Completion(*row) for row in (
+            (0, ("get", "k"), None, 0.5, 1.0, 0),
+            (1, ("get", "k"), None, 1.5, 5.0, 0),
+        )]
+        bare = [tuple(row) for row in named]
+        assert summarize_phase(named, 0.0, 6.0) == summarize_phase(bare, 0.0, 6.0)
 
 
 class TestLoadGeneratorValidation:

@@ -1,0 +1,73 @@
+"""Unit tests for the consistent-hash ring (DESIGN.md §5.19).
+
+The statistical laws (balance across seeds, minimal remapping fractions)
+live in the props tier (``test_props_shard_ring.py``); here are the
+exact, seed-free properties: determinism, wraparound, validation, and
+the remap-targets-the-new-shard invariant on a fixed configuration.
+"""
+
+import pytest
+
+from repro.shard.ring import DEFAULT_VNODES, HashRing, key_point
+from repro.util.errors import ConfigurationError
+
+KEYS = [f"key-{i}" for i in range(500)]
+
+
+class TestConstruction:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(0)
+        with pytest.raises(ConfigurationError):
+            HashRing(2, vnodes=0)
+
+    def test_describe_is_the_identity(self):
+        ring = HashRing(3, vnodes=64, seed=9)
+        assert ring.describe() == {"shards": 3, "vnodes": 64, "seed": 9}
+
+
+class TestMapping:
+    def test_deterministic_across_instances(self):
+        a = HashRing(4, seed=3)
+        b = HashRing(4, seed=3)
+        assert [a.shard_of(k) for k in KEYS] == [b.shard_of(k) for k in KEYS]
+
+    def test_seed_changes_the_arcs_not_the_key_points(self):
+        a = HashRing(4, seed=3)
+        b = HashRing(4, seed=4)
+        assert key_point("k") == key_point("k")  # key positions unseeded
+        assert any(a.shard_of(k) != b.shard_of(k) for k in KEYS)
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert {ring.shard_of(k) for k in KEYS} == {0}
+
+    def test_wraparound_past_the_last_vnode(self):
+        # A key hashing beyond every vnode point must wrap to the ring's
+        # first vnode, not fall off the end.  Find one by construction.
+        ring = HashRing(2, vnodes=4, seed=3)
+        last = max(ring._points)
+        wrapping = next(
+            k for k in (f"probe-{i}" for i in range(100_000))
+            if key_point(k) > last
+        )
+        assert ring.shard_of(wrapping) == ring._owners[0]
+
+    def test_distribution_counts_every_shard(self):
+        ring = HashRing(4, seed=3)
+        dist = ring.distribution(KEYS)
+        assert sorted(dist) == [0, 1, 2, 3]
+        assert sum(dist.values()) == len(KEYS)
+
+
+class TestRemapping:
+    def test_growth_only_moves_keys_onto_the_new_shard(self):
+        old = HashRing(3, seed=3)
+        new = HashRing(4, seed=3)
+        moved = old.remapped(new, KEYS)
+        assert moved  # the new shard takes a share
+        assert all(new.shard_of(k) == 3 for k in moved)
+
+    def test_same_ring_remaps_nothing(self):
+        ring = HashRing(4, seed=3, vnodes=DEFAULT_VNODES)
+        assert ring.remapped(HashRing(4, seed=3), KEYS) == []

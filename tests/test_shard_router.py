@@ -1,0 +1,155 @@
+"""Tests for the shard router and the sharded sim deployment.
+
+Unit half: routing math and pool selection against fake clients.
+Integration half: :func:`repro.shard.sim.run_sim_shard_load` — the
+M-world lockstep driver — covering shard coverage, invariants,
+aggregate accounting, determinism, and single-shard fault containment.
+"""
+
+import pytest
+
+from repro.service.client import Completion
+from repro.shard.ring import HashRing
+from repro.shard.router import (
+    ShardedLoadGenerator,
+    ShardRouter,
+    key_of,
+)
+from repro.shard.sim import run_sim_shard_load, unaffected_shards_ok
+from repro.util.errors import ConfigurationError
+
+
+class FakeClient:
+    def __init__(self):
+        self.submitted = []
+        self.idle = True
+        self.completed = []
+        self.retries = 0
+
+    def submit(self, op, callback=None):
+        self.submitted.append(tuple(op))
+        self.idle = False
+
+
+def make_router(shards=2, per_shard=2, seed=3):
+    ring = HashRing(shards, seed=seed)
+    pools = {
+        s: [FakeClient() for _ in range(per_shard)] for s in range(shards)
+    }
+    return ShardRouter(ring, pools), pools
+
+
+class TestKeyOf:
+    def test_key_is_position_one(self):
+        assert key_of(("put", "alpha", 1)) == "alpha"
+        assert key_of(("get", 42)) == "42"
+        assert key_of(("noop",)) == ""
+
+
+class TestShardRouter:
+    def test_pools_must_cover_every_shard(self):
+        ring = HashRing(2, seed=3)
+        with pytest.raises(ConfigurationError):
+            ShardRouter(ring, {0: [FakeClient()]})
+        with pytest.raises(ConfigurationError):
+            ShardRouter(ring, {0: [FakeClient()], 1: []})
+
+    def test_routes_by_ring_ownership(self):
+        router, pools = make_router()
+        ops = [("put", f"key-{i}", i) for i in range(50)]
+        for op in ops:
+            shard = router.submit(op)
+            assert shard == router.ring.shard_of(f"key-{op[2]}")
+        assert sum(router.routed.values()) == len(ops)
+        for s, pool in pools.items():
+            assert sum(len(c.submitted) for c in pool) == router.routed[s]
+
+    def test_idle_clients_preferred_within_a_pool(self):
+        router, pools = make_router(shards=1, per_shard=3)
+        pools[0][0].idle = False
+        pools[0][1].idle = False
+        assert router.client_for(0) is pools[0][2]
+        # All busy: plain round-robin so queues spread evenly.
+        pools[0][2].idle = False
+        first = router.client_for(0)
+        second = router.client_for(0)
+        assert first is not second
+
+
+class TestShardedLoadGeneratorValidation:
+    def test_hosts_must_match_shards(self):
+        router, _pools = make_router(shards=2)
+        from repro.service.loadgen import Workload
+
+        workload = Workload(seed=1, keys=10)
+        with pytest.raises(ConfigurationError):
+            ShardedLoadGenerator({0: object()}, router, workload)
+        with pytest.raises(ConfigurationError):
+            ShardedLoadGenerator(
+                {0: object(), 1: object()}, router, workload, mode="open"
+            )
+
+
+class TestSimShardLoad:
+    def test_two_shards_both_serve_and_invariants_hold(self):
+        report = run_sim_shard_load(
+            shards=2, n=4, f=1, clients=8, duration=40.0, drain=20.0, seed=3
+        )
+        report.pop("worlds")
+        assert report["completed"] > 0
+        assert report["completed"] == report["offered"]
+        for s in (0, 1):
+            block = report["per_shard"][s]
+            assert block["completed"] > 0, f"shard {s} served nothing"
+            assert block["at_most_once"] and block["digests_agree"]
+        # Aggregate completions == sum of per-shard completions.
+        assert report["completed"] == sum(
+            block["completed"] for block in report["per_shard"].values()
+        )
+        assert report["at_most_once"] and report["digests_agree"]
+        assert report["metrics_families"] > 0
+
+    def test_same_seed_replays_identically(self):
+        kwargs = dict(
+            shards=2, n=4, f=1, clients=6, duration=30.0, drain=15.0, seed=7
+        )
+        a = run_sim_shard_load(**kwargs)
+        b = run_sim_shard_load(**kwargs)
+        a.pop("worlds")
+        b.pop("worlds")
+        assert a == b
+
+    def test_killing_one_shards_leader_stays_contained(self):
+        report = run_sim_shard_load(
+            shards=2, n=4, f=1, clients=8, duration=120.0, drain=60.0,
+            seed=3, kill_shard_leader_at=40.0, kill_shard=0, recover_at=80.0,
+        )
+        report.pop("worlds")
+        kill = report["kill"]
+        assert kill["shard"] == 0
+        assert kill["view_change"]["outage"] is not None
+        assert kill["view_change"]["outage"] > 0
+        # The untouched shard keeps serving through shard 0's outage.
+        assert unaffected_shards_ok(report)
+        other = report["per_shard"][1]["phases"]
+        assert other["crash"]["completed"] > 0
+        assert report["at_most_once"] and report["digests_agree"]
+
+    def test_shard_completion_records_are_named(self):
+        report = run_sim_shard_load(
+            shards=2, n=4, f=1, clients=4, duration=20.0, drain=10.0, seed=3
+        )
+        worlds = report.pop("worlds")
+        assert len(worlds) == 2
+        for world in worlds:
+            for client in world.clients.values():
+                for entry in client.completed:
+                    assert isinstance(entry, Completion)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_sim_shard_load(shards=0)
+        with pytest.raises(ConfigurationError):
+            run_sim_shard_load(shards=2, kill_shard=2, kill_shard_leader_at=1.0)
+        with pytest.raises(ConfigurationError):
+            run_sim_shard_load(shards=2, lockstep_quantum=0.0)
