@@ -1,0 +1,126 @@
+"""E28 — programmable adversary engine + randomized lower-bound chase.
+
+The seeded attack search (:func:`repro.adversary.search.chase_bound`)
+fuzzes (strategy, parameters, schedule jitter) configurations against
+live worlds, guided by the proposed-quorum count, and must rediscover
+Theorem 4's tightness claim for every ``f``:
+
+- **canonical exact** — trial 0 is always the proof's own attack
+  (lexicographic pair chase on ``F+2``); its proposed-quorum count must
+  equal ``C(f+2, 2)`` *exactly*;
+- **bound met** — the best attack found is never below the bound
+  (a randomized trial can tie it, never beat it — Theorem 3's
+  ``f(f+1)`` envelope is asserted over every trial);
+- **deterministic** — the whole report is a pure function of the seed,
+  and trials run through the E23 engine, so ``REPRO_SWEEP_JOBS=N``
+  parallelism and ``REPRO_SWEEP_CACHE=1`` warm re-runs return the
+  identical report.
+
+Writes ``BENCH_adversary_search.json`` (checked in) so EXPERIMENTS.md
+quotes measured numbers.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.adversary.search import chase_bound
+
+from repro.analysis.report import Table
+
+from .conftest import emit, engine_cache, engine_jobs, once
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_PATH = REPO_ROOT / "BENCH_adversary_search.json"
+
+F_VALUES = (1, 2, 3)
+SEED = 3
+BUDGET = 6
+ROUNDS = 2
+
+
+def write_report(path: Path = REPORT_PATH) -> dict:
+    """Run the chase for every f, write the JSON report, return it."""
+    started = time.perf_counter()
+    chase = chase_bound(
+        F_VALUES, seed=SEED, budget=BUDGET, rounds=ROUNDS,
+        jobs=engine_jobs(), cache=engine_cache(),
+    )
+    wall = time.perf_counter() - started
+    entries = []
+    for entry in chase["entries"]:
+        strategies = sorted({t["strategy"] for t in entry["trials"]})
+        entries.append({
+            "f": entry["f"],
+            "n": entry["n"],
+            "thm4_bound": entry["thm4_bound"],
+            "thm3_bound": entry["thm3_bound"],
+            "canonical_exact": entry["canonical_exact"],
+            "bound_met": entry["bound_met"],
+            "thm3_ok": entry["thm3_ok"],
+            "best": entry["best"],
+            "trials": len(entry["trials"]),
+            "cached_trials": entry["cached_trials"],
+            "failed_trials": entry["failed_trials"],
+            "strategies_tried": strategies,
+        })
+    report = {
+        "benchmark": "E28 — randomized adversarial lower-bound chase",
+        "seed": SEED,
+        "budget": BUDGET,
+        "rounds": ROUNDS,
+        "jobs": engine_jobs(),
+        "wall_seconds": round(wall, 3),
+        "entries": entries,
+        "notes": (
+            "Each trial is one engine strategy (sampled params + schedule "
+            "jitter) against a fresh n=2f+2 world, scored by the worst "
+            "per-epoch proposed-quorum count over correct processes. "
+            "Trial 0 per f is the canonical Theorem-4 chase; "
+            "canonical_exact records that it hits C(f+2,2) exactly. "
+            "Deterministic per seed; trials run through the E23 engine "
+            "(REPRO_SWEEP_JOBS / REPRO_SWEEP_CACHE)."
+        ),
+    }
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def render_table(report: dict) -> str:
+    table = Table(
+        [
+            "f", "n", "best attack", "proposed quorums", "C(f+2,2)",
+            "canonical exact", "Thm 3 ok", "trials (cached)",
+        ],
+        title=(
+            f"E28 — lower-bound chase, seed={report['seed']}, "
+            f"budget={report['budget']}, rounds={report['rounds']}, "
+            f"wall {report['wall_seconds']}s"
+        ),
+    )
+    for entry in report["entries"]:
+        table.add_row(
+            entry["f"], entry["n"], entry["best"]["strategy"],
+            int(entry["best"]["proposed_quorums"]), entry["thm4_bound"],
+            entry["canonical_exact"], entry["thm3_ok"],
+            f"{entry['trials']} ({entry['cached_trials']})",
+        )
+    return table.render()
+
+
+def test_e28_adversary_search(benchmark):
+    report = once(benchmark, write_report)
+    emit("e28_adversary_search", render_table(report))
+
+    for entry in report["entries"]:
+        # Theorem 4 tightness, rediscovered: the canonical trial is exact
+        # and no randomized trial beats the proof (or escapes Theorem 3).
+        assert entry["canonical_exact"], (
+            f"f={entry['f']}: canonical attack missed C(f+2,2)"
+        )
+        assert entry["bound_met"]
+        assert entry["best"]["proposed_quorums"] == entry["thm4_bound"]
+        assert entry["thm3_ok"]
+        assert entry["failed_trials"] == 0
+        # The fuzzer genuinely explored beyond the seed corpus.
+        assert len(entry["strategies_tried"]) >= 2

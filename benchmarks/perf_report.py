@@ -221,6 +221,49 @@ def find_shard_regressions(
     return flags
 
 
+def find_adversary_regressions(
+    previous: Optional[dict], report: dict,
+) -> List[str]:
+    """Flag the adversarial chase losing its Theorem-4 guarantees.
+
+    Unlike the throughput gates this is a *correctness* gate on
+    ``BENCH_adversary_search.json``: every f must keep ``canonical_exact``
+    (the proof's own attack still scores exactly C(f+2,2)), ``bound_met``
+    and ``thm3_ok``, and an f that previously hit the bound dropping its
+    best score is flagged too.  Missing or malformed previous reports
+    only check the absolute invariants.
+    """
+    flags = []
+    old_entries = {}
+    if previous:
+        for entry in previous.get("entries", []) or []:
+            if isinstance(entry, dict) and "f" in entry:
+                old_entries[entry["f"]] = entry
+    for entry in report.get("entries", []):
+        f = entry["f"]
+        if not entry.get("canonical_exact"):
+            flags.append(f"adversary f={f}: canonical attack no longer exact")
+        if not entry.get("bound_met"):
+            flags.append(f"adversary f={f}: best attack below C(f+2,2)")
+        if not entry.get("thm3_ok"):
+            flags.append(f"adversary f={f}: a trial escaped the Thm 3 envelope")
+        old = old_entries.get(f)
+        if not old:
+            continue
+        try:
+            old_best = old["best"]["proposed_quorums"]
+            new_best = entry["best"]["proposed_quorums"]
+        except (KeyError, TypeError):
+            continue
+        if isinstance(old_best, (int, float)) and \
+                isinstance(new_best, (int, float)) and new_best < old_best:
+            flags.append(
+                f"adversary f={f}: best proposed quorums "
+                f"{old_best:.0f} -> {new_best:.0f}"
+            )
+    return flags
+
+
 def read_previous_report(path: Path = REPORT_PATH) -> Optional[dict]:
     """The report currently on disk, or ``None`` if absent/corrupt."""
     try:
@@ -312,6 +355,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--shard", action="store_true",
                         help="also run the shard-scaling benchmark (E30a) "
                              "and write BENCH_shard_scaling.json")
+    parser.add_argument("--adversary", action="store_true",
+                        help="also run the adversarial lower-bound chase "
+                             "(E28) and write BENCH_adversary_search.json")
     args = parser.parse_args(argv)
 
     previous = read_previous_report()
@@ -359,6 +405,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"PERF REGRESSION: {line}")
         regressions.extend(shard_regressions)
         print(f"wrote {e30.REPORT_PATH}")
+
+    if args.adversary:
+        from benchmarks import bench_e28_adversary_search as e28
+
+        adversary_previous = read_previous_report(e28.REPORT_PATH)
+        adversary_report = e28.write_report()
+        emit("e28_adversary_search", e28.render_table(adversary_report))
+        adversary_regressions = find_adversary_regressions(
+            adversary_previous, adversary_report
+        )
+        for line in adversary_regressions:
+            print(f"PERF REGRESSION: {line}")
+        regressions.extend(adversary_regressions)
+        print(f"wrote {e28.REPORT_PATH}")
 
     if regressions and args.strict:
         return 1

@@ -1,0 +1,57 @@
+"""Programmable Byzantine adversary engine + lower-bound chase (E28).
+
+Grows — and for new adversarial scenarios supersedes — the static rule
+layer in :mod:`repro.failures`:
+
+- :mod:`repro.adversary.engine` — the engine: composable, stateful
+  :class:`Strategy` policies driven each tick by a read-only world
+  snapshot (:mod:`repro.core.observation`), actuating through the
+  model's allowed faults (false suspicions, equivocation, forged rows,
+  tagged per-link omission/timing rules, a collusion blackboard).
+- :mod:`repro.adversary.strategies` — the policy library: the ported
+  Theorem-4 chase, colluding f-cliques, equivocation, garbage-row
+  forging, adaptive selective omission, and quorum-keyed timing.
+- :mod:`repro.adversary.search` — the seeded randomized attack search:
+  a fuzzer over strategy parameters and schedule jitter, guided by the
+  quorum-change count, chasing Theorem 4's ``C(f+2, 2)`` bound through
+  the E23 parallel executor and result cache.
+
+CLI: ``python -m repro adversary {attack,search} ...``.
+"""
+
+from repro.adversary.engine import ActionRecord, AdversaryEngine, Blackboard, Strategy
+from repro.adversary.strategies import (
+    AdaptiveTimingStrategy,
+    CollusionStrategy,
+    EquivocationStrategy,
+    ForgedSuspicionStrategy,
+    LowerBoundAttack,
+    SelectiveOmissionStrategy,
+    forge_garbage_rows,
+)
+from repro.adversary.search import (
+    STRATEGY_FACTORIES,
+    canonical_config,
+    chase_bound,
+    make_strategy,
+    run_attack_case,
+)
+
+__all__ = [
+    "ActionRecord",
+    "AdversaryEngine",
+    "Blackboard",
+    "Strategy",
+    "LowerBoundAttack",
+    "CollusionStrategy",
+    "EquivocationStrategy",
+    "ForgedSuspicionStrategy",
+    "SelectiveOmissionStrategy",
+    "AdaptiveTimingStrategy",
+    "forge_garbage_rows",
+    "STRATEGY_FACTORIES",
+    "make_strategy",
+    "run_attack_case",
+    "canonical_config",
+    "chase_bound",
+]

@@ -1,0 +1,329 @@
+"""The programmable Byzantine adversary engine (E28).
+
+Where :class:`repro.failures.Adversary` attaches *static* per-link rules,
+the engine runs *policies*: composable, stateful :class:`Strategy`
+objects that each tick observe the world through the read-only snapshot
+API (:mod:`repro.core.observation`) and react through a small actuation
+vocabulary — exactly the failures the paper's model grants a Byzantine
+process:
+
+- ``false_suspicion``: a controlled process signs a dishonest UPDATE row
+  through its own module (wire-format-perfect, cf. Theorem 4);
+- ``equivocate``: conflicting signed UPDATE rows to different peer
+  groups — within crypto limits, since only the liar's own key signs;
+- ``forge_row``: a signed row whose *content* is garbage (wrong arity,
+  bogus types, absurd stamps) — receivers must shrug it off;
+- ``omit`` / ``delay`` / ``clear_rules``: per-link omission and timing
+  failures, delegated to the legacy rule layer under per-strategy tags
+  so stacked behaviours replace their own rules without shadowing
+  (see the audit notes in :mod:`repro.failures.adversary`);
+- a shared :class:`Blackboard` for colluding f-cliques.
+
+Every actuation is logged, counted, and span-recorded
+(:data:`~repro.obs.spans.SPAN_ADVERSARY_ACTION`), so attacks are as
+observable as the protocol they attack.  All engine randomness comes
+from a dedicated ``adversary/engine`` child of the run RNG; strategies
+that draw nothing (e.g. the ported Theorem-4 policy) leave every other
+stream untouched, keeping their runs trace-identical to the legacy
+scripted path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.messages import KIND_UPDATE, UpdatePayload
+from repro.core.observation import WorldView, observe_world
+from repro.core.quorum_selection import QuorumSelectionModule
+from repro.failures.adversary import Adversary, LinkRule
+from repro.failures.strategies import FalseSuspicionInjector
+from repro.obs.spans import SPAN_ADVERSARY_ACTION
+from repro.sim.runtime import Simulation
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ProcessId
+from repro.util.rand import DeterministicRng
+
+__all__ = ["ActionRecord", "Blackboard", "Strategy", "AdversaryEngine"]
+
+
+class Blackboard:
+    """Shared memory for colluding strategies (the f-clique's back channel).
+
+    Faulty processes may coordinate out of band — nothing in the model
+    forbids it — so colluders post and read freely here.  Correct
+    processes never see it; it is adversary-internal state only.
+    """
+
+    def __init__(self) -> None:
+        self._slots: Dict[str, Any] = {}
+        self.posts: List[Tuple[float, str, str]] = []
+
+    def post(self, key: str, value: Any, by: str = "?", now: float = 0.0) -> None:
+        self._slots[key] = value
+        self.posts.append((now, by, key))
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._slots.get(key, default)
+
+    def pop(self, key: str, default: Any = None) -> Any:
+        return self._slots.pop(key, default)
+
+
+#: One actuation: ``(time, strategy name, action name, attrs)``.
+ActionRecord = Tuple[float, str, str, Dict[str, Any]]
+
+
+class Strategy:
+    """Base class for adversary policies.
+
+    Lifecycle: :meth:`bind` wires the engine in (once), then the engine
+    calls :meth:`on_observe` with a fresh :class:`WorldView` every tick
+    until :attr:`done` goes true for every strategy.  Strategies keep
+    their own state between ticks; randomness must come from
+    :attr:`rng` (a per-strategy child stream) so composition never
+    perturbs sibling strategies.
+    """
+
+    #: Stable policy name: names the RNG child, rule tags, and spans.
+    name = "strategy"
+
+    def __init__(self) -> None:
+        self.engine: Optional["AdversaryEngine"] = None
+        self.rng: Optional[DeterministicRng] = None
+        self.done = False
+
+    def bind(self, engine: "AdversaryEngine", index: int) -> None:
+        if self.engine is not None:
+            raise ConfigurationError(f"strategy {self.name!r} bound twice")
+        self.engine = engine
+        # The index keeps two instances of one policy on distinct streams.
+        self.rng = engine.rng.child(self.name, index)
+        self.tag = f"{self.name}#{index}"
+
+    def on_observe(self, view: WorldView) -> None:
+        raise NotImplementedError
+
+
+class AdversaryEngine:
+    """Drives a set of strategies against one simulated QS world.
+
+    Parameters mirror the legacy strategy constructors: ``modules`` maps
+    every pid to its QS module (faulty ones included — the engine signs
+    lies through *their* modules and keys only), ``faulty`` is the
+    corrupted set F.  ``tick_period`` is the observe/act cadence; the
+    default matches the legacy ``check_period`` so the ported Theorem-4
+    policy replays the scripted adversary tick for tick.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        modules: Dict[int, QuorumSelectionModule],
+        faulty: Set[int],
+        f_max: Optional[int] = None,
+        tick_period: float = 1.0,
+    ) -> None:
+        if tick_period <= 0:
+            raise ConfigurationError(f"tick period must be positive, got {tick_period}")
+        unknown = set(faulty) - set(modules)
+        if unknown:
+            raise ConfigurationError(f"faulty pids without modules: {sorted(unknown)}")
+        self.sim = sim
+        self.modules = modules
+        self.faulty: FrozenSet[int] = frozenset(faulty)
+        self.f = len(self.faulty)
+        self.tick_period = tick_period
+        self.rng = sim.rng.child("adversary", "engine")
+        self.blackboard = Blackboard()
+        # The legacy controller remains the rule layer: corruption marks,
+        # interceptor plumbing, and LinkRule matching all live there.
+        self.rules = Adversary(sim, f_max=f_max)
+        for pid in sorted(self.faulty):
+            self.rules.corrupt(pid)
+        self.strategies: List[Strategy] = []
+        self.actions: List[ActionRecord] = []
+        self.action_counts: Dict[str, int] = {}
+        self.ticks = 0
+        self._installed = False
+        self._obs = sim.obs
+        self._obs.add_collector(self._collect_metrics)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def add(self, strategy: Strategy) -> Strategy:
+        """Attach a policy; returns it for chaining."""
+        if self._installed:
+            raise ConfigurationError("cannot add strategies after install()")
+        strategy.bind(self, len(self.strategies))
+        self.strategies.append(strategy)
+        return strategy
+
+    @property
+    def done(self) -> bool:
+        return all(strategy.done for strategy in self.strategies)
+
+    def install(self) -> None:
+        """Arm the observe/act loop (call before ``sim.run_until``)."""
+        if not self.strategies:
+            raise ConfigurationError("engine has no strategies to run")
+        self._installed = True
+        self.sim.at(self.tick_period, self._tick, label="adversary-engine")
+
+    def _tick(self) -> None:
+        # Mirrors the legacy strategy loop shape (check done, act,
+        # reschedule) so engine runs share the scripted path's timeline.
+        if self.done:
+            return
+        self.ticks += 1
+        view = self.observe()
+        for strategy in self.strategies:
+            if not strategy.done:
+                strategy.on_observe(view)
+        self.sim.scheduler.schedule(
+            self.tick_period, self._tick, label="adversary-engine"
+        )
+
+    def observe(self) -> WorldView:
+        """A fresh world snapshot (read-only; draws nothing)."""
+        return observe_world(self.sim.now, self.modules, self.faulty, self.f)
+
+    # ---------------------------------------------------------- commission
+
+    def false_suspicion(
+        self, suspector: ProcessId, victim: ProcessId, by: str = "engine"
+    ) -> None:
+        """``suspector`` (faulty) falsely suspects ``victim``.
+
+        Signed through the suspector's own module — the Theorem-4 lie:
+        wire-format-perfect and unprovable as a protocol violation.
+        """
+        self._require_faulty(suspector)
+        FalseSuspicionInjector(self.modules[suspector]).suspect(victim)
+        self._record(by, "false_suspicion", suspector=suspector, victim=victim)
+
+    def sign_row(self, pid: ProcessId, row: Sequence[Any]):
+        """A signed UPDATE carrying an arbitrary row, under ``pid``'s key.
+
+        The crypto limit in code form: the engine can make a faulty
+        process sign anything, but only with keys that process holds.
+        """
+        self._require_faulty(pid)
+        host = self.sim.host(pid)
+        return host.authenticator.sign(UpdatePayload(tuple(row)))
+
+    def send_update(self, pid: ProcessId, signed: Any, dsts: Iterable[int]) -> None:
+        """Deliver one signed UPDATE from ``pid`` to chosen peers only.
+
+        Uses raw injection: the adversary talking through its own
+        process bypasses that process's interceptor but never
+        authentication — receivers still verify the signature.
+        """
+        self._require_faulty(pid)
+        for dst in dsts:
+            self.sim.network.inject(pid, dst, KIND_UPDATE, signed)
+
+    def equivocate(
+        self,
+        pid: ProcessId,
+        groups: Sequence[Tuple[Sequence[Any], Iterable[int]]],
+        by: str = "engine",
+    ) -> None:
+        """Send *conflicting* signed rows to different peer groups.
+
+        ``groups`` is ``[(row, destinations), ...]``; each row is signed
+        separately, so every recipient holds a genuinely authenticated —
+        mutually inconsistent — claim about ``pid``'s suspicions.  Gossip
+        forwarding (Lemma 1) is what reconciles the views afterwards.
+        """
+        for row, dsts in groups:
+            self.send_update(pid, self.sign_row(pid, row), dsts)
+        self._record(by, "equivocate", actor=pid, variants=len(groups))
+
+    def forge_row(
+        self,
+        pid: ProcessId,
+        row: Sequence[Any],
+        dsts: Optional[Iterable[int]] = None,
+        by: str = "engine",
+    ) -> None:
+        """Broadcast a signed but content-garbage row from ``pid``."""
+        signed = self.sign_row(pid, row)
+        targets = list(dsts) if dsts is not None else [
+            dst for dst in sorted(self.modules) if dst != pid
+        ]
+        self.send_update(pid, signed, targets)
+        self._record(by, "forge_row", actor=pid, dsts=len(targets))
+
+    # ------------------------------------------------- omission and timing
+
+    def omit(
+        self,
+        pid: ProcessId,
+        dsts: Optional[Set[int]] = None,
+        kinds: Optional[Set[str]] = None,
+        probability: float = 1.0,
+        tag: Optional[str] = None,
+        by: str = "engine",
+    ) -> None:
+        """Selective per-link omission from ``pid`` (tagged rule)."""
+        self.rules.add_rule(
+            pid,
+            LinkRule(dsts=dsts, kinds=kinds, drop=True,
+                     probability=probability, tag=tag),
+        )
+        self._record(by, "omit", actor=pid,
+                     dsts=tuple(sorted(dsts)) if dsts else "all")
+
+    def delay(
+        self,
+        pid: ProcessId,
+        extra_delay: float,
+        dsts: Optional[Set[int]] = None,
+        kinds: Optional[Set[str]] = None,
+        tag: Optional[str] = None,
+        by: str = "engine",
+    ) -> None:
+        """Timing failure on selected links from ``pid`` (tagged rule)."""
+        self.rules.add_rule(
+            pid,
+            LinkRule(dsts=dsts, kinds=kinds, extra_delay=extra_delay, tag=tag),
+        )
+        self._record(by, "delay", actor=pid, extra_delay=extra_delay)
+
+    def clear_rules(self, pid: ProcessId, tag: Optional[str] = None) -> int:
+        """Drop ``pid``'s rules (all, or one strategy's tag)."""
+        return self.rules.clear_rules(pid, tag=tag)
+
+    # -------------------------------------------------------------- plumbing
+
+    def _require_faulty(self, pid: ProcessId) -> None:
+        if pid not in self.faulty:
+            raise ConfigurationError(
+                f"p{pid} is correct: the adversary only acts through faulty processes"
+            )
+
+    def _record(self, by: str, action: str, **attrs: Any) -> None:
+        now = self.sim.now
+        self.actions.append((now, by, action, attrs))
+        key = f"{by}:{action}"
+        self.action_counts[key] = self.action_counts.get(key, 0) + 1
+        self.sim.log.append(now, 0, "adv.action", strategy=by, action=action, **attrs)
+        self._obs.span(SPAN_ADVERSARY_ACTION, 0, now,
+                       strategy=by, action=action, **attrs)
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector (collect-on-snapshot discipline)."""
+        registry.gauge(
+            "adv_strategies_active",
+            help="adversary strategies not yet done",
+        ).set(sum(1 for s in self.strategies if not s.done))
+        registry.counter(
+            "adv_ticks_total", help="adversary engine observe/act ticks"
+        ).set(self.ticks)
+        for key, count in sorted(self.action_counts.items()):
+            strategy, _, action = key.partition(":")
+            registry.counter(
+                "adv_actions_total",
+                help="adversary actuations by strategy and action",
+                strategy=strategy, action=action,
+            ).set(count)

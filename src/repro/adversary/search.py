@@ -1,0 +1,345 @@
+"""Seeded randomized adversarial-schedule search (the lower-bound chase).
+
+A fuzzer over (strategy, parameters, schedule jitter) triples, guided by
+the quorum-change count, chasing Theorem 4's ``C(f+2, 2)`` proposed-
+quorum bound per ``(n, f)``:
+
+- **Trial** = one :func:`run_attack_case`: a fresh QS world, one engine
+  strategy built from a JSON spec, optional adversarial delivery jitter
+  (the scheduler-interleaving dimension), run to completion; scored by
+  the worst per-epoch *proposed*-quorum count among correct processes
+  (issued changes + the epoch's starting quorum — the counting
+  convention of :mod:`repro.analysis.bounds`).
+- **Corpus**: round 0 always contains the canonical Theorem-4 config
+  (the fuzzer's seed corpus — the proof is the best attack we know)
+  plus uniformly sampled configs; later rounds mutate the elite third,
+  so the search is *guided* by the score while remaining a pure
+  function of the seed.
+- **Scale**: trials run as registered sweep tasks through the E23
+  :class:`~repro.analysis.exec.ParallelExecutor`, so ``jobs=N``
+  parallelism and the on-disk result cache come for free — re-running a
+  search with the same seed serves every trial from cache.
+
+Everything here is deterministic given ``seed``: sampling and mutation
+draw from named RNG children only, ties break on trial order, and the
+trial task returns floats that are equal across workers.  Same seed →
+same trials → same best attack.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.adversary.engine import AdversaryEngine, Strategy
+from repro.adversary.strategies import (
+    AdaptiveTimingStrategy,
+    CollusionStrategy,
+    EquivocationStrategy,
+    ForgedSuspicionStrategy,
+    LowerBoundAttack,
+    SelectiveOmissionStrategy,
+)
+from repro.analysis.bounds import thm3_upper_bound, thm4_quorum_count
+from repro.analysis.exec import ParallelExecutor, TaskSpec
+from repro.core.spec import agreement_holds
+from repro.sim.worlds import build_qs_world
+from repro.util.errors import ConfigurationError
+from repro.util.rand import DeterministicRng, make_rng
+
+__all__ = [
+    "STRATEGY_FACTORIES",
+    "make_strategy",
+    "run_attack_case",
+    "canonical_config",
+    "chase_bound",
+]
+
+STRATEGY_FACTORIES = {
+    "lower_bound": LowerBoundAttack,
+    "collusion": CollusionStrategy,
+    "equivocation": EquivocationStrategy,
+    "forged_rows": ForgedSuspicionStrategy,
+    "selective_omission": SelectiveOmissionStrategy,
+    "adaptive_timing": AdaptiveTimingStrategy,
+}
+
+#: Strategies the sampler draws from.  The chase pair (which can reach
+#: the bound) is listed twice — mild weighting toward configs that can
+#: actually win, while every taxon keeps fuzz coverage.
+SEARCH_POOL = (
+    "lower_bound", "lower_bound", "collusion", "equivocation",
+    "forged_rows", "selective_omission", "adaptive_timing",
+)
+
+
+def make_strategy(name: str, params: Optional[Dict[str, Any]],
+                  n: int, f: int) -> Strategy:
+    """Build one strategy from its JSON spec (name + params dict)."""
+    factory = STRATEGY_FACTORIES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; known: {sorted(STRATEGY_FACTORIES)}"
+        )
+    kwargs = dict(params or {})
+    if name in ("lower_bound", "collusion"):
+        kwargs.setdefault("targets", [f + 1, f + 2])
+        kwargs["targets"] = tuple(kwargs["targets"])
+    if "victims" in kwargs and kwargs["victims"] is not None:
+        kwargs["victims"] = tuple(kwargs["victims"])
+    if "kinds" in kwargs:
+        kwargs["kinds"] = tuple(kwargs["kinds"])
+    return factory(**kwargs)
+
+
+def quorum_trace_fingerprint(modules: Dict[int, Any]) -> str:
+    """SHA-256 of the full quorum-change trace across all processes."""
+    trace = [
+        (e.time, e.process, e.epoch, tuple(sorted(e.quorum)))
+        for pid in sorted(modules)
+        for e in modules[pid].quorum_events
+    ]
+    return hashlib.sha256(
+        json.dumps(trace, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def run_attack_case(
+    seed: int,
+    n: int,
+    f: int,
+    strategy: str = "lower_bound",
+    params: Optional[Dict[str, Any]] = None,
+    jitter: float = 0.0,
+    horizon: float = 4000.0,
+    tick_period: float = 1.0,
+    settle: float = 80.0,
+) -> Dict[str, float]:
+    """One attack trial; returns deterministic float metrics only.
+
+    The run advances in 50-unit slices and stops one ``settle`` window
+    after the strategy reports done (or at ``horizon``) — a fixed,
+    seed-independent stopping rule, so the cut-off never depends on wall
+    clock and identical inputs always produce identical results.
+    """
+    sim, modules = build_qs_world(n, f, seed=seed)
+    if jitter:
+        sim.network.set_adversary_jitter(jitter)
+    faulty = set(range(1, f + 1))
+    engine = AdversaryEngine(sim, modules, faulty, f_max=f,
+                             tick_period=tick_period)
+    engine.add(make_strategy(strategy, params, n, f))
+    engine.install()
+    elapsed = 0.0
+    finished_at = horizon
+    while elapsed < horizon:
+        elapsed = min(elapsed + 50.0, horizon)
+        sim.run_until(elapsed)
+        if engine.done:
+            finished_at = elapsed
+            break
+    if engine.done:
+        sim.run_until(finished_at + settle)
+    correct = [modules[pid] for pid in sim.pids if pid not in faulty]
+    max_per_epoch = max(m.max_quorums_in_any_epoch() for m in correct)
+    digest = quorum_trace_fingerprint(modules)
+    return {
+        # Proposed quorums in the worst epoch: issued changes plus the
+        # epoch's starting quorum — what Theorem 4 counts.
+        "proposed_quorums": float(max_per_epoch + 1),
+        "max_changes_per_epoch": float(max_per_epoch),
+        "changes_total": float(max(m.total_quorums_issued() for m in correct)),
+        "max_epoch": float(max(m.epoch for m in correct)),
+        "agree": float(agreement_holds(correct)),
+        "done": float(engine.done),
+        "actions": float(len(engine.actions)),
+        "finished_at": float(finished_at if engine.done else horizon),
+        "thm3_ok": float(max_per_epoch <= thm3_upper_bound(f)),
+        "trace_fingerprint": float(int(digest[:12], 16)),
+    }
+
+
+# ------------------------------------------------------------ config space
+
+
+def canonical_config(f: int) -> Dict[str, Any]:
+    """The proof's own attack: the fuzzer's seed-corpus entry."""
+    return {
+        "strategy": "lower_bound",
+        "params": {"targets": [f + 1, f + 2], "pair_order_seed": 0},
+        "jitter": 0.0,
+    }
+
+
+def _sample_params(name: str, rng: DeterministicRng, n: int, f: int) -> Dict[str, Any]:
+    correct = list(range(f + 1, n + 1))
+    if name in ("lower_bound", "collusion"):
+        return {
+            "targets": sorted(rng.sample(correct, 2)),
+            "pair_order_seed": rng.randint(0, 7),
+        }
+    if name == "equivocation":
+        return {
+            "victims": sorted(rng.sample(correct, 2)),
+            "period": rng.choice([2.0, 4.0, 6.0]),
+            "rounds": rng.randint(2, 5),
+        }
+    if name == "forged_rows":
+        return {
+            "period": rng.choice([2.0, 3.0]),
+            "rounds": rng.randint(3, 6),
+            "valid_rate": rng.choice([0.0, 0.5, 1.0]),
+        }
+    if name == "selective_omission":
+        return {"width": rng.randint(1, 2), "stop_at": rng.choice([40.0, 80.0])}
+    if name == "adaptive_timing":
+        return {
+            "extra_delay": rng.choice([4.0, 8.0]),
+            "stop_at": rng.choice([40.0, 80.0]),
+        }
+    raise ConfigurationError(f"no sampler for strategy {name!r}")
+
+
+def _sample_config(rng: DeterministicRng, n: int, f: int) -> Dict[str, Any]:
+    name = rng.choice(SEARCH_POOL)
+    return {
+        "strategy": name,
+        "params": _sample_params(name, rng, n, f),
+        "jitter": rng.choice([0.0, 0.0, 0.5, 1.5]),
+    }
+
+
+def _mutate_config(rng: DeterministicRng, parent: Dict[str, Any],
+                   n: int, f: int) -> Dict[str, Any]:
+    """One elite mutation: perturb the jitter or resample one parameter."""
+    child = {
+        "strategy": parent["strategy"],
+        "params": dict(parent["params"]),
+        "jitter": parent["jitter"],
+    }
+    if rng.coin(0.3):
+        child["jitter"] = rng.choice([0.0, 0.0, 0.5, 1.5])
+        return child
+    fresh = _sample_params(child["strategy"], rng, n, f)
+    key = rng.choice(sorted(fresh))
+    child["params"][key] = fresh[key]
+    return child
+
+
+# ------------------------------------------------------------ search loop
+
+
+def _score(result: Optional[Dict[str, float]]) -> float:
+    """Trial fitness: proposed quorums, zeroed for crashed/diverged runs."""
+    if not result or not result.get("agree"):
+        return 0.0
+    return result["proposed_quorums"]
+
+
+def chase_bound(
+    f_values: Iterable[int],
+    seed: int = 3,
+    budget: int = 6,
+    rounds: int = 2,
+    jobs: int = 1,
+    cache=None,
+    horizon: Optional[float] = None,
+    n_for: Optional[Dict[int, int]] = None,
+) -> Dict[str, Any]:
+    """Chase the Theorem 4 bound for each ``f``; returns a JSON-able report.
+
+    ``budget`` trials per round, ``rounds`` rounds per ``f`` (round 0 =
+    seed corpus + uniform samples; later rounds mutate the elite third).
+    ``n_for`` overrides the default ``n = 2f + 2`` per ``f``.
+    """
+    from repro.analysis.tasks import e28_attack_case
+
+    if budget < 1:
+        raise ConfigurationError(f"budget must be >= 1, got {budget}")
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    executor = ParallelExecutor(jobs=jobs, cache=cache)
+    entries: List[Dict[str, Any]] = []
+    for f in f_values:
+        n = (n_for or {}).get(f, 2 * f + 2)
+        span = horizon if horizon is not None else 4000.0
+        rng = make_rng(seed).child("e28", "search", f)
+        trials: List[Dict[str, Any]] = []
+        configs = [canonical_config(f)] + [
+            _sample_config(rng.child("sample", 0, index), n, f)
+            for index in range(1, budget)
+        ]
+        for round_index in range(rounds):
+            if round_index:
+                ranked = sorted(
+                    trials, key=lambda t: (-t["score"], t["trial"])
+                )
+                elites = ranked[: max(1, (budget + 2) // 3)] or ranked
+                configs = [
+                    _mutate_config(
+                        rng.child("mutate", round_index, index),
+                        elites[index % len(elites)],
+                        n, f,
+                    )
+                    for index in range(budget)
+                ]
+            specs = [
+                TaskSpec.for_function(
+                    e28_attack_case,
+                    seed=seed, n=n, f=f,
+                    strategy=config["strategy"],
+                    params=config["params"],
+                    jitter=config["jitter"],
+                    horizon=span,
+                )
+                for config in configs
+            ]
+            for config, result in zip(configs, executor.run(specs)):
+                value = result.value if result.ok else None
+                trials.append({
+                    "trial": len(trials),
+                    "round": round_index,
+                    "strategy": config["strategy"],
+                    "params": config["params"],
+                    "jitter": config["jitter"],
+                    "ok": result.ok,
+                    "cached": result.cached,
+                    "score": _score(value),
+                    "result": value,
+                })
+        best = min(trials, key=lambda t: (-t["score"], t["trial"]))
+        bound = thm4_quorum_count(f)
+        # Trial 0 is always the canonical Theorem-4 config; the theorem
+        # says its count is *exactly* C(f+2, 2) — the tightness claim.
+        canonical = trials[0]
+        entries.append({
+            "f": f,
+            "n": n,
+            "thm4_bound": bound,
+            "thm3_bound": thm3_upper_bound(f),
+            "canonical_exact": canonical["ok"] and canonical["score"] == bound,
+            "best": {
+                "trial": best["trial"],
+                "strategy": best["strategy"],
+                "params": best["params"],
+                "jitter": best["jitter"],
+                "proposed_quorums": best["score"],
+                "result": best["result"],
+            },
+            "bound_met": best["score"] >= bound,
+            "thm3_ok": all(
+                t["result"]["thm3_ok"] for t in trials if t["ok"]
+            ),
+            "trials": trials,
+            "cached_trials": sum(1 for t in trials if t["cached"]),
+            "failed_trials": sum(1 for t in trials if not t["ok"]),
+        })
+    return {
+        "schema": 1,
+        "seed": seed,
+        "budget": budget,
+        "rounds": rounds,
+        "jobs": jobs,
+        "entries": entries,
+    }

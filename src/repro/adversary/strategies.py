@@ -1,0 +1,442 @@
+"""The engine's strategy library: Byzantine policies as observation loops.
+
+Every class here is a :class:`~repro.adversary.engine.Strategy` — a
+stateful policy that reads a :class:`~repro.core.observation.WorldView`
+each tick and actuates through the engine.  The repertoire covers the
+taxonomy the E28 issue (and the BFT-survey attack literature) asks for:
+
+=====================  ====================================================
+policy                 failure mode it exercises
+=====================  ====================================================
+LowerBoundAttack       Theorem 4: one fresh false suspicion inside F+2
+                       per stabilization (port of the legacy scripted
+                       ``repro.failures.LowerBoundStrategy``)
+CollusionStrategy      the same chase split across an f-clique that
+                       coordinates through the engine blackboard
+EquivocationStrategy   conflicting signed UPDATE rows to disjoint peer
+                       groups (Lemma 1's adversary)
+ForgedSuspicionStrategy signed rows with garbage/absurd content that
+                       correct receivers must survive, mixed with
+                       well-formed lies
+SelectiveOmissionStrategy adaptive per-link omission re-pointed at the
+                       current quorum's members
+AdaptiveTimingStrategy delays armed only while the faulty process sits
+                       in the observed quorum, cleared once evicted
+=====================  ====================================================
+
+Randomized policies draw exclusively from their own per-strategy RNG
+child; ``LowerBoundAttack`` with the default ``pair_order_seed=0`` draws
+nothing at all, which is what makes its runs trace-identical to the
+legacy scripted adversary (the props-tier equivalence test holds it to
+that).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.adversary.engine import AdversaryEngine, Strategy
+from repro.core.observation import WorldView
+from repro.util.errors import ConfigurationError
+from repro.util.rand import DeterministicRng
+
+__all__ = [
+    "LowerBoundAttack",
+    "CollusionStrategy",
+    "EquivocationStrategy",
+    "ForgedSuspicionStrategy",
+    "SelectiveOmissionStrategy",
+    "AdaptiveTimingStrategy",
+    "forge_garbage_rows",
+]
+
+
+def forge_garbage_rows(rng: DeterministicRng, n: int, count: int) -> List[tuple]:
+    """Adversary-generated garbage suspicion rows for an ``n``-process world.
+
+    Mixes wrong arities with valid-arity rows full of hostile content
+    (negatives, bools, floats, strings, absurd stamps) — everything a
+    signed-but-lying UPDATE can carry.  The matrix must silently ignore
+    all of it (:meth:`~repro.core.suspicion_matrix.SuspicionMatrix.merge_row`);
+    the props tier feeds these straight into correct replicas.
+    """
+    rows: List[tuple] = []
+    for index in range(count):
+        item = rng.child(index)
+        arity = item.choice([0, max(0, n - 1), n, n + 1, n + 1, n + 3])
+        row: List[object] = []
+        for _ in range(arity):
+            kind = item.randint(0, 5)
+            if kind == 0:
+                row.append(item.randint(0, 9))
+            elif kind == 1:
+                row.append(-item.randint(1, 9))
+            elif kind == 2:
+                row.append(bool(item.coin(0.5)))
+            elif kind == 3:
+                row.append(item.uniform(0.0, 9.0))
+            elif kind == 4:
+                row.append(item.randint(10 ** 6, 10 ** 9))
+            else:
+                row.append("garbage")
+        rows.append(tuple(row))
+    return rows
+
+
+class _PairChase(Strategy):
+    """Shared machinery of the Theorem-4 chase (direct or colluding).
+
+    Keeps the legacy semantics exactly: wait until the correct processes
+    agree on a quorum *and* the previously fired pair is no longer
+    jointly inside it, then pick the next unused pair from ``F+2`` with
+    both endpoints in the quorum and a faulty endpoint as suspector.
+    """
+
+    def __init__(
+        self,
+        targets: Sequence[int],
+        faulty: Optional[Iterable[int]] = None,
+        pair_order_seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if len(tuple(targets)) != 2:
+            raise ConfigurationError("exactly two correct targets required")
+        self.targets = tuple(targets)
+        self._faulty_override = None if faulty is None else set(faulty)
+        self.pair_order_seed = pair_order_seed
+        self.used_pairs: Set[Tuple[int, int]] = set()
+        self.fired: List[Tuple[float, int, int]] = []
+        self._last_pair: Optional[Tuple[int, int]] = None
+        self._order: List[Tuple[int, int]] = []
+
+    def bind(self, engine: AdversaryEngine, index: int) -> None:
+        super().bind(engine, index)
+        self.faulty = (
+            set(self._faulty_override)
+            if self._faulty_override is not None
+            else set(engine.faulty)
+        )
+        if set(self.targets) & self.faulty:
+            raise ConfigurationError("targets must be correct processes")
+        self.f_plus_2 = self.faulty | set(self.targets)
+        # Pair order is the searchable degree of freedom: 0 keeps the
+        # proof's lexicographic order (and draws no randomness at all);
+        # any other seed shuffles on a dedicated child stream.
+        order = list(itertools.combinations(sorted(self.f_plus_2), 2))
+        if self.pair_order_seed:
+            self.rng.child("pair-order", self.pair_order_seed).shuffle(order)
+        self._order = order
+
+    def _pair_evicted(self, view: WorldView) -> bool:
+        quorum = view.agreed_quorum
+        if quorum is None:
+            return False
+        if self._last_pair is not None:
+            a, b = self._last_pair
+            if a in quorum and b in quorum:
+                return False  # previous suspicion not yet reflected
+        return True
+
+    def _next_pair(self, quorum) -> Optional[Tuple[int, int]]:
+        for a, b in self._order:
+            if (a, b) in self.used_pairs:
+                continue
+            if a not in quorum or b not in quorum:
+                continue
+            if a in self.faulty:
+                return (a, b)
+            if b in self.faulty:
+                return (b, a)
+        return None
+
+    def _mark_fired(self, now: float, suspector: int, victim: int) -> None:
+        key = (min(suspector, victim), max(suspector, victim))
+        self.used_pairs.add(key)
+        self._last_pair = key
+        self.fired.append((now, suspector, victim))
+
+
+class LowerBoundAttack(_PairChase):
+    """Theorem 4 ported onto the engine (supersedes the scripted path)."""
+
+    name = "lower_bound"
+
+    def on_observe(self, view: WorldView) -> None:
+        if not self._pair_evicted(view):
+            return
+        pair = self._next_pair(view.agreed_quorum)
+        if pair is None:
+            self.done = True
+            self.engine.sim.log.append(
+                self.engine.sim.now, 0, "adv.thm4-done", fired=len(self.fired)
+            )
+            return
+        suspector, victim = pair
+        self.engine.false_suspicion(suspector, victim, by=self.name)
+        self._mark_fired(view.now, suspector, victim)
+
+
+class CollusionStrategy(_PairChase):
+    """The Theorem-4 chase run by a colluding f-clique.
+
+    The clique's lowest pid acts as coordinator: it *posts* the next
+    ``(suspector, victim)`` assignment on the shared blackboard; on the
+    following tick the assigned clique member reads it and fires through
+    its own module and keys.  Same pair schedule as
+    :class:`LowerBoundAttack`, one coordination tick slower per pair —
+    the collusion cost made visible.
+    """
+
+    name = "collusion"
+
+    def bind(self, engine: AdversaryEngine, index: int) -> None:
+        super().bind(engine, index)
+        self.coordinator = min(self.faulty)
+        self._slot = f"{self.tag}/assignment"
+
+    def on_observe(self, view: WorldView) -> None:
+        assignment = self.engine.blackboard.pop(self._slot)
+        if assignment is not None:
+            suspector, victim = assignment
+            self.engine.false_suspicion(suspector, victim, by=self.name)
+            self._mark_fired(view.now, suspector, victim)
+            return
+        if not self._pair_evicted(view):
+            return
+        pair = self._next_pair(view.agreed_quorum)
+        if pair is None:
+            self.done = True
+            return
+        self.engine.blackboard.post(
+            self._slot, pair, by=f"p{self.coordinator}", now=view.now
+        )
+
+
+class EquivocationStrategy(Strategy):
+    """Conflicting signed UPDATE rows to disjoint halves of the peers.
+
+    Each round the liar signs two variants of its current row — one
+    stamping ``victims[0]``, one stamping ``victims[1]`` — and sends each
+    variant to a different half of the correct processes.  Both variants
+    authenticate (same key, different content): the receivers' matrices
+    genuinely diverge until gossip forwarding (Lemma 1) reunites them.
+    """
+
+    name = "equivocation"
+
+    def __init__(
+        self,
+        pid: Optional[int] = None,
+        victims: Optional[Sequence[int]] = None,
+        period: float = 4.0,
+        rounds: int = 3,
+    ) -> None:
+        super().__init__()
+        if rounds < 1:
+            raise ConfigurationError(f"need at least one round, got {rounds}")
+        self._pid_param = pid
+        self._victims_param = None if victims is None else tuple(victims)
+        self.period = period
+        self.rounds = rounds
+        self.rounds_done = 0
+        self._next_at = 0.0
+
+    def bind(self, engine: AdversaryEngine, index: int) -> None:
+        super().bind(engine, index)
+        self.pid = self._pid_param if self._pid_param is not None else min(engine.faulty)
+        if self.pid not in engine.faulty:
+            raise ConfigurationError(f"equivocator p{self.pid} must be faulty")
+        if self._victims_param is not None:
+            self.victims = self._victims_param
+        else:
+            correct = sorted(p for p in engine.modules if p not in engine.faulty)
+            self.victims = tuple(correct[:2])
+        if len(self.victims) != 2 or self.pid in self.victims:
+            raise ConfigurationError(f"need two victims distinct from p{self.pid}")
+
+    def on_observe(self, view: WorldView) -> None:
+        if self.rounds_done >= self.rounds:
+            self.done = True
+            return
+        if view.now < self._next_at:
+            return
+        self._next_at = view.now + self.period
+        self.rounds_done += 1
+        module = self.engine.modules[self.pid]
+        epoch = view.processes[self.pid].epoch
+        base = list(module.matrix.row(self.pid))
+        variant_a, variant_b = list(base), list(base)
+        variant_a[self.victims[0]] = max(variant_a[self.victims[0]], epoch)
+        variant_b[self.victims[1]] = max(variant_b[self.victims[1]], epoch)
+        correct = sorted(view.correct)
+        half = max(1, len(correct) // 2)
+        groups = [(tuple(variant_a), correct[:half])]
+        if correct[half:]:
+            groups.append((tuple(variant_b), correct[half:]))
+        self.engine.equivocate(self.pid, groups, by=self.name)
+
+
+class ForgedSuspicionStrategy(Strategy):
+    """Signed rows whose content is hostile garbage, mixed with real lies.
+
+    Each round the liar either broadcasts a batch of
+    :func:`forge_garbage_rows` output (receivers must drop every entry
+    silently) or a well-formed false stamp on a random correct victim
+    (which genuinely perturbs quorums).  ``valid_rate`` steers the mix —
+    the search can tune it from pure fuzz to pure attack.
+    """
+
+    name = "forged_rows"
+
+    def __init__(
+        self,
+        pid: Optional[int] = None,
+        period: float = 3.0,
+        rounds: int = 4,
+        valid_rate: float = 0.5,
+        batch: int = 3,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= valid_rate <= 1.0:
+            raise ConfigurationError(f"valid_rate must be in [0, 1], got {valid_rate}")
+        self._pid_param = pid
+        self.period = period
+        self.rounds = rounds
+        self.valid_rate = valid_rate
+        self.batch = batch
+        self.rounds_done = 0
+        self.garbage_sent = 0
+        self.lies_sent = 0
+        self._next_at = 0.0
+
+    def bind(self, engine: AdversaryEngine, index: int) -> None:
+        super().bind(engine, index)
+        self.pid = self._pid_param if self._pid_param is not None else min(engine.faulty)
+        if self.pid not in engine.faulty:
+            raise ConfigurationError(f"forger p{self.pid} must be faulty")
+
+    def on_observe(self, view: WorldView) -> None:
+        if self.rounds_done >= self.rounds:
+            self.done = True
+            return
+        if view.now < self._next_at:
+            return
+        self._next_at = view.now + self.period
+        round_rng = self.rng.child("round", self.rounds_done)
+        self.rounds_done += 1
+        if round_rng.coin(self.valid_rate):
+            victim = round_rng.choice(sorted(view.correct))
+            row = list(self.engine.modules[self.pid].matrix.row(self.pid))
+            row[victim] = max(row[victim], view.processes[self.pid].epoch)
+            self.engine.forge_row(self.pid, tuple(row), by=self.name)
+            self.lies_sent += 1
+        else:
+            for row in forge_garbage_rows(round_rng.child("garbage"),
+                                          view.n, self.batch):
+                self.engine.forge_row(self.pid, row, by=self.name)
+                self.garbage_sent += 1
+
+
+class SelectiveOmissionStrategy(Strategy):
+    """Adaptive per-link omission toward the current quorum's members.
+
+    Whenever the agreed quorum changes, the rules are *re-pointed*: the
+    strategy clears its own tagged rules and omits the chosen kinds
+    toward the ``width`` lex-first correct quorum members.  This is the
+    stacking pattern the rule-layer audit prescribes — append-only rules
+    would leave the first quorum's targets shadowing every refresh.
+    """
+
+    name = "selective_omission"
+
+    def __init__(
+        self,
+        pid: Optional[int] = None,
+        kinds: Sequence[str] = ("heartbeat",),
+        width: int = 2,
+        stop_at: float = 60.0,
+    ) -> None:
+        super().__init__()
+        self._pid_param = pid
+        self.kinds = tuple(kinds)
+        self.width = width
+        self.stop_at = stop_at
+        self.repointed = 0
+        self._targets: Tuple[int, ...] = ()
+
+    def bind(self, engine: AdversaryEngine, index: int) -> None:
+        super().bind(engine, index)
+        self.pid = self._pid_param if self._pid_param is not None else min(engine.faulty)
+        if self.pid not in engine.faulty:
+            raise ConfigurationError(f"omitter p{self.pid} must be faulty")
+
+    def on_observe(self, view: WorldView) -> None:
+        if view.now >= self.stop_at:
+            self.engine.clear_rules(self.pid, tag=self.tag)
+            self.done = True
+            return
+        quorum = view.agreed_quorum
+        if quorum is None:
+            return
+        targets = tuple(sorted(p for p in quorum if p in view.correct))[: self.width]
+        if targets and targets != self._targets:
+            self.engine.clear_rules(self.pid, tag=self.tag)
+            self.engine.omit(
+                self.pid, dsts=set(targets), kinds=set(self.kinds),
+                tag=self.tag, by=self.name,
+            )
+            self._targets = targets
+            self.repointed += 1
+
+
+class AdaptiveTimingStrategy(Strategy):
+    """Timing failure keyed off observed quorum membership.
+
+    While the faulty process sits inside the agreed quorum it delays all
+    its outbound traffic (heartbeats miss their expectations, so the
+    detector classifies it); the moment it is evicted it clears its
+    rules and behaves — the classic "look correct while out, stall while
+    in" oscillation a static delay rule cannot express.
+    """
+
+    name = "adaptive_timing"
+
+    def __init__(
+        self,
+        pid: Optional[int] = None,
+        extra_delay: float = 6.0,
+        stop_at: float = 60.0,
+    ) -> None:
+        super().__init__()
+        self._pid_param = pid
+        self.extra_delay = extra_delay
+        self.stop_at = stop_at
+        self.armed = False
+        self.transitions = 0
+
+    def bind(self, engine: AdversaryEngine, index: int) -> None:
+        super().bind(engine, index)
+        self.pid = self._pid_param if self._pid_param is not None else min(engine.faulty)
+        if self.pid not in engine.faulty:
+            raise ConfigurationError(f"delayer p{self.pid} must be faulty")
+
+    def on_observe(self, view: WorldView) -> None:
+        if view.now >= self.stop_at:
+            if self.armed:
+                self.engine.clear_rules(self.pid, tag=self.tag)
+                self.armed = False
+            self.done = True
+            return
+        quorum = view.agreed_quorum
+        if quorum is None:
+            return
+        inside = self.pid in quorum
+        if inside and not self.armed:
+            self.engine.delay(self.pid, self.extra_delay, tag=self.tag, by=self.name)
+            self.armed = True
+            self.transitions += 1
+        elif not inside and self.armed:
+            self.engine.clear_rules(self.pid, tag=self.tag)
+            self.armed = False
+            self.transitions += 1

@@ -169,6 +169,31 @@ def e14_stabilization_point(seed: int, n: int = 5, f: int = 2) -> Dict[str, floa
     return out
 
 
+@sweep_task("e28.attack_case")
+def e28_attack_case(
+    seed: int,
+    n: int,
+    f: int,
+    strategy: str = "lower_bound",
+    params: Optional[dict] = None,
+    jitter: float = 0.0,
+    horizon: float = 4000.0,
+    tick_period: float = 1.0,
+) -> Dict[str, float]:
+    """One E28 adversary-engine attack trial (see ``repro.adversary.search``).
+
+    Fully determined by its kwargs (all-float result incl. the quorum
+    trace fingerprint), so the bound-chase search can fan trials out
+    through the engine with ``jobs=N`` and serve re-runs from the cache.
+    """
+    from repro.adversary.search import run_attack_case
+
+    return run_attack_case(
+        seed=seed, n=n, f=f, strategy=strategy, params=params,
+        jitter=jitter, horizon=horizon, tick_period=tick_period,
+    )
+
+
 _E22_REFERENCE_MEMO: dict = {}
 
 

@@ -21,6 +21,9 @@ Quick entry points into the reproduction without writing a script:
   registry from a deterministic simulation or a live loopback cluster,
   re-render saved snapshots, or diff two of them; output as a table,
   Prometheus text exposition, or JSON.
+- ``adversary {attack,search}`` — run one programmable-adversary attack
+  trial, or the seeded randomized lower-bound chase against Theorem 4's
+  ``C(f+2,2)`` proposed-quorum count (E28).
 
 Each command prints a table built by the same code the benchmarks use.
 Invalid argument combinations exit with status 2 and a one-line message
@@ -639,6 +642,105 @@ def _cmd_metrics_diff(args: argparse.Namespace) -> int:
     return _emit_snapshot(diff_snapshots(before, after), args.render, args.out)
 
 
+def _cmd_adversary_attack(args: argparse.Namespace) -> int:
+    invalid = _require_f(args.f)
+    if invalid is not None:
+        return invalid
+    from repro.adversary.search import STRATEGY_FACTORIES, run_attack_case
+    from repro.util.errors import ConfigurationError
+
+    if args.strategy not in STRATEGY_FACTORIES:
+        return _invalid(
+            f"unknown strategy {args.strategy!r}; "
+            f"known: {', '.join(sorted(STRATEGY_FACTORIES))}"
+        )
+    n = args.n if args.n is not None else 2 * args.f + 2
+    try:
+        params = json.loads(args.params) if args.params else None
+    except json.JSONDecodeError as exc:
+        return _invalid(f"--params is not valid JSON: {exc}")
+    try:
+        result = run_attack_case(
+            seed=args.seed, n=n, f=args.f, strategy=args.strategy,
+            params=params, jitter=args.jitter,
+        )
+    except (ConfigurationError, TypeError) as exc:
+        return _invalid(f"cannot build strategy {args.strategy!r}: {exc}")
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    table = Table(
+        ["metric", "value"],
+        title=f"Adversary attack — {args.strategy}, n={n}, f={args.f}, "
+              f"seed={args.seed}",
+    )
+    table.add_row("proposed quorums (worst epoch)", int(result["proposed_quorums"]))
+    table.add_row("Thm 4 count C(f+2,2)", thm4_quorum_count(args.f))
+    table.add_row("quorum changes (worst epoch)", int(result["max_changes_per_epoch"]))
+    table.add_row("Thm 3 bound f(f+1)", thm3_upper_bound(args.f))
+    table.add_row("max epoch", int(result["max_epoch"]))
+    table.add_row("adversary actions", int(result["actions"]))
+    table.add_row("strategy finished", bool(result["done"]))
+    table.add_row("agreement", bool(result["agree"]))
+    print(table.render())
+    return 0 if result["agree"] else 1
+
+
+def _cmd_adversary_search(args: argparse.Namespace) -> int:
+    if args.budget < 1:
+        return _invalid(f"--budget must be >= 1, got {args.budget}")
+    if args.rounds < 1:
+        return _invalid(f"--rounds must be >= 1, got {args.rounds}")
+    if args.jobs < 1:
+        return _invalid(f"--jobs must be >= 1, got {args.jobs}")
+    try:
+        f_values = [int(chunk) for chunk in args.f_values.split(",") if chunk]
+        if not f_values or any(f < 1 for f in f_values):
+            raise ValueError
+    except ValueError:
+        return _invalid("--f-values must be comma-separated ints >= 1, "
+                        "e.g. '1,2,3'")
+    import time
+
+    from repro.adversary.search import chase_bound
+    from repro.analysis.cache import ResultCache
+
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    started = time.perf_counter()
+    report = chase_bound(
+        f_values, seed=args.seed, budget=args.budget, rounds=args.rounds,
+        jobs=args.jobs, cache=cache,
+    )
+    wall = time.perf_counter() - started
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    table = Table(
+        ["f", "n", "best attack", "proposed quorums", "Thm 4 C(f+2,2)",
+         "canonical exact", "Thm 3 ok", "trials (cached)"],
+        title=(
+            f"Lower-bound chase — seed={args.seed}, budget={args.budget}, "
+            f"rounds={args.rounds}, jobs={args.jobs}"
+        ),
+    )
+    all_met = True
+    for entry in report["entries"]:
+        all_met = all_met and entry["bound_met"] and entry["canonical_exact"]
+        table.add_row(
+            entry["f"], entry["n"], entry["best"]["strategy"],
+            int(entry["best"]["proposed_quorums"]), entry["thm4_bound"],
+            entry["canonical_exact"], entry["thm3_ok"],
+            f"{len(entry['trials'])} ({entry['cached_trials']})",
+        )
+    print(table.render())
+    line = f"wall: {wall:.3f}s"
+    if cache is not None:
+        stats = cache.stats
+        line += f", cache hits={stats.hits} misses={stats.misses}"
+    print(line)
+    return 0 if all_met else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -880,6 +982,53 @@ def build_parser() -> argparse.ArgumentParser:
                        default="table")
     mdiff.add_argument("--out", default=None, metavar="FILE")
     mdiff.set_defaults(func=_cmd_metrics_diff)
+
+    adversary = sub.add_parser(
+        "adversary",
+        help="programmable Byzantine adversary: one attack or the "
+             "randomized lower-bound chase (E28)",
+    )
+    adversary_sub = adversary.add_subparsers(dest="mode", required=True)
+
+    attack = adversary_sub.add_parser(
+        "attack", help="run one engine strategy against a fresh world"
+    )
+    attack.add_argument("--f", type=int, default=2)
+    attack.add_argument("--n", type=int, default=None,
+                        help="world size (default 2f+2)")
+    attack.add_argument("--seed", type=int, default=3)
+    attack.add_argument("--strategy", default="lower_bound",
+                        help="lower_bound, collusion, equivocation, "
+                             "forged_rows, selective_omission, adaptive_timing")
+    attack.add_argument("--params", default=None, metavar="JSON",
+                        help='strategy kwargs, e.g. \'{"rounds": 5}\'')
+    attack.add_argument("--jitter", type=float, default=0.0,
+                        help="adversarial delivery jitter amplitude (default 0)")
+    attack.add_argument("--json", action="store_true",
+                        help="print the raw metric dict")
+    attack.set_defaults(func=_cmd_adversary_attack)
+
+    search = adversary_sub.add_parser(
+        "search",
+        help="seeded randomized attack search chasing Thm 4's C(f+2,2)",
+    )
+    search.add_argument("--f-values", default="1,2,3",
+                        help="comma-separated f values (default 1,2,3)")
+    search.add_argument("--seed", type=int, default=3)
+    search.add_argument("--budget", type=int, default=6,
+                        help="trials per round per f (default 6)")
+    search.add_argument("--rounds", type=int, default=2,
+                        help="search rounds: round 0 samples, later rounds "
+                             "mutate the elite (default 2)")
+    search.add_argument("--jobs", type=int, default=1,
+                        help="parallel executor workers (default 1)")
+    search.add_argument("--no-cache", action="store_true",
+                        help="always simulate; skip the on-disk cache")
+    search.add_argument("--cache-dir", default=".benchmarks/cache",
+                        help="result cache directory (default .benchmarks/cache)")
+    search.add_argument("--json", action="store_true",
+                        help="print the full machine-readable report")
+    search.set_defaults(func=_cmd_adversary_search)
 
     return parser
 

@@ -1,0 +1,114 @@
+"""Read-only observation surface over a running Quorum Selection world.
+
+The programmable adversary (:mod:`repro.adversary`) is *omniscient but
+not omnipotent*: the theorems quantify over adversaries that see the
+whole system state — every process's epoch, quorum, suspicion matrix and
+failure-detector expectations — yet can only act through the faults the
+model allows (false-but-signed suspicions, per-link omission and timing
+on faulty processes' traffic, scheduling).  This module is the "see"
+half of that contract: immutable snapshots of protocol state, built by
+*reading* module fields only, so taking an observation can never perturb
+the run (no RNG draws, no writes, no messages).
+
+Snapshots are plain frozen dataclasses rather than live references so a
+strategy cannot accidentally mutate protocol state through its view, and
+so a recorded observation stays meaningful after the world moves on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+__all__ = ["ProcessView", "WorldView", "observe_process", "observe_world"]
+
+
+@dataclass(frozen=True)
+class ProcessView:
+    """One process's protocol state at observation time.
+
+    ``matrix_entries`` is the process's *local* suspicion matrix as
+    nonzero ``(suspector, suspectee, stamp)`` triples — each process has
+    its own (eventually consistent) copy, so views of two processes may
+    legitimately differ mid-gossip.  ``fd_suspected`` and
+    ``fd_expectations_pending`` come from the host's failure detector
+    when one is mounted (``frozenset()`` / ``0`` otherwise).
+    """
+
+    pid: int
+    epoch: int
+    quorum: FrozenSet[int]
+    suspecting: FrozenSet[int]
+    fd_suspected: FrozenSet[int]
+    fd_expectations_pending: int
+    matrix_entries: Tuple[Tuple[int, int, int], ...]
+
+    def suspects(self, suspector: int, suspectee: int) -> bool:
+        """Whether this process's matrix holds any stamp for the pair."""
+        return any(
+            l == suspector and k == suspectee for l, k, _ in self.matrix_entries
+        )
+
+
+@dataclass(frozen=True)
+class WorldView:
+    """Global snapshot the adversary engine hands each strategy per tick."""
+
+    now: float
+    n: int
+    f: int
+    faulty: FrozenSet[int]
+    correct: FrozenSet[int]
+    processes: Mapping[int, ProcessView]
+    #: The quorum every correct process currently reports, or ``None``
+    #: while correct processes disagree (mid-stabilization).
+    agreed_quorum: Optional[FrozenSet[int]]
+
+    @property
+    def max_epoch(self) -> int:
+        return max(view.epoch for view in self.processes.values())
+
+    def quorum_of(self, pid: int) -> FrozenSet[int]:
+        return self.processes[pid].quorum
+
+
+def observe_process(module) -> ProcessView:
+    """Snapshot one :class:`~repro.core.quorum_selection.QuorumSelectionModule`."""
+    fd = getattr(module.host, "fd", None)
+    if fd is not None:
+        fd_suspected = frozenset(fd.suspected)
+        fd_pending = len(getattr(fd, "_active", ()))
+    else:
+        fd_suspected = frozenset()
+        fd_pending = 0
+    return ProcessView(
+        pid=module.pid,
+        epoch=module.epoch,
+        quorum=frozenset(module.qlast),
+        suspecting=frozenset(module.suspecting),
+        fd_suspected=fd_suspected,
+        fd_expectations_pending=fd_pending,
+        matrix_entries=tuple(module.matrix.entries()),
+    )
+
+
+def observe_world(now: float, modules: Dict[int, object],
+                  faulty: FrozenSet[int], f: int) -> WorldView:
+    """Snapshot every process and derive the correct-process agreement.
+
+    ``agreed_quorum`` uses the same predicate as the legacy Theorem-4
+    strategy: all correct processes report one identical ``qlast``.
+    """
+    processes = {pid: observe_process(modules[pid]) for pid in sorted(modules)}
+    correct = frozenset(pid for pid in processes if pid not in faulty)
+    quorums = {processes[pid].quorum for pid in correct}
+    agreed = next(iter(quorums)) if len(quorums) == 1 else None
+    return WorldView(
+        now=now,
+        n=len(processes),
+        f=f,
+        faulty=frozenset(faulty),
+        correct=correct,
+        processes=processes,
+        agreed_quorum=agreed,
+    )

@@ -12,6 +12,16 @@
   including the Theorem 4 lower-bound adversary that concentrates false
   suspicions on an ``F+2`` node set to force the maximum number of quorum
   changes.
+
+.. deprecated:: E28
+   For *new* adversarial scenarios prefer :mod:`repro.adversary` — the
+   programmable engine whose strategies observe the world each tick
+   instead of replaying static rule lists.  Everything here keeps
+   working (the engine itself runs on this module's rule layer, and
+   :class:`LowerBoundStrategy` remains the scripted reference that the
+   engine port is equivalence-tested against), but the scripted
+   strategies are frozen: new attack policies land in
+   :mod:`repro.adversary.strategies`.
 """
 
 from repro.failures.classification import FailureClass, Detectability, DETECTABILITY

@@ -3,15 +3,32 @@
 All manipulation flows through :meth:`repro.sim.network.Network.set_interceptor`,
 so the adversary can only touch traffic *sent by* processes it controls —
 channels between correct processes stay reliable, per the system model.
-Behaviours are expressed as ordered :class:`LinkRule` lists; the first
-matching rule decides a message's fate.
+
+Behaviours are expressed as ordered :class:`LinkRule` lists.  The match
+contract, which matters once several behaviours stack on one faulty
+process (audited for the E28 adversary engine):
+
+- Rules are consulted in **attach order**; the first rule that *matches*
+  the envelope (destination, kind, time window) **and passes its
+  probability draw** decides the message's fate.  Effects never combine:
+  a matching drop rule shadows a later delay rule for the same traffic,
+  and two delay rules never add up.
+- A probabilistic rule whose coin fails **falls through** to later rules
+  rather than delivering outright — "sporadically omit, otherwise apply
+  the next behaviour" is expressible, but so is accidental shadowing, so
+  strategies that stack behaviours should scope rules by ``dsts``/
+  ``kinds`` or use distinct :attr:`LinkRule.tag` values and
+  :meth:`Adversary.clear_rules` to replace only their own rules.
+- An *adaptive* behaviour must not just keep appending: attach order
+  means its oldest (stale) rules would shadow every refresh.  Re-point
+  it with ``clear_rules(pid, tag=...)`` + ``add_rule`` instead.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.failures.classification import FailureClass
 from repro.sim.network import DELIVER, DROP, Envelope, SendAction
@@ -35,8 +52,13 @@ class LinkRule:
         delay_growth: increasing timing failure — extra latency grows by
             this much per time unit elapsed since ``start``.
         probability: apply the rule to each message with this probability
-            (sporadic omission vs. repeated omission).
+            (sporadic omission vs. repeated omission).  When the draw
+            fails the message falls through to the *next* rule, it is not
+            delivered outright.
         failure_class: taxonomy tag, for traces and tests.
+        tag: owner label for stacked behaviours — lets one strategy
+            replace its own rules (:meth:`Adversary.clear_rules`) without
+            clobbering rules other strategies attached to the same pid.
     """
 
     dsts: Optional[Set[int]] = None
@@ -48,6 +70,7 @@ class LinkRule:
     delay_growth: float = 0.0
     probability: float = 1.0
     failure_class: FailureClass = FailureClass.OMISSION
+    tag: Optional[str] = None
 
     def matches(self, envelope: Envelope) -> bool:
         if not self.start <= envelope.sent_at < self.end:
@@ -96,9 +119,38 @@ class Adversary:
         return [pid for pid in self.sim.pids if pid not in self.faulty]
 
     def add_rule(self, pid: ProcessId, rule: LinkRule) -> None:
-        """Attach a rule to a faulty process (corrupts it if needed)."""
+        """Attach a rule to a faulty process (corrupts it if needed).
+
+        Rules are consulted in attach order — see the module docstring
+        for the stacking contract.
+        """
         self.corrupt(pid)
         self._rules[pid].append(rule)
+
+    def rules(self, pid: ProcessId) -> Tuple[LinkRule, ...]:
+        """The rules currently attached to ``pid``, in match order."""
+        return tuple(self._rules.get(pid, ()))
+
+    def clear_rules(self, pid: ProcessId, tag: Optional[str] = None) -> int:
+        """Detach rules from ``pid``; returns how many were removed.
+
+        With a ``tag`` only that owner's rules go (relative order of the
+        survivors is preserved); with ``None`` every rule goes.  The pid
+        stays corrupted — a faulty process never becomes correct again —
+        so its interceptor remains installed and simply delivers until
+        new rules arrive.
+        """
+        existing = self._rules.get(pid)
+        if not existing:
+            return 0
+        if tag is None:
+            removed = len(existing)
+            existing.clear()
+            return removed
+        survivors = [rule for rule in existing if rule.tag != tag]
+        removed = len(existing) - len(survivors)
+        self._rules[pid] = survivors
+        return removed
 
     # ----------------------------------------------------- behaviour shortcuts
 
@@ -172,7 +224,9 @@ class Adversary:
 
     def _make_interceptor(self, pid: ProcessId) -> Callable[[Envelope], SendAction]:
         def intercept(envelope: Envelope) -> SendAction:
-            for rule in self._rules.get(pid, ()):  # first match wins
+            # First rule that matches AND passes its probability draw wins;
+            # a failed draw falls through (module docstring contract).
+            for rule in self._rules.get(pid, ()):
                 if not rule.matches(envelope):
                     continue
                 if rule.probability < 1.0 and not self._rng.coin(rule.probability):

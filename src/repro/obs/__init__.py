@@ -33,6 +33,7 @@ from repro.obs.registry import (
     render_table,
 )
 from repro.obs.spans import (
+    SPAN_ADVERSARY_ACTION,
     SPAN_DETECTION,
     SPAN_EPOCH_ADVANCE,
     SPAN_EXPECTATION,
@@ -55,6 +56,7 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "SpanSink",
+    "SPAN_ADVERSARY_ACTION",
     "SPAN_DETECTION",
     "SPAN_EPOCH_ADVANCE",
     "SPAN_EXPECTATION",

@@ -35,6 +35,10 @@ SPAN_DETECTION = "fd.detection"
 SPAN_FAULT = "host.fault"
 #: XPaxos changed views (attrs: ``view``).
 SPAN_VIEW_CHANGE = "xp.view_change"
+#: The adversary engine actuated one attack primitive (attrs:
+#: ``strategy``, ``action``, plus the action's targets — e.g.
+#: ``suspector``/``victim`` for a false suspicion).
+SPAN_ADVERSARY_ACTION = "adv.action"
 
 #: Default sink capacity; generous for any in-tree scenario, small enough
 #: that a runaway epoch-inflation run cannot exhaust memory through spans.

@@ -187,6 +187,12 @@ class Network:
         self.chaos = chaos
         self._chaos_rng = rng.child("network", "chaos")
         self._chaos_active = chaos is not None and chaos.active
+        # Adversarial schedule jitter (E28): the adversary-as-scheduler
+        # fuzzing pre-GST asynchrony.  Like chaos it draws from its own
+        # dedicated RNG child and draws *nothing* while disarmed, so
+        # adversary-off runs stay byte-identical to the plain network.
+        self._adversary_jitter = 0.0
+        self._adversary_rng = rng.child("network", "adversary")
         self._hosts: Dict[int, Any] = {}
         self._interceptors: Dict[int, Interceptor] = {}
         self._last_delivery: Dict[Tuple[int, int], float] = {}
@@ -224,6 +230,25 @@ class Network:
     def hosts(self) -> Dict[int, Any]:
         """Registered hosts by pid (read-only use)."""
         return dict(self._hosts)
+
+    def set_adversary_jitter(self, amplitude: float) -> None:
+        """Arm (or, with ``0``, disarm) adversarial delivery jitter.
+
+        While armed, every delivery gains uniform extra latency in
+        ``[0, amplitude)`` drawn from the dedicated adversary RNG child —
+        the scheduler half of an attack: the adversary perturbs message
+        interleavings without touching content, which the asynchronous
+        system model (pre-GST) always permits.  Messages are only ever
+        delayed, never lost, so channel reliability is preserved; FIFO
+        links keep their per-link order via the delivery floor.  Disarmed
+        (the default) the hook draws nothing, keeping adversary-off
+        traces byte-identical.
+        """
+        if not amplitude >= 0.0:  # also rejects NaN
+            raise ConfigurationError(
+                f"adversary jitter must be >= 0, got {amplitude}"
+            )
+        self._adversary_jitter = float(amplitude)
 
     def trace(self, kinds: Optional[set]) -> None:
         """Record per-message ``net.send`` log events for these kinds.
@@ -359,6 +384,10 @@ class Network:
             self.latency.sample(now, envelope.src, envelope.dst, self.rng)
             + envelope.extra_delay
         )
+        if self._adversary_jitter:
+            # After latency sampling so arming the hook never shifts the
+            # latency stream; own child stream, zero draws when disarmed.
+            delay += self._adversary_rng.uniform(0.0, self._adversary_jitter)
         deliver_at = now + delay
         if reorder_extra:
             # A reordered message leaves the FIFO track entirely: it

@@ -1,0 +1,230 @@
+"""Tests for the programmable adversary engine (E28 tentpole).
+
+Covers the observation snapshot API, the actuation vocabulary and its
+crypto/fault-model guards, tagged rule clearing, determinism of the
+disarmed hooks (chaos-off traces byte-identical), and the engine's
+metric/span families.
+"""
+
+import pytest
+
+from repro.adversary.engine import AdversaryEngine, Blackboard, Strategy
+from repro.core.observation import observe_process, observe_world
+from repro.core.spec import agreement_holds
+from repro.obs import SPAN_ADVERSARY_ACTION, metric_value
+from repro.util.errors import ConfigurationError
+from tests.conftest import build_qs_world
+
+
+class NullStrategy(Strategy):
+    """Observes, acts never; finishes after ``ticks`` observations."""
+
+    name = "null"
+
+    def __init__(self, ticks=3):
+        super().__init__()
+        self.budget = ticks
+        self.views = []
+
+    def on_observe(self, view):
+        self.views.append(view)
+        self.budget -= 1
+        if self.budget <= 0:
+            self.done = True
+
+
+def engine_world(n=6, f=2, seed=3, faulty=(1, 2)):
+    sim, modules = build_qs_world(n, f, seed=seed)
+    engine = AdversaryEngine(sim, modules, set(faulty))
+    return sim, modules, engine
+
+
+class TestObservation:
+    def test_process_view_snapshot(self):
+        sim, modules = build_qs_world(5, 2)
+        sim.run_until(30.0)
+        view = observe_process(modules[3])
+        assert view.pid == 3
+        assert view.epoch == modules[3].epoch
+        assert view.quorum == frozenset(modules[3].qlast)
+        assert view.suspecting == frozenset(modules[3].suspecting)
+
+    def test_world_view_agreed_quorum(self):
+        sim, modules = build_qs_world(5, 2)
+        sim.run_until(30.0)
+        view = observe_world(sim.now, modules, frozenset({1, 2}), 2)
+        assert view.now == sim.now
+        assert view.correct == frozenset({3, 4, 5})
+        assert view.agreed_quorum == frozenset(modules[3].qlast)
+        assert view.quorum_of(4) == frozenset(modules[4].qlast)
+
+    def test_observation_is_read_only(self):
+        """Snapshotting draws no randomness and mutates nothing."""
+        sim, modules = build_qs_world(5, 2)
+        sim.run_until(20.0)
+        before = {pid: (m.qlast, m.epoch, m.matrix.version)
+                  for pid, m in modules.items()}
+        for _ in range(5):
+            observe_world(sim.now, modules, frozenset({1}), 1)
+        after = {pid: (m.qlast, m.epoch, m.matrix.version)
+                 for pid, m in modules.items()}
+        assert before == after
+
+
+class TestEngineLifecycle:
+    def test_rejects_bad_configuration(self):
+        sim, modules = build_qs_world(5, 2)
+        with pytest.raises(ConfigurationError):
+            AdversaryEngine(sim, modules, {1}, tick_period=0.0)
+        with pytest.raises(ConfigurationError):
+            AdversaryEngine(sim, modules, {99})  # no module for pid 99
+        engine = AdversaryEngine(sim, modules, {1})
+        with pytest.raises(ConfigurationError):
+            engine.install()  # no strategies
+
+    def test_strategy_binds_once_with_child_rng(self):
+        _, _, engine = engine_world()
+        strategy = engine.add(NullStrategy())
+        assert strategy.tag == "null#0"
+        assert strategy.rng is not None
+        with pytest.raises(ConfigurationError):
+            strategy.bind(engine, 1)
+        with pytest.raises(ConfigurationError):
+            engine.add(strategy)  # already bound
+
+    def test_ticks_until_all_strategies_done(self):
+        sim, _, engine = engine_world()
+        fast = engine.add(NullStrategy(ticks=2))
+        slow = engine.add(NullStrategy(ticks=5))
+        engine.install()
+        sim.run_until(40.0)
+        assert fast.done and slow.done and engine.done
+        # Slow kept observing after fast finished.
+        assert len(slow.views) == 5
+        assert len(fast.views) == 2
+
+    def test_add_after_install_rejected(self):
+        _, _, engine = engine_world()
+        engine.add(NullStrategy())
+        engine.install()
+        with pytest.raises(ConfigurationError):
+            engine.add(NullStrategy())
+
+
+class TestActuationGuards:
+    def test_actuation_only_through_faulty_processes(self):
+        _, _, engine = engine_world(faulty=(1, 2))
+        with pytest.raises(ConfigurationError):
+            engine.false_suspicion(3, 4)
+        with pytest.raises(ConfigurationError):
+            engine.sign_row(3, (0, 0, 0, 0, 0, 0, 0))
+        with pytest.raises(ConfigurationError):
+            engine.send_update(4, object(), [5])
+
+    def test_forged_row_is_signed_with_own_key_only(self):
+        """Receivers authenticate injected rows: the signature is p1's."""
+        sim, modules, engine = engine_world()
+        row = tuple(modules[1].matrix.row(1))
+        signed = engine.sign_row(1, row)
+        assert signed.signature.signer == 1
+        assert sim.host(3).authenticator.verify(signed)
+
+    def test_tagged_rules_clear_independently(self):
+        _, _, engine = engine_world()
+        engine.omit(1, dsts={3}, tag="a#0")
+        engine.delay(1, 5.0, tag="b#0")
+        assert len(engine.rules.rules(1)) == 2
+        assert engine.clear_rules(1, tag="a#0") == 1
+        remaining = engine.rules.rules(1)
+        assert len(remaining) == 1 and remaining[0].tag == "b#0"
+        assert engine.clear_rules(1) == 1
+        assert engine.rules.rules(1) == ()
+
+
+class TestDeterminism:
+    def trace(self, arm_engine, seed=3):
+        sim, modules = build_qs_world(6, 2, seed=seed)
+        if arm_engine:
+            engine = AdversaryEngine(sim, modules, {1, 2})
+            engine.add(NullStrategy(ticks=4))
+            engine.install()
+        sim.run_until(120.0)
+        return [
+            (e.time, e.process, e.epoch, tuple(sorted(e.quorum)))
+            for pid in sorted(modules)
+            for e in modules[pid].quorum_events
+        ]
+
+    def test_idle_engine_leaves_trace_byte_identical(self):
+        """An installed engine whose strategies never act changes nothing:
+        observation draws no randomness and the rule layer has no rules."""
+        assert self.trace(arm_engine=False) == self.trace(arm_engine=True)
+
+    def test_disarmed_jitter_leaves_trace_byte_identical(self):
+        def run(arm, amplitude):
+            sim, modules = build_qs_world(6, 2, seed=3)
+            if arm:
+                sim.network.set_adversary_jitter(amplitude)
+            sim.at(10.0, lambda: sim.host(1).crash())
+            sim.run_until(120.0)
+            return [
+                (e.time, e.process, e.epoch, tuple(sorted(e.quorum)))
+                for pid in sorted(modules)
+                for e in modules[pid].quorum_events
+            ]
+
+        plain = run(arm=False, amplitude=0.0)
+        assert run(arm=True, amplitude=0.0) == plain
+        assert run(arm=True, amplitude=2.0) != plain
+
+    def test_jitter_rejects_negative_amplitude(self):
+        sim, _ = build_qs_world(4, 1)
+        with pytest.raises(ConfigurationError):
+            sim.network.set_adversary_jitter(-1.0)
+
+
+class TestBlackboard:
+    def test_post_get_pop_and_audit_trail(self):
+        board = Blackboard()
+        board.post("k", (1, 2), by="collusion#0", now=3.0)
+        assert board.get("k") == (1, 2)
+        assert board.pop("k") == (1, 2)
+        assert board.get("k") is None
+        assert board.posts == [(3.0, "collusion#0", "k")]
+
+
+class TestObservability:
+    def test_actions_logged_spanned_and_counted(self):
+        sim, modules, engine = engine_world()
+        engine.add(NullStrategy(ticks=2))
+        engine.install()
+        sim.at(5.0, lambda: engine.false_suspicion(1, 3, by="test"))
+        sim.run_until(60.0)
+        assert engine.action_counts["test:false_suspicion"] == 1
+        spans = sim.obs.spans.by_name(SPAN_ADVERSARY_ACTION)
+        assert any(
+            s.attrs["strategy"] == "test" and s.attrs["action"] == "false_suspicion"
+            for s in spans
+        )
+        assert any(
+            e.payload.get("action") == "false_suspicion"
+            for e in sim.log.events(kind="adv.action")
+        )
+        snapshot = sim.obs.snapshot()
+        assert metric_value(
+            snapshot, "adv_actions_total",
+            strategy="test", action="false_suspicion",
+        ) == 1
+        assert metric_value(snapshot, "adv_ticks_total") >= 2
+        assert metric_value(snapshot, "adv_strategies_active") == 0
+
+    def test_attack_preserves_agreement(self):
+        """Engine actuation is within-model: correct processes still agree."""
+        sim, modules, engine = engine_world()
+        engine.add(NullStrategy(ticks=1))
+        engine.install()
+        sim.at(5.0, lambda: engine.false_suspicion(1, 3, by="test"))
+        sim.run_until(200.0)
+        correct = [modules[p] for p in sim.pids if p not in (1, 2)]
+        assert agreement_holds(correct)
+        assert 3 not in correct[0].qlast

@@ -1,0 +1,126 @@
+"""Tests for the randomized lower-bound chase (E28 search loop).
+
+Acceptance criteria from the issue, in test form: the canonical config
+reproduces Theorem 4 *exactly* (proposed quorums == C(f+2, 2)), every
+trial stays inside the Theorem 3 envelope, the search is a pure function
+of its seed, and re-running against the same cache serves every trial
+without recomputation.
+"""
+
+import pytest
+
+from repro.adversary.search import (
+    canonical_config,
+    chase_bound,
+    make_strategy,
+    run_attack_case,
+)
+from repro.adversary.strategies import LowerBoundAttack
+from repro.analysis.bounds import thm3_upper_bound, thm4_quorum_count
+from repro.analysis.cache import ResultCache
+from repro.util.errors import ConfigurationError
+
+
+class TestAttackCase:
+    def test_canonical_reproduces_thm4_exactly(self):
+        for f in (1, 2):
+            config = canonical_config(f)
+            result = run_attack_case(
+                seed=3, n=2 * f + 2, f=f,
+                strategy=config["strategy"], params=config["params"],
+            )
+            assert result["proposed_quorums"] == thm4_quorum_count(f)
+            assert result["max_epoch"] == 1.0
+            assert result["agree"] == 1.0
+            assert result["done"] == 1.0
+            assert result["thm3_ok"] == 1.0
+
+    def test_result_is_deterministic_floats(self):
+        a = run_attack_case(seed=7, n=4, f=1, strategy="forged_rows",
+                            params={"rounds": 3}, jitter=0.5)
+        b = run_attack_case(seed=7, n=4, f=1, strategy="forged_rows",
+                            params={"rounds": 3}, jitter=0.5)
+        assert a == b
+        assert all(isinstance(v, float) for v in a.values())
+
+    def test_jitter_changes_the_trace(self):
+        plain = run_attack_case(seed=3, n=4, f=1)
+        jittered = run_attack_case(seed=3, n=4, f=1, jitter=1.5)
+        assert plain["trace_fingerprint"] != jittered["trace_fingerprint"]
+
+
+class TestMakeStrategy:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_strategy("nope", None, 4, 1)
+
+    def test_default_targets_follow_f(self):
+        strategy = make_strategy("lower_bound", None, 6, 2)
+        assert isinstance(strategy, LowerBoundAttack)
+        assert strategy.targets == (3, 4)
+
+    def test_json_lists_become_tuples(self):
+        strategy = make_strategy(
+            "equivocation", {"victims": [3, 4], "rounds": 2}, 6, 2
+        )
+        assert strategy._victims_param == (3, 4)
+
+
+class TestChaseBound:
+    def test_validates_budget_and_rounds(self):
+        with pytest.raises(ConfigurationError):
+            chase_bound([1], budget=0)
+        with pytest.raises(ConfigurationError):
+            chase_bound([1], rounds=0)
+
+    def test_finds_the_bound_for_small_f(self):
+        report = chase_bound([1], seed=3, budget=3, rounds=1)
+        entry = report["entries"][0]
+        assert entry["thm4_bound"] == thm4_quorum_count(1) == 3
+        assert entry["canonical_exact"]
+        assert entry["bound_met"]
+        assert entry["best"]["proposed_quorums"] >= 3.0
+
+    def test_every_trial_respects_thm3_envelope(self):
+        report = chase_bound([1], seed=11, budget=4, rounds=2)
+        entry = report["entries"][0]
+        assert entry["thm3_ok"]
+        for trial in entry["trials"]:
+            if trial["ok"]:
+                assert trial["result"]["max_changes_per_epoch"] <= \
+                    thm3_upper_bound(1)
+
+    def test_same_seed_same_best_attack(self):
+        a = chase_bound([1], seed=5, budget=4, rounds=2)
+        b = chase_bound([1], seed=5, budget=4, rounds=2)
+        ea, eb = a["entries"][0], b["entries"][0]
+        assert ea["best"]["trial"] == eb["best"]["trial"]
+        assert ea["best"]["strategy"] == eb["best"]["strategy"]
+        assert ea["best"]["params"] == eb["best"]["params"]
+        assert ea["best"]["result"]["trace_fingerprint"] == \
+            eb["best"]["result"]["trace_fingerprint"]
+        # And a different seed explores a different trial corpus.
+        c = chase_bound([1], seed=6, budget=4, rounds=2)
+        configs = lambda r: [
+            (t["strategy"], t["params"], t["jitter"])
+            for t in r["entries"][0]["trials"]
+        ]
+        assert configs(a) == configs(b)
+        assert configs(a) != configs(c)
+
+    def test_rerun_is_served_from_cache(self, tmp_path):
+        first = chase_bound([1], seed=3, budget=3, rounds=2,
+                            cache=ResultCache(root=tmp_path))
+        second = chase_bound([1], seed=3, budget=3, rounds=2,
+                             cache=ResultCache(root=tmp_path))
+        e1, e2 = first["entries"][0], second["entries"][0]
+        assert e2["cached_trials"] == len(e2["trials"])
+        assert e1["best"]["result"] == e2["best"]["result"]
+
+    def test_parallel_equals_serial(self):
+        serial = chase_bound([1], seed=3, budget=3, rounds=1, jobs=1)
+        parallel = chase_bound([1], seed=3, budget=3, rounds=1, jobs=2)
+        strip = lambda r: [
+            (t["score"], t["result"]) for t in r["entries"][0]["trials"]
+        ]
+        assert strip(serial) == strip(parallel)

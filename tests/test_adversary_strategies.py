@@ -1,0 +1,249 @@
+"""Tests for the adversary strategy library (E28).
+
+The headline test is the satellite-1 equivalence: the engine port of the
+Theorem-4 adversary (``LowerBoundAttack`` with ``pair_order_seed=0``)
+must replay the legacy scripted ``repro.failures.LowerBoundStrategy``
+*byte-identically* — same fired count, same quorum-change trace
+fingerprint — across the props-tier seed matrix.
+"""
+
+import os
+
+import pytest
+
+from repro.adversary.engine import AdversaryEngine
+from repro.adversary.search import quorum_trace_fingerprint
+from repro.adversary.strategies import (
+    AdaptiveTimingStrategy,
+    CollusionStrategy,
+    EquivocationStrategy,
+    ForgedSuspicionStrategy,
+    LowerBoundAttack,
+    SelectiveOmissionStrategy,
+    forge_garbage_rows,
+)
+from repro.analysis.bounds import observed_max_changes_claim
+from repro.core.spec import agreement_holds
+from repro.failures.strategies import LowerBoundStrategy
+from repro.util.errors import ConfigurationError
+from repro.util.rand import make_rng
+from tests.conftest import build_qs_world
+
+PROP_SEEDS = [
+    int(s) for s in os.environ.get("REPRO_PROP_SEEDS", "3,7,11").split(",")
+]
+
+
+class NullChase(LowerBoundAttack):
+    """Index placeholder: binds like the chase but never acts."""
+
+    def __init__(self):
+        super().__init__(targets=(3, 4))
+
+    def on_observe(self, view):
+        self.done = True
+
+
+def engine_run(strategy, n=6, f=2, seed=3, faulty=(1, 2), horizon=400.0):
+    sim, modules = build_qs_world(n, f, seed=seed)
+    engine = AdversaryEngine(sim, modules, set(faulty))
+    engine.add(strategy)
+    engine.install()
+    sim.run_until(horizon)
+    correct = [modules[p] for p in sim.pids if p not in faulty]
+    return sim, modules, engine, correct
+
+
+class TestLegacyEquivalence:
+    """Satellite 1: the engine port replays the scripted path exactly."""
+
+    @pytest.mark.props
+    @pytest.mark.parametrize("seed", PROP_SEEDS)
+    def test_port_matches_scripted_strategy(self, seed):
+        n, f, faulty = 6, 2, {1, 2}
+        targets = (3, 4)
+
+        sim_a, modules_a = build_qs_world(n, f, seed=seed)
+        legacy = LowerBoundStrategy(
+            sim_a, modules_a, faulty=faulty, targets=targets
+        )
+        legacy.install()
+        sim_a.run_until(400.0)
+
+        sim_b, modules_b = build_qs_world(n, f, seed=seed)
+        engine = AdversaryEngine(sim_b, modules_b, faulty, f_max=f)
+        port = engine.add(LowerBoundAttack(targets=targets))
+        engine.install()
+        sim_b.run_until(400.0)
+
+        assert len(port.fired) == len(legacy.fired)
+        assert quorum_trace_fingerprint(modules_b) == \
+            quorum_trace_fingerprint(modules_a)
+
+    def test_port_reaches_thm4_claim(self):
+        _, _, engine, correct = engine_run(
+            LowerBoundAttack(targets=(3, 4)), horizon=600.0
+        )
+        assert engine.done
+        per_epoch = max(m.max_quorums_in_any_epoch() for m in correct)
+        assert per_epoch == observed_max_changes_claim(2)
+        assert max(m.epoch for m in correct) == 1
+        assert agreement_holds(correct)
+
+    def test_shuffled_pair_order_still_terminates(self):
+        _, _, engine, correct = engine_run(
+            LowerBoundAttack(targets=(3, 4), pair_order_seed=5), horizon=600.0
+        )
+        assert engine.done
+        assert agreement_holds(correct)
+
+    def test_rejects_faulty_targets(self):
+        sim, modules = build_qs_world(6, 2, seed=3)
+        engine = AdversaryEngine(sim, modules, {1, 2})
+        with pytest.raises(ConfigurationError):
+            engine.add(LowerBoundAttack(targets=(1, 3)))
+
+
+class TestCollusion:
+    def test_clique_coordinates_through_blackboard(self):
+        _, _, engine, correct = engine_run(
+            CollusionStrategy(targets=(3, 4)), horizon=600.0
+        )
+        strategy = engine.strategies[0]
+        assert engine.done
+        assert strategy.coordinator == 1
+        # Every firing was preceded by a blackboard post of the assignment.
+        assert len(engine.blackboard.posts) == len(strategy.fired)
+        assert len(strategy.fired) > 0
+        assert agreement_holds(correct)
+
+    def test_same_pair_schedule_as_direct_chase(self):
+        _, _, direct, _ = engine_run(LowerBoundAttack(targets=(3, 4)),
+                                     horizon=600.0)
+        _, _, colluding, _ = engine_run(CollusionStrategy(targets=(3, 4)),
+                                        horizon=600.0)
+        pairs = lambda e: [(s, v) for _, s, v in e.strategies[0].fired]
+        assert pairs(colluding) == pairs(direct)
+
+
+class TestEquivocation:
+    def test_conflicting_rows_converge_under_gossip(self):
+        sim, modules, engine, correct = engine_run(
+            EquivocationStrategy(pid=1, victims=(3, 4)), horizon=300.0
+        )
+        strategy = engine.strategies[0]
+        assert strategy.done and strategy.rounds_done == strategy.rounds
+        assert engine.action_counts["equivocation:equivocate"] == strategy.rounds
+        assert agreement_holds(correct)
+        # Gossip reunited the split views: p1's row is identical everywhere.
+        rows = {tuple(m.matrix.row(1)) for m in correct}
+        assert len(rows) == 1
+
+    def test_rejects_correct_equivocator(self):
+        sim, modules = build_qs_world(6, 2, seed=3)
+        engine = AdversaryEngine(sim, modules, {1, 2})
+        with pytest.raises(ConfigurationError):
+            engine.add(EquivocationStrategy(pid=3))
+
+
+class TestForgedRows:
+    @pytest.mark.props
+    @pytest.mark.parametrize("seed", PROP_SEEDS)
+    def test_garbage_never_crashes_or_mints_state(self, seed):
+        sim, modules, engine, correct = engine_run(
+            ForgedSuspicionStrategy(pid=2, valid_rate=0.0, rounds=5),
+            seed=seed, horizon=300.0,
+        )
+        strategy = engine.strategies[0]
+        assert strategy.done and strategy.garbage_sent > 0
+        assert agreement_holds(correct)
+        # No minted state: a correct owner's row elsewhere never exceeds
+        # the owner's own row (the forger cannot sign for others).
+        for owner in (3, 4, 5, 6):
+            own = modules[owner].matrix.row(owner)
+            for other in (3, 4, 5, 6):
+                got = modules[other].matrix.row(owner)
+                assert all(g <= o for g, o in zip(got, own))
+
+    def test_valid_rate_one_sends_only_lies(self):
+        _, _, engine, correct = engine_run(
+            ForgedSuspicionStrategy(pid=1, valid_rate=1.0, rounds=3),
+            horizon=300.0,
+        )
+        strategy = engine.strategies[0]
+        assert strategy.lies_sent == 3 and strategy.garbage_sent == 0
+        assert agreement_holds(correct)
+
+    def test_forge_garbage_rows_is_deterministic(self):
+        rows_a = forge_garbage_rows(make_rng(9).child("g"), n=6, count=8)
+        rows_b = forge_garbage_rows(make_rng(9).child("g"), n=6, count=8)
+        assert rows_a == rows_b
+        assert len(rows_a) == 8
+
+
+class TestSelectiveOmission:
+    def test_repoints_rules_and_clears_at_stop(self):
+        sim, modules, engine, correct = engine_run(
+            SelectiveOmissionStrategy(pid=1, stop_at=60.0), horizon=300.0
+        )
+        strategy = engine.strategies[0]
+        assert strategy.done and strategy.repointed >= 1
+        assert engine.rules.rules(1) == ()  # cleaned up after itself
+        assert agreement_holds(correct)
+
+
+class TestAdaptiveTiming:
+    def test_oscillates_with_quorum_membership(self):
+        sim, modules, engine, correct = engine_run(
+            AdaptiveTimingStrategy(pid=1, stop_at=120.0), horizon=300.0
+        )
+        strategy = engine.strategies[0]
+        assert strategy.done
+        # Armed while p1 sat in the initial quorum, cleared on eviction.
+        assert strategy.transitions >= 2
+        assert 1 not in correct[0].qlast
+        assert agreement_holds(correct)
+
+
+class TestComposition:
+    def test_stacked_strategies_stay_deterministic(self):
+        """Chase + two randomized strategies: same seed, same everything."""
+        def stacked_run():
+            sim, modules = build_qs_world(6, 2, seed=3)
+            engine = AdversaryEngine(sim, modules, {1, 2})
+            chase = engine.add(LowerBoundAttack(targets=(3, 4)))
+            engine.add(ForgedSuspicionStrategy(pid=2, valid_rate=0.5, rounds=3))
+            engine.add(EquivocationStrategy(pid=1, victims=(3, 4), rounds=2))
+            engine.install()
+            sim.run_until(600.0)
+            correct = [modules[p] for p in sim.pids if p not in (1, 2)]
+            assert agreement_holds(correct)
+            return (
+                [(s, v) for _, s, v in chase.fired],
+                dict(engine.action_counts),
+                quorum_trace_fingerprint(modules),
+            )
+
+        assert stacked_run() == stacked_run()
+
+    def test_strategy_order_does_not_change_sibling_randomness(self):
+        """Each policy's draws come from its (name, index) child stream, so
+        the forger rolls the same coins whether or not a chase runs too."""
+        def forger_decisions(stack_chase):
+            sim, modules = build_qs_world(6, 2, seed=3)
+            engine = AdversaryEngine(sim, modules, {1, 2})
+            if stack_chase:
+                engine.add(LowerBoundAttack(targets=(3, 4)))
+                forger = engine.add(
+                    ForgedSuspicionStrategy(pid=2, valid_rate=0.5, rounds=4)
+                )
+            else:
+                engine.add(NullChase())
+                forger = engine.add(
+                    ForgedSuspicionStrategy(pid=2, valid_rate=0.5, rounds=4)
+                )
+            engine.install()
+            sim.run_until(300.0)
+            return (forger.lies_sent, forger.garbage_sent)
+
+        assert forger_decisions(True) == forger_decisions(False)

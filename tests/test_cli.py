@@ -219,3 +219,59 @@ class TestMetricsMultiSnapshot:
         bogus.write_text("{}")
         assert main(["metrics", "render", str(bogus)]) == 2
         assert capsys.readouterr().err.strip()
+
+
+class TestAdversaryCommand:
+    def test_attack_reports_the_bound(self, capsys):
+        assert main(["adversary", "attack", "--f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "proposed quorums" in out and "Thm 4 count" in out
+
+    def test_attack_json_is_machine_readable(self, capsys):
+        import json as json_module
+
+        assert main(["adversary", "attack", "--f", "1", "--json"]) == 0
+        result = json_module.loads(capsys.readouterr().out)
+        assert result["proposed_quorums"] == 3.0
+        assert result["agree"] == 1.0
+
+    def test_attack_accepts_strategy_params(self, capsys):
+        assert main([
+            "adversary", "attack", "--f", "1", "--strategy", "forged_rows",
+            "--params", '{"rounds": 2}',
+        ]) == 0
+        assert "forged_rows" in capsys.readouterr().out
+
+    def test_search_meets_bound_for_f1(self, capsys):
+        assert main([
+            "adversary", "search", "--f-values", "1",
+            "--budget", "3", "--rounds", "1", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Lower-bound chase" in out and "lower_bound" in out
+
+    def test_search_cache_warm_on_rerun(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["adversary", "search", "--f-values", "1", "--budget", "3",
+                "--rounds", "1", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "misses=0" in warm and "misses=0" not in cold
+
+    @pytest.mark.parametrize("argv", [
+        ["adversary", "attack", "--f", "0"],
+        ["adversary", "attack", "--strategy", "nope"],
+        ["adversary", "attack", "--params", "{not json"],
+        ["adversary", "attack", "--f", "1", "--strategy", "equivocation",
+         "--params", '{"bogus_kwarg": 1}'],
+        ["adversary", "search", "--budget", "0"],
+        ["adversary", "search", "--rounds", "0"],
+        ["adversary", "search", "--jobs", "0"],
+        ["adversary", "search", "--f-values", "1,x"],
+        ["adversary", "search", "--f-values", "0"],
+    ])
+    def test_invalid_adversary_combos_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert capsys.readouterr().err.startswith("error:")

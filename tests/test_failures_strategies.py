@@ -133,3 +133,80 @@ class TestRandomStrategy:
             return strategy.fired
 
         assert run(4) == run(4)
+
+
+class TestStackedRules:
+    """Satellite E28-2: the audited multi-strategy stacking contract.
+
+    Multiple strategies attaching rules to one faulty process must
+    compose predictably: first matching rule whose probability draw
+    passes wins, effects never combine, a failed draw falls through,
+    and tag-scoped clearing removes exactly one owner's rules.
+    """
+
+    def make(self, n=5, f=2):
+        from repro.sim.network import Envelope
+
+        sim, _ = build_qs_world(n, f)
+        adversary = Adversary(sim)
+        adversary.corrupt(1)
+        intercept = sim.network._interceptors[1]
+        env = lambda dst, kind="m": Envelope(
+            kind=kind, payload=None, src=1, dst=dst, sent_at=sim.now
+        )
+        return adversary, intercept, env
+
+    def test_first_match_wins_effects_never_combine(self):
+        adversary, intercept, env = self.make()
+        adversary.add_rule(1, LinkRule(dsts={2}, drop=True))
+        adversary.add_rule(1, LinkRule(extra_delay=5.0))
+        # dst 2: the earlier drop rule shadows the delay-all rule.
+        action = intercept(env(2))
+        assert action.verdict == "drop" and action.extra_delay == 0.0
+        # Other dsts: only the delay-all rule matches.
+        action = intercept(env(3))
+        assert action.verdict == "deliver" and action.extra_delay == 5.0
+
+    def test_attach_order_decides_shadowing(self):
+        adversary, intercept, env = self.make()
+        adversary.add_rule(1, LinkRule(extra_delay=5.0))
+        adversary.add_rule(1, LinkRule(dsts={2}, drop=True))
+        # Reversed attach order: the delay-all rule now matches first
+        # everywhere, so the narrower drop rule is dead for dst 2 too.
+        action = intercept(env(2))
+        assert action.verdict == "deliver" and action.extra_delay == 5.0
+
+    def test_zero_probability_rule_falls_through(self):
+        adversary, intercept, env = self.make()
+        adversary.add_rule(1, LinkRule(dsts={2}, drop=True, probability=0.0))
+        adversary.add_rule(1, LinkRule(dsts={2}, extra_delay=3.0))
+        # The coin for rule 1 always fails, so rule 2 decides.
+        for _ in range(10):
+            action = intercept(env(2))
+            assert action.verdict == "deliver" and action.extra_delay == 3.0
+
+    def test_tag_scoped_clear_preserves_other_owners(self):
+        adversary, intercept, env = self.make()
+        adversary.add_rule(1, LinkRule(dsts={2}, drop=True, tag="omit#0"))
+        adversary.add_rule(1, LinkRule(extra_delay=4.0, tag="timing#1"))
+        adversary.add_rule(1, LinkRule(dsts={3}, drop=True, tag="omit#0"))
+        assert adversary.clear_rules(1, tag="omit#0") == 2
+        left = adversary.rules(1)
+        assert [rule.tag for rule in left] == ["timing#1"]
+        # The live interceptor sees the post-clear list immediately.
+        assert intercept(env(2)).verdict == "deliver"
+        assert intercept(env(2)).extra_delay == 4.0
+
+    def test_clear_without_tag_removes_everything_but_keeps_corruption(self):
+        adversary, intercept, env = self.make()
+        adversary.add_rule(1, LinkRule(drop=True, tag="a"))
+        adversary.add_rule(1, LinkRule(drop=True, tag="b"))
+        assert adversary.clear_rules(1) == 2
+        assert adversary.rules(1) == ()
+        assert 1 in adversary.faulty
+        action = intercept(env(2))
+        assert action.verdict == "deliver" and action.extra_delay == 0.0
+
+    def test_clear_rules_on_unknown_pid_is_noop(self):
+        adversary, _, _ = self.make()
+        assert adversary.clear_rules(4) == 0

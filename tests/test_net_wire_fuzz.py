@@ -296,3 +296,103 @@ def test_v1_and_v2_peers_settle_on_v1_without_minting_protocol_frames():
     # Symmetric pair of V2 speakers settles on V2 the same way.
     v2_hello = FrameDecoder().feed(encode_hello(1, WIRE_V2))[0]
     assert negotiate_ack_version(v2_hello[1], WIRE_V2) == WIRE_V2
+
+
+# -------------------------------------------------------------- adversary
+# E28 hardening: the exact artifacts the adversary engine broadcasts —
+# equivocating signed UPDATE pairs and forged garbage rows — must travel
+# both codecs type-identically, keep verifying afterwards, and fail as
+# WireError (never anything else) once tampered with.
+
+
+@pytest.mark.parametrize("version", WIRE_VERSIONS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_equivocating_update_pairs_survive_the_wire(seed, version):
+    rng = make_rng(seed).child("equivocate")
+    for trial in range(20):
+        item = rng.child(trial)
+        signer = item.randint(1, N)
+        base = [item.randint(0, 9) for _ in range(N + 1)]
+        variant_a, variant_b = list(base), list(base)
+        victim_a = item.randint(1, N)
+        victim_b = 1 + victim_a % N
+        variant_a[victim_a] += item.randint(1, 5)
+        variant_b[victim_b] += item.randint(1, 5)
+        pair = [
+            _AUTH[signer].sign(UpdatePayload(row=tuple(variant_a))),
+            _AUTH[signer].sign(UpdatePayload(row=tuple(variant_b))),
+        ]
+        for signed in pair:
+            frame = encode_frame("qs.update", signed, signer, version=version)
+            _, decoded, _ = decode_frame_body(frame[4:])
+            assert_type_identical(signed, decoded)
+            # Both halves of the equivocation verify independently: the
+            # codec cannot tell a lie from the truth, only alteration.
+            assert _AUTH[1].verify(decoded)
+            assert decoded.signature.signer == signer
+        # The two decoded rows genuinely conflict.
+        frames = [
+            decode_frame_body(
+                encode_frame("qs.update", s, signer, version=version)[4:]
+            )[1]
+            for s in pair
+        ]
+        assert frames[0].payload.row != frames[1].payload.row
+
+
+@pytest.mark.parametrize("version", WIRE_VERSIONS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_forged_garbage_rows_fail_typed_or_round_trip(seed, version):
+    """The codec splits the engine's forged rows at the type boundary:
+    all-int garbage (wrong arity, negatives, absurd stamps) is wire-legal
+    and round-trips verified — rejecting it is the matrix's job — while
+    rows with non-int cells fail *at encode time* as WireError, never as
+    anything else.  Tampered frames never yield a different payload that
+    still verifies."""
+    from repro.adversary.strategies import forge_garbage_rows
+
+    rng = make_rng(seed).child("forged-rows")
+    rows = forge_garbage_rows(rng.child("gen"), N, 30)
+    encoded = rejected = 0
+    for index, row in enumerate(rows):
+        signer = 1 + index % N
+        signed = _AUTH[signer].sign(UpdatePayload(row=row))
+        wire_legal = all(
+            isinstance(value, int) and not isinstance(value, bool)
+            for value in row
+        )
+        # V2 validates rows while *encoding*, V1 while *decoding* — the
+        # typed WireError may fire at either boundary, but nothing else
+        # may, and only all-int rows make it through both.
+        try:
+            frame = encode_frame("qs.update", signed, signer, version=version)
+            _, decoded, _ = decode_frame_body(frame[4:])
+        except WireError:
+            assert not wire_legal
+            rejected += 1
+            continue
+        except Exception as exc:  # noqa: BLE001 - the property under test
+            pytest.fail(
+                f"seed={seed}: {type(exc).__name__} leaked from codec: {exc!r}"
+            )
+        assert wire_legal
+        encoded += 1
+        assert_type_identical(signed, decoded)
+        assert _AUTH[1].verify(decoded)
+
+        mrng = rng.child("mutate", index)
+        body = bytearray(frame[4:])
+        for _ in range(mrng.randint(1, 4)):
+            body[mrng.randint(0, len(body) - 1)] = mrng.randint(0, 255)
+        try:
+            _, tampered, _ = decode_frame_body(bytes(body))
+        except WireError:
+            continue  # typed failure: the documented response
+        except Exception as exc:  # noqa: BLE001 - the property under test
+            pytest.fail(
+                f"seed={seed}: {type(exc).__name__} leaked from decoder: {exc!r}"
+            )
+        if isinstance(tampered, SignedMessage) and _AUTH[1].verify(tampered):
+            assert tampered.payload == signed.payload
+    # The generator must exercise both sides of the boundary.
+    assert encoded > 0 and rejected > 0

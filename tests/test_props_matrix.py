@@ -139,3 +139,85 @@ def test_incremental_view_equals_rebuild(seed):
     # The interleaving must have exercised the incremental path, not
     # just rebuilt on every call (vacuousness guard).
     assert matrix.graph_reuses > 0 and matrix.incremental_edge_updates > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestAdversaryForgedRows:
+    """E28 hardening: engine-forged garbage rows against a bare matrix.
+
+    ``forge_garbage_rows`` is the exact generator the adversary engine's
+    ``ForgedSuspicionStrategy`` broadcasts; the matrix must drop every
+    malformed entry silently while the mixed-in valid rows still merge
+    monotonically.
+    """
+
+    def test_garbage_rows_leave_matrix_unchanged(self, seed):
+        from repro.adversary.strategies import forge_garbage_rows
+
+        rng = make_rng(seed).child("forged")
+        matrix = random_matrix(rng.child("base"))
+        before = matrix.copy()
+        valid_arities = {N, N + 1}
+        for index, row in enumerate(
+            forge_garbage_rows(rng.child("rows"), N, 40)
+        ):
+            suspector = 1 + index % N
+            matrix.merge_row(suspector, row)
+            if len(row) not in valid_arities or not all(
+                type(value) is int and value >= 0 for value in row
+            ):
+                # Fully malformed rows must be complete no-ops.
+                continue
+        # Garbage can only have grown entries via valid-shaped all-int
+        # rows; every surviving entry still dominates the original.
+        for suspector in range(1, N + 1):
+            for suspectee in range(1, N + 1):
+                assert matrix.get(suspector, suspectee) >= \
+                    before.get(suspector, suspectee)
+
+    def test_per_entry_filtering_matches_spec(self, seed):
+        """Merging forged rows applies exactly the documented filter:
+        wrong-arity rows are whole-row no-ops; within a valid-arity row
+        only genuine-int entries above the current value land, never the
+        diagonal or the 1-based padding slot."""
+        from repro.adversary.strategies import forge_garbage_rows
+
+        rng = make_rng(seed).child("per-entry")
+        matrix = random_matrix(rng.child("base"))
+        expected = {
+            (suspector, suspectee): matrix.get(suspector, suspectee)
+            for suspector in range(1, N + 1)
+            for suspectee in range(1, N + 1)
+        }
+        for index, row in enumerate(forge_garbage_rows(rng.child("rows"), N, 60)):
+            suspector = 1 + index % N
+            matrix.merge_row(suspector, row)
+            if len(row) == N:
+                dense = (0, *row)
+            elif len(row) == N + 1:
+                dense = tuple(row)
+            else:
+                continue  # wrong arity: whole row ignored
+            for suspectee in range(1, N + 1):
+                value = dense[suspectee]
+                if suspectee != suspector and type(value) is int:
+                    key = (suspector, suspectee)
+                    expected[key] = max(expected[key], value)
+        for (suspector, suspectee), value in expected.items():
+            assert matrix.get(suspector, suspectee) == value
+
+    def test_incremental_view_survives_forged_rows(self, seed):
+        from repro.adversary.strategies import forge_garbage_rows
+
+        rng = make_rng(seed).child("forged-view")
+        matrix = SuspicionMatrix(N)
+        matrix.suspect_graph_view(1, None)
+        rows = forge_garbage_rows(rng.child("rows"), N, 30)
+        for step, row in enumerate(rows):
+            step_rng = rng.child("step", step)
+            if step_rng.coin(0.5):
+                matrix.mark(step_rng.randint(1, N - 1) + 1, 1,
+                            step_rng.randint(1, MAX_EPOCH))
+            matrix.merge_row(1 + step % N, row)
+            assert matrix.suspect_graph_view(1, None) == \
+                matrix.build_suspect_graph(1, None)
