@@ -264,6 +264,61 @@ def find_adversary_regressions(
     return flags
 
 
+def find_protocol_regressions(
+    previous: Optional[dict], report: dict,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> List[str]:
+    """Flag the backend comparison (E29) drifting or slowing down.
+
+    Absolute gates on ``BENCH_protocol_compare.json``: every backend's
+    measured per-decision cost must still equal its closed form, the
+    savings ordering must hold, and the leader-kill scenario must
+    re-stabilize with a consistent history.  Relative gate: a backend's
+    stabilization latency growing past the threshold (plus one probe
+    step of slack — the measurement is step-quantized) is flagged.
+    """
+    flags = []
+    old_backends = (previous or {}).get("backends", {})
+    if not isinstance(old_backends, dict):
+        old_backends = {}
+    for protocol, block in report.get("backends", {}).items():
+        for case in block.get("costs", []):
+            family = case.get("family")
+            if not case.get("measured_matches_analytic"):
+                flags.append(
+                    f"protocol {protocol} {family}: per-decision cost "
+                    f"{case.get('per_decision')} != analytic "
+                    f"{case.get('analytic_per_decision')}"
+                )
+            if not case.get("completed_all") or not case.get("histories_consistent"):
+                flags.append(
+                    f"protocol {protocol} {family}: cost run lost ops or "
+                    f"history consistency"
+                )
+        stab = block.get("stabilization", {})
+        new_latency = stab.get("latency")
+        if new_latency is None:
+            flags.append(f"protocol {protocol}: never re-stabilized after leader kill")
+        if not stab.get("completed_all") or not stab.get("histories_consistent"):
+            flags.append(
+                f"protocol {protocol}: stabilization run lost ops or "
+                f"history consistency"
+            )
+        old_stab = (old_backends.get(protocol) or {}).get("stabilization", {})
+        old_latency = old_stab.get("latency") if isinstance(old_stab, dict) else None
+        if (
+            isinstance(old_latency, (int, float)) and old_latency > 0
+            and isinstance(new_latency, (int, float))
+            and new_latency > old_latency * (1 + threshold) + 1.0
+        ):
+            flags.append(
+                f"protocol {protocol}: stabilization latency "
+                f"{old_latency:.1f} -> {new_latency:.1f} "
+                f"(threshold +{threshold * 100:.0f}%)"
+            )
+    return flags
+
+
 def read_previous_report(path: Path = REPORT_PATH) -> Optional[dict]:
     """The report currently on disk, or ``None`` if absent/corrupt."""
     try:
@@ -358,6 +413,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--adversary", action="store_true",
                         help="also run the adversarial lower-bound chase "
                              "(E28) and write BENCH_adversary_search.json")
+    parser.add_argument("--protocol", action="store_true",
+                        help="also run the XPaxos vs IBFT backend comparison "
+                             "(E29) and write BENCH_protocol_compare.json")
     args = parser.parse_args(argv)
 
     previous = read_previous_report()
@@ -419,6 +477,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"PERF REGRESSION: {line}")
         regressions.extend(adversary_regressions)
         print(f"wrote {e28.REPORT_PATH}")
+
+    if args.protocol:
+        from benchmarks import bench_e29_protocol_compare as e29
+
+        protocol_previous = read_previous_report(e29.REPORT_PATH)
+        protocol_report = e29.write_report()
+        emit("e29_protocol_compare", e29.render_table(protocol_report))
+        protocol_regressions = find_protocol_regressions(
+            protocol_previous, protocol_report
+        )
+        for line in protocol_regressions:
+            print(f"PERF REGRESSION: {line}")
+        regressions.extend(protocol_regressions)
+        print(f"wrote {e29.REPORT_PATH}")
 
     if regressions and args.strict:
         return 1

@@ -324,6 +324,7 @@ def _cmd_node(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             batch_window=args.batch_window,
             checkpoint_interval=args.checkpoint_interval,
+            protocol=args.protocol,
         )
         config.validate()
         run_node_blocking(config)
@@ -356,6 +357,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if args.duration is None:
         args.duration = 300.0 if args.runtime == "sim" else 8.0
     if args.shards > 1:
+        if args.protocol != "xpaxos":
+            return _invalid("--protocol is only supported with --shards 1")
         return _cmd_loadgen_sharded(args, kill, recover)
     try:
         if args.runtime == "sim":
@@ -373,6 +376,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 zipf_s=args.zipf,
                 kill_leader_at=kill,
                 recover_at=recover,
+                protocol=args.protocol,
             )
             report.pop("world", None)
         else:
@@ -390,6 +394,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 zipf_s=args.zipf,
                 kill_leader_at=kill,
                 recover_at=recover,
+                protocol=args.protocol,
                 run_dir=args.run_dir,
             )
     except ConfigurationError as exc:
@@ -403,8 +408,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             ["phase", "completed", f"throughput (req/{unit})",
              "latency p50", "latency p99"],
             title=(
-                f"KV service load — {args.runtime}, n={args.n}, f={args.f}, "
-                f"{args.clients} clients, {args.mode}-loop"
+                f"KV service load — {args.runtime}, {args.protocol}, "
+                f"n={args.n}, f={args.f}, {args.clients} clients, "
+                f"{args.mode}-loop"
             ),
         )
         for name, phase in report["phases"].items():
@@ -868,6 +874,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="service consensus batch window seconds (default 0.002)")
     node.add_argument("--checkpoint-interval", type=int, default=128,
                       help="service checkpoint every N slots (default 128)")
+    node.add_argument("--protocol", choices=("xpaxos", "ibft"), default="xpaxos",
+                      help="protocol backend executing the service (default xpaxos)")
     node.set_defaults(func=_cmd_node)
 
     loadgen = sub.add_parser(
@@ -876,6 +884,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--runtime", choices=("sim", "live"), default="sim",
                          help="deterministic sim or live loopback cluster")
+    loadgen.add_argument("--protocol", choices=("xpaxos", "ibft"), default="xpaxos",
+                         help="protocol backend executing the service "
+                              "(default xpaxos; single-deployment runs only)")
     loadgen.add_argument("--n", type=int, default=4, help="replicas (default 4)")
     loadgen.add_argument("--f", type=int, default=1, help="fault bound (default 1)")
     loadgen.add_argument("--clients", type=int, default=None,

@@ -80,9 +80,12 @@ class ClusterConfig:
     batch_size: int = 8
     batch_window: float = 0.002
     checkpoint_interval: Optional[int] = 128
+    #: Protocol backend every node executes in service mode.
+    protocol: str = "xpaxos"
 
     def validate(self) -> None:
         from repro.net.wire import WIRE_VERSIONS
+        from repro.protocol.backend import backend_names
 
         if not 1 <= self.f < self.n - self.f:
             raise ConfigurationError(
@@ -122,6 +125,10 @@ class ClusterConfig:
         if self.service_clients < 0:
             raise ConfigurationError(
                 f"service_clients must be >= 0, got {self.service_clients}"
+            )
+        if self.protocol not in backend_names():
+            raise ConfigurationError(
+                f"protocol must be one of {backend_names()}, got {self.protocol!r}"
             )
         for pid, _addr in self.extra_peers:
             if pid <= self.n:
@@ -243,6 +250,7 @@ class ClusterResult:
         quorum = self.final_quorum()
         return {
             **({"label": self.config.label} if self.config.label else {}),
+            **({"protocol": self.config.protocol} if self.config.service else {}),
             "n": self.config.n,
             "f": self.config.f,
             "duration": self.config.duration,
@@ -290,6 +298,7 @@ def _node_command(config: ClusterConfig, pid: int) -> List[str]:
             "--service-clients", str(config.service_clients),
             "--batch-size", str(config.batch_size),
             "--batch-window", str(config.batch_window),
+            "--protocol", config.protocol,
         ]
         if config.checkpoint_interval is not None:
             cmd += ["--checkpoint-interval", str(config.checkpoint_interval)]

@@ -49,6 +49,7 @@ from repro.net.timers import NetTimerService
 from repro.net.wire import WIRE_VERSIONS
 from repro.obs.observability import Observability
 from repro.obs.registry import render_prometheus
+from repro.protocol.backend import backend_names
 from repro.sim.worlds import attach_kv_service_stack, attach_qs_stack
 from repro.util.errors import ConfigurationError
 from repro.util.eventlog import EventLog
@@ -106,6 +107,9 @@ class NodeConfig:
     batch_size: int = 8
     batch_window: float = 0.002
     checkpoint_interval: Optional[int] = 128
+    #: Which protocol backend executes the service (ignored without
+    #: ``service``); any name in :func:`repro.protocol.backend.backend_names`.
+    protocol: str = "xpaxos"
 
     def validate(self) -> None:
         if not 1 <= self.f < self.n - self.f:
@@ -133,6 +137,10 @@ class NodeConfig:
             )
         if self.service is not None and self.batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.protocol not in backend_names():
+            raise ConfigurationError(
+                f"protocol must be one of {backend_names()}, got {self.protocol!r}"
+            )
 
 
 class StreamingEventLog(EventLog):
@@ -235,6 +243,7 @@ async def run_node(config: NodeConfig, emit=None) -> Dict[str, Any]:
             batch_size=config.batch_size,
             batch_window=config.batch_window,
             checkpoint_interval=config.checkpoint_interval,
+            protocol=config.protocol,
         )
     else:
         module = attach_qs_stack(
@@ -294,6 +303,7 @@ async def run_node(config: NodeConfig, emit=None) -> Dict[str, Any]:
     if replica is not None:
         final["service"] = {
             "kind": config.service,
+            "protocol": config.protocol,
             "view": replica.view,
             "executed": replica.executed_base + len(replica.executed),
             "applied_requests": replica.kv.applied_requests,

@@ -54,6 +54,14 @@ from repro.core.messages import (
 )
 from repro.crypto.authenticator import SignedMessage
 from repro.crypto.signatures import Signature
+from repro.ibft.messages import (
+    IbftCommitCertificate,
+    IbftCommitPayload,
+    IbftPreparePayload,
+    NewRoundPayload,
+    PrePreparePayload,
+    RoundChangePayload,
+)
 from repro.xpaxos.messages import (
     CheckpointCertificate,
     CheckpointPayload,
@@ -248,6 +256,54 @@ def encode_value(value: Any, _depth: int = 0) -> Any:
                 encode_value(value.result, _depth + 1),
                 _int(value.replica, "replica"),
                 _int(value.view, "view"),
+            ]
+        }
+    if isinstance(value, PrePreparePayload):
+        return {
+            "__ipp__": [
+                _int(value.round, "round"),
+                _int(value.slot, "slot"),
+                [encode_value(sm, _depth + 1) for sm in value.signed_requests],
+            ]
+        }
+    if isinstance(value, IbftPreparePayload):
+        _require(isinstance(value.request_digest, str), "request digest must be a string")
+        return {
+            "__iprep__": [
+                _int(value.round, "round"),
+                _int(value.slot, "slot"),
+                value.request_digest,
+            ]
+        }
+    if isinstance(value, IbftCommitPayload):
+        _require(isinstance(value.request_digest, str), "request digest must be a string")
+        return {
+            "__icommit__": [
+                _int(value.round, "round"),
+                _int(value.slot, "slot"),
+                value.request_digest,
+            ]
+        }
+    if isinstance(value, IbftCommitCertificate):
+        return {
+            "__icert__": [
+                encode_value(value.preprepare, _depth + 1),
+                [encode_value(c, _depth + 1) for c in value.commits],
+            ]
+        }
+    if isinstance(value, RoundChangePayload):
+        return {
+            "__irc__": [
+                _int(value.new_round, "new_round"),
+                [encode_value(c, _depth + 1) for c in value.committed],
+                _encode_prepared_pairs(value.prepared, _depth + 1),
+            ]
+        }
+    if isinstance(value, NewRoundPayload):
+        return {
+            "__inr__": [
+                _int(value.round, "round"),
+                [encode_value(c, _depth + 1) for c in value.committed],
             ]
         }
     raise WireError(f"cannot encode {type(value).__name__} for the wire")
@@ -455,6 +511,78 @@ def decode_value(value: Any, _depth: int = 0) -> Any:
             replica=_int(body[3], "replica"),
             view=_int(body[4], "view"),
         )
+    if tag == "__ipp__":
+        _require(
+            isinstance(body, list) and len(body) == 3,
+            "__ipp__ needs [round, slot, requests]",
+        )
+        _require(isinstance(body[2], list), "__ipp__ requests must be a list")
+        return PrePreparePayload(
+            round=_int(body[0], "round"),
+            slot=_int(body[1], "slot"),
+            signed_requests=tuple(decode_value(v, _depth + 1) for v in body[2]),
+        )
+    if tag == "__iprep__":
+        _require(
+            isinstance(body, list) and len(body) == 3,
+            "__iprep__ needs [round, slot, digest]",
+        )
+        _require(isinstance(body[2], str), "__iprep__ digest must be a string")
+        return IbftPreparePayload(
+            round=_int(body[0], "round"),
+            slot=_int(body[1], "slot"),
+            request_digest=body[2],
+        )
+    if tag == "__icommit__":
+        _require(
+            isinstance(body, list) and len(body) == 3,
+            "__icommit__ needs [round, slot, digest]",
+        )
+        _require(isinstance(body[2], str), "__icommit__ digest must be a string")
+        return IbftCommitPayload(
+            round=_int(body[0], "round"),
+            slot=_int(body[1], "slot"),
+            request_digest=body[2],
+        )
+    if tag == "__icert__":
+        _require(
+            isinstance(body, list) and len(body) == 2,
+            "__icert__ needs [preprepare, commits]",
+        )
+        _require(isinstance(body[1], list), "__icert__ commits must be a list")
+        return IbftCommitCertificate(
+            preprepare=decode_value(body[0], _depth + 1),
+            commits=tuple(decode_value(v, _depth + 1) for v in body[1]),
+        )
+    if tag == "__irc__":
+        _require(
+            isinstance(body, list) and len(body) == 3,
+            "__irc__ needs [new_round, committed, prepared]",
+        )
+        _require(isinstance(body[1], list), "__irc__ committed must be a list")
+        _require(isinstance(body[2], list), "__irc__ prepared must be a list")
+        prepared = []
+        for pair in body[2]:
+            _require(
+                isinstance(pair, list) and len(pair) == 2,
+                "__irc__ prepared entries must be pairs",
+            )
+            prepared.append((_int(pair[0], "slot"), decode_value(pair[1], _depth + 1)))
+        return RoundChangePayload(
+            new_round=_int(body[0], "new_round"),
+            committed=tuple(decode_value(v, _depth + 1) for v in body[1]),
+            prepared=tuple(prepared),
+        )
+    if tag == "__inr__":
+        _require(
+            isinstance(body, list) and len(body) == 2,
+            "__inr__ needs [round, committed]",
+        )
+        _require(isinstance(body[1], list), "__inr__ committed must be a list")
+        return NewRoundPayload(
+            round=_int(body[0], "round"),
+            committed=tuple(decode_value(v, _depth + 1) for v in body[1]),
+        )
     raise WireError(f"unknown wire tag {tag!r}")
 
 
@@ -491,6 +619,12 @@ _T_XCKPTCERT = 0x17
 _T_XVC = 0x18
 _T_XNV = 0x19
 _T_XREPLY = 0x1A
+_T_IPREPREPARE = 0x1B
+_T_IPREPARE = 0x1C
+_T_ICOMMIT = 0x1D
+_T_ICERT = 0x1E
+_T_IRC = 0x1F
+_T_INR = 0x20
 
 _F64 = struct.Struct(">d")
 
@@ -519,6 +653,11 @@ _KIND_IDS: Dict[str, int] = {
     "xp.viewchange": 12,
     "xp.newview": 13,
     "xp.checkpoint": 14,
+    "ibft.preprepare": 15,
+    "ibft.prepare": 16,
+    "ibft.commit": 17,
+    "ibft.roundchange": 18,
+    "ibft.newround": 19,
 }
 _KIND_BY_ID = {tag: kind for kind, tag in _KIND_IDS.items()}
 
@@ -754,6 +893,52 @@ def _encode_value_v2(buf: bytearray, value: Any, depth: int) -> None:
         _write_int(buf, _int(value.replica, "replica"))
         _write_int(buf, _int(value.view, "view"))
         return
+    if isinstance(value, PrePreparePayload):
+        buf.append(_T_IPREPREPARE)
+        _write_int(buf, _int(value.round, "round"))
+        _write_int(buf, _int(value.slot, "slot"))
+        _write_uvarint(buf, len(value.signed_requests))
+        for sm in value.signed_requests:
+            _encode_value_v2(buf, sm, depth + 1)
+        return
+    if isinstance(value, (IbftPreparePayload, IbftCommitPayload)):
+        _require(isinstance(value.request_digest, str), "request digest must be a string")
+        buf.append(_T_IPREPARE if isinstance(value, IbftPreparePayload) else _T_ICOMMIT)
+        _write_int(buf, _int(value.round, "round"))
+        _write_int(buf, _int(value.slot, "slot"))
+        encoded = value.request_digest.encode("utf-8")
+        _write_uvarint(buf, len(encoded))
+        buf += encoded
+        return
+    if isinstance(value, IbftCommitCertificate):
+        buf.append(_T_ICERT)
+        _encode_value_v2(buf, value.preprepare, depth + 1)
+        _write_uvarint(buf, len(value.commits))
+        for commit in value.commits:
+            _encode_value_v2(buf, commit, depth + 1)
+        return
+    if isinstance(value, RoundChangePayload):
+        buf.append(_T_IRC)
+        _write_int(buf, _int(value.new_round, "new_round"))
+        _write_uvarint(buf, len(value.committed))
+        for cert in value.committed:
+            _encode_value_v2(buf, cert, depth + 1)
+        _write_uvarint(buf, len(value.prepared))
+        for entry in value.prepared:
+            _require(
+                isinstance(entry, tuple) and len(entry) == 2,
+                "prepared entries must be (slot, preprepare) pairs",
+            )
+            _write_int(buf, _int(entry[0], "slot"))
+            _encode_value_v2(buf, entry[1], depth + 1)
+        return
+    if isinstance(value, NewRoundPayload):
+        buf.append(_T_INR)
+        _write_int(buf, _int(value.round, "round"))
+        _write_uvarint(buf, len(value.committed))
+        for cert in value.committed:
+            _encode_value_v2(buf, cert, depth + 1)
+        return
     raise WireError(f"cannot encode {type(value).__name__} for the wire")
 
 
@@ -981,6 +1166,58 @@ def _decode_value_v2(body, pos: int, end: int, depth: int) -> Tuple[Any, int]:
             ),
             pos,
         )
+    if tag == _T_IPREPREPARE:
+        round_, pos = _read_int(body, pos, end)
+        slot, pos = _read_int(body, pos, end)
+        n, pos = _read_count(body, pos, end)
+        requests = []
+        for _ in range(n):
+            sm, pos = _decode_value_v2(body, pos, end, depth + 1)
+            requests.append(sm)
+        return PrePreparePayload(round=round_, slot=slot, signed_requests=tuple(requests)), pos
+    if tag in (_T_IPREPARE, _T_ICOMMIT):
+        round_, pos = _read_int(body, pos, end)
+        slot, pos = _read_int(body, pos, end)
+        request_digest, pos = _read_str(body, pos, end)
+        cls = IbftPreparePayload if tag == _T_IPREPARE else IbftCommitPayload
+        return cls(round=round_, slot=slot, request_digest=request_digest), pos
+    if tag == _T_ICERT:
+        preprepare, pos = _decode_value_v2(body, pos, end, depth + 1)
+        n, pos = _read_count(body, pos, end)
+        commits = []
+        for _ in range(n):
+            commit, pos = _decode_value_v2(body, pos, end, depth + 1)
+            commits.append(commit)
+        return IbftCommitCertificate(preprepare=preprepare, commits=tuple(commits)), pos
+    if tag == _T_IRC:
+        new_round, pos = _read_int(body, pos, end)
+        n, pos = _read_count(body, pos, end)
+        committed = []
+        for _ in range(n):
+            cert, pos = _decode_value_v2(body, pos, end, depth + 1)
+            committed.append(cert)
+        n, pos = _read_count(body, pos, end)
+        prepared = []
+        for _ in range(n):
+            slot, pos = _read_int(body, pos, end)
+            sm, pos = _decode_value_v2(body, pos, end, depth + 1)
+            prepared.append((slot, sm))
+        return (
+            RoundChangePayload(
+                new_round=new_round,
+                committed=tuple(committed),
+                prepared=tuple(prepared),
+            ),
+            pos,
+        )
+    if tag == _T_INR:
+        round_, pos = _read_int(body, pos, end)
+        n, pos = _read_count(body, pos, end)
+        committed = []
+        for _ in range(n):
+            cert, pos = _decode_value_v2(body, pos, end, depth + 1)
+            committed.append(cert)
+        return NewRoundPayload(round=round_, committed=tuple(committed)), pos
     raise WireError(f"unknown V2 type tag {tag:#x}")
 
 

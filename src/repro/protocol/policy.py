@@ -1,0 +1,81 @@
+"""Quorum policies: how a replica maps decisions to quorums (shared).
+
+This is the protocol-neutral half of the contract the paper describes
+in Section V-B: a BFT protocol exposes a totally ordered sequence of
+*decision numbers* (XPaxos calls them views, IBFT calls them rounds),
+each running a fixed quorum from the public enumeration, and the Quorum
+Selection module steers which decision number to jump to.
+
+:class:`EnumerationPolicy` is the baseline — on any suspicion touching
+the active quorum, try the next decision number (next quorum in the
+enumeration).  :class:`SelectionPolicy` is this paper's contribution
+wired in — decision numbers are driven by ``<QUORUM, Q>`` events from
+the Quorum Selection module, jumping directly to the (smallest future)
+decision number whose quorum is ``Q``.
+
+Because both backends consult the *same* policy classes over the *same*
+enumeration, identical QS output makes them adopt identical quorums —
+the property the differential suite pins.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.protocol.enumeration import quorum_for_view, view_for_quorum
+
+
+class QuorumPolicy:
+    """Strategy interface consulted by every protocol backend's replica."""
+
+    def __init__(self, n: int, f: int) -> None:
+        self.n = n
+        self.f = f
+        self.q = n - f
+
+    def quorum_of(self, view: int) -> FrozenSet[int]:
+        return quorum_for_view(view, self.n, self.q)
+
+    def leader_of(self, view: int) -> int:
+        return min(self.quorum_of(view))
+
+    def next_view_on_suspicion(self, current_view: int, suspected: FrozenSet[int]) -> Optional[int]:
+        """View to move to when the FD suspects ``suspected`` (or None)."""
+        raise NotImplementedError
+
+    def view_for_selected_quorum(
+        self, quorum: FrozenSet[int], current_view: int
+    ) -> Optional[int]:
+        """View to move to when Quorum Selection outputs ``quorum``."""
+        raise NotImplementedError
+
+
+class EnumerationPolicy(QuorumPolicy):
+    """Original XPaxos: round-robin through all ``C(n, f)`` quorums."""
+
+    def next_view_on_suspicion(self, current_view, suspected):
+        if suspected & self.quorum_of(current_view):
+            return current_view + 1
+        return None
+
+    def view_for_selected_quorum(self, quorum, current_view):
+        return None  # enumeration mode ignores Quorum Selection
+
+
+class SelectionPolicy(QuorumPolicy):
+    """Quorum-Selection-driven decisions (Section V-B).
+
+    Suspicions alone do not move the decision number — the Quorum
+    Selection module aggregates them (including other processes'
+    suspicions, via its eventually consistent matrix) and its
+    ``<QUORUM, Q>`` output picks the target directly, skipping every
+    quorum ordered before ``Q``.
+    """
+
+    def next_view_on_suspicion(self, current_view, suspected):
+        return None  # wait for the QS module's verdict
+
+    def view_for_selected_quorum(self, quorum, current_view):
+        if quorum == self.quorum_of(current_view):
+            return None
+        return view_for_quorum(quorum, self.n, self.q, current_view + 1)

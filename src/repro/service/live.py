@@ -150,6 +150,7 @@ async def run_live_load(
     heartbeat_period: float = 0.3,
     base_timeout: float = 1.5,
     wire_version: Optional[int] = None,
+    protocol: str = "xpaxos",
     run_dir=None,
 ) -> Dict[str, Any]:
     """Drive the live replicated KV service under load; report phases.
@@ -196,6 +197,7 @@ async def run_live_load(
         batch_size=batch_size,
         batch_window=batch_window,
         checkpoint_interval=checkpoint_interval,
+        protocol=protocol,
     )
 
     ready = asyncio.Event()
@@ -272,6 +274,7 @@ async def run_live_load(
     return {
         "n": n,
         "f": f,
+        "protocol": protocol,
         "clients": clients,
         "mode": mode,
         "rate": rate,

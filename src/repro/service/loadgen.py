@@ -264,6 +264,7 @@ def run_sim_load(
     batch_size: int = 8,
     batch_window: float = 0.5,
     checkpoint_interval: Optional[int] = 64,
+    protocol: str = "xpaxos",
 ) -> Dict[str, Any]:
     """Run the service under load in the deterministic sim; report phases.
 
@@ -284,6 +285,7 @@ def run_sim_load(
         batch_size=batch_size,
         batch_window=batch_window,
         checkpoint_interval=checkpoint_interval,
+        protocol=protocol,
     )
     workload = Workload(seed=seed, keys=keys, zipf_s=zipf_s)
     generator = LoadGenerator(
@@ -344,6 +346,7 @@ def run_sim_load(
     return {
         "n": n,
         "f": f,
+        "protocol": protocol,
         "clients": clients,
         "mode": mode,
         "rate": rate,

@@ -114,35 +114,34 @@ def attach_kv_service_stack(
     batch_size: int = 1,
     batch_window: float = 0.0,
     checkpoint_interval: Optional[int] = None,
+    protocol: str = "xpaxos",
 ):
     """Mount the replicated-KV service stack on one host.
 
-    Failure detector, heartbeats, Quorum Selection, and an XPaxos
-    replica executing a :class:`~repro.service.kv.ServiceKVStore` — the
-    ``--service kv`` node role and the sim service world both assemble
-    through here, extending the sim<->net parity guarantee to the
-    service layer.  Returns ``(qs_module, replica)``.
+    Failure detector, heartbeats, Quorum Selection, and a replica of the
+    named :class:`~repro.protocol.backend.ProtocolBackend` executing a
+    :class:`~repro.service.kv.ServiceKVStore` — the ``--service kv``
+    node role and the sim service world both assemble through here,
+    extending the sim<->net parity guarantee to the service layer.
+    Returns ``(qs_module, replica)``.
     """
+    from repro.protocol.backend import get_backend
     from repro.service.kv import ServiceKVStore
-    from repro.xpaxos.quorum_policy import SelectionPolicy
-    from repro.xpaxos.replica import XPaxosReplica
 
+    backend = get_backend(protocol)
     require_host_api(host)
     FailureDetector(host, TimeoutPolicy(base_timeout=base_timeout))
     host.add_module(HeartbeatModule(host, n=n, period=heartbeat_period))
     qs_module = host.add_module(QuorumSelectionModule(host, n=n, f=f))
-    replica = host.add_module(
-        XPaxosReplica(
-            host,
-            n=n,
-            f=f,
-            policy=SelectionPolicy(n, f),
-            qs_module=qs_module,
-            batch_size=batch_size,
-            batch_window=batch_window,
-            checkpoint_interval=checkpoint_interval,
-            state_machine=ServiceKVStore(),
-        )
+    replica = backend.build_replica(
+        host,
+        n,
+        f,
+        qs_module,
+        batch_size=batch_size,
+        batch_window=batch_window,
+        checkpoint_interval=checkpoint_interval,
+        state_machine=ServiceKVStore(),
     )
     return qs_module, replica
 
@@ -158,6 +157,7 @@ class KVServiceWorld:
     qs_modules: Dict[int, QuorumSelectionModule]
     clients: Dict[int, Any] = field(default_factory=dict)
     adversary: Any = None
+    protocol: str = "xpaxos"
 
     @property
     def gen_host(self) -> Any:
@@ -179,6 +179,7 @@ def build_kv_service_world(
     batch_size: int = 1,
     batch_window: float = 0.0,
     checkpoint_interval: Optional[int] = None,
+    protocol: str = "xpaxos",
     max_steps: int = 20_000_000,
 ) -> KVServiceWorld:
     """Replicated KV service plus ``clients`` idle service clients.
@@ -209,6 +210,7 @@ def build_kv_service_world(
             batch_size=batch_size,
             batch_window=batch_window,
             checkpoint_interval=checkpoint_interval,
+            protocol=protocol,
         )
         qs_modules[pid] = qs_module
         replicas[pid] = replica
@@ -222,7 +224,7 @@ def build_kv_service_world(
     adversary = Adversary(sim, f_max=f)
     return KVServiceWorld(
         sim=sim, n=n, f=f, replicas=replicas, qs_modules=qs_modules,
-        clients=client_modules, adversary=adversary,
+        clients=client_modules, adversary=adversary, protocol=protocol,
     )
 
 

@@ -1,77 +1,23 @@
-"""The view <-> quorum mapping (Section V-B).
+"""Compatibility shim: the enumeration moved to ``repro.protocol``.
 
-XPaxos enumerates all ``C(n, f)`` quorums of size ``q = n - f`` in a fixed
-order and moves "to the next quorum in the enumeration, using round robin
-if the list is exhausted".  We use lexicographic order of sorted id
-tuples, the same total order Quorum Selection uses, and combinatorial
-(un)ranking so view numbers can grow without materializing the list.
-
-View ``v`` (0-based) maps to the quorum with lexicographic rank
-``v mod C(n, f)``; the view's leader is the quorum's lowest id (Fig. 2).
-A ``<QUORUM, Q>`` event maps back to the smallest view ``>= v_min`` whose
-quorum is ``Q`` — installing it "suspects all quorums ordered before Q".
+The view <-> quorum mapping is consumed by every protocol backend (E29:
+IBFT numbers its rounds through the same total order), so the
+combinatorial (un)ranking lives in :mod:`repro.protocol.enumeration`.
+This module keeps the historical import path working.
 """
 
-from __future__ import annotations
+from repro.protocol.enumeration import (  # noqa: F401
+    leader_of_view,
+    quorum_for_view,
+    rank_of_quorum,
+    total_quorums,
+    view_for_quorum,
+)
 
-from math import comb
-from typing import FrozenSet, Iterable, Tuple
-
-from repro.util.errors import ConfigurationError
-
-
-def total_quorums(n: int, q: int) -> int:
-    """``C(n, q)`` — the length of the enumeration cycle."""
-    if not 1 <= q <= n:
-        raise ConfigurationError(f"invalid quorum size q={q} for n={n}")
-    return comb(n, q)
-
-
-def quorum_for_view(view: int, n: int, q: int) -> FrozenSet[int]:
-    """Unrank: the quorum assigned to (0-based) ``view``."""
-    if view < 0:
-        raise ConfigurationError(f"view must be >= 0, got {view}")
-    rank = view % total_quorums(n, q)
-    members = []
-    next_id = 1
-    remaining = q
-    while remaining > 0:
-        # Count of q-subsets starting with next_id among ids >= next_id.
-        with_next = comb(n - next_id, remaining - 1)
-        if rank < with_next:
-            members.append(next_id)
-            remaining -= 1
-        else:
-            rank -= with_next
-        next_id += 1
-    return frozenset(members)
-
-
-def rank_of_quorum(quorum: Iterable[int], n: int, q: int) -> int:
-    """Rank of a quorum in the lexicographic enumeration (0-based)."""
-    members: Tuple[int, ...] = tuple(sorted(quorum))
-    if len(members) != q or len(set(members)) != q:
-        raise ConfigurationError(f"quorum must have exactly q={q} distinct members")
-    if members[0] < 1 or members[-1] > n:
-        raise ConfigurationError(f"quorum members out of range 1..{n}")
-    rank = 0
-    previous = 0
-    for position, member in enumerate(members):
-        for skipped in range(previous + 1, member):
-            rank += comb(n - skipped, q - position - 1)
-        previous = member
-    return rank
-
-
-def view_for_quorum(quorum: Iterable[int], n: int, q: int, min_view: int) -> int:
-    """Smallest view ``>= min_view`` whose assigned quorum is ``quorum``."""
-    cycle = total_quorums(n, q)
-    rank = rank_of_quorum(quorum, n, q)
-    if rank >= min_view % cycle:
-        return (min_view // cycle) * cycle + rank
-    return (min_view // cycle + 1) * cycle + rank
-
-
-def leader_of_view(view: int, n: int, q: int) -> int:
-    """The view's leader: lowest id in the view's quorum (Figure 2)."""
-    return min(quorum_for_view(view, n, q))
+__all__ = [
+    "leader_of_view",
+    "quorum_for_view",
+    "rank_of_quorum",
+    "total_quorums",
+    "view_for_quorum",
+]

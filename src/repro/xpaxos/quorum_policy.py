@@ -1,69 +1,15 @@
-"""Quorum policies: how a replica decides which view to move to.
+"""Compatibility shim: the quorum policies moved to ``repro.protocol``.
 
-:class:`EnumerationPolicy` is original XPaxos — on any suspicion touching
-the active quorum, try the next view (next quorum in the enumeration).
-:class:`SelectionPolicy` is this paper's contribution wired in — views
-are driven by ``<QUORUM, Q>`` events from the Quorum Selection module,
-jumping directly to the (smallest future) view whose quorum is ``Q``.
+The expectation-issuing + quorum-consumption contract is shared by every
+protocol backend now (E29), so :class:`QuorumPolicy` and its two
+implementations live in :mod:`repro.protocol.policy`.  This module keeps
+the historical import path working for existing callers and tests.
 """
 
-from __future__ import annotations
+from repro.protocol.policy import (  # noqa: F401
+    EnumerationPolicy,
+    QuorumPolicy,
+    SelectionPolicy,
+)
 
-from typing import FrozenSet, Optional
-
-from repro.xpaxos.enumeration import quorum_for_view, view_for_quorum
-
-
-class QuorumPolicy:
-    """Strategy interface consulted by :class:`XPaxosReplica`."""
-
-    def __init__(self, n: int, f: int) -> None:
-        self.n = n
-        self.f = f
-        self.q = n - f
-
-    def quorum_of(self, view: int) -> FrozenSet[int]:
-        return quorum_for_view(view, self.n, self.q)
-
-    def leader_of(self, view: int) -> int:
-        return min(self.quorum_of(view))
-
-    def next_view_on_suspicion(self, current_view: int, suspected: FrozenSet[int]) -> Optional[int]:
-        """View to move to when the FD suspects ``suspected`` (or None)."""
-        raise NotImplementedError
-
-    def view_for_selected_quorum(
-        self, quorum: FrozenSet[int], current_view: int
-    ) -> Optional[int]:
-        """View to move to when Quorum Selection outputs ``quorum``."""
-        raise NotImplementedError
-
-
-class EnumerationPolicy(QuorumPolicy):
-    """Original XPaxos: round-robin through all ``C(n, f)`` quorums."""
-
-    def next_view_on_suspicion(self, current_view, suspected):
-        if suspected & self.quorum_of(current_view):
-            return current_view + 1
-        return None
-
-    def view_for_selected_quorum(self, quorum, current_view):
-        return None  # enumeration mode ignores Quorum Selection
-
-
-class SelectionPolicy(QuorumPolicy):
-    """Quorum-Selection-driven XPaxos (Section V-B).
-
-    Suspicions alone do not move the view — the Quorum Selection module
-    aggregates them (including other processes' suspicions, via its
-    eventually consistent matrix) and its ``<QUORUM, Q>`` output picks the
-    target view directly, skipping every quorum ordered before ``Q``.
-    """
-
-    def next_view_on_suspicion(self, current_view, suspected):
-        return None  # wait for the QS module's verdict
-
-    def view_for_selected_quorum(self, quorum, current_view):
-        if quorum == self.quorum_of(current_view):
-            return None
-        return view_for_quorum(quorum, self.n, self.q, current_view + 1)
+__all__ = ["EnumerationPolicy", "QuorumPolicy", "SelectionPolicy"]

@@ -1,0 +1,207 @@
+"""IBFT payloads over both wire codecs: type-identical round-trips.
+
+The IBFT backend's five message kinds must survive V1 (JSON) and V2
+(binary) framing with enough type fidelity that protocol signatures
+still verify on the decoded objects — votes stay digest-only strings,
+certificates keep their nested signed messages, and round-change
+history remains absolute (no checkpoint layer to lean on).
+"""
+
+import pytest
+
+from repro.crypto.authenticator import Authenticator
+from repro.crypto.keys import KeyRegistry
+from repro.net.wire import (
+    _KIND_IDS,
+    WIRE_V1,
+    WIRE_V2,
+    WireError,
+    decode_frame_body,
+    encode_frame_body,
+)
+from repro.ibft.messages import (
+    KIND_COMMIT,
+    KIND_NEWROUND,
+    KIND_PREPARE,
+    KIND_PREPREPARE,
+    KIND_ROUNDCHANGE,
+    IbftCommitCertificate,
+    IbftCommitPayload,
+    IbftPreparePayload,
+    NewRoundPayload,
+    PrePreparePayload,
+    RoundChangePayload,
+)
+from repro.xpaxos.messages import ClientRequest
+
+N = 5
+
+
+@pytest.fixture
+def auths():
+    registry = KeyRegistry(N + 2)
+    return {pid: Authenticator(registry, pid) for pid in range(1, N + 3)}
+
+
+def _signed_request(auths, client=N + 1, sequence=0, op=("put", "k", 1)):
+    request = ClientRequest(client=client, sequence=sequence, op=op)
+    return auths[client].sign(request)
+
+
+def _signed_preprepare(auths, round=0, slot=0, leader=1, batch=1):
+    preprepare = PrePreparePayload(
+        round=round,
+        slot=slot,
+        signed_requests=tuple(
+            _signed_request(auths, sequence=i, op=("put", f"k{i}", i))
+            for i in range(batch)
+        ),
+    )
+    return auths[leader].sign(preprepare)
+
+
+def _certificate(auths, round=0, slot=0, voters=(2, 3)):
+    signed_preprepare = _signed_preprepare(auths, round=round, slot=slot)
+    wanted = signed_preprepare.payload.request_digest()
+    commits = tuple(
+        auths[pid].sign(
+            IbftCommitPayload(round=round, slot=slot, request_digest=wanted)
+        )
+        for pid in voters
+    )
+    return IbftCommitCertificate(preprepare=signed_preprepare, commits=commits)
+
+
+def _roundtrip(kind, payload, src, version):
+    body = encode_frame_body(kind, payload, src, version=version)
+    got_kind, got_payload, got_src = decode_frame_body(body)
+    assert (got_kind, got_src) == (kind, src)
+    return got_payload
+
+
+def test_every_ibft_kind_has_a_stable_v2_id():
+    """The append-only compact-id table covers the IBFT vocabulary."""
+    assert _KIND_IDS[KIND_PREPREPARE] == 15
+    assert _KIND_IDS[KIND_PREPARE] == 16
+    assert _KIND_IDS[KIND_COMMIT] == 17
+    assert _KIND_IDS[KIND_ROUNDCHANGE] == 18
+    assert _KIND_IDS[KIND_NEWROUND] == 19
+
+
+@pytest.mark.parametrize("version", [WIRE_V1, WIRE_V2])
+class TestIbftRoundTrips:
+    def test_preprepare_with_request_batch(self, auths, version):
+        signed = _signed_preprepare(auths, round=3, slot=17, batch=3)
+        got = _roundtrip(KIND_PREPREPARE, signed, 1, version)
+        assert got == signed
+        assert auths[2].verify(got)
+        inner = got.payload
+        assert isinstance(inner, PrePreparePayload)
+        assert inner.request_digest() == signed.payload.request_digest()
+        for sm in inner.signed_requests:
+            assert auths[2].verify(sm)
+            assert isinstance(sm.payload.op, tuple)
+
+    def test_prepare_and_commit_votes_stay_digest_only(self, auths, version):
+        wanted = _signed_preprepare(auths).payload.request_digest()
+        for kind, cls in (
+            (KIND_PREPARE, IbftPreparePayload),
+            (KIND_COMMIT, IbftCommitPayload),
+        ):
+            vote = cls(round=2, slot=9, request_digest=wanted)
+            signed = auths[3].sign(vote)
+            got = _roundtrip(kind, signed, 3, version)
+            assert got == signed
+            assert auths[1].verify(got)
+            assert type(got.payload) is cls
+            assert got.payload.request_digest == wanted
+            assert isinstance(got.payload.request_digest, str)
+
+    def test_commit_certificate_nested_signatures_survive(self, auths, version):
+        cert = _certificate(auths, round=1, slot=4)
+        got = _roundtrip("ibft.state", cert, 1, version)
+        assert got == cert
+        assert isinstance(got, IbftCommitCertificate)
+        assert auths[5].verify(got.preprepare)
+        for commit in got.commits:
+            assert auths[5].verify(commit)
+            assert commit.payload.request_digest == \
+                got.preprepare.payload.request_digest()
+
+    def test_round_change_full_round_trip(self, auths, version):
+        payload = RoundChangePayload(
+            new_round=6,
+            committed=(
+                _certificate(auths, round=0, slot=0),
+                _certificate(auths, round=0, slot=1),
+            ),
+            prepared=((2, _signed_preprepare(auths, round=0, slot=2)),),
+        )
+        signed = auths[2].sign(payload)
+        got = _roundtrip(KIND_ROUNDCHANGE, signed, 2, version)
+        assert got == signed
+        assert auths[1].verify(got)
+        inner = got.payload
+        assert isinstance(inner, RoundChangePayload)
+        assert isinstance(inner.committed[0], IbftCommitCertificate)
+        assert isinstance(inner.prepared[0], tuple) and inner.prepared[0][0] == 2
+
+    def test_round_change_with_empty_history(self, auths, version):
+        payload = RoundChangePayload(new_round=1, committed=(), prepared=())
+        signed = auths[4].sign(payload)
+        got = _roundtrip(KIND_ROUNDCHANGE, signed, 4, version)
+        assert got == signed
+        assert got.payload.committed == ()
+        assert got.payload.prepared == ()
+
+    def test_new_round_round_trip(self, auths, version):
+        payload = NewRoundPayload(round=6, committed=(_certificate(auths),))
+        signed = auths[2].sign(payload)
+        got = _roundtrip(KIND_NEWROUND, signed, 2, version)
+        assert got == signed
+        assert auths[3].verify(got)
+
+    def test_tampered_vote_fails_verification(self, auths, version):
+        wanted = _signed_preprepare(auths).payload.request_digest()
+        signed = auths[3].sign(
+            IbftCommitPayload(round=2, slot=9, request_digest=wanted)
+        )
+        body = encode_frame_body(KIND_COMMIT, signed, 3, version=version)
+        _, got, _ = decode_frame_body(body)
+        assert auths[1].verify(got)
+        forged = IbftCommitPayload(round=2, slot=9, request_digest="0" * 64)
+        forged_body = encode_frame_body(
+            KIND_COMMIT, type(got)(forged, got.signature), 3, version=version
+        )
+        _, tampered, _ = decode_frame_body(forged_body)
+        assert not auths[1].verify(tampered)
+
+
+class TestStrictDecoding:
+    def test_v1_vote_digest_must_be_string(self):
+        import json
+
+        body = json.dumps(
+            {"v": 1, "k": "ibft.prepare", "s": 3, "p": {"__iprep__": [2, 9, 7]}}
+        ).encode()
+        with pytest.raises(WireError):
+            decode_frame_body(body)
+
+    def test_v1_preprepare_wrong_arity_raises(self):
+        import json
+
+        body = json.dumps(
+            {"v": 1, "k": "ibft.preprepare", "s": 1, "p": {"__ipp__": [0, 0]}}
+        ).encode()
+        with pytest.raises(WireError):
+            decode_frame_body(body)
+
+    def test_v2_truncated_round_change_raises(self, auths=None):
+        registry = KeyRegistry(N + 2)
+        auth = Authenticator(registry, 1)
+        payload = RoundChangePayload(new_round=1, committed=(), prepared=())
+        signed = auth.sign(payload)
+        body = encode_frame_body(KIND_ROUNDCHANGE, signed, 1, version=WIRE_V2)
+        for cut in (len(body) // 2, len(body) - 1):
+            with pytest.raises(WireError):
+                decode_frame_body(body[:cut])

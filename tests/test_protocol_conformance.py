@@ -1,0 +1,169 @@
+"""Backend conformance battery: every ProtocolBackend honours the contract.
+
+One parametrized suite, run against each registered backend through the
+shared :func:`~repro.protocol.system.build_backend_system` harness.  The
+contract under test is the quorum-consumption side of the paper's
+interface: replicas execute client operations safely, adopt exactly the
+quorums Quorum Selection issues, re-stabilize after losing their leader,
+survive crash/recovery churn, and converge under chaotic networks —
+independent of whether the decision engine is XPaxos's view-change
+pipeline or IBFT's three-phase rounds.
+"""
+
+import pytest
+
+from repro.net.parity import thm3_bound
+from repro.protocol.backend import backend_names
+from repro.protocol.system import build_backend_system
+from repro.sim.network import ChaosConfig
+
+PROTOCOLS = sorted(backend_names())
+
+
+@pytest.fixture(params=PROTOCOLS)
+def protocol(request):
+    return request.param
+
+
+def assert_quorum_adoption_matches_qs(system):
+    """Every correct replica runs exactly the quorum its QS module issued."""
+    faulty = system.adversary.faulty if system.adversary else set()
+    for pid in system.replica_pids:
+        if pid in faulty or not system.sim.host(pid).running:
+            continue
+        status = system.observe(pid)
+        assert status.quorum == frozenset(system.qs_modules[pid].current_quorum), (
+            f"{status.protocol} p{pid}: replica quorum {sorted(status.quorum)} "
+            f"!= QS {sorted(system.qs_modules[pid].current_quorum)}"
+        )
+
+
+def assert_thm3_envelope(system):
+    faulty = system.adversary.faulty if system.adversary else set()
+    bound = thm3_bound(system.f)
+    for pid, qs in system.qs_modules.items():
+        if pid in faulty:
+            continue
+        assert qs.max_quorums_in_any_epoch() <= bound
+
+
+class TestAgreementSafety:
+    def test_fault_free_run_completes_and_agrees(self, protocol):
+        system = build_backend_system(protocol, n=4, f=1, clients=2, seed=3)
+        system.run(600.0)
+
+        assert system.total_completed() == 40
+        assert system.histories_consistent()
+        # Fault-free: every replica executed the full history, normally.
+        for pid in system.replica_pids:
+            status = system.observe(pid)
+            assert status.status == "normal"
+            assert status.executed == status.commits
+        executed = {system.observe(pid).executed for pid in system.replica_pids
+                    if pid in system.observe(pid).quorum}
+        assert executed == {40}
+        assert_quorum_adoption_matches_qs(system)
+
+    def test_observe_reports_the_backend_contract(self, protocol):
+        system = build_backend_system(protocol, n=4, f=1, clients=1, seed=3)
+        system.run(300.0)
+        status = system.observe(1)
+        assert status.protocol == protocol == system.backend.name
+        assert system.backend.decision_term in ("view", "round")
+        assert status.decision_number >= 0
+        assert len(status.quorum) == system.n - system.f
+        assert status.leader == min(status.quorum)
+
+
+class TestQuorumAdoption:
+    def test_replicas_follow_qs_after_quorum_member_dies(self, protocol):
+        system = build_backend_system(protocol, n=5, f=2, clients=1, seed=3)
+        victim = min(system.replicas[1].policy.quorum_of(0))
+        system.adversary.crash(victim, at=60.0)
+        system.run(900.0)
+
+        assert system.total_completed() == 20
+        assert system.histories_consistent()
+        for pid in system.replica_pids:
+            if pid == victim:
+                continue
+            assert victim not in system.observe(pid).quorum
+        assert_quorum_adoption_matches_qs(system)
+        assert_thm3_envelope(system)
+
+
+class TestLeaderKillRestabilization:
+    def test_workload_survives_leader_kill(self, protocol):
+        system = build_backend_system(protocol, n=4, f=1, clients=2, seed=7)
+        leader = min(system.replicas[1].policy.quorum_of(0))
+        system.adversary.crash(leader, at=40.0)
+        system.run(900.0)
+
+        assert system.total_completed() == 40
+        assert system.histories_consistent()
+        for pid in system.replica_pids:
+            if pid == leader:
+                continue
+            status = system.observe(pid)
+            assert leader not in status.quorum
+            if pid in status.quorum:
+                assert status.status == "normal"
+                assert status.decision_number > 0
+        assert_thm3_envelope(system)
+
+
+class TestCrashRecovery:
+    def test_killed_leader_recovering_keeps_safety_and_liveness(self, protocol):
+        system = build_backend_system(protocol, n=4, f=1, clients=2, seed=11)
+        leader = min(system.replicas[1].policy.quorum_of(0))
+        system.adversary.crash(leader, at=40.0)
+        system.sim.at(
+            200.0,
+            lambda: system.sim.host(leader).recover(),
+            label=f"recover-p{leader}",
+        )
+        system.run(900.0)
+
+        assert system.sim.host(leader).running
+        assert system.total_completed() == 40
+        assert system.histories_consistent()
+        assert_thm3_envelope(system)
+
+    def test_non_quorum_member_churn_changes_nothing(self, protocol):
+        """Killing and recovering a spare never forces a quorum change."""
+        system = build_backend_system(protocol, n=5, f=2, clients=1, seed=3)
+        spare = max(system.replica_pids)
+        assert spare not in system.replicas[1].policy.quorum_of(0)
+        system.adversary.crash(spare, at=40.0)
+        system.sim.at(
+            100.0, lambda: system.sim.host(spare).recover(),
+            label=f"recover-p{spare}",
+        )
+        system.run(600.0)
+
+        assert system.total_completed() == 20
+        for pid in system.replica_pids:
+            status = system.observe(pid)
+            assert status.status == "normal"
+            assert status.decision_number == 0
+        for qs in system.qs_modules.values():
+            assert qs.total_quorums_issued() == 0
+        assert_quorum_adoption_matches_qs(system)
+
+
+class TestChaosConvergence:
+    def test_lossy_network_converges_safely(self, protocol):
+        """Chaos may cost liveness windows and false suspicions — never safety."""
+        system = build_backend_system(
+            protocol, n=4, f=1, clients=1, seed=3,
+            chaos=ChaosConfig(drop=0.02, duplicate=0.02, reorder=0.05),
+            client_retry=20.0,
+        )
+        system.run(900.0)
+
+        assert system.histories_consistent()
+        assert system.total_completed() > 0
+        # No Theorem 3 claim here: random loss falsely implicates correct
+        # processes, voiding the <=f-faults premise.  What must survive
+        # chaos is safety plus the adoption contract.
+        assert_quorum_adoption_matches_qs(system)
